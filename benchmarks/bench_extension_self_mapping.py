@@ -1,0 +1,24 @@
+"""Benchmark: the §5.6 future-work workflow (GS self-mapping).
+
+Duplicate detection inside Google Scholar first, then composition of
+the resulting self-mapping into the DBLP-GS same-mapping — the match
+workflow the paper proposes as future work to repair the unsatisfying
+GS numbers of Tables 7/8.
+"""
+
+from repro.eval.experiments.extension_self_mapping import (
+    run_self_mapping_extension,
+)
+
+
+def test_self_mapping_extension(benchmark, bench_workbench, report):
+    result = benchmark.pedantic(
+        lambda: run_self_mapping_extension(bench_workbench),
+        rounds=1, iterations=1)
+    report(result.experiment_id, result.render())
+    base = result.data["base"]
+    expanded = result.data["expanded"]
+    # the self-mapping must find duplicate clusters ...
+    assert result.data["self_mapping_size"] > 0
+    # ... and composing them in must improve the mapping overall
+    assert expanded["f1"] > base["f1"]

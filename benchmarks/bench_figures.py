@@ -1,0 +1,19 @@
+"""Worked-figure benchmarks: exact reproduction of Figures 1, 4, 6, 9."""
+
+import pytest
+
+from repro.eval.experiments import (
+    run_figure1,
+    run_figure4,
+    run_figure6,
+    run_figure9,
+)
+
+
+@pytest.mark.parametrize("runner", [
+    run_figure1, run_figure4, run_figure6, run_figure9,
+], ids=["figure1", "figure4", "figure6", "figure9"])
+def test_figures_match_paper(benchmark, report, runner):
+    result = benchmark(runner)
+    report(result.experiment_id, result.render())
+    assert result.data["matches_paper"] is True, result.data["checks"]

@@ -1,0 +1,61 @@
+"""Micro-benchmarks: merge/compose throughput vs mapping size.
+
+Scaling behaviour matters because MOMA leans on "the composition can
+be computed very efficiently ... by joining the mapping tables" — the
+operators must stay linear in the number of correspondences/paths.
+"""
+
+import random
+
+import pytest
+
+from repro.core.mapping import Mapping
+from repro.core.operators.compose import compose
+from repro.core.operators.merge import merge
+
+
+def synthetic_mapping(size: int, seed: int, domain="A", range_="B",
+                      fanout: int = 3) -> Mapping:
+    rng = random.Random(seed)
+    mapping = Mapping(domain, range_)
+    for index in range(size):
+        for _ in range(rng.randint(1, fanout)):
+            mapping.add(f"d{index}", f"r{rng.randrange(size)}",
+                        rng.uniform(0.1, 1.0))
+    return mapping
+
+
+@pytest.mark.parametrize("size", [1000, 5000])
+def test_merge_throughput(benchmark, size):
+    left = synthetic_mapping(size, 1)
+    right = synthetic_mapping(size, 2)
+    merged = benchmark(lambda: merge([left, right], "avg"))
+    assert len(merged) >= max(len(left), len(right)) * 0.5
+
+
+@pytest.mark.parametrize("size", [1000, 5000])
+def test_compose_throughput(benchmark, size):
+    left = synthetic_mapping(size, 3, "A", "C")
+    right = synthetic_mapping(size, 4, "C", "B")
+    composed = benchmark(lambda: compose(left, right, "min", "relative"))
+    assert composed is not None
+
+
+@pytest.mark.parametrize("function", ["avg", "min", "max", "min0", "avg0"])
+def test_merge_function_overhead(benchmark, function):
+    left = synthetic_mapping(2000, 5)
+    right = synthetic_mapping(2000, 6)
+    benchmark(lambda: merge([left, right], function))
+
+
+def test_repository_round_trip_throughput(benchmark):
+    from repro.model.repository import MappingRepository
+    mapping = synthetic_mapping(5000, 9)
+
+    def round_trip():
+        with MappingRepository(":memory:") as repository:
+            repository.save("bench", mapping)
+            return repository.load("bench")
+
+    loaded = benchmark(round_trip)
+    assert len(loaded) == len(mapping)

@@ -1,0 +1,34 @@
+"""Micro-benchmarks: similarity-function throughput on realistic titles."""
+
+import random
+
+import pytest
+
+from repro.datagen.text import generate_distinct_titles
+from repro.sim.registry import get_similarity
+
+NAMES = ("trigram", "levenshtein", "jaro", "jarowinkler", "tfidf",
+         "affix", "jaccard", "personname")
+
+
+@pytest.fixture(scope="module")
+def title_pairs():
+    rng = random.Random(13)
+    titles = generate_distinct_titles(200, rng)
+    return [(titles[i], titles[(i * 7 + 1) % len(titles)])
+            for i in range(len(titles))]
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_similarity_throughput(benchmark, name, title_pairs):
+    function = get_similarity(name)
+    function.prepare([a for a, _ in title_pairs])
+
+    def score_all():
+        total = 0.0
+        for a, b in title_pairs:
+            total += function.similarity(a, b)
+        return total
+
+    total = benchmark(score_all)
+    assert 0.0 <= total <= len(title_pairs)

@@ -1,0 +1,17 @@
+"""Table 1 benchmark: dataset statistics (and generation throughput)."""
+
+from repro.datagen import build_dataset
+from repro.eval.experiments import run_table1
+
+
+def test_table1_dataset_statistics(benchmark, bench_workbench, report):
+    result = benchmark.pedantic(
+        lambda: run_table1(bench_workbench), rounds=1, iterations=1)
+    report(result.experiment_id, result.render())
+    assert result.data["DBLP"]["publications"] > 0
+
+
+def test_table1_generation_throughput(benchmark):
+    """Time a full tiny-scale dataset generation (world + 3 views + gold)."""
+    dataset = benchmark(lambda: build_dataset("tiny", seed=11))
+    assert len(dataset.dblp.publications) > 0

@@ -1,0 +1,14 @@
+"""Table 2 benchmark: attribute matchers and their merge (DBLP-ACM)."""
+
+from repro.eval.experiments import run_table2
+
+
+def test_table2_attribute_matchers(benchmark, bench_workbench, report):
+    result = benchmark.pedantic(
+        lambda: run_table2(bench_workbench), rounds=1, iterations=1)
+    report(result.experiment_id, result.render())
+    # paper shape: title >> year; merge >= best single matcher
+    assert result.data["title"]["f1"] > result.data["year"]["f1"]
+    best_single = max(result.data[key]["f1"]
+                      for key in ("title", "author", "year"))
+    assert result.data["merge"]["f1"] >= best_single - 0.02

@@ -1,0 +1,20 @@
+"""Table 3 benchmark: direct vs composed vs merged compose paths."""
+
+from repro.eval.experiments import run_table3
+
+
+def test_table3_compose_paths(benchmark, bench_workbench, report):
+    result = benchmark.pedantic(
+        lambda: run_table3(bench_workbench), rounds=1, iterations=1)
+    report(result.experiment_id, result.render())
+    # the hub repair: composing GS-ACM through DBLP beats the link mapping
+    assert result.data["GS-ACM"]["compose"]["f1"] > \
+        result.data["GS-ACM"]["direct"]["f1"]
+    # composing through the weak link mapping hurts the other pairs
+    assert result.data["DBLP-ACM"]["compose"]["f1"] < \
+        result.data["DBLP-ACM"]["direct"]["f1"]
+    # merge retains the level of the best alternative
+    for pair in ("DBLP-GS", "DBLP-ACM", "GS-ACM"):
+        best = max(result.data[pair]["direct"]["f1"],
+                   result.data[pair]["compose"]["f1"])
+        assert result.data[pair]["merge"]["f1"] >= best - 0.1

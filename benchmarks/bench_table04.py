@@ -1,0 +1,18 @@
+"""Table 4 benchmark: venue matching via 1:n neighborhood matcher."""
+
+from repro.eval.experiments import run_table4
+
+
+def test_table4_venue_neighborhood(benchmark, bench_workbench, report):
+    result = benchmark.pedantic(
+        lambda: run_table4(bench_workbench), rounds=1, iterations=1)
+    report(result.experiment_id, result.render())
+    # thresholds match conferences perfectly (large neighborhoods)
+    assert result.data["conferences|80%"]["precision"] > 0.95
+    # permissive selection recovers journal recall
+    assert result.data["journals|50%"]["recall"] >= \
+        result.data["journals|80%"]["recall"]
+    # Best-1 is the strongest overall strategy
+    assert result.data["overall|best1"]["f1"] >= \
+        max(result.data["overall|80%"]["f1"],
+            result.data["overall|50%"]["f1"]) - 0.08

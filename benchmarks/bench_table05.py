@@ -1,0 +1,17 @@
+"""Table 5 benchmark: publication matching via n:1 neighborhood."""
+
+from repro.eval.experiments import run_table5
+
+
+def test_table5_publication_neighborhood(benchmark, bench_workbench, report):
+    result = benchmark.pedantic(
+        lambda: run_table5(bench_workbench), rounds=1, iterations=1)
+    report(result.experiment_id, result.render())
+    neighborhood = result.data["overall|neighborhood"]
+    # neighborhood alone: ~100% recall at useless precision (paper: 2%)
+    assert neighborhood["recall"] > 0.95
+    assert neighborhood["precision"] < 0.35
+    # the merged mapping dominates the attribute matcher
+    assert result.data["overall|merge"]["f1"] > \
+        result.data["overall|attribute"]["f1"]
+    assert result.data["overall|merge"]["f1"] > 0.9

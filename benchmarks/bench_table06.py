@@ -1,0 +1,15 @@
+"""Table 6 benchmark: author matching via n:m neighborhood."""
+
+from repro.eval.experiments import run_table6
+
+
+def test_table6_author_neighborhood(benchmark, bench_workbench, report):
+    result = benchmark.pedantic(
+        lambda: run_table6(bench_workbench), rounds=1, iterations=1)
+    report(result.experiment_id, result.render())
+    # neighborhood alone is weak but recall-complete
+    assert result.data["neighborhood"]["f1"] < result.data["attribute"]["f1"]
+    assert result.data["neighborhood"]["recall"] > 0.9
+    # merging lifts recall over the name matcher
+    assert result.data["merge"]["recall"] > result.data["attribute"]["recall"]
+    assert result.data["merge"]["f1"] >= result.data["attribute"]["f1"]

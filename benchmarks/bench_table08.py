@@ -1,0 +1,12 @@
+"""Table 8 benchmark: GS-ACM publications via author neighborhood."""
+
+from repro.eval.experiments import run_table8
+
+
+def test_table8_gs_acm_publications(benchmark, bench_workbench, report):
+    result = benchmark.pedantic(
+        lambda: run_table8(bench_workbench), rounds=1, iterations=1)
+    report(result.experiment_id, result.render())
+    # "comparative results" to Table 7 (paper §5.4.3)
+    assert result.data["merge"]["f1"] > result.data["attribute"]["f1"]
+    assert result.data["neighborhood"]["precision"] < 0.5

@@ -1,0 +1,12 @@
+"""Table 9 benchmark: duplicate author detection within DBLP."""
+
+from repro.eval.experiments import run_table9
+
+
+def test_table9_duplicate_authors(benchmark, bench_workbench, report):
+    result = benchmark.pedantic(
+        lambda: run_table9(bench_workbench), rounds=1, iterations=1)
+    report(result.experiment_id, result.render())
+    # injected duplicates surface among the top merged candidates
+    assert result.data["recall_at_k"] >= 0.4
+    assert len(result.data["candidates"]) > 0

@@ -1,0 +1,16 @@
+"""Table 10 benchmark: summary of matching results across all tasks."""
+
+from repro.eval.experiments import run_table10
+
+
+def test_table10_summary(benchmark, bench_workbench, report):
+    result = benchmark.pedantic(
+        lambda: run_table10(bench_workbench), rounds=1, iterations=1)
+    report(result.experiment_id, result.render())
+    # headline qualities of the reproduction (paper: 96.9-98.8 for
+    # DBLP-ACM, ~88-89 for the GS pairs)
+    assert result.data["DBLP-ACM|venues"] > 0.9
+    assert result.data["DBLP-ACM|publications"] > 0.9
+    assert result.data["DBLP-ACM|authors"] > 0.85
+    assert result.data["DBLP-GS|publications"] > 0.8
+    assert result.data["GS-ACM|publications"] > 0.8

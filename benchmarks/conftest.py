@@ -1,0 +1,53 @@
+"""Benchmark fixtures: shared dataset, workbench and result reporting.
+
+Scale is selected with ``REPRO_SCALE`` (``tiny`` / ``small`` /
+``paper``; default ``small``) and the seed with ``REPRO_SEED``.  Every
+benchmark registers its experiment table with the ``report`` fixture;
+the tables are printed in the terminal summary so that
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+captures the full paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import pytest
+
+from repro.datagen import build_dataset
+from repro.eval.experiments import Workbench
+
+_RESULTS: List[Tuple[str, str]] = []
+
+
+@pytest.fixture(scope="session")
+def bench_dataset():
+    scale = os.environ.get("REPRO_SCALE", "small")
+    seed = int(os.environ.get("REPRO_SEED", "7"))
+    return build_dataset(scale, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def bench_workbench(bench_dataset):
+    return Workbench(bench_dataset)
+
+
+@pytest.fixture
+def report():
+    """Collect a rendered experiment table for the terminal summary."""
+
+    def _add(experiment_id: str, rendered: str) -> None:
+        _RESULTS.append((experiment_id, rendered))
+
+    return _add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    terminalreporter.write_sep("=", "MOMA reproduction: paper vs measured")
+    for experiment_id, rendered in sorted(_RESULTS):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(rendered)
+    terminalreporter.write_line("")

@@ -1,0 +1,60 @@
+"""Citation analysis via mapping-based fusion (the iFuice use case).
+
+The application that motivated MOMA ([29]): enrich curated DBLP
+publications with citation counts from ACM and Google Scholar by
+fusing the entities connected by same-mappings, then aggregate per
+venue and per author.  Demonstrates the hub pattern of Figure 8: both
+same-mappings anchor on DBLP.
+
+Run with::
+
+    python examples/citation_fusion.py
+"""
+
+from repro import AttributeMatcher, ThresholdSelection
+from repro.blocking import TokenBlocking
+from repro.datagen import build_dataset
+from repro.fusion import citation_analysis
+
+
+def main():
+    dataset = build_dataset("tiny")
+    dblp, acm, gs = dataset.dblp, dataset.acm, dataset.gs
+
+    matcher = AttributeMatcher("title", similarity="trigram", threshold=0.5,
+                               blocking=TokenBlocking())
+    select = ThresholdSelection(0.8)
+    dblp_acm = select.apply(matcher.match(dblp.publications,
+                                          acm.publications))
+    dblp_gs = select.apply(matcher.match(dblp.publications,
+                                         gs.publications))
+
+    report = citation_analysis(dblp, [acm, gs], [dblp_acm, dblp_gs])
+
+    print("Top cited publications (fused DBLP+ACM+GS citation counts):")
+    for pub_id, citations in report.top_publications(5):
+        title = dblp.publications.require(pub_id).get("title")
+        print(f"  {citations:6.0f}  {title}")
+
+    print("\nTop venues by total citations:")
+    for venue_id, citations in report.top_venues(5):
+        name = dblp.venues.require(venue_id).get("name")
+        pubs, _ = report.per_venue[venue_id]
+        print(f"  {citations:7.0f}  {name:20s} ({pubs} publications)")
+
+    print("\nTop authors by total citations:")
+    for author_id, citations in report.top_authors(5):
+        name = dblp.authors.require(author_id).get("name")
+        pubs, _ = report.per_author[author_id]
+        print(f"  {citations:7.0f}  {name:24s} ({pubs} publications)")
+
+    uncited = sum(1 for count in report.per_publication.values()
+                  if count == 0)
+    print(f"\nFused citation coverage: "
+          f"{len(report.per_publication) - uncited}/"
+          f"{len(report.per_publication)} DBLP publications "
+          "received a non-zero fused count.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Duplicate author detection within DBLP — the paper's §4.3 script.
+
+Runs the exact iFuice-style script from the paper through the script
+engine and lists the top duplicate-author candidates with their
+co-author overlap and name similarity, Table-9 style.
+
+Run with::
+
+    python examples/duplicate_detection.py
+"""
+
+from repro.datagen import build_dataset
+from repro.script import ScriptEngine
+
+PAPER_SCRIPT = """
+# §4.3: detect duplicate authors in DBLP via co-authorship + names.
+$CoAuthSim = nhMatch (DBLP.CoAuthor, DBLP.AuthorAuthor, DBLP.CoAuthor)
+$NameSim = attrMatch (DBLP.Author, DBLP.Author, Trigram, 0.5,
+                      "[name]", "[name]")
+$Merged = merge ($CoAuthSim, $NameSim, Avg0)
+$Result = select ($Merged, "[domain.id]<>[range.id]")
+"""
+
+
+def main():
+    dataset = build_dataset("tiny")
+    engine = ScriptEngine(smm=dataset.smm)
+    result = engine.run(PAPER_SCRIPT)
+
+    authors = dataset.dblp.authors
+    co_author_sim = engine.variables["CoAuthSim"]
+    name_sim = engine.variables["NameSim"]
+
+    seen = set()
+    candidates = []
+    for correspondence in result:
+        key = tuple(sorted((correspondence.domain, correspondence.range)))
+        if key in seen:
+            continue
+        seen.add(key)
+        candidates.append(correspondence)
+    candidates.sort(key=lambda c: -c.similarity)
+
+    gold = dataset.gold.get("author-duplicates", authors.name, authors.name)
+    gold_pairs = {tuple(sorted(pair)) for pair in gold.pairs()}
+
+    print("Top duplicate author candidates in DBLP (cf. paper Table 9):\n")
+    print(f"{'rank':>4}  {'author':22s} {'author~':22s} "
+          f"{'co-auth':>7} {'name':>6} {'merge':>6}  injected?")
+    for rank, corr in enumerate(candidates[:10], start=1):
+        name_a = authors.require(corr.domain).get("name")
+        name_b = authors.require(corr.range).get("name")
+        co = co_author_sim.get(corr.domain, corr.range) or 0.0
+        nm = name_sim.get(corr.domain, corr.range) or 0.0
+        injected = tuple(sorted((corr.domain, corr.range))) in gold_pairs
+        print(f"{rank:>4}  {name_a:22s} {name_b:22s} "
+              f"{co:7.0%} {nm:6.0%} {corr.similarity:6.0%}  "
+              f"{'YES' if injected else ''}")
+
+    top = {tuple(sorted((c.domain, c.range)))
+           for c in candidates[:3 * len(gold_pairs)]}
+    found = len(top & gold_pairs)
+    print(f"\nInjected duplicates recovered in top candidates: "
+          f"{found}/{len(gold_pairs)}")
+    print("Note the 'Catalina Fan ~ Catalina Wei' phenomenon: pairs that "
+          "share co-authors and a first name\nbut cannot be confirmed — "
+          "exactly the problem cases the paper says MOMA surfaces.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Product matching between two shops — MOMA beyond bibliography.
+
+The paper's outlook (§7) names e-commerce as the next target domain.
+This example matches a curated catalog against a noisy marketplace
+feed and shows that every strategy transfers unchanged:
+
+1. attribute matching on product names;
+2. 1:n neighborhood matching of *brands* via matched products (the
+   venue-publication pattern);
+3. merging a category-constrained refinement into the direct matcher
+   (the Figure-11 pattern).
+
+Run with::
+
+    python examples/ecommerce_matching.py
+"""
+
+from repro import (
+    AttributeMatcher,
+    BestNSelection,
+    ThresholdSelection,
+    merge,
+    neighborhood_match,
+)
+from repro.datagen.ecommerce import EcommerceConfig, build_ecommerce_dataset
+from repro.eval import evaluate
+
+
+def main():
+    data = build_ecommerce_dataset(EcommerceConfig(seed=5, products=200))
+    catalog, market = data.catalog, data.market
+    product_gold = data.gold.get("products", "Catalog.Product",
+                                 "Market.Product")
+
+    sample_true = next(iter(market.true_product.values()))
+    clean = data.products[sample_true].name
+    offered = next(
+        market.products.require(offer_id).get("name")
+        for offer_id, true_id in market.true_product.items()
+        if true_id == sample_true)
+    print("Sample dirty pair:")
+    print(f"  catalog: {clean!r}")
+    print(f"  market : {offered!r}\n")
+
+    # 1. direct attribute matching on names
+    name_matcher = AttributeMatcher("name", similarity="trigram",
+                                    threshold=0.55)
+    fuzzy = name_matcher.match(catalog.products, market.products)
+    direct = ThresholdSelection(0.8).apply(fuzzy)
+    quality = evaluate(BestNSelection(1, side="range").apply(direct),
+                       product_gold)
+    print(f"1. name matcher @0.8 + best-1:      "
+          f"P={quality.precision:.1%} R={quality.recall:.1%} "
+          f"F={quality.f1:.1%}")
+
+    # 2. brand matching via the product neighborhood (1:n)
+    brand_same = BestNSelection(1).apply(neighborhood_match(
+        catalog.brand_product, direct, market.product_brand))
+    brand_quality = evaluate(brand_same,
+                             data.gold.get("brands", "Catalog.Brand",
+                                           "Market.Brand"))
+    print(f"2. brand neighborhood matcher:      "
+          f"P={brand_quality.precision:.1%} R={brand_quality.recall:.1%} "
+          f"F={brand_quality.f1:.1%}")
+
+    # 3. category-constrained refinement merged into the direct result
+    category_same = BestNSelection(1).apply(neighborhood_match(
+        catalog.category_product, direct, market.product_category))
+    constrained = neighborhood_match(
+        catalog.product_category, category_same, market.category_product)
+    refined = merge([ThresholdSelection(0.55).apply(fuzzy), constrained],
+                    "min0")
+    merged = BestNSelection(1, side="range").apply(
+        merge([direct, refined], "max"))
+    merged_quality = evaluate(merged, product_gold)
+    print(f"3. + category-constrained refine:   "
+          f"P={merged_quality.precision:.1%} "
+          f"R={merged_quality.recall:.1%} F={merged_quality.f1:.1%}")
+
+    print("\nSame operators, same workflows — different domain.")
+
+
+if __name__ == "__main__":
+    main()

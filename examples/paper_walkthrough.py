@@ -1,0 +1,29 @@
+"""Walk through the paper's worked figures with exact values.
+
+Reproduces Figure 1 (example same-mapping), Figure 4 (merge operator),
+Figure 6 (compose with f=Min, g=Relative) and Figure 9 (neighborhood
+matcher) and checks every printed number against the paper.
+
+Run with::
+
+    python examples/paper_walkthrough.py
+"""
+
+from repro.eval.experiments import (
+    run_figure1,
+    run_figure4,
+    run_figure6,
+    run_figure9,
+)
+
+
+def main():
+    for runner in (run_figure1, run_figure4, run_figure6, run_figure9):
+        result = runner()
+        print(result.render())
+        status = "OK" if result.data["matches_paper"] else "MISMATCH"
+        print(f"  -> {status}\n")
+
+
+if __name__ == "__main__":
+    main()

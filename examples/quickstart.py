@@ -1,0 +1,72 @@
+"""Quickstart: match two small publication sources with MOMA.
+
+Builds two in-memory logical sources, runs two attribute matchers,
+merges their results and selects with a threshold — the §4.1.1
+"independently executed matchers" strategy in ~40 lines.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    AttributeMatcher,
+    LogicalSource,
+    ObjectType,
+    PhysicalSource,
+    ThresholdSelection,
+    merge,
+)
+
+
+def build_sources():
+    dblp = LogicalSource(PhysicalSource("DBLP"), ObjectType("Publication"))
+    acm = LogicalSource(PhysicalSource("ACM"), ObjectType("Publication"))
+
+    dblp.add_record("conf/VLDB/MadhavanBR01",
+                    title="Generic Schema Matching with Cupid", year=2001)
+    dblp.add_record("conf/VLDB/ChirkovaHS01",
+                    title="A formal perspective on the view selection problem",
+                    year=2001)
+    dblp.add_record("journals/VLDB/ChirkovaHS02",
+                    title="A formal perspective on the view selection problem",
+                    year=2002)
+
+    acm.add_record("P-672191",
+                   title="Generic Schema Matching with Cupid", year=2001)
+    acm.add_record("P-672216",
+                   title="A formal perspective on the view selection problem",
+                   year=2001)
+    acm.add_record("P-641272",
+                   title="A formal perspective on the view selection problem",
+                   year=2002)
+    return dblp, acm
+
+
+def main():
+    dblp, acm = build_sources()
+
+    # two independent attribute matchers ...
+    title_matcher = AttributeMatcher("title", similarity="trigram",
+                                     threshold=0.5)
+    year_matcher = AttributeMatcher("year", similarity="year", threshold=0.1)
+    title_mapping = title_matcher.match(dblp, acm)
+    year_mapping = year_matcher.match(dblp, acm)
+
+    # ... merged into one same-mapping, then selected
+    merged = merge([title_mapping, year_mapping], "avg")
+    same_mapping = ThresholdSelection(0.75).apply(merged)
+
+    print("Publication same-mapping DBLP ~ ACM (cf. paper Figure 1):")
+    for domain, range_, similarity in same_mapping.to_rows():
+        print(f"  {domain:32s} ~ {range_:10s}  sim={similarity:.2f}")
+
+    ambiguous = [d for d in same_mapping.domain_ids()
+                 if same_mapping.out_degree(d) > 1]
+    print(f"\n{len(same_mapping)} correspondences; "
+          f"{len(ambiguous)} DBLP publications remain ambiguous "
+          "(the conference/journal-version effect).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Self-tuning match configuration (§2.2).
+
+MOMA "will provide self-tuning capabilities to automatically select
+matchers and mappings and to find optimal configuration parameters ...
+these parameters can be optimized by standard machine learning
+schemes, e.g. using decision trees."  This example:
+
+1. grid-searches attribute / similarity-function / threshold choices
+   against a small training sample of the gold standard;
+2. learns a decision-tree match rule over several similarity features;
+3. tunes merge weights for the weighted combination.
+
+Run with::
+
+    python examples/self_tuning.py
+"""
+
+from repro import AttributeMatcher, GridSearchTuner
+from repro.core.tuning import (
+    DecisionTreeMatcherTuner,
+    FeatureSpec,
+    tune_merge_weights,
+)
+from repro.datagen import build_dataset
+from repro.eval import evaluate
+
+
+def main():
+    dataset = build_dataset("tiny")
+    dblp, acm = dataset.dblp, dataset.acm
+    gold = dataset.gold.publications("DBLP.Publication", "ACM.Publication")
+
+    print("1. Grid search over attribute matcher configurations")
+    tuner = GridSearchTuner(
+        attributes=["title", "authors", "year"],
+        similarities=["trigram", "tfidf", "jaccard"],
+        thresholds=[0.5, 0.65, 0.8, 0.9],
+    )
+    best = tuner.tune(dblp.publications, acm.publications, gold)
+    print(f"   tried {len(best.trials)} configurations; best: "
+          f"{best.params} -> F={best.f1:.1%}\n")
+
+    print("2. Decision-tree match rule over similarity features")
+    tree_tuner = DecisionTreeMatcherTuner(
+        features=[FeatureSpec("title"),
+                  FeatureSpec("authors"),
+                  FeatureSpec("year", similarity="year")],
+        negatives_per_positive=4, seed=1)
+    tree_matcher = tree_tuner.fit(dblp.publications, acm.publications, gold)
+    predicted = tree_matcher.match(dblp.publications, acm.publications)
+    quality = evaluate(predicted, gold)
+    print(f"   learned tree of depth {tree_tuner.tree.depth()}; "
+          f"P={quality.precision:.1%} R={quality.recall:.1%} "
+          f"F={quality.f1:.1%}\n")
+
+    print("3. Merge-weight tuning (title + authors matchers, Weighted)")
+    title_map = AttributeMatcher("title", threshold=0.4).match(
+        dblp.publications, acm.publications)
+    authors_map = AttributeMatcher("authors", threshold=0.4).match(
+        dblp.publications, acm.publications)
+    weights, threshold, f1 = tune_merge_weights(
+        [title_map, authors_map], gold, steps=5)
+    print(f"   best weights={weights}, threshold={threshold:.2f} "
+          f"-> F={f1:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only
+enables legacy ``pip install -e . --no-use-pep517`` editable installs
+on machines that cannot build PEP 660 wheels (e.g. offline boxes
+missing the ``wheel`` distribution).
+"""
+
+from setuptools import setup
+
+setup()

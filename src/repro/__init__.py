@@ -1,0 +1,110 @@
+"""repro — a reproduction of MOMA (Thor & Rahm, CIDR 2007).
+
+MOMA is a flexible framework for *mapping-based object matching*: match
+results are instance mappings combined with merge / compose operators,
+refined by selections, orchestrated as match workflows and re-used via
+a mapping repository.  See ``DESIGN.md`` for the system inventory and
+``EXPERIMENTS.md`` for the paper-vs-measured record.
+
+Quickstart::
+
+    from repro import AttributeMatcher, ThresholdSelection, merge
+
+    title = AttributeMatcher("title", similarity="trigram", threshold=0.5)
+    year = AttributeMatcher("year", similarity="exact", threshold=1.0)
+    mapping = merge([title.match(dblp, acm), year.match(dblp, acm)], "avg")
+    mapping = ThresholdSelection(0.8).apply(mapping)
+"""
+
+from repro.core import (
+    AttributeMatcher,
+    AttributePair,
+    Best1DeltaSelection,
+    BestNSelection,
+    CompositeSelection,
+    ConstraintSelection,
+    Correspondence,
+    GridSearchTuner,
+    Mapping,
+    MappingKind,
+    MatchContext,
+    MatchWorkflow,
+    Matcher,
+    MatcherLibrary,
+    MaxAttributeDifference,
+    MultiAttributeMatcher,
+    NeighborhoodMatcher,
+    NotIdentity,
+    Selection,
+    ThresholdSelection,
+    compose,
+    default_library,
+    difference,
+    hub_compose,
+    intersection,
+    mapping_union,
+    merge,
+    neighborhood_match,
+    select,
+    symmetrize,
+    transitive_closure,
+    tune_threshold,
+)
+from repro.model import (
+    LogicalSource,
+    MappingCache,
+    MappingRepository,
+    MappingType,
+    ObjectInstance,
+    ObjectType,
+    PhysicalSource,
+    SourceMappingModel,
+)
+from repro.sim import SimilarityFunction, get_similarity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeMatcher",
+    "AttributePair",
+    "Best1DeltaSelection",
+    "BestNSelection",
+    "CompositeSelection",
+    "ConstraintSelection",
+    "Correspondence",
+    "GridSearchTuner",
+    "LogicalSource",
+    "Mapping",
+    "MappingCache",
+    "MappingKind",
+    "MappingRepository",
+    "MappingType",
+    "MatchContext",
+    "MatchWorkflow",
+    "Matcher",
+    "MatcherLibrary",
+    "MaxAttributeDifference",
+    "MultiAttributeMatcher",
+    "NeighborhoodMatcher",
+    "NotIdentity",
+    "ObjectInstance",
+    "ObjectType",
+    "PhysicalSource",
+    "Selection",
+    "SimilarityFunction",
+    "SourceMappingModel",
+    "ThresholdSelection",
+    "compose",
+    "default_library",
+    "difference",
+    "get_similarity",
+    "hub_compose",
+    "intersection",
+    "mapping_union",
+    "merge",
+    "neighborhood_match",
+    "select",
+    "symmetrize",
+    "transitive_closure",
+    "tune_threshold",
+]

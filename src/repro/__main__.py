@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``stats``       — generate a dataset and print Table-1-style counts;
+* ``experiments`` — run paper experiments and print their tables;
+* ``figures``     — reproduce the worked figures (1, 4, 6, 9);
+* ``export``      — write the generated sources' association mappings
+  and gold standards as CSV mapping tables for external tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+EXPERIMENT_NAMES = [f"table{i}" for i in range(1, 11)] + [
+    "self-mapping",
+]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MOMA (CIDR 2007) reproduction toolkit",
+    )
+    parser.add_argument("--scale", default="tiny",
+                        choices=["tiny", "small", "paper"],
+                        help="dataset scale preset (default: tiny)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="world generator seed (default: 7)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("stats", help="print dataset statistics")
+
+    experiments = subparsers.add_parser(
+        "experiments", help="run paper experiments")
+    experiments.add_argument(
+        "names", nargs="*", default=[],
+        help=f"experiments to run (default: all); one of {EXPERIMENT_NAMES}")
+
+    subparsers.add_parser("figures", help="reproduce Figures 1/4/6/9")
+
+    export = subparsers.add_parser(
+        "export", help="export mappings and gold standards as CSV")
+    export.add_argument("--out", required=True,
+                        help="target directory for the CSV mapping tables")
+    return parser
+
+
+def _load_workbench(args):
+    from repro.datagen import build_dataset
+    from repro.eval.experiments import Workbench
+
+    dataset = build_dataset(args.scale, seed=args.seed)
+    return dataset, Workbench(dataset)
+
+
+def _command_stats(args) -> int:
+    from repro.eval.experiments import run_table1
+
+    _, workbench = _load_workbench(args)
+    print(run_table1(workbench).render())
+    return 0
+
+
+def _command_experiments(args) -> int:
+    from repro.eval.experiments import (
+        run_self_mapping_extension,
+        run_table1,
+        run_table2,
+        run_table3,
+        run_table4,
+        run_table5,
+        run_table6,
+        run_table7,
+        run_table8,
+        run_table9,
+        run_table10,
+    )
+
+    runners = {
+        "table1": run_table1, "table2": run_table2, "table3": run_table3,
+        "table4": run_table4, "table5": run_table5, "table6": run_table6,
+        "table7": run_table7, "table8": run_table8, "table9": run_table9,
+        "table10": run_table10,
+        "self-mapping": run_self_mapping_extension,
+    }
+    wanted = args.names if args.names else list(runners)
+    unknown = [name for name in wanted if name not in runners]
+    if unknown:
+        print(f"unknown experiments: {unknown}; "
+              f"known: {sorted(runners)}", file=sys.stderr)
+        return 2
+
+    _, workbench = _load_workbench(args)
+    for name in wanted:
+        start = time.perf_counter()
+        result = runners[name](workbench)
+        print(result.render())
+        print(f"  [{name} in {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+def _command_figures(args) -> int:
+    from repro.eval.experiments import (
+        run_figure1,
+        run_figure4,
+        run_figure6,
+        run_figure9,
+    )
+
+    all_match = True
+    for runner in (run_figure1, run_figure4, run_figure6, run_figure9):
+        result = runner()
+        print(result.render())
+        print()
+        all_match = all_match and result.data["matches_paper"]
+    print(f"all figures match the paper: {all_match}")
+    return 0 if all_match else 1
+
+
+def _command_export(args) -> int:
+    from repro.model.io import write_mapping_csv
+
+    dataset, _ = _load_workbench(args)
+    target = Path(args.out)
+    target.mkdir(parents=True, exist_ok=True)
+
+    written = []
+    for name in dataset.smm.mapping_names():
+        mapping = dataset.smm.find_mapping(name)
+        path = target / f"{name.replace('.', '_')}.csv"
+        rows = write_mapping_csv(mapping, path)
+        written.append((path.name, rows))
+    for key in dataset.gold:
+        category, domain, range_ = key
+        mapping = dataset.gold.get(category, domain, range_)
+        safe = f"gold_{category}_{domain}_{range_}".replace(".", "_")
+        path = target / f"{safe}.csv"
+        rows = write_mapping_csv(mapping, path)
+        written.append((path.name, rows))
+
+    for file_name, rows in written:
+        print(f"  wrote {file_name} ({rows} rows)")
+    print(f"{len(written)} mapping tables exported to {target}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "stats":
+        return _command_stats(args)
+    if args.command == "experiments":
+        return _command_experiments(args)
+    if args.command == "figures":
+        return _command_figures(args)
+    if args.command == "export":
+        return _command_export(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Candidate generation (blocking) for paper-scale attribute matching.
+
+MOMA's evaluation matches ~2.6k x 2.3k publications; a naive cross
+product is quadratic and, in pure Python, dominates run time.  Blocking
+strategies produce a reduced candidate pair set that the attribute
+matchers score.  All strategies implement the same protocol:
+
+``candidates(domain, range, *, domain_attribute, range_attribute)``
+yields ``(domain id, range id)`` pairs.
+
+Quality is quantified with :func:`pair_completeness` (fraction of gold
+pairs surviving blocking) and :func:`reduction_ratio` (fraction of the
+cross product avoided) — the standard blocking metrics.
+"""
+
+from repro.blocking.pair_generator import (
+    FullCross,
+    PairGenerator,
+    pair_completeness,
+    reduction_ratio,
+    unique_pairs,
+)
+from repro.blocking.standard import KeyBlocking
+from repro.blocking.token_blocking import TokenBlocking
+from repro.blocking.sorted_neighborhood import SortedNeighborhood
+from repro.blocking.canopy import CanopyBlocking
+
+__all__ = [
+    "CanopyBlocking",
+    "FullCross",
+    "KeyBlocking",
+    "PairGenerator",
+    "SortedNeighborhood",
+    "TokenBlocking",
+    "pair_completeness",
+    "reduction_ratio",
+    "unique_pairs",
+]

@@ -1,0 +1,98 @@
+"""Canopy clustering blocking (McCallum/Nigam/Ungar style).
+
+A cheap token-Jaccard similarity partitions records into overlapping
+canopies: a random seed collects every record within ``loose``
+similarity; records within ``tight`` similarity stop being future
+seeds.  Pairs sharing a canopy are candidates.  Deterministic given
+the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.blocking.pair_generator import Pair, PairGenerator
+from repro.model.source import LogicalSource
+from repro.sim.tokenize import word_tokens
+
+
+class CanopyBlocking(PairGenerator):
+    """Overlapping canopies under cheap token-set similarity."""
+
+    def __init__(self, *, loose: float = 0.2, tight: float = 0.6,
+                 seed: int = 0) -> None:
+        if not 0.0 < loose <= tight <= 1.0:
+            raise ValueError("need 0 < loose <= tight <= 1")
+        self.loose = loose
+        self.tight = tight
+        self.seed = seed
+
+    @staticmethod
+    def _jaccard(tokens_a: frozenset, tokens_b: frozenset) -> float:
+        if not tokens_a or not tokens_b:
+            return 0.0
+        overlap = len(tokens_a & tokens_b)
+        if overlap == 0:
+            return 0.0
+        return overlap / (len(tokens_a) + len(tokens_b) - overlap)
+
+    def _tokenized(self, source: LogicalSource, attribute: str,
+                   side: int) -> List[Tuple[str, int, frozenset]]:
+        records = []
+        for instance in source:
+            value = instance.get(attribute)
+            if value is None:
+                continue
+            tokens = frozenset(word_tokens(str(value)))
+            if tokens:
+                records.append((instance.id, side, tokens))
+        return records
+
+    def candidates(self, domain: LogicalSource, range: LogicalSource, *,
+                   domain_attribute: str,
+                   range_attribute: str) -> Iterator[Pair]:
+        is_self = domain is range or domain.name == range.name
+        records = self._tokenized(domain, domain_attribute, 0)
+        if not is_self:
+            records += self._tokenized(range, range_attribute, 1)
+
+        rng = random.Random(self.seed)
+        remaining: Dict[int, Tuple[str, int, frozenset]] = dict(enumerate(records))
+        order = list(remaining)
+        rng.shuffle(order)
+
+        emitted: Set[Pair] = set()
+        removed: Set[int] = set()
+        for seed_index in order:
+            if seed_index in removed:
+                continue
+            seed_record = remaining[seed_index]
+            canopy = []
+            for index, record in remaining.items():
+                if index in removed and index != seed_index:
+                    continue
+                similarity = self._jaccard(seed_record[2], record[2])
+                if similarity >= self.loose:
+                    canopy.append((index, record, similarity))
+            for index, _, similarity in canopy:
+                if similarity >= self.tight:
+                    removed.add(index)
+            # pairs within the canopy
+            for i, (_, record_a, _) in enumerate(canopy):
+                for _, record_b, _ in canopy[i + 1:]:
+                    id_a, side_a, _ = record_a
+                    id_b, side_b, _ = record_b
+                    if is_self:
+                        if id_a == id_b:
+                            continue
+                        pair = (id_a, id_b) if id_a < id_b else (id_b, id_a)
+                    elif side_a == 0 and side_b == 1:
+                        pair = (id_a, id_b)
+                    elif side_a == 1 and side_b == 0:
+                        pair = (id_b, id_a)
+                    else:
+                        continue
+                    if pair not in emitted:
+                        emitted.add(pair)
+                        yield pair

@@ -1,0 +1,79 @@
+"""Blocking protocol, trivial generator and blocking quality metrics."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, Set, Tuple
+
+from repro.core.mapping import Mapping
+from repro.model.source import LogicalSource
+
+Pair = Tuple[str, str]
+
+
+class PairGenerator(ABC):
+    """Produces candidate (domain id, range id) pairs for matching."""
+
+    @abstractmethod
+    def candidates(self, domain: LogicalSource, range: LogicalSource, *,
+                   domain_attribute: str,
+                   range_attribute: str) -> Iterator[Pair]:
+        """Yield candidate pairs; duplicates are allowed (matchers dedup)."""
+
+    def count(self, domain: LogicalSource, range: LogicalSource, *,
+              domain_attribute: str, range_attribute: str) -> int:
+        """Number of *distinct* candidate pairs (diagnostics)."""
+        return len(set(self.candidates(
+            domain, range,
+            domain_attribute=domain_attribute,
+            range_attribute=range_attribute,
+        )))
+
+
+class FullCross(PairGenerator):
+    """The unblocked cross product (self-matching skips reflexive pairs)."""
+
+    def candidates(self, domain: LogicalSource, range: LogicalSource, *,
+                   domain_attribute: str,
+                   range_attribute: str) -> Iterator[Pair]:
+        if domain is range or domain.name == range.name:
+            ids = domain.ids()
+            for i, id_a in enumerate(ids):
+                for id_b in ids[i + 1:]:
+                    yield id_a, id_b
+        else:
+            range_ids = range.ids()
+            for id_a in domain.ids():
+                for id_b in range_ids:
+                    yield id_a, id_b
+
+
+def unique_pairs(pairs: Iterable[Pair]) -> Iterator[Pair]:
+    """Deduplicate a pair stream, preserving first-seen order."""
+    seen: Set[Pair] = set()
+    for pair in pairs:
+        if pair not in seen:
+            seen.add(pair)
+            yield pair
+
+
+def pair_completeness(candidate_pairs: Iterable[Pair], gold: Mapping) -> float:
+    """Fraction of gold correspondences retained by blocking.
+
+    1.0 means blocking loses no true match (recall is not capped);
+    anything lower bounds the recall any downstream matcher can reach.
+    """
+    gold_pairs = gold.pairs()
+    if not gold_pairs:
+        return 1.0
+    surviving = sum(1 for pair in set(candidate_pairs) if pair in gold_pairs)
+    return surviving / len(gold_pairs)
+
+
+def reduction_ratio(candidate_count: int, domain_size: int,
+                    range_size: int) -> float:
+    """Fraction of the cross product that blocking avoided."""
+    total = domain_size * range_size
+    if total == 0:
+        return 0.0
+    return max(0.0, 1.0 - candidate_count / total)

@@ -1,0 +1,67 @@
+"""Standard (key-based) blocking: candidates share a blocking key."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.blocking.pair_generator import Pair, PairGenerator
+from repro.model.source import LogicalSource
+
+
+def first_token_key(value: object) -> Optional[str]:
+    """Default key function: the lowercase first word of the value."""
+    if value is None:
+        return None
+    tokens = str(value).lower().split()
+    return tokens[0] if tokens else None
+
+
+class KeyBlocking(PairGenerator):
+    """Group instances by a key derived from the blocking attribute.
+
+    ``key`` maps an attribute value to a blocking key (``None`` places
+    the instance in no block).  Instances with equal keys across the
+    two sources become candidates.  ``max_block_size`` guards against
+    stop-word-like keys exploding a block into a quadratic hot spot.
+    """
+
+    def __init__(self, key: Callable[[object], Optional[str]] = first_token_key,
+                 *, max_block_size: Optional[int] = None) -> None:
+        if max_block_size is not None and max_block_size < 1:
+            raise ValueError("max_block_size must be >= 1")
+        self.key = key
+        self.max_block_size = max_block_size
+
+    def _blocks(self, source: LogicalSource,
+                attribute: str) -> Dict[str, List[str]]:
+        blocks: Dict[str, List[str]] = {}
+        for instance in source:
+            key = self.key(instance.get(attribute))
+            if key is not None:
+                blocks.setdefault(key, []).append(instance.id)
+        return blocks
+
+    def candidates(self, domain: LogicalSource, range: LogicalSource, *,
+                   domain_attribute: str,
+                   range_attribute: str) -> Iterator[Pair]:
+        domain_blocks = self._blocks(domain, domain_attribute)
+        is_self = domain is range or domain.name == range.name
+        range_blocks = (
+            domain_blocks if is_self else self._blocks(range, range_attribute)
+        )
+        for key, domain_ids in domain_blocks.items():
+            range_ids = range_blocks.get(key)
+            if not range_ids:
+                continue
+            if (self.max_block_size is not None
+                    and len(domain_ids) * len(range_ids) >
+                    self.max_block_size * self.max_block_size):
+                continue
+            if is_self:
+                for i, id_a in enumerate(domain_ids):
+                    for id_b in domain_ids[i + 1:]:
+                        yield id_a, id_b
+            else:
+                for id_a in domain_ids:
+                    for id_b in range_ids:
+                        yield id_a, id_b

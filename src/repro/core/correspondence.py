@@ -1,0 +1,39 @@
+"""Correspondences: the rows of a mapping table.
+
+"Each row represents a correspondence consisting of the ids of the
+domain and range objects and the corresponding similarity value"
+(paper §2.1, Definition 1).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Correspondence(NamedTuple):
+    """A single ``(domain id, range id, similarity)`` triple."""
+
+    domain: str
+    range: str
+    similarity: float
+
+    def swapped(self) -> "Correspondence":
+        """Return the correspondence with domain and range exchanged."""
+        return Correspondence(self.range, self.domain, self.similarity)
+
+    def with_similarity(self, similarity: float) -> "Correspondence":
+        """Return a copy carrying ``similarity`` instead."""
+        return Correspondence(self.domain, self.range, similarity)
+
+
+def validate_similarity(value: float) -> float:
+    """Check that ``value`` is a finite similarity in ``[0, 1]``.
+
+    Returns the value as ``float``; raises ``ValueError`` otherwise.
+    Definition 1 restricts similarities to the unit interval and every
+    operator in the algebra relies on it.
+    """
+    similarity = float(value)
+    if not 0.0 <= similarity <= 1.0:
+        raise ValueError(f"similarity must be within [0, 1], got {value!r}")
+    return similarity

@@ -1,0 +1,27 @@
+"""MOMA's extensible matcher library (paper §2.2).
+
+"Matchers conform to the same interfaces as a match process, in
+particular they generate a same-mapping.  Otherwise there is no
+restriction on the implementation of matchers."  This package provides
+the generic attribute matcher, the multi-attribute matcher, the
+neighborhood matcher of §4.2 and the registry through which workflows
+(and the script language) resolve matchers by name.
+"""
+
+from repro.core.matchers.base import Matcher, MatcherError
+from repro.core.matchers.attribute import AttributeMatcher
+from repro.core.matchers.multi_attribute import AttributePair, MultiAttributeMatcher
+from repro.core.matchers.neighborhood import NeighborhoodMatcher, neighborhood_match
+from repro.core.matchers.library import MatcherLibrary, default_library
+
+__all__ = [
+    "AttributeMatcher",
+    "AttributePair",
+    "Matcher",
+    "MatcherError",
+    "MatcherLibrary",
+    "MultiAttributeMatcher",
+    "NeighborhoodMatcher",
+    "default_library",
+    "neighborhood_match",
+]

@@ -1,0 +1,120 @@
+"""The generic attribute matcher (paper §2.2).
+
+"We use a generic attribute matcher that is provided with a pair of
+attributes to be matched, a similarity function to be evaluated (e.g.
+n-gram, TF/IDF or affix) and a similarity threshold to be exceeded by
+result correspondences."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple, Union
+
+from repro.core.mapping import Mapping, MappingKind
+from repro.core.matchers.base import Matcher, MatcherError
+from repro.model.source import LogicalSource
+from repro.sim.base import SimilarityFunction
+from repro.sim.registry import get_similarity
+
+
+class AttributeMatcher(Matcher):
+    """Score one attribute pair with a pluggable similarity function.
+
+    Parameters
+    ----------
+    attribute:
+        Attribute name on the domain source.
+    range_attribute:
+        Attribute name on the range source; defaults to ``attribute``.
+    similarity:
+        A :class:`SimilarityFunction` or a registry name such as
+        ``"trigram"`` or ``"tfidf"``.
+    threshold:
+        Minimum similarity for a correspondence to enter the result
+        mapping.  0.0 keeps everything with positive similarity.
+    blocking:
+        Optional blocking strategy (``repro.blocking``) used to derive
+        candidate pairs when none are passed to :meth:`match`.
+    missing:
+        ``"skip"`` (default) produces no correspondence for pairs with
+        a missing value; ``"zero"`` scores them 0 (only observable with
+        ``threshold == 0`` diagnostics).
+    """
+
+    def __init__(self, attribute: str,
+                 range_attribute: Optional[str] = None,
+                 similarity: Union[str, SimilarityFunction] = "trigram",
+                 threshold: float = 0.0,
+                 *,
+                 blocking: Optional[object] = None,
+                 missing: str = "skip",
+                 name: Optional[str] = None) -> None:
+        if not attribute:
+            raise MatcherError("attribute name must be non-empty")
+        if not 0.0 <= threshold <= 1.0:
+            raise MatcherError(f"threshold must be in [0, 1], got {threshold!r}")
+        if missing not in ("skip", "zero"):
+            raise MatcherError(f"missing must be skip|zero, got {missing!r}")
+        self.attribute = attribute
+        self.range_attribute = range_attribute if range_attribute else attribute
+        self.similarity = (
+            get_similarity(similarity) if isinstance(similarity, str) else similarity
+        )
+        self.threshold = threshold
+        self.blocking = blocking
+        self.missing = missing
+        self.name = name or (
+            f"attr[{self.attribute}~{self.similarity.name}@{self.threshold:g}]"
+        )
+
+    def _candidate_pairs(self, domain: LogicalSource, range: LogicalSource,
+                         candidates: Optional[Iterable[Tuple[str, str]]]
+                         ) -> Iterable[Tuple[str, str]]:
+        if candidates is not None:
+            return candidates
+        if self.blocking is not None:
+            return self.blocking.candidates(
+                domain, range,
+                domain_attribute=self.attribute,
+                range_attribute=self.range_attribute,
+            )
+        return self.cross_product(domain, range)
+
+    def match(self, domain: LogicalSource, range: LogicalSource, *,
+              candidates: Optional[Iterable[Tuple[str, str]]] = None) -> Mapping:
+        # Corpus-level preparation (TF/IDF document frequencies) over
+        # the union of both sources' attribute values.
+        corpus = domain.attribute_values(self.attribute)
+        if range is not domain:
+            corpus = corpus + range.attribute_values(self.range_attribute)
+        self.similarity.prepare(corpus)
+
+        result = Mapping(domain.name, range.name, kind=MappingKind.SAME,
+                         name=self.name)
+        is_self = domain is range or domain.name == range.name
+        seen: set[Tuple[str, str]] = set()
+        for id_a, id_b in self._candidate_pairs(domain, range, candidates):
+            if is_self:
+                if id_a == id_b:
+                    continue
+                key = (id_b, id_a) if id_b < id_a else (id_a, id_b)
+                if key in seen:
+                    continue
+                seen.add(key)
+            instance_a = domain.get(id_a)
+            instance_b = range.get(id_b)
+            if instance_a is None or instance_b is None:
+                continue
+            value_a = instance_a.get(self.attribute)
+            value_b = instance_b.get(self.range_attribute)
+            if value_a is None or value_b is None:
+                if self.missing == "skip":
+                    continue
+                score = 0.0
+            else:
+                score = self.similarity.similarity(value_a, value_b)
+            if score >= self.threshold and score > 0.0:
+                result.add(id_a, id_b, score)
+                if is_self:
+                    result.add(id_b, id_a, score)
+        return result

@@ -1,0 +1,97 @@
+"""The matcher library: a registry of matcher factories.
+
+MOMA keeps "an extensible library of matcher algorithms that can be
+used for a specific match task", and "selected workflows can be added
+to the matcher library for use in other match tasks" (§2.2).  The
+library stores *factories* so that each retrieval yields a fresh,
+independently configurable matcher.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.matchers.attribute import AttributeMatcher
+from repro.core.matchers.base import Matcher
+from repro.core.matchers.multi_attribute import AttributePair, MultiAttributeMatcher
+
+MatcherFactory = Callable[..., Matcher]
+
+
+class MatcherLibrary:
+    """Name-indexed registry of matcher factories."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, MatcherFactory] = {}
+
+    def register(self, name: str, factory: MatcherFactory,
+                 *, replace: bool = False) -> None:
+        """Register ``factory`` under ``name`` (case-insensitive)."""
+        key = name.strip().lower()
+        if not key:
+            raise ValueError("matcher name must be non-empty")
+        if key in self._factories and not replace:
+            raise ValueError(f"matcher {name!r} already registered")
+        self._factories[key] = factory
+
+    def create(self, name: str, **params: object) -> Matcher:
+        """Instantiate the matcher registered under ``name``."""
+        key = name.strip().lower()
+        factory = self._factories.get(key)
+        if factory is None:
+            known = ", ".join(sorted(self._factories))
+            raise KeyError(f"unknown matcher {name!r}; known: {known}")
+        return factory(**params)
+
+    def __contains__(self, name: str) -> bool:
+        return name.strip().lower() in self._factories
+
+    def names(self) -> List[str]:
+        """Sorted list of registered matcher names."""
+        return sorted(self._factories)
+
+
+def default_library() -> MatcherLibrary:
+    """The library pre-populated with the built-in matchers.
+
+    * ``attribute`` — the generic attribute matcher;
+    * ``title`` / ``name`` — trigram attribute matchers on the given
+      attribute (convenience presets used throughout the evaluation);
+    * ``year`` — exact year comparison;
+    * ``multiattribute`` — the multi-attribute matcher (pass ``pairs``).
+    """
+    library = MatcherLibrary()
+    library.register("attribute", lambda **kw: AttributeMatcher(**kw))
+    library.register(
+        "title",
+        lambda attribute="title", threshold=0.0, **kw: AttributeMatcher(
+            attribute, similarity="trigram", threshold=threshold, **kw
+        ),
+    )
+    library.register(
+        "name",
+        lambda attribute="name", threshold=0.0, **kw: AttributeMatcher(
+            attribute, similarity="trigram", threshold=threshold, **kw
+        ),
+    )
+    library.register(
+        "personname",
+        lambda attribute="name", threshold=0.0, **kw: AttributeMatcher(
+            attribute, similarity="personname", threshold=threshold, **kw
+        ),
+    )
+    library.register(
+        "year",
+        lambda attribute="year", threshold=1.0, **kw: AttributeMatcher(
+            attribute, similarity="exact", threshold=threshold, **kw
+        ),
+    )
+    library.register(
+        "multiattribute",
+        lambda pairs, **kw: MultiAttributeMatcher(
+            [pair if isinstance(pair, AttributePair) else AttributePair(**pair)
+             for pair in pairs],
+            **kw,
+        ),
+    )
+    return library

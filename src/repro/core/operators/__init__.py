@@ -1,0 +1,63 @@
+"""MOMA's mapping operators (paper §3).
+
+Two combination operators — n-ary :func:`merge` and binary
+:func:`compose` — plus the selection strategies of §3.3 and a handful
+of set-style helpers (union, intersection, difference, transitive
+closure) that the match strategies of §4 are built from.
+"""
+
+from repro.core.operators.functions import (
+    AvgFunction,
+    CombinationFunction,
+    MaxFunction,
+    MinFunction,
+    WeightedFunction,
+    get_combination,
+)
+from repro.core.operators.merge import merge
+from repro.core.operators.compose import compose
+from repro.core.operators.selection import (
+    Best1DeltaSelection,
+    BestNSelection,
+    CompositeSelection,
+    ConstraintSelection,
+    MaxAttributeDifference,
+    NotIdentity,
+    Selection,
+    ThresholdSelection,
+    select,
+)
+from repro.core.operators.setops import (
+    difference,
+    hub_compose,
+    intersection,
+    mapping_union,
+    symmetrize,
+    transitive_closure,
+)
+
+__all__ = [
+    "AvgFunction",
+    "Best1DeltaSelection",
+    "BestNSelection",
+    "CombinationFunction",
+    "CompositeSelection",
+    "ConstraintSelection",
+    "MaxAttributeDifference",
+    "MaxFunction",
+    "MinFunction",
+    "NotIdentity",
+    "Selection",
+    "ThresholdSelection",
+    "WeightedFunction",
+    "compose",
+    "difference",
+    "get_combination",
+    "hub_compose",
+    "intersection",
+    "mapping_union",
+    "merge",
+    "select",
+    "symmetrize",
+    "transitive_closure",
+]

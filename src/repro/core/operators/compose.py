@@ -1,0 +1,145 @@
+"""The compose operator (paper §3.2, Figures 5, 6).
+
+``compose(map1: A->C, map2: C->B)`` relates A and B through the shared
+intermediate source C.  Per compose path ``a -> c_i -> b`` the two path
+similarities are combined with ``f`` (same alternatives as merge); the
+per-path values are then aggregated over all paths with ``g``:
+
+* ``avg`` / ``min`` / ``max`` over the path similarities;
+* ``relative_left``  = s(a,b) / n(a);
+* ``relative_right`` = s(a,b) / n(b);
+* ``relative``       = 2*s(a,b) / (n(a) + n(b)),
+
+where ``s(a,b)`` is the *sum* of path similarities, ``n(a)`` the number
+of correspondences of ``a`` in map1 and ``n(b)`` the number of
+correspondences onto ``b`` in map2 (Figure 5).  The Relative family
+"consider[s] the number of compose paths to prefer correspondences
+that are reached via multiple paths" — the key ingredient of the
+neighborhood matcher.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.mapping import Mapping, MappingKind
+from repro.core.operators.functions import CombinationFunction, get_combination
+
+#: aggregation functions over compose-path similarities
+_PATH_AGGREGATES = (
+    "avg", "average", "min", "max", "sum",
+    "relative", "relativeleft", "relative_left", "relativeright",
+    "relative_right",
+)
+
+
+def _normalize_aggregate(g: str) -> str:
+    key = g.strip().lower().replace("-", "").replace("_", "")
+    if key in ("avg", "average"):
+        return "avg"
+    if key in ("min", "max", "sum", "relative"):
+        return key
+    if key == "relativeleft":
+        return "relative_left"
+    if key == "relativeright":
+        return "relative_right"
+    raise KeyError(
+        f"unknown path aggregation {g!r}; known: {sorted(set(_PATH_AGGREGATES))}"
+    )
+
+
+class _PathStats:
+    """Running aggregates over the compose paths of one output pair."""
+
+    __slots__ = ("total", "minimum", "maximum", "count")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.minimum = 1.0
+        self.maximum = 0.0
+        self.count = 0
+
+    def update(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+
+def compose(map1: Mapping, map2: Mapping,
+            f: Union[str, CombinationFunction] = "min",
+            g: str = "avg",
+            *,
+            kind: Optional[MappingKind] = None,
+            name: Optional[str] = None) -> Mapping:
+    """Compose two mappings sharing an intermediate logical source.
+
+    Parameters
+    ----------
+    map1, map2:
+        Mappings ``A -> C`` and ``C -> B``; ``map1.range`` must equal
+        ``map2.domain``.
+    f:
+        Per-path combination of the two path similarities (``min`` by
+        default, as used by the neighborhood matcher).
+    g:
+        Path aggregation: ``avg``/``min``/``max``/``sum`` or the
+        ``relative`` family.
+    kind:
+        Kind of the result; defaults to SAME when both inputs are
+        same-mappings, otherwise ASSOCIATION.
+    """
+    if map1.range != map2.domain:
+        raise ValueError(
+            "compose requires map1.range == map2.domain; got "
+            f"{map1.range!r} vs {map2.domain!r}"
+        )
+    combiner = get_combination(f)
+    aggregate = _normalize_aggregate(g)
+    if kind is None:
+        both_same = (map1.kind == MappingKind.SAME and map2.kind == MappingKind.SAME)
+        kind = MappingKind.SAME if both_same else MappingKind.ASSOCIATION
+
+    stats: Dict[Tuple[str, str], _PathStats] = {}
+    map2_by_domain = map2.by_domain
+    for a, row1 in map1.by_domain.items():
+        for c, sim1 in row1.items():
+            row2 = map2_by_domain.get(c)
+            if not row2:
+                continue
+            for b, sim2 in row2.items():
+                path_sim = combiner.combine((sim1, sim2))
+                if path_sim is None:
+                    continue
+                key = (a, b)
+                entry = stats.get(key)
+                if entry is None:
+                    entry = stats[key] = _PathStats()
+                entry.update(path_sim)
+
+    result = Mapping(map1.domain, map2.range, kind=kind, name=name)
+    for (a, b), entry in stats.items():
+        if aggregate == "avg":
+            similarity = entry.total / entry.count
+        elif aggregate == "min":
+            similarity = entry.minimum
+        elif aggregate == "max":
+            similarity = entry.maximum
+        elif aggregate == "sum":
+            similarity = min(1.0, entry.total)
+        elif aggregate == "relative_left":
+            similarity = entry.total / map1.out_degree(a)
+        elif aggregate == "relative_right":
+            similarity = entry.total / map2.in_degree(b)
+        else:  # relative
+            denominator = map1.out_degree(a) + map2.in_degree(b)
+            similarity = 2.0 * entry.total / denominator
+        # Similarities never exceed 1: sums are bounded by the degree
+        # counts, but clamp defensively against float drift.
+        if similarity > 1.0:
+            similarity = 1.0
+        if similarity > 0.0:
+            result.add(a, b, similarity)
+    return result

@@ -1,0 +1,186 @@
+"""Similarity combination functions shared by merge and compose.
+
+§3.1 lists Avg / Min / Max / Weighted / PreferMap_i for the merge
+operator, with a per-function choice of how to treat correspondences
+missing from some input mappings: the default "ignores such missing
+correspondences and only considers the available similarity values"
+(useful for incomplete mappings), while the ``-0`` variants "assume a
+similarity value of 0 for a missing correspondence in order to improve
+precision" — Min-0 is exactly mapping intersection.
+
+The compose operator re-uses the same functions to combine the two
+path similarities ``s_i1`` and ``s_i2`` (§3.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+
+class CombinationFunction(ABC):
+    """Combines per-input similarity values into one similarity.
+
+    ``values`` has one entry per input mapping; ``None`` marks a
+    missing correspondence.  Returning ``None`` means the combined
+    correspondence is dropped from the result (e.g. Min-0 for a pair
+    absent from one input).
+    """
+
+    #: registry name
+    name: str = "abstract"
+    #: whether missing correspondences count as similarity 0
+    missing_as_zero: bool = False
+
+    @abstractmethod
+    def combine(self, values: Sequence[Optional[float]]) -> Optional[float]:
+        """Combine one value (or ``None``) per input mapping."""
+
+    def _effective(self, values: Sequence[Optional[float]]) -> Optional[list[float]]:
+        """Resolve missing values per the function's policy.
+
+        Returns the list of values to aggregate, or ``None`` when the
+        correspondence should be dropped (no values at all).
+        """
+        if self.missing_as_zero:
+            return [0.0 if value is None else value for value in values]
+        present = [value for value in values if value is not None]
+        return present if present else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(missing_as_zero={self.missing_as_zero})"
+
+
+class AvgFunction(CombinationFunction):
+    """Average of the similarities (Avg / Avg-0)."""
+
+    def __init__(self, missing_as_zero: bool = False) -> None:
+        self.missing_as_zero = missing_as_zero
+        self.name = "avg0" if missing_as_zero else "avg"
+
+    def combine(self, values: Sequence[Optional[float]]) -> Optional[float]:
+        effective = self._effective(values)
+        if effective is None:
+            return None
+        return sum(effective) / len(effective)
+
+
+class MinFunction(CombinationFunction):
+    """Minimum similarity (Min / Min-0 = intersection semantics).
+
+    With ``missing_as_zero`` a missing correspondence forces the
+    minimum to 0; such zero correspondences are dropped, which
+    "filter[s] away all correspondences which are not present in all
+    input mappings" (§3.1, Fig. 4).
+    """
+
+    def __init__(self, missing_as_zero: bool = False) -> None:
+        self.missing_as_zero = missing_as_zero
+        self.name = "min0" if missing_as_zero else "min"
+
+    def combine(self, values: Sequence[Optional[float]]) -> Optional[float]:
+        if self.missing_as_zero and any(value is None for value in values):
+            return None
+        effective = self._effective(values)
+        if effective is None:
+            return None
+        return min(effective)
+
+
+class MaxFunction(CombinationFunction):
+    """Maximum similarity; missing values can never win, so the
+    missing-as-zero distinction is irrelevant here (union semantics)."""
+
+    name = "max"
+
+    def combine(self, values: Sequence[Optional[float]]) -> Optional[float]:
+        present = [value for value in values if value is not None]
+        return max(present) if present else None
+
+
+class WeightedFunction(CombinationFunction):
+    """Weighted average with one weight per input mapping.
+
+    With the default missing-handling, weights of missing inputs are
+    excluded and the remaining weights renormalized; with
+    ``missing_as_zero`` missing inputs contribute 0 at full weight.
+    """
+
+    def __init__(self, weights: Sequence[float], missing_as_zero: bool = False) -> None:
+        if not weights:
+            raise ValueError("weights must be non-empty")
+        if any(weight < 0 for weight in weights):
+            raise ValueError("weights must be non-negative")
+        if sum(weights) <= 0:
+            raise ValueError("at least one weight must be positive")
+        self.weights = [float(weight) for weight in weights]
+        self.missing_as_zero = missing_as_zero
+        self.name = "weighted0" if missing_as_zero else "weighted"
+
+    def combine(self, values: Sequence[Optional[float]]) -> Optional[float]:
+        if len(values) != len(self.weights):
+            raise ValueError(
+                f"expected {len(self.weights)} values, got {len(values)}"
+            )
+        if self.missing_as_zero:
+            total = sum(
+                weight * (0.0 if value is None else value)
+                for weight, value in zip(self.weights, values)
+            )
+            return total / sum(self.weights)
+        pairs = [
+            (weight, value)
+            for weight, value in zip(self.weights, values)
+            if value is not None
+        ]
+        if not pairs:
+            return None
+        weight_sum = sum(weight for weight, _ in pairs)
+        if weight_sum <= 0:
+            return None
+        return sum(weight * value for weight, value in pairs) / weight_sum
+
+
+_ALIASES = {
+    "avg": ("avg", False),
+    "average": ("avg", False),
+    "avg0": ("avg", True),
+    "avg-0": ("avg", True),
+    "min": ("min", False),
+    "minimum": ("min", False),
+    "min0": ("min", True),
+    "min-0": ("min", True),
+    "intersect": ("min", True),
+    "max": ("max", False),
+    "maximum": ("max", False),
+    "union": ("max", False),
+}
+
+
+def get_combination(spec: object, *,
+                    weights: Optional[Sequence[float]] = None) -> CombinationFunction:
+    """Resolve a combination-function specification.
+
+    Accepts an existing :class:`CombinationFunction` (returned as-is),
+    or a case-insensitive name: ``avg``/``average``, ``min``, ``max``
+    and their ``-0`` variants, or ``weighted`` (requires ``weights``).
+    """
+    if isinstance(spec, CombinationFunction):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(f"cannot interpret combination function {spec!r}")
+    key = spec.strip().lower()
+    if key in ("weighted", "weighted0", "weighted-0"):
+        if weights is None:
+            raise ValueError("weighted combination requires weights")
+        return WeightedFunction(weights, missing_as_zero=key != "weighted")
+    resolved = _ALIASES.get(key)
+    if resolved is None:
+        known = sorted(set(_ALIASES) | {"weighted"})
+        raise KeyError(f"unknown combination function {spec!r}; known: {known}")
+    base, missing_as_zero = resolved
+    if base == "avg":
+        return AvgFunction(missing_as_zero)
+    if base == "min":
+        return MinFunction(missing_as_zero)
+    return MaxFunction()

@@ -1,0 +1,134 @@
+"""The n-ary merge operator (paper §3.1, Figure 4).
+
+Merge unifies the correspondences of mappings between the same pair of
+logical sources.  The combination function decides the output
+similarity per (domain, range) pair; ``PreferMap`` keeps every
+correspondence of a trusted mapping and lets the others contribute
+only for domain objects the preferred mapping does not cover — "the
+non-preferred mappings should only contribute non-conflicting matches
+for otherwise uncovered objects (thus improving recall) but not reduce
+the precision for the correspondences of the preferred mapping".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.core.mapping import Mapping, MappingKind
+from repro.core.operators.functions import CombinationFunction, get_combination
+
+
+def _check_compatible(mappings: Sequence[Mapping]) -> None:
+    first = mappings[0]
+    for other in mappings[1:]:
+        if other.domain != first.domain or other.range != first.range:
+            raise ValueError(
+                "merge requires mappings between the same sources; got "
+                f"{first.domain!r}->{first.range!r} and "
+                f"{other.domain!r}->{other.range!r}"
+            )
+
+
+def _merge_prefer(mappings: Sequence[Mapping], preferred_index: int,
+                  name: Optional[str]) -> Mapping:
+    if not 0 <= preferred_index < len(mappings):
+        raise ValueError(
+            f"prefer index {preferred_index} out of range for "
+            f"{len(mappings)} input mappings"
+        )
+    preferred = mappings[preferred_index]
+    result = Mapping(preferred.domain, preferred.range,
+                     kind=MappingKind.SAME, name=name)
+    for domain_id, range_id, similarity in preferred:
+        result.add(domain_id, range_id, similarity)
+    covered = preferred.domain_ids()
+    for index, mapping in enumerate(mappings):
+        if index == preferred_index:
+            continue
+        for domain_id, row in mapping.by_domain.items():
+            if domain_id in covered:
+                continue
+            for range_id, similarity in row.items():
+                # "max" conflict policy merges agreeing non-preferred inputs.
+                result.add(domain_id, range_id, similarity, on_conflict="max")
+    return result
+
+
+def merge(mappings: Sequence[Mapping],
+          function: Union[str, CombinationFunction] = "avg",
+          *,
+          weights: Optional[Sequence[float]] = None,
+          prefer: Optional[Union[int, Mapping]] = None,
+          name: Optional[str] = None) -> Mapping:
+    """Merge ``mappings`` into one same-mapping.
+
+    Parameters
+    ----------
+    mappings:
+        Two or more mappings between the same domain and range LDS
+        (a single mapping is returned as a copy for convenience).
+    function:
+        Combination function: ``"avg"``, ``"min"``, ``"max"``, their
+        ``"-0"`` variants, ``"weighted"`` (with ``weights``), a
+        :class:`CombinationFunction` instance, or ``"prefer"`` together
+        with the ``prefer`` argument.
+    prefer:
+        For PreferMap semantics: the index of the preferred mapping or
+        the mapping object itself (must be one of ``mappings``).
+    name:
+        Optional name for the result mapping.
+
+    Returns
+    -------
+    Mapping
+        The merged same-mapping.  Correspondences whose combined
+        similarity resolves to ``None`` (e.g. Min-0 on a pair missing
+        from one input) are excluded.
+    """
+    mappings = list(mappings)
+    if not mappings:
+        raise ValueError("merge requires at least one input mapping")
+    _check_compatible(mappings)
+    if len(mappings) == 1 and prefer is None:
+        return mappings[0].copy(name=name)
+
+    wants_prefer = prefer is not None or (
+        isinstance(function, str) and function.strip().lower().startswith("prefer")
+    )
+    if wants_prefer:
+        if isinstance(prefer, Mapping):
+            try:
+                preferred_index = next(
+                    index for index, mapping in enumerate(mappings)
+                    if mapping is prefer
+                )
+            except StopIteration:
+                raise ValueError("preferred mapping is not among the inputs")
+        elif isinstance(prefer, int):
+            preferred_index = prefer
+        elif prefer is None:
+            # allow "prefer0" / "prefermap1" style names
+            digits = "".join(
+                ch for ch in str(function).strip().lower() if ch.isdigit()
+            )
+            preferred_index = int(digits) if digits else 0
+        else:
+            raise TypeError(f"cannot interpret prefer={prefer!r}")
+        return _merge_prefer(mappings, preferred_index, name)
+
+    combiner = get_combination(function, weights=weights)
+
+    # Union of all pairs, then combine per pair with one slot per input.
+    result = Mapping(mappings[0].domain, mappings[0].range,
+                     kind=MappingKind.SAME, name=name)
+    all_pairs = set()
+    for mapping in mappings:
+        for domain_id, row in mapping.by_domain.items():
+            for range_id in row:
+                all_pairs.add((domain_id, range_id))
+    for domain_id, range_id in all_pairs:
+        values = [mapping.get(domain_id, range_id) for mapping in mappings]
+        combined = combiner.combine(values)
+        if combined is not None and combined > 0.0:
+            result.add(domain_id, range_id, combined)
+    return result

@@ -1,0 +1,253 @@
+"""Selection of correspondences (paper §3.3).
+
+Selection is the second half of a mapping combiner: it "eliminate[s]
+less likely correspondences from a same-mapping".  MOMA supports
+Threshold, Best-n, Best-1+Delta and domain-specific object value
+constraints; selections compose, so a combiner can e.g. threshold and
+then enforce a year constraint.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Optional, Sequence
+
+from repro.core.mapping import Mapping
+from repro.model.entity import ObjectInstance
+from repro.model.source import LogicalSource
+
+
+class Selection(ABC):
+    """A filter from mapping to mapping."""
+
+    @abstractmethod
+    def apply(self, mapping: Mapping) -> Mapping:
+        """Return a new mapping containing the selected correspondences."""
+
+    def __call__(self, mapping: Mapping) -> Mapping:
+        return self.apply(mapping)
+
+
+class ThresholdSelection(Selection):
+    """Keep correspondences at or above a similarity threshold.
+
+    ``strict=True`` switches to a strictly-greater comparison (the
+    paper says "above a given similarity value"; inclusive is the
+    common reading and our default, e.g. the 80 % threshold of §5.2).
+    """
+
+    def __init__(self, threshold: float, *, strict: bool = False) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold!r}")
+        self.threshold = threshold
+        self.strict = strict
+
+    def apply(self, mapping: Mapping) -> Mapping:
+        if self.strict:
+            return mapping.filter(lambda c: c.similarity > self.threshold)
+        return mapping.filter(lambda c: c.similarity >= self.threshold)
+
+    def __repr__(self) -> str:
+        op = ">" if self.strict else ">="
+        return f"ThresholdSelection(sim {op} {self.threshold})"
+
+
+class BestNSelection(Selection):
+    """Keep the n most similar correspondences per instance.
+
+    ``side`` selects the grouping: ``"domain"`` keeps the top-n per
+    domain instance, ``"range"`` per range instance, and ``"both"``
+    keeps a correspondence only if it survives both groupings (the
+    strictest reading, useful for 1:1 same-mappings).  Ties at the
+    cut-off similarity are all kept, so Best-1 never drops one of two
+    equally good candidates arbitrarily.
+    """
+
+    def __init__(self, n: int = 1, *, side: str = "domain") -> None:
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if side not in ("domain", "range", "both"):
+            raise ValueError(f"side must be domain|range|both, got {side!r}")
+        self.n = n
+        self.side = side
+
+    def _survivors(self, grouped: dict[str, dict[str, float]]) -> set[tuple[str, str]]:
+        survivors: set[tuple[str, str]] = set()
+        for key, row in grouped.items():
+            if len(row) <= self.n:
+                survivors.update((key, other) for other in row)
+                continue
+            ranked = sorted(row.values(), reverse=True)
+            cutoff = ranked[self.n - 1]
+            survivors.update(
+                (key, other) for other, sim in row.items() if sim >= cutoff
+            )
+        return survivors
+
+    def apply(self, mapping: Mapping) -> Mapping:
+        domain_ok: Optional[set[tuple[str, str]]] = None
+        range_ok: Optional[set[tuple[str, str]]] = None
+        if self.side in ("domain", "both"):
+            domain_ok = self._survivors(mapping.by_domain)
+        if self.side in ("range", "both"):
+            flipped = self._survivors(mapping.by_range)
+            range_ok = {(domain, range_) for range_, domain in flipped}
+
+        def keep(corr) -> bool:
+            pair = (corr.domain, corr.range)
+            if domain_ok is not None and pair not in domain_ok:
+                return False
+            if range_ok is not None and pair not in range_ok:
+                return False
+            return True
+
+        return mapping.filter(keep)
+
+    def __repr__(self) -> str:
+        return f"BestNSelection(n={self.n}, side={self.side!r})"
+
+
+class Best1DeltaSelection(Selection):
+    """Best correspondence per instance plus near-ties within delta.
+
+    "The correspondence with maximal similarity value is determined for
+    all domain (range) instances plus all correspondences with a
+    similarity differing at most by a tolerance value d", where d is
+    absolute or relative (§3.3).
+    """
+
+    def __init__(self, delta: float, *, relative: bool = False,
+                 side: str = "domain") -> None:
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta!r}")
+        if relative and delta > 1:
+            raise ValueError("relative delta must be within [0, 1]")
+        if side not in ("domain", "range", "both"):
+            raise ValueError(f"side must be domain|range|both, got {side!r}")
+        self.delta = delta
+        self.relative = relative
+        self.side = side
+
+    def _survivors(self, grouped: dict[str, dict[str, float]]) -> set[tuple[str, str]]:
+        survivors: set[tuple[str, str]] = set()
+        for key, row in grouped.items():
+            best = max(row.values())
+            cutoff = best * (1.0 - self.delta) if self.relative else best - self.delta
+            survivors.update(
+                (key, other) for other, sim in row.items() if sim >= cutoff
+            )
+        return survivors
+
+    def apply(self, mapping: Mapping) -> Mapping:
+        domain_ok: Optional[set[tuple[str, str]]] = None
+        range_ok: Optional[set[tuple[str, str]]] = None
+        if self.side in ("domain", "both"):
+            domain_ok = self._survivors(mapping.by_domain)
+        if self.side in ("range", "both"):
+            flipped = self._survivors(mapping.by_range)
+            range_ok = {(domain, range_) for range_, domain in flipped}
+
+        def keep(corr) -> bool:
+            pair = (corr.domain, corr.range)
+            if domain_ok is not None and pair not in domain_ok:
+                return False
+            if range_ok is not None and pair not in range_ok:
+                return False
+            return True
+
+        return mapping.filter(keep)
+
+    def __repr__(self) -> str:
+        kind = "relative" if self.relative else "absolute"
+        return f"Best1DeltaSelection(delta={self.delta} {kind}, side={self.side!r})"
+
+
+class ConstraintSelection(Selection):
+    """Object value constraint over the matched instances (§3.3).
+
+    The predicate receives the resolved domain and range
+    :class:`ObjectInstance` objects.  Instances missing from the
+    provided sources fail the constraint (``keep_unresolved=False``) or
+    pass it (``True``), depending on whether the constraint is meant to
+    be a hard filter or an opportunistic cleanup.
+    """
+
+    def __init__(self, domain_source: LogicalSource, range_source: LogicalSource,
+                 predicate: Callable[[ObjectInstance, ObjectInstance], bool],
+                 *, keep_unresolved: bool = False) -> None:
+        self.domain_source = domain_source
+        self.range_source = range_source
+        self.predicate = predicate
+        self.keep_unresolved = keep_unresolved
+
+    def apply(self, mapping: Mapping) -> Mapping:
+        def keep(corr) -> bool:
+            instance_a = self.domain_source.get(corr.domain)
+            instance_b = self.range_source.get(corr.range)
+            if instance_a is None or instance_b is None:
+                return self.keep_unresolved
+            return bool(self.predicate(instance_a, instance_b))
+
+        return mapping.filter(keep)
+
+
+class MaxAttributeDifference(ConstraintSelection):
+    """Numeric attribute difference constraint, e.g. |Δyear| <= 1.
+
+    The paper's running example: "the publication year of matching
+    publications should not differ by more than one year".  Pairs with
+    unparsable or missing values are kept by default (absence of the
+    optional year in Google Scholar must not destroy recall).
+    """
+
+    def __init__(self, domain_source: LogicalSource, range_source: LogicalSource,
+                 attribute: str, max_difference: float,
+                 *, keep_missing: bool = True) -> None:
+        if max_difference < 0:
+            raise ValueError("max_difference must be non-negative")
+        self.attribute = attribute
+        self.max_difference = max_difference
+        self.keep_missing = keep_missing
+
+        def predicate(instance_a: ObjectInstance, instance_b: ObjectInstance) -> bool:
+            value_a = _as_float(instance_a.get(attribute))
+            value_b = _as_float(instance_b.get(attribute))
+            if value_a is None or value_b is None:
+                return keep_missing
+            return abs(value_a - value_b) <= max_difference
+
+        super().__init__(domain_source, range_source, predicate,
+                         keep_unresolved=keep_missing)
+
+
+class NotIdentity(Selection):
+    """Drop trivial self-correspondences (``[domain.id]<>[range.id]``)."""
+
+    def apply(self, mapping: Mapping) -> Mapping:
+        return mapping.without_identity()
+
+
+class CompositeSelection(Selection):
+    """Apply a sequence of selections left to right."""
+
+    def __init__(self, selections: Sequence[Selection]) -> None:
+        self.selections = list(selections)
+
+    def apply(self, mapping: Mapping) -> Mapping:
+        for selection in self.selections:
+            mapping = selection.apply(mapping)
+        return mapping
+
+
+def _as_float(value: object) -> Optional[float]:
+    try:
+        return float(str(value).strip())
+    except (TypeError, ValueError):
+        return None
+
+
+def select(mapping: Mapping, *selections: Selection) -> Mapping:
+    """Apply ``selections`` to ``mapping`` in order (convenience)."""
+    for selection in selections:
+        mapping = selection.apply(mapping)
+    return mapping

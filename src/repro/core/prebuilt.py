@@ -1,0 +1,150 @@
+"""Prebuilt match workflows for the paper's strategies (§4).
+
+Each factory returns a ready-to-run :class:`MatchWorkflow` over the
+standard bibliographic source names, so applications (and the matcher
+library, per §2.2's "selected workflows can be added to the matcher
+library") can reuse the evaluation's strategies without reassembling
+them from operators:
+
+* :func:`publication_title_workflow` — §4.1.1 independent matchers +
+  merge (Table 2);
+* :func:`venue_neighborhood_workflow` — §4.2 1:n neighborhood matching
+  (Table 4);
+* :func:`author_neighborhood_workflow` — §4.2 n:m neighborhood + merge
+  (Table 6);
+* :func:`duplicate_author_workflow` — §4.3 self-mapping dedup
+  (Table 9).
+
+The workflows resolve association mappings by their SMM names
+(``"<Source>.VenuePub"`` etc., as registered by
+:func:`repro.datagen.build_dataset`); pass a context whose SMM carries
+those mappings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.blocking import TokenBlocking
+from repro.core.mapping import Mapping
+from repro.core.matchers.attribute import AttributeMatcher
+from repro.core.operators.selection import (
+    BestNSelection,
+    NotIdentity,
+    ThresholdSelection,
+)
+from repro.core.workflow import MatchWorkflow
+
+
+def publication_title_workflow(left: str = "DBLP", right: str = "ACM",
+                               *, threshold: float = 0.8) -> MatchWorkflow:
+    """Title + author + year matchers merged with Avg-0 (§4.1.1)."""
+    domain = f"{left}.Publication"
+    range_ = f"{right}.Publication"
+    workflow = MatchWorkflow(f"pub-title-{left}-{right}")
+    workflow.add_matcher(
+        "title_map",
+        AttributeMatcher("title", similarity="trigram", threshold=0.4,
+                         blocking=TokenBlocking()),
+        domain, range_)
+    workflow.add_matcher(
+        "authors_map",
+        AttributeMatcher("authors", similarity="trigram", threshold=0.4,
+                         blocking=TokenBlocking()),
+        domain, range_)
+    workflow.add_matcher(
+        "year_map",
+        AttributeMatcher("year", similarity="exact", threshold=1.0,
+                         blocking=TokenBlocking(min_token_length=1,
+                                                max_df=1.0)),
+        domain, range_)
+    workflow.add_merge(
+        "pub_same", ["title_map", "authors_map", "year_map"],
+        function="avg0",
+        selections=[ThresholdSelection(threshold)])
+    return workflow
+
+
+def venue_neighborhood_workflow(left: str = "DBLP", right: str = "ACM",
+                                *, publication_same: str = "pub_same",
+                                selection: Optional[object] = None
+                                ) -> MatchWorkflow:
+    """Venue same-mapping via the 1:n neighborhood matcher (§4.2).
+
+    Expects a publication same-mapping named ``publication_same`` in
+    the context (e.g. produced by :func:`publication_title_workflow`)
+    plus the ``<left>.VenuePub`` / ``<right>.PubVenue`` associations in
+    the SMM.
+    """
+    workflow = MatchWorkflow(f"venue-nh-{left}-{right}")
+    workflow.add_compose(
+        "venue_temp", f"{left}.VenuePub", publication_same,
+        f="min", g="avg")
+    workflow.add_compose(
+        "venue_raw", "venue_temp", f"{right}.PubVenue",
+        f="min", g="relative")
+    workflow.add_select(
+        "venue_same", "venue_raw",
+        selection if selection is not None else BestNSelection(1))
+    return workflow
+
+
+def author_neighborhood_workflow(left: str = "DBLP", right: str = "ACM",
+                                 *, publication_same: str = "pub_same",
+                                 name_threshold: float = 0.8
+                                 ) -> MatchWorkflow:
+    """Author same-mapping: name matcher + n:m neighborhood (§4.2)."""
+    workflow = MatchWorkflow(f"author-nh-{left}-{right}")
+    workflow.add_matcher(
+        "author_names",
+        AttributeMatcher("name", similarity="trigram",
+                         threshold=name_threshold,
+                         blocking=TokenBlocking(max_df=0.25)),
+        f"{left}.Author", f"{right}.Author")
+    workflow.add_compose(
+        "author_temp", f"{left}.AuthorPub", publication_same,
+        f="min", g="avg")
+    workflow.add_compose(
+        "author_nh", "author_temp", f"{right}.PubAuthor",
+        f="min", g="relative")
+    workflow.add_merge(
+        "author_same", ["author_names", "author_nh"], function="max",
+        selections=[BestNSelection(1, side="both")])
+    return workflow
+
+
+def duplicate_author_workflow(source: str = "DBLP", *,
+                              name_threshold: float = 0.5
+                              ) -> MatchWorkflow:
+    """§4.3's duplicate-author detection as a workflow (Table 9).
+
+    Requires the ``<source>.CoAuthor`` association and an identity
+    mapping named ``<source>.AuthorIdentity`` in the context (use
+    :func:`prepare_identity` to add it).
+    """
+    workflow = MatchWorkflow(f"dedup-authors-{source}")
+    workflow.add_compose(
+        "co_temp", f"{source}.CoAuthor", f"{source}.AuthorIdentity",
+        f="min", g="avg")
+    workflow.add_compose(
+        "co_sim", "co_temp", f"{source}.CoAuthor",
+        f="min", g="relative")
+    workflow.add_matcher(
+        "name_sim",
+        AttributeMatcher("name", similarity="trigram",
+                         threshold=name_threshold,
+                         blocking=TokenBlocking(max_df=0.3)),
+        f"{source}.Author", f"{source}.Author")
+    workflow.add_merge(
+        "dup_candidates", ["co_sim", "name_sim"], function="avg0",
+        selections=[NotIdentity()])
+    return workflow
+
+
+def prepare_identity(context, source: str = "DBLP") -> None:
+    """Register ``<source>.AuthorIdentity`` in ``context``."""
+    authors = context.resolve_source(f"{source}.Author")
+    context.add_mapping(
+        f"{source}.AuthorIdentity",
+        Mapping.identity(authors.name, authors.ids()),
+    )

@@ -1,0 +1,102 @@
+"""Match-strategy selection (paper §7 outlook).
+
+"In addition we plan to develop approaches for automatically tuning
+match workflows, in particular to select existing mappings, matchers
+and combiners and their parameters."  The :class:`StrategySelector`
+does the selection half: candidate strategies (each a thunk producing
+a same-mapping) are evaluated on a *training restriction* of the gold
+standard — a sampled subset of domain objects, standing in for the
+manually labelled training data a deployment would have — and ranked
+by F-measure.  The winner can then be executed on the full task.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.mapping import Mapping
+
+StrategyThunk = Callable[[], Mapping]
+
+
+@dataclass
+class StrategyOutcome:
+    """Evaluation record of one candidate strategy."""
+
+    name: str
+    precision: float
+    recall: float
+    f1: float
+    correspondences: int
+    mapping: Optional[Mapping] = field(default=None, repr=False)
+
+
+class StrategySelector:
+    """Rank candidate match strategies against training gold."""
+
+    def __init__(self, gold: Mapping, *,
+                 training_fraction: float = 0.3,
+                 seed: int = 0,
+                 keep_mappings: bool = False) -> None:
+        if not 0.0 < training_fraction <= 1.0:
+            raise ValueError("training_fraction must be in (0, 1]")
+        self.gold = gold
+        self.training_fraction = training_fraction
+        self.seed = seed
+        self.keep_mappings = keep_mappings
+        self._strategies: Dict[str, StrategyThunk] = {}
+        self._training_domain: Optional[set] = None
+
+    def register(self, name: str, thunk: StrategyThunk) -> None:
+        """Register a candidate strategy under ``name``."""
+        if not name:
+            raise ValueError("strategy name must be non-empty")
+        if name in self._strategies:
+            raise ValueError(f"strategy {name!r} already registered")
+        self._strategies[name] = thunk
+
+    def training_domain(self) -> set:
+        """The sampled domain-object ids used for scoring."""
+        if self._training_domain is None:
+            rng = random.Random(self.seed)
+            domain_ids = sorted(self.gold.domain_ids())
+            sample_size = max(1, int(len(domain_ids)
+                                     * self.training_fraction))
+            self._training_domain = set(rng.sample(domain_ids, sample_size))
+        return self._training_domain
+
+    def _score(self, name: str, mapping: Mapping) -> StrategyOutcome:
+        training = self.training_domain()
+        predicted = {pair for pair in mapping.pairs() if pair[0] in training}
+        gold_pairs = {pair for pair in self.gold.pairs()
+                      if pair[0] in training}
+        if predicted:
+            true_positives = len(predicted & gold_pairs)
+            precision = true_positives / len(predicted)
+            recall = (true_positives / len(gold_pairs)) if gold_pairs else 0.0
+        else:
+            precision = recall = 0.0
+        f1 = (2 * precision * recall / (precision + recall)
+              if precision + recall else 0.0)
+        return StrategyOutcome(
+            name=name, precision=precision, recall=recall, f1=f1,
+            correspondences=len(mapping),
+            mapping=mapping if self.keep_mappings else None,
+        )
+
+    def evaluate(self) -> List[StrategyOutcome]:
+        """Run every strategy once; return outcomes ranked by F."""
+        if not self._strategies:
+            raise ValueError("no strategies registered")
+        outcomes = [
+            self._score(name, thunk())
+            for name, thunk in self._strategies.items()
+        ]
+        outcomes.sort(key=lambda outcome: (-outcome.f1, outcome.name))
+        return outcomes
+
+    def select(self) -> StrategyOutcome:
+        """Return the best outcome (ties broken by name)."""
+        return self.evaluate()[0]

@@ -1,0 +1,325 @@
+"""Match workflows (paper §2.2, Figure 3).
+
+"The MOMA match process is a workflow consisting of a sequence of
+steps.  Each such step generates a same-mapping that can be refined by
+additional steps. [...] Each workflow step consists of two parts:
+matcher execution and mapping combination.  The execution of selected
+matchers is actually optional, i.e., a step may only combine existing
+or previously computed mappings from the mapping repository or mapping
+cache."
+
+The workflow engine therefore distinguishes:
+
+* :class:`MatcherStep` — run a matcher on two logical sources;
+* :class:`CombineStep` — a mapping combiner: a mapping operator
+  (merge or compose) followed by an optional selection chain;
+* :class:`SelectStep` — selection only, refining one mapping;
+* :class:`StoreStep` — persist a mapping into the repository so other
+  workflows can re-use it.
+
+All steps read and write named mappings in a :class:`MatchContext`,
+which layers the in-flight workspace over the mapping cache, the
+mapping repository and the source-mapping model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.mapping import Mapping
+from repro.core.matchers.base import Matcher
+from repro.core.operators.compose import compose
+from repro.core.operators.merge import merge
+from repro.core.operators.selection import Selection
+from repro.model.cache import MappingCache
+from repro.model.repository import MappingRepository
+from repro.model.smm import SourceMappingModel
+from repro.model.source import LogicalSource
+
+
+class WorkflowError(RuntimeError):
+    """Raised on unresolved names or malformed workflow definitions."""
+
+
+class MatchContext:
+    """Resolution environment for workflow execution.
+
+    Mapping names resolve through, in order: the step workspace, the
+    mapping cache, explicitly provided mappings, the source-mapping
+    model's registered mappings, and finally the repository.  Source
+    names resolve through provided sources, then the SMM.
+    """
+
+    def __init__(self, *,
+                 smm: Optional[SourceMappingModel] = None,
+                 repository: Optional[MappingRepository] = None,
+                 cache: Optional[MappingCache] = None,
+                 sources: Optional[Dict[str, LogicalSource]] = None,
+                 mappings: Optional[Dict[str, Mapping]] = None) -> None:
+        self.smm = smm
+        self.repository = repository
+        self.cache = cache if cache is not None else MappingCache()
+        self._sources = dict(sources) if sources else {}
+        self._mappings = dict(mappings) if mappings else {}
+        self.workspace: Dict[str, Mapping] = {}
+        self.trace: List[str] = []
+
+    # -- sources -------------------------------------------------------
+
+    def add_source(self, source: LogicalSource) -> None:
+        """Register ``source`` under its qualified name."""
+        self._sources[source.name] = source
+
+    def resolve_source(self, name: str) -> LogicalSource:
+        source = self._sources.get(name)
+        if source is None and self.smm is not None:
+            source = self.smm.get_source(name)
+        if source is None:
+            raise WorkflowError(f"unknown logical source {name!r}")
+        return source
+
+    # -- mappings ------------------------------------------------------
+
+    def add_mapping(self, name: str, mapping: Mapping) -> None:
+        """Provide an input mapping under ``name``."""
+        self._mappings[name] = mapping
+
+    def resolve_mapping(self, ref: Union[str, Mapping]) -> Mapping:
+        if isinstance(ref, Mapping):
+            return ref
+        mapping = self.workspace.get(ref)
+        if mapping is None:
+            mapping = self.cache.get(ref)
+        if mapping is None:
+            mapping = self._mappings.get(ref)
+        if mapping is None and self.smm is not None:
+            mapping = self.smm.find_mapping(ref)
+        if mapping is None and self.repository is not None:
+            if self.repository.contains(ref):
+                mapping = self.repository.load(ref)
+        if mapping is None:
+            raise WorkflowError(f"unknown mapping {ref!r}")
+        return mapping
+
+    def publish(self, name: str, mapping: Mapping) -> None:
+        """Store a step result in the workspace and the cache."""
+        self.workspace[name] = mapping
+        self.cache.put(name, mapping)
+
+
+@dataclass
+class MatcherStep:
+    """Execute a matcher and publish its same-mapping."""
+
+    output: str
+    matcher: Matcher
+    domain: str
+    range: str
+    candidates: Optional[Iterable[Tuple[str, str]]] = None
+
+    def run(self, context: MatchContext) -> Mapping:
+        domain = context.resolve_source(self.domain)
+        range_ = context.resolve_source(self.range)
+        mapping = self.matcher.match(domain, range_, candidates=self.candidates)
+        context.publish(self.output, mapping)
+        context.trace.append(
+            f"matcher {self.matcher.name} {self.domain}->{self.range}: "
+            f"{len(mapping)} correspondences -> {self.output}"
+        )
+        return mapping
+
+
+@dataclass
+class CombineStep:
+    """A mapping combiner: operator plus optional selection chain.
+
+    ``operator`` is ``"merge"`` (inputs: 2+ mapping refs) or
+    ``"compose"`` (exactly 2 refs).  ``params`` feed through to the
+    operator (combination functions, weights, prefer index).
+    """
+
+    output: str
+    operator: str
+    inputs: Sequence[Union[str, Mapping]]
+    params: Dict[str, object] = field(default_factory=dict)
+    selections: Sequence[Selection] = field(default_factory=tuple)
+
+    def run(self, context: MatchContext) -> Mapping:
+        resolved = [context.resolve_mapping(ref) for ref in self.inputs]
+        operator = self.operator.strip().lower()
+        if operator == "merge":
+            mapping = merge(resolved, **self.params)
+        elif operator == "compose":
+            if len(resolved) != 2:
+                raise WorkflowError(
+                    f"compose expects 2 inputs, got {len(resolved)}"
+                )
+            mapping = compose(resolved[0], resolved[1], **self.params)
+        else:
+            raise WorkflowError(f"unknown operator {self.operator!r}")
+        for selection in self.selections:
+            mapping = selection.apply(mapping)
+        context.publish(self.output, mapping)
+        context.trace.append(
+            f"{operator}({', '.join(str(ref) if isinstance(ref, str) else '<mapping>' for ref in self.inputs)})"
+            f" -> {self.output} ({len(mapping)} correspondences)"
+        )
+        return mapping
+
+
+@dataclass
+class SelectStep:
+    """Refine a mapping with a selection chain."""
+
+    output: str
+    input: Union[str, Mapping]
+    selections: Sequence[Selection]
+
+    def run(self, context: MatchContext) -> Mapping:
+        mapping = context.resolve_mapping(self.input)
+        for selection in self.selections:
+            mapping = selection.apply(mapping)
+        context.publish(self.output, mapping)
+        context.trace.append(
+            f"select({self.input if isinstance(self.input, str) else '<mapping>'}) "
+            f"-> {self.output} ({len(mapping)} correspondences)"
+        )
+        return mapping
+
+
+@dataclass
+class StoreStep:
+    """Persist a mapping into the repository for later re-use."""
+
+    input: Union[str, Mapping]
+    repository_name: str
+
+    output: Optional[str] = None
+
+    def run(self, context: MatchContext) -> Mapping:
+        mapping = context.resolve_mapping(self.input)
+        if context.repository is None:
+            raise WorkflowError("no repository attached to the match context")
+        context.repository.save(self.repository_name, mapping)
+        context.trace.append(
+            f"store {self.repository_name!r} ({len(mapping)} correspondences)"
+        )
+        return mapping
+
+
+WorkflowStep = Union[MatcherStep, CombineStep, SelectStep, StoreStep]
+
+
+class MatchWorkflow:
+    """An ordered sequence of workflow steps producing a same-mapping.
+
+    The final same-mapping is the output of the last step (or the step
+    named by ``result``).  Workflows are reusable: :meth:`run` creates
+    no hidden state outside the supplied context.
+    """
+
+    def __init__(self, name: str, steps: Optional[Sequence[WorkflowStep]] = None,
+                 *, result: Optional[str] = None) -> None:
+        if not name:
+            raise ValueError("workflow name must be non-empty")
+        self.name = name
+        self.steps: List[WorkflowStep] = list(steps) if steps else []
+        self.result = result
+
+    # -- fluent builders ------------------------------------------------
+
+    def add_matcher(self, output: str, matcher: Matcher,
+                    domain: str, range: str,
+                    candidates: Optional[Iterable[Tuple[str, str]]] = None
+                    ) -> "MatchWorkflow":
+        self.steps.append(MatcherStep(output, matcher, domain, range, candidates))
+        return self
+
+    def add_merge(self, output: str, inputs: Sequence[Union[str, Mapping]],
+                  function: Union[str, object] = "avg",
+                  selections: Sequence[Selection] = (),
+                  **params: object) -> "MatchWorkflow":
+        params = dict(params)
+        params["function"] = function
+        self.steps.append(CombineStep(output, "merge", inputs, params,
+                                      tuple(selections)))
+        return self
+
+    def add_compose(self, output: str, first: Union[str, Mapping],
+                    second: Union[str, Mapping],
+                    f: str = "min", g: str = "avg",
+                    selections: Sequence[Selection] = (),
+                    **params: object) -> "MatchWorkflow":
+        params = dict(params)
+        params["f"] = f
+        params["g"] = g
+        self.steps.append(CombineStep(output, "compose", [first, second],
+                                      params, tuple(selections)))
+        return self
+
+    def add_select(self, output: str, input: Union[str, Mapping],
+                   *selections: Selection) -> "MatchWorkflow":
+        self.steps.append(SelectStep(output, input, tuple(selections)))
+        return self
+
+    def add_store(self, input: Union[str, Mapping],
+                  repository_name: str) -> "MatchWorkflow":
+        self.steps.append(StoreStep(input, repository_name))
+        return self
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, context: MatchContext) -> Mapping:
+        """Execute all steps; return the workflow's result mapping."""
+        if not self.steps:
+            raise WorkflowError(f"workflow {self.name!r} has no steps")
+        last: Optional[Mapping] = None
+        for step in self.steps:
+            last = step.run(context)
+        if self.result is not None:
+            return context.resolve_mapping(self.result)
+        assert last is not None
+        return last
+
+    def as_matcher(self, domain: str, range: str,
+                   base_context: Optional[MatchContext] = None) -> Matcher:
+        """Wrap this workflow as a matcher for the matcher library.
+
+        "Selected workflows can be added to the matcher library for
+        use in other match tasks" (§2.2).  The wrapper runs the
+        workflow in a child context sharing the base context's
+        repository/cache/SMM, with the call's sources bound to
+        ``domain`` and ``range``.
+        """
+        workflow = self
+
+        class _WorkflowMatcher(Matcher):
+            name = f"workflow[{workflow.name}]"
+
+            def match(self, domain_source: LogicalSource,
+                      range_source: LogicalSource, *,
+                      candidates: Optional[Iterable[Tuple[str, str]]] = None
+                      ) -> Mapping:
+                context = MatchContext(
+                    smm=base_context.smm if base_context else None,
+                    repository=base_context.repository if base_context else None,
+                    cache=base_context.cache if base_context else None,
+                )
+                context.add_source(domain_source)
+                context.add_source(range_source)
+                if base_context is not None:
+                    context._sources.update(base_context._sources)
+                    context._mappings.update(base_context._mappings)
+                mapping = workflow.run(context)
+                if candidates is not None:
+                    allowed = set(candidates)
+                    mapping = mapping.filter(
+                        lambda c: (c.domain, c.range) in allowed
+                    )
+                return mapping
+
+        return _WorkflowMatcher()
+
+    def __repr__(self) -> str:
+        return f"MatchWorkflow({self.name!r}, {len(self.steps)} steps)"

@@ -1,0 +1,55 @@
+"""Synthetic bibliographic world — the evaluation-data substitute.
+
+The paper evaluates on DBLP, ACM Digital Library and Google Scholar
+snapshots of database publications 1994-2003 (§5.1).  Those sources
+are not redistributable and Google Scholar cannot be downloaded at
+all, so this package generates a deterministic ground-truth *world*
+(authors, venues, publications) and derives three dirty *views* whose
+characteristics copy the paper's description:
+
+* **DBLP** — manually curated, complete, clean attribute values, but
+  with a handful of duplicate author entries (Table 9's quarry);
+* **ACM** — clean but incomplete (missing VLDB 2002/2003), numeric
+  ``P-…`` keys, citation counts;
+* **GS** — produced by a simulated crawl: duplicate entry clusters,
+  character-level title noise, first names reduced to initials,
+  incomplete author lists, frequently missing years, wildly diverse
+  venue strings, and a low-recall pre-existing link mapping to ACM.
+
+Because the generator knows ground truth, it also emits the perfect
+mappings that play the role of the paper's manually confirmed gold
+standard.
+"""
+
+from repro.datagen.world import (
+    TrueAuthor,
+    TruePublication,
+    TrueVenue,
+    World,
+    WorldConfig,
+    generate_world,
+)
+from repro.datagen.sources import (
+    BibliographicDataset,
+    SourceBundle,
+    build_dataset,
+    dataset_statistics,
+)
+from repro.datagen.gold import GoldStandard
+from repro.datagen.query import QueryClient, harvest_by_titles
+
+__all__ = [
+    "BibliographicDataset",
+    "GoldStandard",
+    "QueryClient",
+    "SourceBundle",
+    "TrueAuthor",
+    "TruePublication",
+    "TrueVenue",
+    "World",
+    "WorldConfig",
+    "build_dataset",
+    "dataset_statistics",
+    "generate_world",
+    "harvest_by_titles",
+]

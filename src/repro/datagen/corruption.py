@@ -1,0 +1,219 @@
+"""Noise operators for deriving dirty source views.
+
+Each function takes the caller's ``random.Random`` and is pure given
+that RNG, so corrupted sources are reproducible.  The operators model
+the error classes the paper attributes to automatically extracted web
+data: character typos and OCR confusions, truncation, dropped words,
+abbreviated author names and the "high diversity in the value
+representations of venues" (§5.4.1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+#: common OCR/extraction confusions (applied in either direction)
+_OCR_CONFUSIONS = (
+    ("l", "1"), ("o", "0"), ("rn", "m"), ("cl", "d"), ("vv", "w"),
+    ("e", "c"), ("h", "b"), ("i", "l"), ("s", "5"),
+)
+
+
+def typo(text: str, rng: random.Random, errors: int = 1) -> str:
+    """Introduce ``errors`` random character edits (sub/ins/del/swap)."""
+    if not text:
+        return text
+    chars = list(text)
+    for _ in range(errors):
+        if not chars:
+            break
+        kind = rng.randrange(4)
+        position = rng.randrange(len(chars))
+        if kind == 0:  # substitution
+            chars[position] = rng.choice(_ALPHABET)
+        elif kind == 1:  # insertion
+            chars.insert(position, rng.choice(_ALPHABET))
+        elif kind == 2 and len(chars) > 1:  # deletion
+            del chars[position]
+        elif len(chars) > 1:  # adjacent transposition
+            other = position + 1 if position + 1 < len(chars) else position - 1
+            chars[position], chars[other] = chars[other], chars[position]
+    return "".join(chars)
+
+
+def ocr_noise(text: str, rng: random.Random, probability: float = 0.3) -> str:
+    """Apply one randomly chosen OCR confusion with ``probability``."""
+    if rng.random() >= probability:
+        return text
+    source, target = rng.choice(_OCR_CONFUSIONS)
+    if rng.random() < 0.5:
+        source, target = target, source
+    index = text.lower().find(source)
+    if index < 0:
+        return text
+    return text[:index] + target + text[index + len(source):]
+
+
+def drop_word(text: str, rng: random.Random) -> str:
+    """Remove one random word (never the only word)."""
+    words = text.split()
+    if len(words) <= 1:
+        return text
+    del words[rng.randrange(len(words))]
+    return " ".join(words)
+
+
+def truncate_words(text: str, rng: random.Random,
+                   min_keep: int = 3) -> str:
+    """Truncate a title after a random word boundary."""
+    words = text.split()
+    if len(words) <= min_keep:
+        return text
+    keep = rng.randrange(min_keep, len(words))
+    return " ".join(words[:keep])
+
+
+def case_mangle(text: str, rng: random.Random) -> str:
+    """Lowercase or uppercase the string (extraction artifacts)."""
+    return text.lower() if rng.random() < 0.8 else text.upper()
+
+
+def corrupt_title(title: str, rng: random.Random, *,
+                  typo_probability: float = 0.4,
+                  ocr_probability: float = 0.2,
+                  truncate_probability: float = 0.08,
+                  drop_probability: float = 0.08,
+                  case_probability: float = 0.05) -> str:
+    """Compose the title-noise pipeline used for Google Scholar entries."""
+    if rng.random() < typo_probability:
+        title = typo(title, rng, errors=1 + (rng.random() < 0.3))
+    if rng.random() < ocr_probability:
+        title = ocr_noise(title, rng, probability=1.0)
+    if rng.random() < truncate_probability:
+        title = truncate_words(title, rng)
+    if rng.random() < drop_probability:
+        title = drop_word(title, rng)
+    if rng.random() < case_probability:
+        title = case_mangle(title, rng)
+    return title
+
+
+def abbreviate_first_name(first: str, rng: Optional[random.Random] = None,
+                          *, keep_middle: bool = True) -> str:
+    """Reduce first names to initials: "John B." -> "J. B." / "J.".
+
+    This is the paper's Google Scholar behaviour: "GS reduces authors'
+    first names to their first letter" (§5.4.3).
+    """
+    parts = [part for part in first.replace(".", " ").split() if part]
+    if not parts:
+        return first
+    initials = [f"{part[0]}." for part in parts]
+    if not keep_middle:
+        initials = initials[:1]
+    return " ".join(initials)
+
+
+def name_variant(first: str, last: str, rng: random.Random) -> tuple[str, str]:
+    """Produce a plausible duplicate-author name variant.
+
+    Used to inject DBLP duplicate authors (Table 9): nickname-style
+    shortenings, initialized first names, or a typo in the last name —
+    variants that keep co-author context intact while confusing exact
+    name identity.
+    """
+    choice = rng.randrange(4)
+    if choice == 0:
+        # shorten first name: "Agathoniki" -> "Aga" (>=3 chars kept)
+        head = first.split()[0]
+        if len(head) > 4:
+            return head[: max(3, len(head) // 2)], last
+        return abbreviate_first_name(first, keep_middle=False), last
+    if choice == 1:
+        return abbreviate_first_name(first, keep_middle=False), last
+    if choice == 2:
+        # drop a middle initial if present, else initialize
+        parts = first.split()
+        if len(parts) > 1:
+            return parts[0], last
+        return abbreviate_first_name(first, keep_middle=False), last
+    return first, typo(last, rng, errors=1)
+
+
+#: venue rendering styles, from terse to verbose; the spread is what
+#: defeats generic string matchers on venue names (§5.4.1)
+_CONFERENCE_LONG = {
+    "VLDB": "International Conference on Very Large Data Bases",
+    "SIGMOD": "ACM SIGMOD International Conference on Management of Data",
+}
+
+_JOURNAL_LONG = {
+    "TODS": "ACM Transactions on Database Systems",
+    "VLDBJ": "The VLDB Journal",
+    "SIGMOD Record": "ACM SIGMOD Record",
+}
+
+
+def _ordinal(number: int) -> str:
+    if 10 <= number % 100 <= 20:
+        suffix = "th"
+    else:
+        suffix = {1: "st", 2: "nd", 3: "rd"}.get(number % 10, "th")
+    return f"{number}{suffix}"
+
+
+def venue_string(kind: str, series: str, year: int, number: int,
+                 style: str) -> str:
+    """Render a venue in one of several real-world citation styles.
+
+    ``number`` is the conference ordinal or the journal issue number.
+    Styles: ``short`` ("VLDB 2002"), ``tight`` ("VLDB'02"),
+    ``proceedings`` ("Proc. VLDB, 2002"), ``long`` ("28th International
+    Conference on Very Large Data Bases"), ``issue`` (journals:
+    "SIGMOD Record 31(4)").
+    """
+    if kind == "conference":
+        if style == "short":
+            return f"{series} {year}"
+        if style == "tight":
+            return f"{series}'{year % 100:02d}"
+        if style == "proceedings":
+            return f"Proc. {series}, {year}"
+        if style == "long":
+            return f"{_ordinal(number)} {_CONFERENCE_LONG[series]}"
+        if style == "full":
+            return (
+                f"Proceedings of the {_ordinal(number)} "
+                f"{_CONFERENCE_LONG[series]}, {year}"
+            )
+        raise ValueError(f"unknown conference style {style!r}")
+    if kind == "journal":
+        volume = number
+        issue = (year % 4) + 1
+        if style == "short":
+            return f"{series} {year}"
+        if style == "tight":
+            return f"{series} {volume}({issue})"
+        if style == "proceedings":
+            return f"{series}, vol. {volume}, {year}"
+        if style == "long":
+            return f"{_JOURNAL_LONG[series]} {volume}({issue})"
+        if style == "full":
+            return (
+                f"{_JOURNAL_LONG[series]}, Volume {volume}, "
+                f"Issue {issue}, {year}"
+            )
+        raise ValueError(f"unknown journal style {style!r}")
+    raise ValueError(f"unknown venue kind {kind!r}")
+
+
+VENUE_STYLES = ("short", "tight", "proceedings", "long", "full")
+
+
+def random_venue_string(kind: str, series: str, year: int, number: int,
+                        rng: random.Random) -> str:
+    """Draw a venue string in a random citation style."""
+    return venue_string(kind, series, year, number, rng.choice(VENUE_STYLES))

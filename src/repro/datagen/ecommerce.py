@@ -1,0 +1,321 @@
+"""E-commerce domain generator (paper §7 future work).
+
+"In future work, we will apply our framework to additional domains
+such as e-commerce" — this module provides that domain so the
+framework's domain-independence is demonstrable: a ground-truth
+product catalog and two shop views with shop-specific dirt, plus the
+association mappings (product-brand, product-category) that let the
+neighborhood matcher operate exactly as it does on venues and authors.
+
+Shop characteristics:
+
+* **CatalogShop** — a curated catalog: clean structured product names
+  ("<Brand> <Model> <Variant>"), complete brand/category data;
+* **MarketShop** — a marketplace feed: noisy names (abbreviations,
+  dropped brand tokens, reordered words, unit rewrites), occasional
+  duplicate offers per product, price jitter, missing categories.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.mapping import Mapping, MappingKind
+from repro.datagen.corruption import typo
+from repro.datagen.gold import GoldStandard
+from repro.model.smm import MappingType, SourceMappingModel
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+
+BRANDS: Tuple[str, ...] = (
+    "Aurotek", "Bellaro", "Cormund", "Deltraco", "Everion", "Fendrix",
+    "Gravita", "Heliora", "Ivenco", "Jaxxon", "Kelvaro", "Lumenor",
+    "Mavrica", "Nordwell", "Optarek", "Pellagio",
+)
+
+CATEGORIES: Tuple[str, ...] = (
+    "Espresso Machine", "Vacuum Cleaner", "Hair Dryer", "Food Processor",
+    "Electric Kettle", "Toaster Oven", "Air Purifier", "Blender",
+    "Coffee Grinder", "Rice Cooker", "Steam Iron", "Stand Mixer",
+)
+
+MODEL_WORDS: Tuple[str, ...] = (
+    "Pro", "Max", "Plus", "Prime", "Compact", "Classic", "Turbo",
+    "Smart", "Eco", "Ultra", "Active", "Premium",
+)
+
+VARIANTS: Tuple[str, ...] = (
+    "500W", "700W", "900W", "1200W", "1.5L", "2L", "Black", "White",
+    "Silver", "Red", "Stainless Steel", "Titanium",
+)
+
+#: marketplace rewrites of variant tokens
+_VARIANT_REWRITES = {
+    "Stainless Steel": "SS",
+    "1.5L": "1500 ml",
+    "2L": "2000 ml",
+    "500W": "0.5kW",
+    "Black": "blk",
+    "White": "wht",
+}
+
+
+@dataclass(frozen=True)
+class TrueProduct:
+    """A real-world product."""
+
+    id: str
+    name: str
+    brand: str
+    category: str
+    price: float
+    model_number: str
+
+
+@dataclass
+class EcommerceConfig:
+    """Generator knobs for the product world and shop views."""
+
+    seed: int = 21
+    products: int = 300
+    #: MarketShop coverage of the catalog
+    market_coverage: float = 0.9
+    #: probability of an extra duplicate offer per covered product
+    market_duplicate_rate: float = 0.25
+    #: name-noise probabilities for the marketplace feed
+    drop_brand_rate: float = 0.25
+    rewrite_variant_rate: float = 0.5
+    reorder_rate: float = 0.2
+    typo_rate: float = 0.25
+    #: probability the marketplace offer misses its category
+    category_missing_rate: float = 0.2
+    price_jitter: float = 0.15
+
+
+@dataclass
+class ShopBundle:
+    """One shop: products/brands/categories plus associations."""
+
+    name: str
+    physical: PhysicalSource
+    products: LogicalSource
+    brands: LogicalSource
+    categories: LogicalSource
+    product_brand: Mapping
+    brand_product: Mapping
+    product_category: Mapping
+    category_product: Mapping
+    #: shop product id -> true product id
+    true_product: Dict[str, str] = field(default_factory=dict)
+    #: true product id -> shop product ids (duplicate offers)
+    products_of_true: Dict[str, List[str]] = field(default_factory=dict)
+
+    def register(self, shop_id: str, true_id: str) -> None:
+        self.true_product[shop_id] = true_id
+        self.products_of_true.setdefault(true_id, []).append(shop_id)
+
+
+@dataclass
+class EcommerceDataset:
+    """The assembled two-shop matching task."""
+
+    products: Dict[str, TrueProduct]
+    catalog: ShopBundle
+    market: ShopBundle
+    gold: GoldStandard
+    smm: SourceMappingModel
+
+
+def _generate_products(config: EcommerceConfig,
+                       rng: random.Random) -> Dict[str, TrueProduct]:
+    products: Dict[str, TrueProduct] = {}
+    seen_names = set()
+    counter = 0
+    while len(products) < config.products:
+        brand = rng.choice(BRANDS)
+        category = rng.choice(CATEGORIES)
+        model = f"{rng.choice(MODEL_WORDS)} {rng.randint(100, 999)}"
+        variant = rng.choice(VARIANTS)
+        name = f"{brand} {category} {model} {variant}"
+        if name in seen_names:
+            continue
+        seen_names.add(name)
+        counter += 1
+        product_id = f"prod:{counter:04d}"
+        products[product_id] = TrueProduct(
+            id=product_id, name=name, brand=brand, category=category,
+            price=round(rng.uniform(20, 600), 2),
+            model_number=f"{brand[:3].upper()}-{rng.randint(10000, 99999)}",
+        )
+    return products
+
+
+def _new_bundle(shop: str, downloadable: bool) -> ShopBundle:
+    physical = PhysicalSource(shop, downloadable=downloadable)
+    products = LogicalSource(physical, ObjectType("Product"))
+    brands = LogicalSource(physical, ObjectType("Brand"))
+    categories = LogicalSource(physical, ObjectType("Category"))
+    return ShopBundle(
+        name=shop, physical=physical, products=products, brands=brands,
+        categories=categories,
+        product_brand=Mapping(products.name, brands.name,
+                              MappingKind.ASSOCIATION),
+        brand_product=Mapping(brands.name, products.name,
+                              MappingKind.ASSOCIATION),
+        product_category=Mapping(products.name, categories.name,
+                                 MappingKind.ASSOCIATION),
+        category_product=Mapping(categories.name, products.name,
+                                 MappingKind.ASSOCIATION),
+    )
+
+
+def _add_reference_entities(bundle: ShopBundle, prefix: str) -> Tuple[
+        Dict[str, str], Dict[str, str]]:
+    brand_ids = {}
+    category_ids = {}
+    for index, brand in enumerate(BRANDS, start=1):
+        brand_id = f"{prefix}:brand:{index:02d}"
+        brand_ids[brand] = brand_id
+        bundle.brands.add_record(brand_id, name=brand)
+    for index, category in enumerate(CATEGORIES, start=1):
+        category_id = f"{prefix}:cat:{index:02d}"
+        category_ids[category] = category_id
+        bundle.categories.add_record(category_id, name=category)
+    return brand_ids, category_ids
+
+
+def _market_name(product: TrueProduct, config: EcommerceConfig,
+                 rng: random.Random) -> str:
+    tokens = product.name.split()
+    # rewrite the variant token(s)
+    if rng.random() < config.rewrite_variant_rate:
+        rewritten = []
+        i = 0
+        while i < len(tokens):
+            two = " ".join(tokens[i:i + 2])
+            if two in _VARIANT_REWRITES:
+                rewritten.append(_VARIANT_REWRITES[two])
+                i += 2
+                continue
+            rewritten.append(_VARIANT_REWRITES.get(tokens[i], tokens[i]))
+            i += 1
+        tokens = rewritten
+    if rng.random() < config.drop_brand_rate and len(tokens) > 2:
+        tokens = [token for token in tokens if token != product.brand]
+    if rng.random() < config.reorder_rate and len(tokens) > 2:
+        index = rng.randrange(len(tokens) - 1)
+        tokens[index], tokens[index + 1] = tokens[index + 1], tokens[index]
+    name = " ".join(tokens)
+    if rng.random() < config.typo_rate:
+        name = typo(name, rng, errors=1)
+    return name
+
+
+def build_ecommerce_dataset(
+        config: Optional[EcommerceConfig] = None) -> EcommerceDataset:
+    """Generate the two-shop product matching task with gold standard."""
+    config = config if config is not None else EcommerceConfig()
+    rng = random.Random(config.seed)
+    products = _generate_products(config, rng)
+
+    catalog = _new_bundle("Catalog", downloadable=True)
+    market = _new_bundle("Market", downloadable=False)
+    catalog_brands, catalog_categories = _add_reference_entities(
+        catalog, "cat")
+    market_brands, market_categories = _add_reference_entities(
+        market, "mkt")
+
+    # -- catalog shop: clean ------------------------------------------------
+    for counter, product in enumerate(products.values(), start=1):
+        shop_id = f"cat:p{counter:05d}"
+        catalog.products.add_record(
+            shop_id, name=product.name, brand=product.brand,
+            category=product.category, price=product.price,
+            model_number=product.model_number,
+        )
+        catalog.register(shop_id, product.id)
+        brand_id = catalog_brands[product.brand]
+        category_id = catalog_categories[product.category]
+        catalog.product_brand.add(shop_id, brand_id, 1.0)
+        catalog.brand_product.add(brand_id, shop_id, 1.0)
+        catalog.product_category.add(shop_id, category_id, 1.0)
+        catalog.category_product.add(category_id, shop_id, 1.0)
+
+    # -- marketplace shop: noisy feed with duplicate offers ------------------
+    offer_counter = 0
+    for product in products.values():
+        if rng.random() >= config.market_coverage:
+            continue
+        offers = 1 + (rng.random() < config.market_duplicate_rate)
+        for _ in range(offers):
+            offer_counter += 1
+            shop_id = f"mkt:o{offer_counter:05d}"
+            attributes: Dict[str, object] = {
+                "name": _market_name(product, config, rng),
+                "price": round(product.price
+                               * rng.uniform(1 - config.price_jitter,
+                                             1 + config.price_jitter), 2),
+            }
+            has_category = rng.random() >= config.category_missing_rate
+            if has_category:
+                attributes["category"] = product.category
+            market.products.add_record(shop_id, **attributes)
+            market.register(shop_id, product.id)
+            brand_id = market_brands[product.brand]
+            market.product_brand.add(shop_id, brand_id, 1.0)
+            market.brand_product.add(brand_id, shop_id, 1.0)
+            if has_category:
+                category_id = market_categories[product.category]
+                market.product_category.add(shop_id, category_id, 1.0)
+                market.category_product.add(category_id, shop_id, 1.0)
+
+    # -- gold standard --------------------------------------------------------
+    gold = GoldStandard()
+    product_gold = Mapping(catalog.products.name, market.products.name,
+                           MappingKind.SAME)
+    for true_id, catalog_ids in catalog.products_of_true.items():
+        for market_id in market.products_of_true.get(true_id, ()):
+            for catalog_id in catalog_ids:
+                product_gold.add(catalog_id, market_id, 1.0)
+    gold.add("products", product_gold)
+
+    brand_gold = Mapping(catalog.brands.name, market.brands.name,
+                         MappingKind.SAME)
+    for brand in BRANDS:
+        brand_gold.add(catalog_brands[brand], market_brands[brand], 1.0)
+    gold.add("brands", brand_gold)
+
+    category_gold = Mapping(catalog.categories.name, market.categories.name,
+                            MappingKind.SAME)
+    for category in CATEGORIES:
+        category_gold.add(catalog_categories[category],
+                          market_categories[category], 1.0)
+    gold.add("categories", category_gold)
+
+    # -- source-mapping model ---------------------------------------------------
+    smm = SourceMappingModel()
+    smm.add_mapping_type(MappingType(
+        "ProductBrand", "Product", "Brand", "n:1", inverse="BrandProduct"))
+    smm.add_mapping_type(MappingType(
+        "BrandProduct", "Brand", "Product", "1:n", inverse="ProductBrand"))
+    smm.add_mapping_type(MappingType(
+        "ProductCategory", "Product", "Category", "n:1",
+        inverse="CategoryProduct"))
+    smm.add_mapping_type(MappingType(
+        "CategoryProduct", "Category", "Product", "1:n",
+        inverse="ProductCategory"))
+    for bundle in (catalog, market):
+        smm.add_source(bundle.products)
+        smm.add_source(bundle.brands)
+        smm.add_source(bundle.categories)
+        smm.register_mapping(f"{bundle.name}.ProductBrand",
+                             bundle.product_brand, "ProductBrand")
+        smm.register_mapping(f"{bundle.name}.BrandProduct",
+                             bundle.brand_product, "BrandProduct")
+        smm.register_mapping(f"{bundle.name}.ProductCategory",
+                             bundle.product_category, "ProductCategory")
+        smm.register_mapping(f"{bundle.name}.CategoryProduct",
+                             bundle.category_product, "CategoryProduct")
+
+    return EcommerceDataset(products, catalog, market, gold, smm)

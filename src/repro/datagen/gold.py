@@ -1,0 +1,80 @@
+"""Gold standards: the perfect mappings the evaluation scores against.
+
+The paper measures precision/recall/F "with respect to manually
+determined 'perfect' mappings" (§5.1).  Our generator knows ground
+truth by construction, so the perfect mappings are emitted alongside
+the sources.  Keys are ``(object type, domain source, range source)``;
+both orientations resolve (the inverse is derived on demand).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.mapping import Mapping
+
+
+class GoldStandard:
+    """Registry of perfect mappings between source pairs."""
+
+    def __init__(self) -> None:
+        self._mappings: Dict[Tuple[str, str, str], Mapping] = {}
+
+    @staticmethod
+    def _key(category: str, domain: str, range_: str) -> Tuple[str, str, str]:
+        return (category.lower(), domain, range_)
+
+    def add(self, category: str, mapping: Mapping) -> None:
+        """Register a perfect mapping under its category.
+
+        ``category`` is the object type: ``"publications"``,
+        ``"authors"`` or ``"venues"`` (free-form names are allowed for
+        extensions).  The source pair comes from the mapping itself.
+        """
+        key = self._key(category, mapping.domain, mapping.range)
+        if key in self._mappings:
+            raise ValueError(f"gold mapping already registered for {key}")
+        self._mappings[key] = mapping
+
+    def get(self, category: str, domain: str, range_: str) -> Mapping:
+        """Return the perfect mapping, inverting a stored one if needed."""
+        key = self._key(category, domain, range_)
+        mapping = self._mappings.get(key)
+        if mapping is not None:
+            return mapping
+        inverse_key = self._key(category, range_, domain)
+        stored = self._mappings.get(inverse_key)
+        if stored is not None:
+            return stored.inverse()
+        known = sorted(self._mappings)
+        raise KeyError(
+            f"no gold mapping for {key}; known: {known}"
+        )
+
+    def try_get(self, category: str, domain: str,
+                range_: str) -> Optional[Mapping]:
+        """Like :meth:`get` but returning ``None`` on a miss."""
+        try:
+            return self.get(category, domain, range_)
+        except KeyError:
+            return None
+
+    def publications(self, domain: str, range_: str) -> Mapping:
+        return self.get("publications", domain, range_)
+
+    def authors(self, domain: str, range_: str) -> Mapping:
+        return self.get("authors", domain, range_)
+
+    def venues(self, domain: str, range_: str) -> Mapping:
+        return self.get("venues", domain, range_)
+
+    def __iter__(self) -> Iterator[Tuple[str, str, str]]:
+        return iter(sorted(self._mappings))
+
+    def __len__(self) -> int:
+        return len(self._mappings)
+
+    def __contains__(self, key: Tuple[str, str, str]) -> bool:
+        category, domain, range_ = key
+        return (self._key(category, domain, range_) in self._mappings
+                or self._key(category, range_, domain) in self._mappings)

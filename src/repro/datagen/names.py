@@ -1,0 +1,156 @@
+"""Deterministic name corpora for the synthetic world.
+
+A moderate pool of realistic first and last names is combined (plus
+optional middle initials) into several thousand distinct author names.
+Everything is driven by the caller's ``random.Random`` so worlds are
+reproducible from their seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set, Tuple
+
+FIRST_NAMES: Tuple[str, ...] = (
+    "Aaron", "Adam", "Adriana", "Agnes", "Alan", "Albert", "Alejandro",
+    "Alexander", "Alice", "Alina", "Amir", "Amy", "Ana", "Andreas",
+    "Andrew", "Angela", "Anna", "Anthony", "Antonio", "Arjun", "Arthur",
+    "Barbara", "Beatriz", "Benjamin", "Bernhard", "Bettina", "Bing",
+    "Boris", "Brian", "Bruce", "Carl", "Carla", "Carlos", "Carol",
+    "Catalina", "Catherine", "Chandra", "Chao", "Charles", "Chen",
+    "Christian", "Christina", "Christopher", "Claire", "Claudia",
+    "Colin", "Cristina", "Dan", "Daniel", "Daniela", "David", "Dennis",
+    "Diana", "Diego", "Dimitrios", "Dmitri", "Donald", "Dong", "Doris",
+    "Douglas", "Eduardo", "Edward", "Elena", "Elisa", "Elizabeth",
+    "Emily", "Eric", "Erhard", "Ernesto", "Eva", "Evan", "Fabian",
+    "Fatima", "Felix", "Feng", "Fernando", "Francesca", "Frank",
+    "Gabriel", "Gabriela", "Gang", "George", "Gerald", "Gerhard",
+    "Giovanni", "Giulia", "Goetz", "Grace", "Gregory", "Guido",
+    "Guillermo", "Hai", "Hannah", "Hans", "Harold", "Hector", "Helen",
+    "Helga", "Henry", "Hiroshi", "Holger", "Hong", "Howard", "Hui",
+    "Ian", "Igor", "Ilya", "Ingrid", "Irene", "Isabel", "Ivan", "Jack",
+    "Jacob", "James", "Jan", "Jana", "Jason", "Javier", "Jean",
+    "Jeffrey", "Jennifer", "Jens", "Jessica", "Jian", "Jing", "Joachim",
+    "Joan", "Joao", "Joe", "Johan", "Johannes", "John", "Jonathan",
+    "Jorge", "Jose", "Joseph", "Juan", "Judith", "Julia", "Julian",
+    "Jun", "Juergen", "Karen", "Karl", "Katarina", "Katherine", "Kazuo",
+    "Keith", "Kenneth", "Kevin", "Klaus", "Kurt", "Lars", "Laura",
+    "Laurent", "Lawrence", "Lei", "Leonard", "Li", "Liang", "Lin",
+    "Linda", "Lisa", "Luca", "Lucia", "Ludwig", "Luis", "Maarten",
+    "Manfred", "Manuel", "Marc", "Marco", "Margaret", "Maria", "Marie",
+    "Mario", "Mark", "Markus", "Martha", "Martin", "Mary", "Matteo",
+    "Matthew", "Matthias", "Maurice", "Max", "Mei", "Michael",
+    "Michaela", "Miguel", "Min", "Ming", "Mohamed", "Monica", "Nadia",
+    "Nancy", "Natalia", "Nathan", "Neil", "Nicholas", "Nicolas",
+    "Nikolaus", "Nina", "Norbert", "Olaf", "Oliver", "Olga", "Omar",
+    "Oscar", "Pablo", "Pamela", "Paolo", "Patricia", "Patrick", "Paul",
+    "Pavel", "Pedro", "Peter", "Philip", "Pierre", "Qiang", "Rachel",
+    "Rafael", "Rainer", "Ralf", "Ramon", "Raymond", "Rebecca",
+    "Reinhard", "Renate", "Ricardo", "Richard", "Robert", "Roberto",
+    "Roger", "Roland", "Ronald", "Rosa", "Rudolf", "Ruth", "Ryan",
+    "Samuel", "Sandra", "Sara", "Scott", "Sebastian", "Sergei",
+    "Shan", "Sharon", "Silvia", "Simon", "Sofia", "Stefan", "Stefanie",
+    "Stephen", "Steven", "Susan", "Sven", "Takashi", "Tamara", "Tao",
+    "Teresa", "Thomas", "Timothy", "Tobias", "Tomas", "Ulrich",
+    "Ulrike", "Uwe", "Valentina", "Vera", "Victor", "Viktor",
+    "Vincent", "Vladimir", "Walter", "Wei", "Werner", "William",
+    "Wolfgang", "Xiang", "Xin", "Yan", "Yang", "Yi", "Ying", "Yong",
+    "Yuri", "Yusuf", "Zhen", "Zoltan",
+)
+
+LAST_NAMES: Tuple[str, ...] = (
+    "Abel", "Adams", "Aguilar", "Ahmed", "Albrecht", "Almeida",
+    "Anderson", "Andrade", "Arnold", "Baker", "Baldwin", "Barnes",
+    "Bauer", "Baumann", "Becker", "Bell", "Bender", "Berger",
+    "Bernstein", "Bianchi", "Blake", "Bloom", "Bogdanov", "Bose",
+    "Brandt", "Braun", "Brooks", "Brown", "Bruno", "Burke", "Campbell",
+    "Cardoso", "Carlson", "Carter", "Castillo", "Chan", "Chandra",
+    "Chang", "Chen", "Cheng", "Cho", "Chow", "Clark", "Cohen",
+    "Collins", "Conrad", "Costa", "Cruz", "Curtis", "Dahl", "Davies",
+    "Davis", "Delgado", "Dietrich", "Dietz", "Dimitrov", "Dixon",
+    "Doyle", "Drake", "Dumont", "Duncan", "Ebert", "Eckert", "Edwards",
+    "Egger", "Eriksson", "Evans", "Faber", "Falk", "Fan", "Farrell",
+    "Feldman", "Fernandez", "Ferrari", "Fischer", "Fleming", "Flores",
+    "Foster", "Fournier", "Fox", "Franke", "Freeman", "Frey",
+    "Friedman", "Fuchs", "Fujita", "Gallo", "Garcia", "Gardner",
+    "Gebhardt", "Geiger", "Gibson", "Gilbert", "Goldberg", "Gomez",
+    "Gonzalez", "Gordon", "Graf", "Grant", "Graves", "Gray", "Greco",
+    "Green", "Griffin", "Gross", "Gruber", "Guerrero", "Gupta",
+    "Gustafsson", "Haas", "Hahn", "Hall", "Hamilton", "Hansen",
+    "Harper", "Harris", "Hartmann", "Hayashi", "Hayes", "Heller",
+    "Henderson", "Hernandez", "Herrmann", "Hill", "Hoffman", "Hofmann",
+    "Holland", "Holt", "Horn", "Horvath", "Howard", "Huang", "Huber",
+    "Hughes", "Hunt", "Ibrahim", "Ito", "Ivanov", "Jackson", "Jacobs",
+    "Jain", "James", "Jansen", "Jensen", "Jimenez", "Johansson",
+    "Johnson", "Jones", "Jordan", "Kaiser", "Kalashnikov", "Kang",
+    "Kaplan", "Kato", "Kaufmann", "Keller", "Kelly", "Kennedy", "Kim",
+    "King", "Kirchner", "Klein", "Knight", "Kobayashi", "Koch",
+    "Koenig", "Kovacs", "Kowalski", "Kraus", "Krueger", "Kumar",
+    "Kuznetsov", "Lambert", "Lang", "Larsen", "Larson", "Laurent",
+    "Lee", "Lehmann", "Leone", "Lewis", "Li", "Liang", "Lin",
+    "Lindberg", "Liu", "Lombardi", "Long", "Lopez", "Lorenz", "Lu",
+    "Ludwig", "Luo", "Ma", "Maier", "Marino", "Marshall", "Martin",
+    "Martinez", "Mason", "Matsumoto", "Mayer", "McDonald", "Mehta",
+    "Meier", "Mendez", "Meyer", "Miller", "Mitchell", "Mohan",
+    "Molina", "Moore", "Morales", "Moreau", "Morgan", "Mori", "Morris",
+    "Moser", "Mueller", "Murphy", "Murray", "Nagy", "Nakamura",
+    "Navarro", "Nelson", "Neumann", "Newman", "Nguyen", "Nielsen",
+    "Nikolov", "Nilsson", "Novak", "Nowak", "Oliveira", "Olsen",
+    "Olson", "Ortega", "Ortiz", "Otto", "Palmer", "Pappas", "Park",
+    "Parker", "Patel", "Paulsen", "Pedersen", "Pereira", "Perez",
+    "Peters", "Petersen", "Petrov", "Pfeiffer", "Phillips", "Pichler",
+    "Popescu", "Porter", "Powell", "Price", "Qian", "Quinn", "Raab",
+    "Ramirez", "Rao", "Reed", "Reinhardt", "Reyes", "Reynolds",
+    "Ricci", "Rice", "Richter", "Riley", "Rivera", "Roberts",
+    "Robinson", "Rodriguez", "Rogers", "Romano", "Romero", "Rose",
+    "Rossi", "Roth", "Ruiz", "Russell", "Russo", "Ryan", "Saito",
+    "Sanchez", "Sanders", "Santos", "Sato", "Sauer", "Schaefer",
+    "Schmidt", "Schneider", "Scholz", "Schroeder", "Schubert",
+    "Schulz", "Schwartz", "Scott", "Seidel", "Sharma", "Shaw", "Shen",
+    "Silva", "Simmons", "Simon", "Singh", "Smith", "Sokolov", "Sommer",
+    "Song", "Sorensen", "Spencer", "Stein", "Steiner", "Stewart",
+    "Stone", "Suzuki", "Svensson", "Takahashi", "Tanaka", "Tang",
+    "Taylor", "Thomas", "Thompson", "Torres", "Tran", "Tucker",
+    "Turner", "Ullrich", "Vargas", "Vasquez", "Vogel", "Voigt",
+    "Volkov", "Wagner", "Walker", "Wallace", "Walsh", "Wang", "Ward",
+    "Watanabe", "Watson", "Weber", "Wei", "Weiss", "Wells", "Werner",
+    "West", "White", "Wilson", "Winkler", "Winter", "Wolf", "Wong",
+    "Wood", "Wright", "Wu", "Xu", "Yamamoto", "Yang", "Yoshida",
+    "Young", "Yu", "Yuen", "Zarkesh", "Zhang", "Zhao", "Zheng", "Zhou",
+    "Zhu", "Ziegler", "Zimmermann",
+)
+
+_MIDDLE_INITIALS = "ABCDEFGHJKLMNPRSTVW"
+
+
+def generate_author_names(count: int, rng: random.Random) -> List[Tuple[str, str]]:
+    """Draw ``count`` distinct ``(first, last)`` author names.
+
+    About one in five names carries a middle initial in the first-name
+    part ("Amir M." + "Zarkesh"), mirroring bibliography conventions.
+    Raises ``ValueError`` when the pool cannot supply enough distinct
+    combinations.
+    """
+    capacity = len(FIRST_NAMES) * len(LAST_NAMES)
+    if count > capacity:
+        raise ValueError(
+            f"cannot generate {count} distinct names from a pool of {capacity}"
+        )
+    seen: Set[Tuple[str, str]] = set()
+    names: List[Tuple[str, str]] = []
+    while len(names) < count:
+        first = rng.choice(FIRST_NAMES)
+        last = rng.choice(LAST_NAMES)
+        if rng.random() < 0.2:
+            first = f"{first} {rng.choice(_MIDDLE_INITIALS)}."
+        key = (first, last)
+        if key in seen:
+            continue
+        seen.add(key)
+        names.append(key)
+    return names
+
+
+def full_name(first: str, last: str) -> str:
+    """Render the canonical "First Last" display form."""
+    return f"{first} {last}".strip()

@@ -1,0 +1,386 @@
+"""Ground-truth world generation.
+
+The world is the "real" bibliographic universe from which the three
+dirty source views are derived: authors with community structure,
+venues (two conference series and three journals with yearly issues,
+mirroring the paper's VLDB / SIGMOD / TODS / VLDB Journal / SIGMOD
+Record 1994-2003 corpus), and publications with titles, author lists,
+pages and citation counts.
+
+Two deliberate quirks reproduce evaluation phenomena:
+
+* a fraction of conference papers get a *journal version* the next
+  year with the identical title (Figure 7: "p2 and p3 are assumed to
+  have the same title, e.g., a conference and a journal version of a
+  paper");
+* SIGMOD-Record-style issues carry *recurring column titles* that
+  repeat across issues ("Editor's Notes", ... — §5.4.2's reason why
+  string matching fails for journals).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.datagen.names import full_name, generate_author_names
+from repro.datagen.text import RECURRING_TITLES, generate_distinct_titles
+
+
+@dataclass(frozen=True)
+class TrueAuthor:
+    """A real-world author."""
+
+    id: str
+    first: str
+    last: str
+
+    @property
+    def name(self) -> str:
+        return full_name(self.first, self.last)
+
+
+@dataclass(frozen=True)
+class TrueVenue:
+    """A venue instance: one conference edition or one journal issue."""
+
+    id: str
+    kind: str           # "conference" | "journal"
+    series: str         # "VLDB", "SIGMOD", "TODS", ...
+    year: int
+    number: int         # conference ordinal / journal volume
+    issue: int = 0      # journal issue within the year (0 for conferences)
+
+
+@dataclass(frozen=True)
+class TruePublication:
+    """A real-world publication."""
+
+    id: str
+    title: str
+    venue_id: str
+    year: int
+    author_ids: Tuple[str, ...]
+    pages: str
+    citations: int
+    #: recurring column (journal front matter etc.)
+    recurring: bool = False
+    #: id of the conference paper this journal article extends, if any
+    version_of: Optional[str] = None
+
+
+@dataclass
+class WorldConfig:
+    """Knobs of the world generator.
+
+    ``scale`` multiplies per-venue publication counts; the presets in
+    :func:`repro.datagen.sources.build_dataset` map the familiar
+    ``tiny`` / ``small`` / ``paper`` sizes onto these knobs.
+    """
+
+    seed: int = 7
+    start_year: int = 1994
+    end_year: int = 2003
+    conferences: Tuple[str, ...] = ("VLDB", "SIGMOD")
+    journals: Tuple[str, ...] = ("TODS", "VLDBJ", "SIGMOD Record")
+    #: per conference edition publication count range (before scale)
+    conference_pubs: Tuple[int, int] = (60, 120)
+    #: journal issues per year
+    issues_per_year: int = 4
+    #: per journal issue publication count range (before scale)
+    journal_pubs: Tuple[int, int] = (2, 8)
+    #: SIGMOD-Record-like magazines run more, shorter items
+    magazine_pubs: Tuple[int, int] = (6, 14)
+    #: recurring columns per magazine issue (0..1 keeps the §5.4.2
+    #: repeated-title effect visible without flooding precision)
+    recurring_per_issue: Tuple[int, int] = (0, 1)
+    #: distinct author pool = factor * expected publications
+    author_pool_factor: float = 1.3
+    #: research communities shaping co-authorship
+    clusters: int = 40
+    #: probability an author is drawn outside the publication's cluster
+    cross_cluster_rate: float = 0.15
+    #: probability a co-author is drawn from the first author's previous
+    #: collaborators — repeat collaboration is what makes co-authorship
+    #: a usable duplicate-detection signal (§4.3, Table 9)
+    collaboration_affinity: float = 0.45
+    #: fraction of conference papers that get a same-title journal version
+    journal_version_rate: float = 0.03
+    #: multiplier on publication counts
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start_year > self.end_year:
+            raise ValueError("start_year must not exceed end_year")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if not self.conferences and not self.journals:
+            raise ValueError("need at least one venue series")
+
+    def years(self) -> range:
+        return range(self.start_year, self.end_year + 1)
+
+
+#: first edition years used to compute conference ordinals / volumes
+_SERIES_EPOCH = {
+    "VLDB": 1974,          # VLDB 2001 -> 27th
+    "SIGMOD": 1974,
+    "TODS": 1975,          # volume = year - epoch
+    "VLDBJ": 1991,
+    "SIGMOD Record": 1971,
+}
+
+#: author-count distribution (1..8 authors; mean ~3, tail to 8)
+_AUTHOR_COUNTS = (1, 2, 3, 4, 5, 6, 7, 8)
+_AUTHOR_COUNT_WEIGHTS = (14, 24, 26, 16, 9, 6, 3, 2)
+
+
+@dataclass
+class World:
+    """The generated ground truth."""
+
+    config: WorldConfig
+    authors: Dict[str, TrueAuthor] = field(default_factory=dict)
+    venues: Dict[str, TrueVenue] = field(default_factory=dict)
+    publications: Dict[str, TruePublication] = field(default_factory=dict)
+
+    def publications_of_venue(self, venue_id: str) -> List[TruePublication]:
+        return [pub for pub in self.publications.values()
+                if pub.venue_id == venue_id]
+
+    def publications_of_author(self, author_id: str) -> List[TruePublication]:
+        return [pub for pub in self.publications.values()
+                if author_id in pub.author_ids]
+
+    def conference_publications(self) -> List[TruePublication]:
+        return [pub for pub in self.publications.values()
+                if self.venues[pub.venue_id].kind == "conference"]
+
+    def journal_publications(self) -> List[TruePublication]:
+        return [pub for pub in self.publications.values()
+                if self.venues[pub.venue_id].kind == "journal"]
+
+    def statistics(self) -> Dict[str, int]:
+        """Instance counts (the raw material of Table 1)."""
+        appearing_authors = {
+            author_id
+            for pub in self.publications.values()
+            for author_id in pub.author_ids
+        }
+        return {
+            "venues": len(self.venues),
+            "publications": len(self.publications),
+            "authors": len(appearing_authors),
+        }
+
+
+def _scaled_range(bounds: Tuple[int, int], scale: float,
+                  rng: random.Random) -> int:
+    low = max(1, round(bounds[0] * scale))
+    high = max(low, round(bounds[1] * scale))
+    return rng.randint(low, high)
+
+
+def _expected_publications(config: WorldConfig) -> int:
+    years = len(list(config.years()))
+    total = 0.0
+    conf_mid = sum(config.conference_pubs) / 2
+    total += len(config.conferences) * years * conf_mid
+    for journal in config.journals:
+        bounds = (config.magazine_pubs if journal == "SIGMOD Record"
+                  else config.journal_pubs)
+        total += years * config.issues_per_year * (sum(bounds) / 2)
+    return max(1, int(total * config.scale))
+
+
+def generate_world(config: Optional[WorldConfig] = None) -> World:
+    """Generate a deterministic world from ``config`` (or the default)."""
+    config = config if config is not None else WorldConfig()
+    rng = random.Random(config.seed)
+    world = World(config)
+
+    # ------------------------------------------------------------------
+    # authors with community structure and pareto productivity weights
+    # ------------------------------------------------------------------
+    pool_size = max(10, int(_expected_publications(config)
+                            * config.author_pool_factor))
+    names = generate_author_names(pool_size, rng)
+    cluster_members: List[List[str]] = [[] for _ in range(config.clusters)]
+    author_weights: Dict[str, float] = {}
+    for index, (first, last) in enumerate(names):
+        author = TrueAuthor(f"a{index:05d}", first, last)
+        world.authors[author.id] = author
+        cluster_members[rng.randrange(config.clusters)].append(author.id)
+        author_weights[author.id] = rng.paretovariate(1.5)
+    # drop empty clusters (tiny scales)
+    cluster_members = [members for members in cluster_members if members]
+
+    collaborators: Dict[str, List[str]] = {}
+
+    def draw_authors(count: int, cluster_index: int) -> Tuple[str, ...]:
+        chosen: List[str] = []
+        members = cluster_members[cluster_index]
+        weights = [author_weights[a] for a in members]
+        attempts = 0
+        while len(chosen) < count and attempts < count * 30:
+            attempts += 1
+            known = collaborators.get(chosen[0]) if chosen else None
+            if chosen and known and rng.random() < config.collaboration_affinity:
+                candidate = rng.choice(known)
+            elif rng.random() < config.cross_cluster_rate or not members:
+                other = cluster_members[rng.randrange(len(cluster_members))]
+                candidate = rng.choices(
+                    other, weights=[author_weights[a] for a in other]
+                )[0]
+            else:
+                candidate = rng.choices(members, weights=weights)[0]
+            if candidate not in chosen:
+                chosen.append(candidate)
+        team = tuple(chosen) if chosen else (members[0],)
+        # repeated entries deliberately up-weight frequent partners
+        for author in team:
+            partners = collaborators.setdefault(author, [])
+            partners.extend(other for other in team if other != author)
+        return team
+
+    # ------------------------------------------------------------------
+    # venues
+    # ------------------------------------------------------------------
+    for series in config.conferences:
+        for year in config.years():
+            venue = TrueVenue(
+                id=f"v:{series}:{year}",
+                kind="conference", series=series, year=year,
+                number=year - _SERIES_EPOCH[series],
+            )
+            world.venues[venue.id] = venue
+    for series in config.journals:
+        for year in config.years():
+            for issue in range(1, config.issues_per_year + 1):
+                venue = TrueVenue(
+                    id=f"v:{series}:{year}:{issue}",
+                    kind="journal", series=series, year=year,
+                    number=year - _SERIES_EPOCH[series], issue=issue,
+                )
+                world.venues[venue.id] = venue
+
+    # ------------------------------------------------------------------
+    # publications
+    # ------------------------------------------------------------------
+    # magazine editors author the recurring columns consistently
+    editors = {
+        journal: rng.choice(list(world.authors))
+        for journal in config.journals
+    }
+    pub_counter = 0
+
+    def next_pub_id() -> str:
+        nonlocal pub_counter
+        pub_counter += 1
+        return f"p{pub_counter:05d}"
+
+    def make_pages() -> str:
+        start = rng.randint(1, 600)
+        return f"{start}-{start + rng.randint(5, 30)}"
+
+    def make_citations() -> int:
+        return min(2000, int(rng.paretovariate(1.1)) - 1)
+
+    # conference papers first (journal versions reference them)
+    conference_pub_ids: List[str] = []
+    title_budget = _expected_publications(config) * 2
+    titles = generate_distinct_titles(title_budget, rng)
+    title_cursor = 0
+
+    def next_title() -> str:
+        nonlocal title_cursor
+        title = titles[title_cursor]
+        title_cursor += 1
+        return title
+
+    for venue in list(world.venues.values()):
+        if venue.kind != "conference":
+            continue
+        for _ in range(_scaled_range(config.conference_pubs,
+                                     config.scale, rng)):
+            pub = TruePublication(
+                id=next_pub_id(),
+                title=next_title(),
+                venue_id=venue.id,
+                year=venue.year,
+                author_ids=draw_authors(
+                    rng.choices(_AUTHOR_COUNTS,
+                                weights=_AUTHOR_COUNT_WEIGHTS)[0],
+                    rng.randrange(len(cluster_members)),
+                ),
+                pages=make_pages(),
+                citations=make_citations(),
+            )
+            world.publications[pub.id] = pub
+            conference_pub_ids.append(pub.id)
+
+    # journal issues; some slots become same-title journal versions
+    version_candidates = [
+        pid for pid in conference_pub_ids
+        if world.publications[pid].year < config.end_year
+    ]
+    rng.shuffle(version_candidates)
+    version_quota = int(len(conference_pub_ids) * config.journal_version_rate)
+
+    for venue in list(world.venues.values()):
+        if venue.kind != "journal":
+            continue
+        is_magazine = venue.series == "SIGMOD Record"
+        bounds = config.magazine_pubs if is_magazine else config.journal_pubs
+        slots = _scaled_range(bounds, config.scale, rng)
+        if is_magazine:
+            low, high = config.recurring_per_issue
+            for _ in range(rng.randint(low, min(high, len(RECURRING_TITLES)))):
+                pub = TruePublication(
+                    id=next_pub_id(),
+                    title=rng.choice(RECURRING_TITLES),
+                    venue_id=venue.id,
+                    year=venue.year,
+                    author_ids=(editors[venue.series],),
+                    pages=make_pages(),
+                    citations=0,
+                    recurring=True,
+                )
+                world.publications[pub.id] = pub
+        for _ in range(slots):
+            original: Optional[TruePublication] = None
+            if (not is_magazine and version_quota > 0 and version_candidates):
+                candidate = world.publications[version_candidates[-1]]
+                if candidate.year < venue.year:
+                    original = candidate
+                    version_candidates.pop()
+                    version_quota -= 1
+            if original is not None:
+                pub = TruePublication(
+                    id=next_pub_id(),
+                    title=original.title,
+                    venue_id=venue.id,
+                    year=venue.year,
+                    author_ids=original.author_ids,
+                    pages=make_pages(),
+                    citations=make_citations(),
+                    version_of=original.id,
+                )
+            else:
+                pub = TruePublication(
+                    id=next_pub_id(),
+                    title=next_title(),
+                    venue_id=venue.id,
+                    year=venue.year,
+                    author_ids=draw_authors(
+                        rng.choices(_AUTHOR_COUNTS,
+                                    weights=_AUTHOR_COUNT_WEIGHTS)[0],
+                        rng.randrange(len(cluster_members)),
+                    ),
+                    pages=make_pages(),
+                    citations=make_citations(),
+                )
+            world.publications[pub.id] = pub
+
+    return world

@@ -1,0 +1,42 @@
+"""Evaluation framework: metrics, reporting and per-table experiments.
+
+Match quality is measured "with the standard metrics precision, recall
+and F-measure with respect to manually determined 'perfect' mappings"
+(§5.1).  Every table and worked figure of the paper's evaluation has a
+driver in :mod:`repro.eval.experiments`; benchmarks and examples call
+those drivers and render the results with :mod:`repro.eval.report`.
+"""
+
+from repro.eval.metrics import (
+    MatchQuality,
+    evaluate,
+    evaluate_pairs,
+    f_measure,
+    precision_recall_f1,
+)
+from repro.eval.report import Table, format_percent, render_table
+from repro.eval.diagnostics import (
+    AgreementReport,
+    CardinalityProfile,
+    agreement,
+    cardinality_profile,
+    describe,
+    similarity_histogram,
+)
+
+__all__ = [
+    "AgreementReport",
+    "CardinalityProfile",
+    "MatchQuality",
+    "Table",
+    "agreement",
+    "cardinality_profile",
+    "describe",
+    "evaluate",
+    "evaluate_pairs",
+    "f_measure",
+    "format_percent",
+    "precision_recall_f1",
+    "render_table",
+    "similarity_histogram",
+]

@@ -1,0 +1,216 @@
+"""Shared machinery for the experiment drivers.
+
+The :class:`Workbench` wraps a generated dataset and memoizes the
+intermediate mappings (fuzzy title mappings, publication same-mappings,
+the venue same-mapping, ...) that several tables share — exactly the
+role of MOMA's mapping cache, and implemented on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.blocking import KeyBlocking, TokenBlocking
+from repro.core.mapping import Mapping
+from repro.core.matchers.attribute import AttributeMatcher
+from repro.core.matchers.neighborhood import neighborhood_match
+from repro.core.operators.merge import merge
+from repro.core.operators.selection import BestNSelection, ThresholdSelection
+from repro.datagen.sources import BibliographicDataset, SourceBundle
+from repro.eval.metrics import MatchQuality, evaluate
+from repro.eval.report import Table
+from repro.model.cache import MappingCache
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment driver."""
+
+    experiment_id: str
+    title: str
+    table: Table
+    #: raw measured values for programmatic assertions
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return self.table.render()
+
+
+class Workbench:
+    """Dataset + memoized intermediate mappings for the experiments."""
+
+    #: trigram fuzzy-mapping floor; low enough that every threshold the
+    #: experiments use can be applied afterwards without re-matching
+    FUZZY_FLOOR = 0.4
+    #: the standard threshold of the paper's attribute matchers (§5.2)
+    THRESHOLD = 0.8
+
+    def __init__(self, dataset: BibliographicDataset) -> None:
+        self.dataset = dataset
+        self.cache = MappingCache(max_entries=256)
+        self._title_blocking = TokenBlocking()
+        self._name_blocking = TokenBlocking(max_df=0.25)
+
+    # -- plumbing --------------------------------------------------------
+
+    def bundle(self, name: str) -> SourceBundle:
+        return self.dataset.bundle(name)
+
+    def _memo(self, key: str, factory: Callable[[], Mapping]) -> Mapping:
+        cached = self.cache.get(key)
+        if cached is None:
+            cached = factory()
+            self.cache.put(key, cached)
+        return cached
+
+    # -- attribute mappings ------------------------------------------------
+
+    def fuzzy_title(self, left: str, right: str) -> Mapping:
+        """Unthresholded trigram title mapping between two sources."""
+        def build() -> Mapping:
+            matcher = AttributeMatcher(
+                "title", "title", "trigram", self.FUZZY_FLOOR,
+                blocking=self._title_blocking,
+            )
+            return matcher.match(self.bundle(left).publications,
+                                 self.bundle(right).publications)
+        return self._memo(f"fuzzy_title|{left}|{right}", build)
+
+    def pub_same(self, left: str, right: str,
+                 threshold: Optional[float] = None) -> Mapping:
+        """Title-based publication same-mapping at ``threshold``."""
+        threshold = self.THRESHOLD if threshold is None else threshold
+        return self._memo(
+            f"pub_same|{left}|{right}|{threshold}",
+            lambda: ThresholdSelection(threshold).apply(
+                self.fuzzy_title(left, right)
+            ),
+        )
+
+    def fuzzy_pub_authors(self, left: str, right: str) -> Mapping:
+        """Trigram mapping over the publications' author-list strings."""
+        def build() -> Mapping:
+            matcher = AttributeMatcher(
+                "authors", "authors", "trigram", self.FUZZY_FLOOR,
+                blocking=self._title_blocking,
+            )
+            return matcher.match(self.bundle(left).publications,
+                                 self.bundle(right).publications)
+        return self._memo(f"fuzzy_pub_authors|{left}|{right}", build)
+
+    def year_mapping(self, left: str, right: str) -> Mapping:
+        """Exact-year publication mapping (Table 2's third matcher).
+
+        Blocking on the year value is lossless for exact matching —
+        cross-year pairs score 0 anyway — and avoids the quadratic
+        cross product at paper scale.
+        """
+        def build() -> Mapping:
+            matcher = AttributeMatcher(
+                "year", "year", "exact", 1.0,
+                blocking=KeyBlocking(key=lambda value: (
+                    str(value) if value is not None else None)),
+            )
+            return matcher.match(self.bundle(left).publications,
+                                 self.bundle(right).publications)
+        return self._memo(f"year|{left}|{right}", build)
+
+    def fuzzy_author_names(self, left: str, right: str,
+                           similarity: str = "trigram") -> Mapping:
+        """Fuzzy author-name mapping between two sources' author LDS."""
+        def build() -> Mapping:
+            matcher = AttributeMatcher(
+                "name", "name", similarity, self.FUZZY_FLOOR,
+                blocking=self._name_blocking,
+            )
+            return matcher.match(self.bundle(left).authors,
+                                 self.bundle(right).authors)
+        return self._memo(f"author_names|{left}|{right}|{similarity}", build)
+
+    # -- derived same-mappings ------------------------------------------------
+
+    def venue_same(self, *, selection: str = "best1") -> Mapping:
+        """DBLP-ACM venue same-mapping via 1:n neighborhood matching.
+
+        This is the §5.4.1 pipeline: compose the venue-publication
+        associations around the title-based publication same-mapping,
+        then select.
+        """
+        def build() -> Mapping:
+            dblp = self.bundle("DBLP")
+            acm = self.bundle("ACM")
+            raw = neighborhood_match(
+                dblp.venue_pub, self.pub_same("DBLP", "ACM"), acm.pub_venue,
+            )
+            if selection == "best1":
+                return BestNSelection(1).apply(raw)
+            return ThresholdSelection(float(selection)).apply(raw)
+        return self._memo(f"venue_same|{selection}", build)
+
+    def gs_author_same(self, other: str = "DBLP") -> Mapping:
+        """Author same-mapping between ``other`` and GS (§5.4.3 setup).
+
+        Uses the initials-tolerant person-name similarity because "GS
+        reduces authors' first names to their first letter".
+        """
+        def build() -> Mapping:
+            matcher = AttributeMatcher(
+                "name", "name", "personname", 0.75,
+                blocking=self._name_blocking,
+            )
+            fuzzy = matcher.match(self.bundle(other).authors,
+                                  self.bundle("GS").authors)
+            return BestNSelection(1).apply(fuzzy)
+        return self._memo(f"gs_author_same|{other}", build)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def gold(self, category: str, left: str, right: str) -> Mapping:
+        left_name = getattr(self.bundle(left),
+                            "publications" if category == "publications"
+                            else "authors" if category == "authors"
+                            else "venues").name
+        right_name = getattr(self.bundle(right),
+                             "publications" if category == "publications"
+                             else "authors" if category == "authors"
+                             else "venues").name
+        return self.dataset.gold.get(category, left_name, right_name)
+
+    def score(self, mapping: Mapping, category: str, left: str,
+              right: str, *, restrict=None) -> MatchQuality:
+        return evaluate(mapping, self.gold(category, left, right),
+                        restrict=restrict)
+
+    # -- venue-kind helpers (conference/journal splits) -----------------------
+
+    def venue_kind_of_dblp_venue(self) -> Dict[str, str]:
+        venues = self.bundle("DBLP").venues
+        assert venues is not None
+        return {instance.id: instance.get("kind") for instance in venues}
+
+    def venue_kind_of_pub(self, source: str) -> Dict[str, str]:
+        """Publication id -> "conference"/"journal" via the world."""
+        bundle = self.bundle(source)
+        world = self.dataset.world
+        kinds: Dict[str, str] = {}
+        for pub_id, true_id in bundle.true_pub.items():
+            venue = world.venues[world.publications[true_id].venue_id]
+            kinds[pub_id] = venue.kind
+        return kinds
+
+
+def quality_columns() -> list:
+    """The standard column set for P/R/F comparison tables."""
+    return ["metric", "paper", "measured"]
+
+
+def percent_cell(value: float) -> str:
+    return f"{value * 100:.1f}%"
+
+
+def ensure_workbench(source) -> Workbench:
+    """Accept either a dataset or an existing workbench."""
+    if isinstance(source, Workbench):
+        return source
+    return Workbench(source)

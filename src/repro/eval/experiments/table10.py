@@ -1,0 +1,71 @@
+"""Table 10 — summary of matching results (F-measure).
+
+Aggregates the headline merged F-measures of Tables 4-8:
+
+                  Venues   Publications   Authors
+  DBLP - ACM      98.8%    98.6%          96.9%
+  DBLP - GS       -        88.9%          -
+  GS - ACM        -        88.2%          -
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments.common import (
+    ExperimentResult,
+    ensure_workbench,
+    percent_cell,
+)
+from repro.eval.experiments.table4 import run_table4
+from repro.eval.experiments.table5 import run_table5
+from repro.eval.experiments.table6 import run_table6
+from repro.eval.experiments.table7 import run_table7
+from repro.eval.experiments.table8 import run_table8
+from repro.eval.report import Table
+
+PAPER = {
+    ("DBLP-ACM", "venues"): 0.988,
+    ("DBLP-ACM", "publications"): 0.986,
+    ("DBLP-ACM", "authors"): 0.969,
+    ("DBLP-GS", "publications"): 0.889,
+    ("GS-ACM", "publications"): 0.882,
+}
+
+
+def run_table10(source) -> ExperimentResult:
+    workbench = ensure_workbench(source)
+    table4 = run_table4(workbench)
+    table5 = run_table5(workbench)
+    table6 = run_table6(workbench)
+    table7 = run_table7(workbench)
+    table8 = run_table8(workbench)
+
+    measured = {
+        ("DBLP-ACM", "venues"): table4.data["overall|best1"]["f1"],
+        ("DBLP-ACM", "publications"): table5.data["overall|merge"]["f1"],
+        ("DBLP-ACM", "authors"): table6.data["merge"]["f1"],
+        ("DBLP-GS", "publications"): table7.data["merge"]["f1"],
+        ("GS-ACM", "publications"): table8.data["merge"]["f1"],
+    }
+
+    table = Table(
+        "Table 10: summary of matching results (F-measure, paper/ours)",
+        ["pair", "venues", "publications", "authors"],
+    )
+    for pair in ("DBLP-ACM", "DBLP-GS", "GS-ACM"):
+        cells = []
+        for category in ("venues", "publications", "authors"):
+            paper_value = PAPER.get((pair, category))
+            ours = measured.get((pair, category))
+            if paper_value is None and ours is None:
+                cells.append("-")
+            else:
+                paper_text = (percent_cell(paper_value)
+                              if paper_value is not None else "-")
+                ours_text = percent_cell(ours) if ours is not None else "-"
+                cells.append(f"{paper_text} / {ours_text}")
+        table.add_row(pair, *cells)
+    return ExperimentResult(
+        "table10", "summary of matching results", table,
+        data={f"{pair}|{category}": value
+              for (pair, category), value in measured.items()},
+    )

@@ -1,0 +1,76 @@
+"""Table 6 — DBLP-ACM authors via the n:m neighborhood matcher.
+
+The author-publication association is n:m with small, highly variable
+neighborhoods.  Attribute matching on author names is already decent;
+the neighborhood matcher alone is weak (it matches any two authors
+sharing a matched publication) but merging both lifts recall for the
+authors whose names differ across sources (initials, dropped middle
+names).
+
+Paper reference (P / R / F):
+  Attribute(name)          99.3 / 81.3 / 89.4
+  Neighborhood(publication) 24.8 / 99.3 / 39.7
+  Merge                     99.9 / 94.0 / 96.9
+"""
+
+from __future__ import annotations
+
+from repro.core.matchers.neighborhood import neighborhood_match
+from repro.core.operators.merge import merge
+from repro.core.operators.selection import BestNSelection, ThresholdSelection
+from repro.eval.experiments.common import (
+    ExperimentResult,
+    Workbench,
+    ensure_workbench,
+    percent_cell,
+)
+from repro.eval.report import Table
+
+PAPER = {
+    "attribute": (0.993, 0.813, 0.894),
+    "neighborhood": (0.248, 0.993, 0.397),
+    "merge": (0.999, 0.940, 0.969),
+}
+
+
+def run_table6(source) -> ExperimentResult:
+    workbench: Workbench = ensure_workbench(source)
+    dblp = workbench.bundle("DBLP")
+    acm = workbench.bundle("ACM")
+
+    attribute = ThresholdSelection(workbench.THRESHOLD).apply(
+        workbench.fuzzy_author_names("DBLP", "ACM")
+    )
+    neighborhood = neighborhood_match(
+        dblp.author_pub, workbench.pub_same("DBLP", "ACM"), acm.pub_author,
+    )
+    merged = BestNSelection(1, side="both").apply(
+        merge([attribute, neighborhood], "max")
+    )
+
+    results = {
+        "attribute": workbench.score(attribute, "authors", "DBLP", "ACM"),
+        "neighborhood": workbench.score(neighborhood, "authors",
+                                        "DBLP", "ACM"),
+        "merge": workbench.score(merged, "authors", "DBLP", "ACM"),
+    }
+
+    table = Table(
+        "Table 6: matching DBLP-ACM authors via n:m neighborhood matcher",
+        ["matcher", "precision (paper/ours)", "recall (paper/ours)",
+         "f-measure (paper/ours)"],
+    )
+    for key in ("attribute", "neighborhood", "merge"):
+        paper_p, paper_r, paper_f = PAPER[key]
+        quality = results[key]
+        table.add_row(
+            key,
+            f"{percent_cell(paper_p)} / {percent_cell(quality.precision)}",
+            f"{percent_cell(paper_r)} / {percent_cell(quality.recall)}",
+            f"{percent_cell(paper_f)} / {percent_cell(quality.f1)}",
+        )
+    table.add_note("merge = Max combination + Best-1 on both sides")
+    return ExperimentResult(
+        "table6", "author matching via n:m neighborhood", table,
+        data={key: quality.as_row() for key, quality in results.items()},
+    )

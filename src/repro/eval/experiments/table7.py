@@ -1,0 +1,96 @@
+"""Table 7 — DBLP-GS publications helped by the author neighborhood.
+
+Google Scholar entries carry noisy, extraction-mangled titles, so the
+title matcher misses many true entries.  The repair (§5.4.3 / Figure
+11): build an author same-mapping DBLP-GS with an initials-tolerant
+name matcher, run the n:m neighborhood matcher over author-publication
+associations (using RelativeLeft because GS author lists are
+incomplete), and *refine* its candidates with a permissive title
+matcher before merging with the direct result.  The improvement is
+recall-driven: title-mangled entries are recovered through their
+author lists.
+
+Paper reference (P / R / F):
+  Attribute(title)      81.1 / 81.6 / 81.3
+  Neighborhood(author)  15.2 / 76.0 / 25.4
+  Merge                 85.1 / 92.9 / 88.9
+"""
+
+from __future__ import annotations
+
+from repro.core.matchers.attribute import AttributeMatcher
+from repro.core.matchers.neighborhood import neighborhood_match
+from repro.core.operators.merge import merge
+from repro.core.operators.selection import BestNSelection
+from repro.eval.experiments.common import (
+    ExperimentResult,
+    Workbench,
+    ensure_workbench,
+    percent_cell,
+)
+from repro.eval.report import Table
+
+PAPER = {
+    "attribute": (0.811, 0.816, 0.813),
+    "neighborhood": (0.152, 0.760, 0.254),
+    "merge": (0.851, 0.929, 0.889),
+}
+
+
+def run_gs_publication_experiment(workbench: Workbench, other: str,
+                                  paper: dict, experiment_id: str,
+                                  table_number: int) -> ExperimentResult:
+    """Shared driver for Tables 7 (DBLP-GS) and 8 (ACM-GS)."""
+    bundle = workbench.bundle(other)
+    gs = workbench.bundle("GS")
+
+    attribute = workbench.pub_same(other, "GS")
+    author_same = workbench.gs_author_same(other)
+    neighborhood = neighborhood_match(
+        bundle.pub_author, author_same, gs.author_pub,
+        g2="relative_left",
+    )
+    # Figure 11: the neighborhood result confines candidates for an
+    # additional (permissive) title match on small input data.
+    refine = AttributeMatcher("title", "title", "trigram", 0.5)
+    refined = refine.match(bundle.publications, gs.publications,
+                           candidates=list(neighborhood.pairs()))
+    merged = BestNSelection(1, side="range").apply(
+        merge([attribute, refined], "max")
+    )
+
+    results = {
+        "attribute": workbench.score(attribute, "publications", other, "GS"),
+        "neighborhood": workbench.score(neighborhood, "publications",
+                                        other, "GS"),
+        "merge": workbench.score(merged, "publications", other, "GS"),
+    }
+
+    table = Table(
+        f"Table {table_number}: matching {other}-GS publications via "
+        "author neighborhood (n:m)",
+        ["matcher", "precision (paper/ours)", "recall (paper/ours)",
+         "f-measure (paper/ours)"],
+    )
+    for key in ("attribute", "neighborhood", "merge"):
+        paper_p, paper_r, paper_f = paper[key]
+        quality = results[key]
+        table.add_row(
+            key,
+            f"{percent_cell(paper_p)} / {percent_cell(quality.precision)}",
+            f"{percent_cell(paper_r)} / {percent_cell(quality.recall)}",
+            f"{percent_cell(paper_f)} / {percent_cell(quality.f1)}",
+        )
+    table.add_note("neighborhood uses RelativeLeft (incomplete GS author "
+                   "lists); merge refines neighborhood candidates with a "
+                   "permissive title match (Figure 11), Best-1 per GS entry")
+    return ExperimentResult(
+        experiment_id, f"{other}-GS publication matching", table,
+        data={key: quality.as_row() for key, quality in results.items()},
+    )
+
+
+def run_table7(source) -> ExperimentResult:
+    workbench = ensure_workbench(source)
+    return run_gs_publication_experiment(workbench, "DBLP", PAPER,
+                                         "table7", 7)

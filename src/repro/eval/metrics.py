@@ -1,0 +1,83 @@
+"""Precision / recall / F-measure against a perfect mapping.
+
+Correspondences count as unordered facts: a predicted pair is a true
+positive iff it appears in the gold mapping (similarities are ignored
+— selection has already happened by the time a mapping is evaluated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Set, Tuple
+
+from repro.core.mapping import Mapping
+
+Pair = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class MatchQuality:
+    """One evaluation outcome."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    predicted: int
+    gold: int
+
+    def as_row(self) -> dict:
+        """Flat dict for table rendering."""
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "tp": self.true_positives,
+            "predicted": self.predicted,
+            "gold": self.gold,
+        }
+
+
+def f_measure(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    if precision + recall == 0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def precision_recall_f1(predicted: Set[Pair],
+                        gold: Set[Pair]) -> Tuple[float, float, float]:
+    """Plain set-based P/R/F over pair sets."""
+    if not predicted:
+        return 0.0, 0.0, 0.0
+    true_positives = len(predicted & gold)
+    precision = true_positives / len(predicted)
+    recall = true_positives / len(gold) if gold else 0.0
+    return precision, recall, f_measure(precision, recall)
+
+
+def evaluate_pairs(predicted: Set[Pair], gold: Set[Pair]) -> MatchQuality:
+    """Evaluate explicit pair sets."""
+    precision, recall, f1 = precision_recall_f1(predicted, gold)
+    return MatchQuality(
+        precision=precision, recall=recall, f1=f1,
+        true_positives=len(predicted & gold),
+        predicted=len(predicted), gold=len(gold),
+    )
+
+
+def evaluate(predicted: Mapping, gold: Mapping,
+             *, restrict: Optional[Callable[[Pair], bool]] = None
+             ) -> MatchQuality:
+    """Evaluate a predicted mapping against the perfect mapping.
+
+    ``restrict`` optionally limits the evaluation universe — e.g. to
+    conference publications only, for the per-group rows of Tables 4
+    and 5.  The filter applies to both predicted and gold pairs.
+    """
+    predicted_pairs = predicted.pairs()
+    gold_pairs = gold.pairs()
+    if restrict is not None:
+        predicted_pairs = {pair for pair in predicted_pairs if restrict(pair)}
+        gold_pairs = {pair for pair in gold_pairs if restrict(pair)}
+    return evaluate_pairs(predicted_pairs, gold_pairs)

@@ -1,0 +1,64 @@
+"""Plain-text table rendering for experiment results.
+
+Benchmarks print a "paper vs measured" table per experiment; keeping
+the renderer dependency-free makes it usable from tests, examples and
+the pytest terminal-summary hook alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+def format_percent(value: Optional[float], *, digits: int = 1) -> str:
+    """Render a ratio as a percentage string; ``None`` renders as ``-``."""
+    if value is None:
+        return "-"
+    return f"{value * 100:.{digits}f}%"
+
+
+@dataclass
+class Table:
+    """A titled grid of stringifiable cells."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        return render_table(self)
+
+
+def render_table(table: Table) -> str:
+    """Render a fixed-width table with title and footnotes."""
+    cells = [[str(cell) for cell in row] for row in table.rows]
+    headers = [str(column) for column in table.columns]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width)
+                          for cell, width in zip(row, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [table.title, "=" * max(len(table.title), len(separator))]
+    lines.append(render_row(headers))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in cells)
+    for note in table.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

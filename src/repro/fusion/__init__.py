@@ -1,0 +1,33 @@
+"""Information fusion over same-mappings (paper §1, §4; iFuice [30]).
+
+"The generated mappings allow us to traverse between peers and to
+fuse together and enhance information on equivalent objects for data
+analysis and query answering." — same-mappings produced by MOMA feed
+three consumers here:
+
+* :mod:`repro.fusion.cluster` — connected-component entity clusters
+  across any number of same-mappings;
+* :mod:`repro.fusion.aggregate` — attribute fusion of clustered
+  instances under per-attribute strategies;
+* :mod:`repro.fusion.citation` — the citation-analysis application
+  ([29]) that originally motivated MOMA: enrich DBLP publications with
+  Google Scholar / ACM citation counts and aggregate per venue/author.
+"""
+
+from repro.fusion.cluster import EntityCluster, clusters_from_mappings
+from repro.fusion.aggregate import (
+    FusedObject,
+    FusionPolicy,
+    fuse_clusters,
+)
+from repro.fusion.citation import CitationReport, citation_analysis
+
+__all__ = [
+    "CitationReport",
+    "EntityCluster",
+    "FusedObject",
+    "FusionPolicy",
+    "citation_analysis",
+    "clusters_from_mappings",
+    "fuse_clusters",
+]

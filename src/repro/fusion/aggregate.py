@@ -1,0 +1,116 @@
+"""Attribute fusion of clustered instances.
+
+Given entity clusters and the logical sources holding the member
+instances, fusion produces one record per entity.  Each attribute is
+resolved with a strategy:
+
+* ``prefer_source`` — take the value from the highest-priority source
+  that has one (DBLP first, for curated attributes like titles);
+* ``first`` — first non-null in cluster order;
+* ``max`` / ``min`` / ``sum`` — numeric aggregation (citation counts);
+* ``longest`` — the longest string value (most complete author lists);
+* ``vote`` — the most frequent value.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.fusion.cluster import EntityCluster
+from repro.model.source import LogicalSource
+
+
+@dataclass
+class FusionPolicy:
+    """Per-attribute strategies plus a source priority order."""
+
+    strategies: Dict[str, str] = field(default_factory=dict)
+    source_priority: Sequence[str] = ()
+    default_strategy: str = "first"
+
+    def strategy_for(self, attribute: str) -> str:
+        return self.strategies.get(attribute, self.default_strategy)
+
+
+@dataclass
+class FusedObject:
+    """One fused entity record."""
+
+    cluster: EntityCluster
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        return self.attributes.get(attribute, default)
+
+
+def _as_number(value: Any) -> Optional[float]:
+    try:
+        return float(str(value).strip())
+    except (TypeError, ValueError):
+        return None
+
+
+def _fuse_values(values: List[tuple], strategy: str,
+                 priority: Sequence[str]) -> Any:
+    """``values`` is a list of (source, value) with value not None."""
+    if not values:
+        return None
+    if strategy == "prefer_source":
+        rank = {source: index for index, source in enumerate(priority)}
+        ordered = sorted(values, key=lambda item: rank.get(item[0],
+                                                           len(rank)))
+        return ordered[0][1]
+    if strategy == "first":
+        return values[0][1]
+    if strategy in ("max", "min", "sum"):
+        numbers = [number for number in (_as_number(v) for _, v in values)
+                   if number is not None]
+        if not numbers:
+            return None
+        if strategy == "max":
+            return max(numbers)
+        if strategy == "min":
+            return min(numbers)
+        return sum(numbers)
+    if strategy == "longest":
+        return max(values, key=lambda item: len(str(item[1])))[1]
+    if strategy == "vote":
+        counts = Counter(str(value) for _, value in values)
+        winner, _ = counts.most_common(1)[0]
+        for _, value in values:
+            if str(value) == winner:
+                return value
+    raise ValueError(f"unknown fusion strategy {strategy!r}")
+
+
+def fuse_clusters(clusters: Sequence[EntityCluster],
+                  sources: Dict[str, LogicalSource],
+                  policy: Optional[FusionPolicy] = None
+                  ) -> List[FusedObject]:
+    """Fuse every cluster's member instances into one record each."""
+    policy = policy if policy is not None else FusionPolicy()
+    fused: List[FusedObject] = []
+    for cluster in clusters:
+        collected: Dict[str, List[tuple]] = {}
+        for source_name in cluster.sources():
+            source = sources.get(source_name)
+            if source is None:
+                continue
+            for instance_id in cluster.ids(source_name):
+                instance = source.get(instance_id)
+                if instance is None:
+                    continue
+                for attribute, value in instance.attributes.items():
+                    if value is not None:
+                        collected.setdefault(attribute, []).append(
+                            (source_name, value)
+                        )
+        attributes = {
+            attribute: _fuse_values(values, policy.strategy_for(attribute),
+                                    policy.source_priority)
+            for attribute, values in collected.items()
+        }
+        fused.append(FusedObject(cluster, attributes))
+    return fused

@@ -1,0 +1,107 @@
+"""Entity clusters from same-mappings.
+
+A set of same-mappings (between different sources and/or self-
+mappings) induces an undirected graph over qualified instance ids;
+connected components are the real-world entities.  Instance ids are
+qualified with their logical source name so equal local ids in
+different sources stay distinct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.mapping import Mapping, MappingKind
+
+
+@dataclass
+class EntityCluster:
+    """One fused entity: the member instance ids per logical source."""
+
+    members: Dict[str, List[str]] = field(default_factory=dict)
+
+    def add(self, source: str, instance_id: str) -> None:
+        ids = self.members.setdefault(source, [])
+        if instance_id not in ids:
+            ids.append(instance_id)
+
+    def sources(self) -> List[str]:
+        return sorted(self.members)
+
+    def ids(self, source: str) -> List[str]:
+        return list(self.members.get(source, ()))
+
+    def size(self) -> int:
+        return sum(len(ids) for ids in self.members.values())
+
+    def __contains__(self, qualified: Tuple[str, str]) -> bool:
+        source, instance_id = qualified
+        return instance_id in self.members.get(source, ())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{source}:{len(ids)}"
+                          for source, ids in sorted(self.members.items()))
+        return f"EntityCluster({parts})"
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[Tuple[str, str], Tuple[str, str]] = {}
+
+    def find(self, node: Tuple[str, str]) -> Tuple[str, str]:
+        root = node
+        parent = self._parent
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    def union(self, a: Tuple[str, str], b: Tuple[str, str]) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+    def nodes(self) -> Iterable[Tuple[str, str]]:
+        return self._parent.keys()
+
+
+def clusters_from_mappings(mappings: Iterable[Mapping], *,
+                           min_similarity: float = 0.0,
+                           singletons: Optional[Dict[str, Iterable[str]]] = None
+                           ) -> List[EntityCluster]:
+    """Build entity clusters from same-mappings.
+
+    ``min_similarity`` drops weaker correspondences before clustering.
+    ``singletons`` optionally seeds additional instances (source name
+    -> ids) so unmatched objects still appear as one-member clusters.
+    Association mappings are rejected — fusing along them would merge
+    distinct entity types.
+    """
+    union_find = _UnionFind()
+    for mapping in mappings:
+        if mapping.kind != MappingKind.SAME:
+            raise ValueError(
+                f"clustering requires same-mappings, got association "
+                f"mapping {mapping.domain!r} -> {mapping.range!r}"
+            )
+        for domain_id, range_id, similarity in mapping:
+            if similarity < min_similarity:
+                continue
+            union_find.union((mapping.domain, domain_id),
+                             (mapping.range, range_id))
+    if singletons:
+        for source, ids in singletons.items():
+            for instance_id in ids:
+                union_find.find((source, instance_id))
+
+    grouped: Dict[Tuple[str, str], EntityCluster] = {}
+    for node in union_find.nodes():
+        root = union_find.find(node)
+        cluster = grouped.get(root)
+        if cluster is None:
+            cluster = grouped[root] = EntityCluster()
+        cluster.add(*node)
+    return sorted(grouped.values(),
+                  key=lambda cluster: -cluster.size())

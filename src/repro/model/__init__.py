@@ -1,0 +1,35 @@
+"""iFuice-style data model substrate.
+
+MOMA is built on the iFuice P2P data-integration platform whose model
+distinguishes *physical data sources* (DBLP, ACM DL, Google Scholar)
+from *logical data sources* — one per (physical source, object type)
+pair — and represents all inter-source relationships as instance
+mappings registered in a *source-mapping model* (paper §2.1, Fig. 2).
+This package implements that substrate plus the mapping repository and
+mapping cache of the MOMA architecture (Fig. 3).
+"""
+
+from repro.model.entity import ObjectInstance
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+from repro.model.smm import MappingType, SourceMappingModel
+from repro.model.repository import MappingRepository
+from repro.model.cache import MappingCache
+from repro.model.io import (
+    mapping_to_csv_text,
+    read_mapping_csv,
+    write_mapping_csv,
+)
+
+__all__ = [
+    "LogicalSource",
+    "MappingCache",
+    "MappingRepository",
+    "MappingType",
+    "ObjectInstance",
+    "ObjectType",
+    "PhysicalSource",
+    "SourceMappingModel",
+    "mapping_to_csv_text",
+    "read_mapping_csv",
+    "write_mapping_csv",
+]

@@ -1,0 +1,108 @@
+"""Import/export of mapping tables as delimited text files.
+
+The repository persists mapping tables in SQLite; interchange with
+other tools (spreadsheets, dedupe pipelines, the paper's "existing
+mappings in data sources") happens through plain delimited files with
+the canonical three columns ``domain_id, range_id, similarity``.
+A two-column file (no similarity) is accepted on import with an
+assumed similarity of 1.0 — the common format of link dumps such as
+the GS→ACM links of §5.3.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Optional, TextIO, Union
+
+from repro.core.mapping import Mapping, MappingKind
+
+_HEADER = ("domain_id", "range_id", "similarity")
+
+
+def write_mapping_csv(mapping: Mapping, target: Union[str, Path, TextIO],
+                      *, delimiter: str = ",",
+                      header: bool = True) -> int:
+    """Write ``mapping`` as a delimited mapping table; returns row count.
+
+    Rows are emitted in the deterministic ``to_rows`` order so exports
+    diff cleanly.
+    """
+    rows = mapping.to_rows()
+
+    def _write(stream: TextIO) -> None:
+        writer = csv.writer(stream, delimiter=delimiter,
+                            lineterminator="\n")
+        if header:
+            writer.writerow(_HEADER)
+        for domain_id, range_id, similarity in rows:
+            writer.writerow([domain_id, range_id, f"{similarity:g}"])
+
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8", newline="") as stream:
+            _write(stream)
+    else:
+        _write(target)
+    return len(rows)
+
+
+def read_mapping_csv(source: Union[str, Path, TextIO], *,
+                     domain: str, range: str,
+                     kind: MappingKind = MappingKind.SAME,
+                     delimiter: str = ",",
+                     default_similarity: float = 1.0,
+                     name: Optional[str] = None) -> Mapping:
+    """Read a delimited mapping table into a :class:`Mapping`.
+
+    Accepts three-column rows (with similarity) and two-column rows
+    (``default_similarity`` assumed).  A header row is auto-detected by
+    its literal column names.  Blank lines are skipped; malformed rows
+    raise ``ValueError`` with the offending line number.
+    """
+    def _parse(stream: TextIO) -> Mapping:
+        mapping = Mapping(domain, range, kind=kind, name=name)
+        reader = csv.reader(stream, delimiter=delimiter)
+        for line_number, row in enumerate(reader, start=1):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            cells = [cell.strip() for cell in row]
+            if line_number == 1 and tuple(
+                    cell.lower() for cell in cells[:3]) == _HEADER[:len(cells)]:
+                continue
+            if len(cells) == 2:
+                domain_id, range_id = cells
+                similarity = default_similarity
+            elif len(cells) >= 3:
+                domain_id, range_id = cells[0], cells[1]
+                try:
+                    similarity = float(cells[2])
+                except ValueError as error:
+                    raise ValueError(
+                        f"line {line_number}: bad similarity {cells[2]!r}"
+                    ) from error
+            else:
+                raise ValueError(
+                    f"line {line_number}: expected 2 or 3 columns, "
+                    f"got {len(cells)}"
+                )
+            if not domain_id or not range_id:
+                raise ValueError(f"line {line_number}: empty id")
+            try:
+                mapping.add(domain_id, range_id, similarity)
+            except ValueError as error:
+                raise ValueError(f"line {line_number}: {error}") from error
+        return mapping
+
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8", newline="") as stream:
+            return _parse(stream)
+    return _parse(source)
+
+
+def mapping_to_csv_text(mapping: Mapping, *, delimiter: str = ",",
+                        header: bool = True) -> str:
+    """Render the mapping table as a CSV string (tests, debugging)."""
+    buffer = io.StringIO()
+    write_mapping_csv(mapping, buffer, delimiter=delimiter, header=header)
+    return buffer.getvalue()

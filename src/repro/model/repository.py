@@ -1,0 +1,183 @@
+"""The mapping repository (paper §2.2, Figure 3).
+
+"A mapping repository is used to materialize both association and
+same-mappings.  Given the simple structure of our mappings they can
+efficiently be maintained in relational mapping tables."  We follow
+that literally: mappings persist into SQLite as three-column
+correspondence tables plus a catalog of mapping metadata.  The
+repository works equally on disk (shareable between processes) or
+in memory (``":memory:"``, the default).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterator, List, Optional
+
+from repro.core.mapping import Mapping, MappingKind
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS mappings (
+    name        TEXT PRIMARY KEY,
+    domain      TEXT NOT NULL,
+    range       TEXT NOT NULL,
+    kind        TEXT NOT NULL CHECK (kind IN ('same', 'association')),
+    cardinality INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS correspondences (
+    mapping    TEXT NOT NULL REFERENCES mappings(name) ON DELETE CASCADE,
+    domain_id  TEXT NOT NULL,
+    range_id   TEXT NOT NULL,
+    similarity REAL NOT NULL CHECK (similarity >= 0 AND similarity <= 1),
+    PRIMARY KEY (mapping, domain_id, range_id)
+);
+CREATE INDEX IF NOT EXISTS idx_corr_mapping
+    ON correspondences(mapping);
+"""
+
+
+class MappingRepository:
+    """SQLite-backed store of named mappings."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._path = path
+        self._connection = sqlite3.connect(path)
+        self._connection.execute("PRAGMA foreign_keys = ON")
+        self._connection.executescript(_SCHEMA)
+        self._connection.commit()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "MappingRepository":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- write -------------------------------------------------------------
+
+    def save(self, name: str, mapping: Mapping, *, replace: bool = True) -> None:
+        """Persist ``mapping`` under ``name``.
+
+        With ``replace=False`` an existing name raises ``ValueError``
+        instead of being overwritten.
+        """
+        if not name:
+            raise ValueError("mapping name must be non-empty")
+        cursor = self._connection.cursor()
+        exists = cursor.execute(
+            "SELECT 1 FROM mappings WHERE name = ?", (name,)
+        ).fetchone()
+        if exists:
+            if not replace:
+                raise ValueError(f"mapping {name!r} already stored")
+            cursor.execute("DELETE FROM correspondences WHERE mapping = ?", (name,))
+            cursor.execute("DELETE FROM mappings WHERE name = ?", (name,))
+        cursor.execute(
+            "INSERT INTO mappings (name, domain, range, kind, cardinality) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (name, mapping.domain, mapping.range, mapping.kind.value,
+             len(mapping)),
+        )
+        cursor.executemany(
+            "INSERT INTO correspondences (mapping, domain_id, range_id, similarity) "
+            "VALUES (?, ?, ?, ?)",
+            ((name, corr.domain, corr.range, corr.similarity)
+             for corr in mapping),
+        )
+        self._connection.commit()
+
+    def delete(self, name: str) -> bool:
+        """Remove a stored mapping; returns whether it existed."""
+        cursor = self._connection.cursor()
+        cursor.execute("DELETE FROM correspondences WHERE mapping = ?", (name,))
+        cursor.execute("DELETE FROM mappings WHERE name = ?", (name,))
+        removed = cursor.rowcount > 0
+        self._connection.commit()
+        return removed
+
+    # -- read ----------------------------------------------------------------
+
+    def contains(self, name: str) -> bool:
+        row = self._connection.execute(
+            "SELECT 1 FROM mappings WHERE name = ?", (name,)
+        ).fetchone()
+        return row is not None
+
+    def __contains__(self, name: str) -> bool:
+        return self.contains(name)
+
+    def load(self, name: str) -> Mapping:
+        """Load the mapping stored under ``name`` (KeyError on miss)."""
+        header = self._connection.execute(
+            "SELECT domain, range, kind FROM mappings WHERE name = ?", (name,)
+        ).fetchone()
+        if header is None:
+            raise KeyError(f"no mapping {name!r} in repository")
+        domain, range_, kind = header
+        mapping = Mapping(domain, range_, kind=MappingKind(kind), name=name)
+        rows = self._connection.execute(
+            "SELECT domain_id, range_id, similarity FROM correspondences "
+            "WHERE mapping = ?",
+            (name,),
+        )
+        for domain_id, range_id, similarity in rows:
+            mapping.add(domain_id, range_id, similarity)
+        return mapping
+
+    def names(self) -> List[str]:
+        """Sorted names of all stored mappings."""
+        rows = self._connection.execute(
+            "SELECT name FROM mappings ORDER BY name"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        row = self._connection.execute("SELECT COUNT(*) FROM mappings").fetchone()
+        return int(row[0])
+
+    def info(self, name: str) -> Optional[dict]:
+        """Metadata of a stored mapping without loading its rows."""
+        row = self._connection.execute(
+            "SELECT domain, range, kind, cardinality FROM mappings "
+            "WHERE name = ?",
+            (name,),
+        ).fetchone()
+        if row is None:
+            return None
+        return {
+            "name": name,
+            "domain": row[0],
+            "range": row[1],
+            "kind": row[2],
+            "correspondences": row[3],
+        }
+
+    # -- relational access ---------------------------------------------------
+
+    def join(self, left_name: str, right_name: str) -> List[tuple]:
+        """Relational join of two mapping tables on the shared source.
+
+        "The composition can be computed very efficiently in our
+        implementation by joining the mapping tables" (§5.3) — this is
+        that join, executed inside SQLite.  Returns rows
+        ``(domain_id, via_id, range_id, sim1, sim2)``.
+        """
+        query = """
+            SELECT l.domain_id, l.range_id, r.range_id,
+                   l.similarity, r.similarity
+            FROM correspondences AS l
+            JOIN correspondences AS r ON l.range_id = r.domain_id
+            WHERE l.mapping = ? AND r.mapping = ?
+        """
+        return list(self._connection.execute(query, (left_name, right_name)))
+
+    def __repr__(self) -> str:
+        return f"MappingRepository({self._path!r}, {len(self)} mappings)"

@@ -1,0 +1,186 @@
+"""Constraint expressions for the ``select`` builtin (paper §3.3, §4.3).
+
+The select step accepts domain-specific object value constraints such
+as ``"[domain.id]<>[range.id]"`` or ``"[domain.year]-[range.year]<=1"``.
+Grammar::
+
+    constraint := operand op operand
+    operand    := "[domain.ATTR]" | "[range.ATTR]"
+                | operand "-" operand          (absolute difference)
+                | number | 'string'
+    op         := "=" | "<>" | "<=" | ">=" | "<" | ">"
+
+``[domain.id]`` / ``[range.id]`` address the instance ids themselves;
+any other attribute name reads from the resolved object instances.
+The subtraction operand compares as an *absolute* numeric difference,
+matching the paper's "years must not differ by more than one year".
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Optional
+
+from repro.core.correspondence import Correspondence
+from repro.model.source import LogicalSource
+from repro.script.errors import ScriptRuntimeError
+
+_FIELD_RE = re.compile(r"\[(domain|range)\.([A-Za-z_][A-Za-z0-9_]*)\]")
+_OPERATORS = ("<>", "<=", ">=", "=", "<", ">")
+
+
+def _parse_operand(text: str):
+    """Return a token list: fields, numbers, strings, '-' markers."""
+    text = text.strip()
+    if not text:
+        raise ScriptRuntimeError("empty constraint operand")
+    tokens = []
+    position = 0
+    while position < len(text):
+        ch = text[position]
+        if ch.isspace():
+            position += 1
+            continue
+        match = _FIELD_RE.match(text, position)
+        if match:
+            tokens.append(("field", match.group(1), match.group(2)))
+            position = match.end()
+            continue
+        if ch == "-":
+            tokens.append(("minus",))
+            position += 1
+            continue
+        if ch == "'":
+            end = text.find("'", position + 1)
+            if end < 0:
+                raise ScriptRuntimeError(
+                    f"unterminated string in constraint: {text!r}"
+                )
+            tokens.append(("string", text[position + 1:end]))
+            position = end + 1
+            continue
+        number = re.match(r"\d+(?:\.\d+)?", text[position:])
+        if number:
+            tokens.append(("number", float(number.group())))
+            position += len(number.group())
+            continue
+        raise ScriptRuntimeError(
+            f"cannot parse constraint operand at {text[position:]!r}"
+        )
+    return tokens
+
+
+def _as_number(value: object) -> Optional[float]:
+    try:
+        return float(str(value).strip())
+    except (TypeError, ValueError):
+        return None
+
+
+class ConstraintExpression:
+    """A compiled constraint usable as a correspondence predicate."""
+
+    def __init__(self, text: str, *,
+                 domain_source: Optional[LogicalSource] = None,
+                 range_source: Optional[LogicalSource] = None,
+                 keep_missing: bool = False) -> None:
+        self.text = text
+        self.domain_source = domain_source
+        self.range_source = range_source
+        self.keep_missing = keep_missing
+
+        for operator in _OPERATORS:
+            parts = text.split(operator)
+            if len(parts) == 2:
+                self.operator = operator
+                self._left = _parse_operand(parts[0])
+                self._right = _parse_operand(parts[1])
+                break
+        else:
+            raise ScriptRuntimeError(
+                f"constraint {text!r} has no comparison operator "
+                f"(expected one of {_OPERATORS})"
+            )
+        # The '-' split collides with the comparison split only when the
+        # operator itself was found; operand parsing validates the rest.
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _field_value(self, side: str, attribute: str,
+                     correspondence: Correspondence):
+        instance_id = (correspondence.domain if side == "domain"
+                       else correspondence.range)
+        if attribute == "id":
+            return instance_id
+        source = (self.domain_source if side == "domain"
+                  else self.range_source)
+        if source is None:
+            raise ScriptRuntimeError(
+                f"constraint {self.text!r} needs the {side} source to "
+                f"resolve attribute {attribute!r}"
+            )
+        instance = source.get(instance_id)
+        if instance is None:
+            return None
+        return instance.get(attribute)
+
+    def _operand_value(self, tokens, correspondence: Correspondence):
+        values = []
+        subtract = False
+        for token in tokens:
+            if token[0] == "minus":
+                subtract = True
+                continue
+            if token[0] == "field":
+                value = self._field_value(token[1], token[2], correspondence)
+            elif token[0] == "number":
+                value = token[1]
+            else:
+                value = token[1]
+            values.append(value)
+        if subtract:
+            if len(values) != 2:
+                raise ScriptRuntimeError(
+                    f"difference operand needs two values in {self.text!r}"
+                )
+            number_a = _as_number(values[0])
+            number_b = _as_number(values[1])
+            if number_a is None or number_b is None:
+                return None
+            return abs(number_a - number_b)
+        if len(values) != 1:
+            raise ScriptRuntimeError(
+                f"operand has {len(values)} values in {self.text!r}"
+            )
+        return values[0]
+
+    def evaluate(self, correspondence: Correspondence) -> bool:
+        left = self._operand_value(self._left, correspondence)
+        right = self._operand_value(self._right, correspondence)
+        if left is None or right is None:
+            return self.keep_missing
+
+        left_number = _as_number(left)
+        right_number = _as_number(right)
+        if left_number is not None and right_number is not None:
+            left, right = left_number, right_number
+        else:
+            left, right = str(left), str(right)
+
+        if self.operator == "=":
+            return left == right
+        if self.operator == "<>":
+            return left != right
+        if self.operator == "<=":
+            return left <= right
+        if self.operator == ">=":
+            return left >= right
+        if self.operator == "<":
+            return left < right
+        return left > right
+
+    def __call__(self, correspondence: Correspondence) -> bool:
+        return self.evaluate(correspondence)
+
+    def __repr__(self) -> str:
+        return f"ConstraintExpression({self.text!r})"

@@ -1,0 +1,19 @@
+"""Script language error hierarchy."""
+
+from __future__ import annotations
+
+
+class ScriptError(Exception):
+    """Base class of all script-language errors."""
+
+
+class ScriptSyntaxError(ScriptError):
+    """Lexing or parsing failed; carries the offending line number."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+class ScriptRuntimeError(ScriptError):
+    """Evaluation failed (unknown name, bad argument, type mismatch)."""

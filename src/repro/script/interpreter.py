@@ -1,0 +1,228 @@
+"""Tree-walking interpreter for the script language.
+
+The engine evaluates a parsed :class:`~repro.script.nodes.Program`
+against an environment of named mappings and logical sources (usually
+a :class:`~repro.model.smm.SourceMappingModel`).  User procedures
+(``PROCEDURE ... END``) live alongside the builtins of
+:mod:`repro.script.builtins`; ``nhMatch`` is predefined exactly as in
+the paper but can be shadowed by a script-level procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.mapping import Mapping
+from repro.model.repository import MappingRepository
+from repro.model.smm import SourceMappingModel
+from repro.model.source import LogicalSource
+from repro.script import builtins as script_builtins
+from repro.script.errors import ScriptRuntimeError
+from repro.script.nodes import (
+    Assignment,
+    Call,
+    ExpressionStatement,
+    Identifier,
+    NumberLiteral,
+    ProcedureDef,
+    Program,
+    Return,
+    StringLiteral,
+    VariableRef,
+)
+from repro.script.parser import parse
+
+#: symbolic identifiers that evaluate to themselves (combination and
+#: aggregation function names, similarity function names)
+_SYMBOLS = {
+    "min": "min", "minimum": "min", "min0": "min0",
+    "max": "max", "maximum": "max",
+    "avg": "avg", "average": "avg", "avg0": "avg0",
+    "weighted": "weighted",
+    "relative": "relative",
+    "relativeleft": "relative_left",
+    "relativeright": "relative_right",
+    "sum": "sum",
+    "trigram": "trigram", "tfidf": "tfidf", "affix": "affix",
+    "levenshtein": "levenshtein", "jaro": "jaro",
+    "jarowinkler": "jarowinkler", "exact": "exact", "year": "year",
+    "jaccard": "jaccard", "personname": "personname",
+    "mongeelkan": "mongeelkan", "softtfidf": "softtfidf",
+    "name": "personname",
+    "best1": "best-1", "threshold": "threshold",
+}
+
+
+class _ReturnSignal(Exception):
+    """Internal control flow for RETURN inside procedures."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class ScriptEngine:
+    """Evaluate scripts against sources, mappings and a repository."""
+
+    def __init__(self, *,
+                 smm: Optional[SourceMappingModel] = None,
+                 repository: Optional[MappingRepository] = None,
+                 sources: Optional[Dict[str, LogicalSource]] = None,
+                 mappings: Optional[Dict[str, Mapping]] = None) -> None:
+        self.smm = smm
+        self.repository = repository
+        self._sources: Dict[str, LogicalSource] = dict(sources or {})
+        self._mappings: Dict[str, Mapping] = dict(mappings or {})
+        self.variables: Dict[str, Any] = {}
+        self.procedures: Dict[str, ProcedureDef] = {}
+        self.builtins = script_builtins.default_builtins()
+
+    # -- environment -----------------------------------------------------
+
+    def add_source(self, source: LogicalSource) -> None:
+        self._sources[source.name] = source
+
+    def add_mapping(self, name: str, mapping: Mapping) -> None:
+        self._mappings[name] = mapping
+
+    def resolve_source(self, name: str) -> Optional[LogicalSource]:
+        source = self._sources.get(name)
+        if source is None and self.smm is not None:
+            source = self.smm.get_source(name)
+        return source
+
+    def resolve_mapping(self, name: str) -> Optional[Mapping]:
+        mapping = self._mappings.get(name)
+        if mapping is None and self.smm is not None:
+            mapping = self.smm.find_mapping(name)
+        if mapping is None and self.repository is not None:
+            if self.repository.contains(name):
+                mapping = self.repository.load(name)
+        return mapping
+
+    def _resolve_identity_pattern(self, name: str) -> Optional[Mapping]:
+        """``DBLP.AuthorAuthor`` -> identity mapping of ``DBLP.Author``.
+
+        The paper's §4.3 script passes ``DBLP.AuthorAuthor`` as "an
+        identity mapping of DBLP authors" without defining it anywhere;
+        we synthesize it from the doubled object-type suffix.
+        """
+        if "." not in name:
+            return None
+        prefix, _, suffix = name.rpartition(".")
+        if len(suffix) < 2 or len(suffix) % 2 != 0:
+            return None
+        half = len(suffix) // 2
+        if suffix[:half] != suffix[half:]:
+            return None
+        source = self.resolve_source(f"{prefix}.{suffix[:half]}")
+        if source is None:
+            return None
+        return Mapping.identity(source.name, source.ids())
+
+    def resolve_identifier(self, name: str) -> Any:
+        """Resolve a bare identifier: mapping, source, identity, symbol."""
+        mapping = self.resolve_mapping(name)
+        if mapping is not None:
+            return mapping
+        source = self.resolve_source(name)
+        if source is not None:
+            return source
+        identity = self._resolve_identity_pattern(name)
+        if identity is not None:
+            return identity
+        # PreferMap1 / PreferMap2 ... -> ("prefer", index)
+        lowered = name.lower()
+        if lowered.startswith("prefermap"):
+            digits = lowered[len("prefermap"):]
+            index = int(digits) - 1 if digits.isdigit() else 0
+            return ("prefer", max(index, 0))
+        symbol = _SYMBOLS.get(lowered.replace("-", "").replace("_", ""))
+        if symbol is not None:
+            return symbol
+        raise ScriptRuntimeError(
+            f"cannot resolve identifier {name!r} (not a mapping, source "
+            "or known symbol)"
+        )
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate(self, node, local: Optional[Dict[str, Any]] = None) -> Any:
+        if isinstance(node, NumberLiteral):
+            return node.value
+        if isinstance(node, StringLiteral):
+            return node.value
+        if isinstance(node, VariableRef):
+            if local is not None and node.name in local:
+                return local[node.name]
+            if node.name in self.variables:
+                return self.variables[node.name]
+            raise ScriptRuntimeError(f"undefined variable ${node.name}")
+        if isinstance(node, Identifier):
+            return self.resolve_identifier(node.name)
+        if isinstance(node, Call):
+            return self._call(node, local)
+        raise ScriptRuntimeError(f"cannot evaluate node {node!r}")
+
+    def _call(self, node: Call, local: Optional[Dict[str, Any]]) -> Any:
+        arguments = [self.evaluate(arg, local) for arg in node.arguments]
+        procedure = self.procedures.get(node.name)
+        if procedure is not None:
+            return self._run_procedure(procedure, arguments)
+        builtin = self.builtins.get(node.name.lower())
+        if builtin is not None:
+            return builtin(self, arguments)
+        raise ScriptRuntimeError(f"unknown function {node.name!r}")
+
+    def _run_procedure(self, procedure: ProcedureDef,
+                       arguments: List[Any]) -> Any:
+        if len(arguments) != len(procedure.parameters):
+            raise ScriptRuntimeError(
+                f"procedure {procedure.name!r} expects "
+                f"{len(procedure.parameters)} arguments, got {len(arguments)}"
+            )
+        local = dict(zip(procedure.parameters, arguments))
+        try:
+            for statement in procedure.body:
+                self._execute(statement, local)
+        except _ReturnSignal as signal:
+            return signal.value
+        return None
+
+    def _execute(self, statement, local: Optional[Dict[str, Any]]) -> Any:
+        if isinstance(statement, ProcedureDef):
+            self.procedures[statement.name] = statement
+            return None
+        if isinstance(statement, Assignment):
+            value = self.evaluate(statement.expression, local)
+            if local is not None:
+                local[statement.target] = value
+            else:
+                self.variables[statement.target] = value
+            return value
+        if isinstance(statement, Return):
+            raise _ReturnSignal(self.evaluate(statement.expression, local))
+        if isinstance(statement, ExpressionStatement):
+            return self.evaluate(statement.expression, local)
+        raise ScriptRuntimeError(f"cannot execute statement {statement!r}")
+
+    # -- entry points ----------------------------------------------------------
+
+    def run(self, text: str) -> Any:
+        """Parse and execute a script; return the last statement's value."""
+        program: Program = parse(text)
+        result: Any = None
+        for statement in program.statements:
+            value = self._execute(statement, None)
+            if not isinstance(statement, ProcedureDef):
+                result = value
+        return result
+
+    def call(self, name: str, *arguments: Any) -> Any:
+        """Invoke a procedure or builtin directly from Python."""
+        procedure = self.procedures.get(name)
+        if procedure is not None:
+            return self._run_procedure(procedure, list(arguments))
+        builtin = self.builtins.get(name.lower())
+        if builtin is not None:
+            return builtin(self, list(arguments))
+        raise ScriptRuntimeError(f"unknown function {name!r}")

@@ -1,0 +1,139 @@
+"""Tokenizer for the iFuice-style script language.
+
+Token classes: keywords (``PROCEDURE``, ``RETURN``, ``END``),
+variables (``$Name``), identifiers (dotted names such as
+``DBLP.CoAuthor``), numbers, strings (double quotes), and punctuation
+``( ) , =``.  ``#`` and ``//`` start line comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+from repro.script.errors import ScriptSyntaxError
+
+KEYWORDS = ("PROCEDURE", "RETURN", "END")
+
+
+class TokenType(str, Enum):
+    KEYWORD = "keyword"
+    VARIABLE = "variable"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    COMMA = "comma"
+    EQUALS = "equals"
+    NEWLINE = "newline"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.value}, {self.value!r}, line {self.line})"
+
+
+def _is_identifier_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_identifier_char(ch: str) -> bool:
+    return ch.isalnum() or ch in "_.-/"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize a script; raises :class:`ScriptSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    index = 0
+    length = len(text)
+
+    def push(type_: TokenType, value: str) -> None:
+        tokens.append(Token(type_, value, line))
+
+    while index < length:
+        ch = text[index]
+        if ch == "\n":
+            # collapse consecutive newlines into one statement separator
+            if tokens and tokens[-1].type != TokenType.NEWLINE:
+                push(TokenType.NEWLINE, "\n")
+            line += 1
+            index += 1
+            continue
+        if ch in " \t\r":
+            index += 1
+            continue
+        if ch == "#" or text.startswith("//", index):
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        if ch == "(":
+            push(TokenType.LPAREN, ch)
+            index += 1
+            continue
+        if ch == ")":
+            push(TokenType.RPAREN, ch)
+            index += 1
+            continue
+        if ch == ",":
+            push(TokenType.COMMA, ch)
+            index += 1
+            continue
+        if ch == "=":
+            push(TokenType.EQUALS, ch)
+            index += 1
+            continue
+        if ch == '"':
+            end = text.find('"', index + 1)
+            if end < 0:
+                raise ScriptSyntaxError("unterminated string literal", line)
+            push(TokenType.STRING, text[index + 1:end])
+            index = end + 1
+            continue
+        if ch == "$":
+            start = index + 1
+            end = start
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            if end == start:
+                raise ScriptSyntaxError("empty variable name after '$'", line)
+            push(TokenType.VARIABLE, text[start:end])
+            index = end
+            continue
+        if ch.isdigit() or (ch == "." and index + 1 < length
+                            and text[index + 1].isdigit()):
+            end = index
+            seen_dot = False
+            while end < length and (text[end].isdigit()
+                                    or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    seen_dot = True
+                end += 1
+            push(TokenType.NUMBER, text[index:end])
+            index = end
+            continue
+        if _is_identifier_start(ch):
+            end = index
+            while end < length and _is_identifier_char(text[end]):
+                end += 1
+            word = text[index:end]
+            if word.upper() in KEYWORDS:
+                push(TokenType.KEYWORD, word.upper())
+            else:
+                push(TokenType.IDENTIFIER, word)
+            index = end
+            continue
+        raise ScriptSyntaxError(f"unexpected character {ch!r}", line)
+
+    if tokens and tokens[-1].type != TokenType.NEWLINE:
+        push(TokenType.NEWLINE, "\n")
+    push(TokenType.EOF, "")
+    return tokens

@@ -1,0 +1,91 @@
+"""AST nodes of the script language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+@dataclass(frozen=True)
+class NumberLiteral:
+    value: float
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class StringLiteral:
+    value: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class VariableRef:
+    """``$Name`` — a script variable reference."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Identifier:
+    """Bare (possibly dotted) name: a mapping, source or symbol like Min."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Call:
+    """``name ( arg, ... )`` — builtin or user procedure invocation."""
+
+    name: str
+    arguments: tuple
+    line: int = 0
+
+
+Expression = Union[NumberLiteral, StringLiteral, VariableRef, Identifier, Call]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """``$Var = expression``."""
+
+    target: str
+    expression: Expression
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Return:
+    """``RETURN expression`` inside a procedure."""
+
+    expression: Expression
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ExpressionStatement:
+    """A bare expression evaluated for its side effects."""
+
+    expression: Expression
+    line: int = 0
+
+
+Statement = Union[Assignment, Return, ExpressionStatement, "ProcedureDef"]
+
+
+@dataclass(frozen=True)
+class ProcedureDef:
+    """``PROCEDURE name(params) ... END``."""
+
+    name: str
+    parameters: tuple
+    body: tuple
+    line: int = 0
+
+
+@dataclass
+class Program:
+    """A parsed script: a list of top-level statements."""
+
+    statements: List[Statement] = field(default_factory=list)

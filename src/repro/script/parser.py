@@ -1,0 +1,169 @@
+"""Recursive-descent parser for the script language.
+
+Grammar::
+
+    program    := statement*
+    statement  := procedure | assignment | expression NEWLINE
+    procedure  := PROCEDURE identifier "(" params ")" NEWLINE
+                  statement* END NEWLINE
+    assignment := VARIABLE "=" expression NEWLINE
+    expression := call | VARIABLE | IDENTIFIER | NUMBER | STRING
+    call       := IDENTIFIER "(" [expression ("," expression)*] ")"
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.script.errors import ScriptSyntaxError
+from repro.script.lexer import Token, TokenType, tokenize
+from repro.script.nodes import (
+    Assignment,
+    Call,
+    Expression,
+    ExpressionStatement,
+    Identifier,
+    NumberLiteral,
+    ProcedureDef,
+    Program,
+    Return,
+    Statement,
+    StringLiteral,
+    VariableRef,
+)
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type != TokenType.EOF:
+            self.position += 1
+        return token
+
+    def expect(self, type_: TokenType, description: str) -> Token:
+        token = self.current
+        if token.type != type_:
+            raise ScriptSyntaxError(
+                f"expected {description}, got {token.value!r}", token.line
+            )
+        return self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.current.type == TokenType.NEWLINE:
+            self.advance()
+
+    def end_statement(self) -> None:
+        if self.current.type == TokenType.EOF:
+            return
+        self.expect(TokenType.NEWLINE, "end of statement")
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        self.skip_newlines()
+        while self.current.type != TokenType.EOF:
+            program.statements.append(self.parse_statement())
+            self.skip_newlines()
+        return program
+
+    def parse_statement(self) -> Statement:
+        token = self.current
+        if token.type == TokenType.KEYWORD and token.value == "PROCEDURE":
+            return self.parse_procedure()
+        if token.type == TokenType.KEYWORD and token.value == "RETURN":
+            self.advance()
+            expression = self.parse_expression()
+            self.end_statement()
+            return Return(expression, token.line)
+        if token.type == TokenType.VARIABLE:
+            # lookahead for '=' distinguishes assignment from bare use
+            next_token = self.tokens[self.position + 1]
+            if next_token.type == TokenType.EQUALS:
+                self.advance()
+                self.advance()
+                expression = self.parse_expression()
+                self.end_statement()
+                return Assignment(token.value, expression, token.line)
+        expression = self.parse_expression()
+        self.end_statement()
+        return ExpressionStatement(expression, token.line)
+
+    def parse_procedure(self) -> ProcedureDef:
+        start = self.expect(TokenType.KEYWORD, "PROCEDURE")
+        name = self.expect(TokenType.IDENTIFIER, "procedure name").value
+        self.expect(TokenType.LPAREN, "'('")
+        parameters: List[str] = []
+        if self.current.type != TokenType.RPAREN:
+            while True:
+                parameter = self.expect(TokenType.VARIABLE,
+                                        "parameter variable")
+                parameters.append(parameter.value)
+                if self.current.type == TokenType.COMMA:
+                    self.advance()
+                    continue
+                break
+        self.expect(TokenType.RPAREN, "')'")
+        self.end_statement()
+        body: List[Statement] = []
+        self.skip_newlines()
+        while not (self.current.type == TokenType.KEYWORD
+                   and self.current.value == "END"):
+            if self.current.type == TokenType.EOF:
+                raise ScriptSyntaxError(
+                    f"procedure {name!r} is missing END", start.line
+                )
+            body.append(self.parse_statement())
+            self.skip_newlines()
+        self.advance()  # consume END
+        self.end_statement()
+        return ProcedureDef(name, tuple(parameters), tuple(body), start.line)
+
+    def parse_expression(self) -> Expression:
+        token = self.current
+        if token.type == TokenType.NUMBER:
+            self.advance()
+            return NumberLiteral(float(token.value), token.line)
+        if token.type == TokenType.STRING:
+            self.advance()
+            return StringLiteral(token.value, token.line)
+        if token.type == TokenType.VARIABLE:
+            self.advance()
+            return VariableRef(token.value, token.line)
+        if token.type == TokenType.IDENTIFIER:
+            self.advance()
+            if self.current.type == TokenType.LPAREN:
+                self.advance()
+                arguments: List[Expression] = []
+                if self.current.type != TokenType.RPAREN:
+                    # arguments may span lines inside the parentheses
+                    self.skip_newlines()
+                    while True:
+                        arguments.append(self.parse_expression())
+                        self.skip_newlines()
+                        if self.current.type == TokenType.COMMA:
+                            self.advance()
+                            self.skip_newlines()
+                            continue
+                        break
+                self.expect(TokenType.RPAREN, "')'")
+                return Call(token.value, tuple(arguments), token.line)
+            return Identifier(token.value, token.line)
+        raise ScriptSyntaxError(
+            f"unexpected token {token.value!r}", token.line
+        )
+
+
+def parse(text: str) -> Program:
+    """Parse script source text into a :class:`Program`."""
+    return _Parser(tokenize(text)).parse_program()

@@ -1,0 +1,52 @@
+"""Affix similarity: agreement of string prefixes and suffixes.
+
+The paper names "affix" as one of the attribute matcher's similarity
+functions.  We follow the common formulation: the shared prefix plus
+the shared suffix (counted on the remainder, so characters are never
+counted twice), normalized by the longer string length.
+"""
+
+from __future__ import annotations
+
+from repro.sim.base import SimilarityFunction
+from repro.sim.tokenize import normalize
+
+
+def common_prefix_length(a: str, b: str) -> int:
+    """Length of the longest common prefix of ``a`` and ``b``."""
+    count = 0
+    for ch_a, ch_b in zip(a, b):
+        if ch_a != ch_b:
+            break
+        count += 1
+    return count
+
+
+def common_suffix_length(a: str, b: str) -> int:
+    """Length of the longest common suffix of ``a`` and ``b``."""
+    count = 0
+    for ch_a, ch_b in zip(reversed(a), reversed(b)):
+        if ch_a != ch_b:
+            break
+        count += 1
+    return count
+
+
+class AffixSimilarity(SimilarityFunction):
+    """``(|common prefix| + |common suffix|) / max(|a|, |b|)``.
+
+    The suffix is measured on the string remainders after removing the
+    common prefix, so a pair of identical strings scores exactly 1.0
+    rather than 2.0.  Strings are normalized (case, punctuation) first.
+    """
+
+    name = "affix"
+
+    def _score(self, a: str, b: str) -> float:
+        a = normalize(a)
+        b = normalize(b)
+        if not a or not b:
+            return 0.0
+        prefix = common_prefix_length(a, b)
+        suffix = common_suffix_length(a[prefix:], b[prefix:])
+        return (prefix + suffix) / max(len(a), len(b))

@@ -1,0 +1,97 @@
+"""Core interfaces for similarity functions.
+
+A similarity function maps a pair of values to a score in ``[0, 1]``.
+MOMA's attribute matchers call :meth:`SimilarityFunction.similarity`
+once per candidate pair, so implementations are expected to be cheap
+per call and to push any corpus-level work (e.g. TF/IDF statistics)
+into :meth:`SimilarityFunction.prepare`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Optional
+
+
+class SimilarityFunction(ABC):
+    """A normalized similarity measure over attribute values.
+
+    Subclasses must implement :meth:`similarity` returning a float in
+    ``[0, 1]``.  ``None`` values are handled uniformly here: comparing
+    anything with ``None`` yields 0.0 and ``None`` with ``None`` yields
+    0.0 as well (missing evidence is not evidence of equality).
+    """
+
+    #: short registry name, overridden by subclasses
+    name: str = "abstract"
+
+    def prepare(self, values: Iterable[object]) -> None:
+        """Absorb corpus-level statistics before pairwise scoring.
+
+        The default implementation does nothing.  Functions such as
+        TF/IDF override this to build document-frequency tables from
+        the union of both sources' attribute values.
+        """
+
+    @abstractmethod
+    def _score(self, a: str, b: str) -> float:
+        """Score two non-``None`` values, already coerced to ``str``."""
+
+    def similarity(self, a: object, b: object) -> float:
+        """Return the similarity of ``a`` and ``b`` in ``[0, 1]``."""
+        if a is None or b is None:
+            return 0.0
+        score = self._score(str(a), str(b))
+        # Clamp to guard against floating point drift in implementations.
+        if score < 0.0:
+            return 0.0
+        if score > 1.0:
+            return 1.0
+        return score
+
+    def __call__(self, a: object, b: object) -> float:
+        return self.similarity(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class CachedSimilarity(SimilarityFunction):
+    """Memoizing wrapper around another similarity function.
+
+    Attribute matchers repeatedly compare the same strings when
+    blocking produces overlapping candidate blocks; caching on the
+    (ordered) string pair removes that duplicated work.  Symmetric
+    functions may pass ``symmetric=True`` to normalize the cache key.
+    """
+
+    def __init__(self, inner: SimilarityFunction, *, symmetric: bool = True,
+                 max_size: Optional[int] = None) -> None:
+        self.inner = inner
+        self.name = f"cached[{inner.name}]"
+        self._symmetric = symmetric
+        self._max_size = max_size
+        self._cache: dict[tuple[str, str], float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def prepare(self, values: Iterable[object]) -> None:
+        self._cache.clear()
+        self.inner.prepare(values)
+
+    def _score(self, a: str, b: str) -> float:
+        key = (b, a) if self._symmetric and b < a else (a, b)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        score = self.inner.similarity(a, b)
+        if self._max_size is not None and len(self._cache) >= self._max_size:
+            self._cache.clear()
+        self._cache[key] = score
+        return score
+
+    def cache_info(self) -> dict[str, int]:
+        """Return hit/miss/size counters for diagnostics."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._cache)}

@@ -1,0 +1,178 @@
+"""Edit-distance-based string similarities.
+
+Levenshtein / Damerau-Levenshtein distances and the Jaro /
+Jaro-Winkler family, all exposed both as plain functions (returning
+raw distances or similarities) and as
+:class:`~repro.sim.base.SimilarityFunction` classes for use in
+matchers.
+"""
+
+from __future__ import annotations
+
+from repro.sim.base import SimilarityFunction
+
+
+def levenshtein_distance(a: str, b: str, *, max_distance: int | None = None) -> int:
+    """Classic Levenshtein distance with optional early-exit bound.
+
+    ``max_distance`` enables a cheap band cutoff: once every entry of a
+    DP row exceeds the bound the function returns ``max_distance + 1``
+    immediately, which is all threshold-based callers need to know.
+    """
+    if a == b:
+        return 0
+    if len(a) > len(b):
+        a, b = b, a
+    if not a:
+        return len(b)
+    if max_distance is not None and len(b) - len(a) > max_distance:
+        return max_distance + 1
+
+    previous = list(range(len(a) + 1))
+    for j, ch_b in enumerate(b, start=1):
+        current = [j]
+        row_min = j
+        for i, ch_a in enumerate(a, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            value = min(
+                previous[i] + 1,       # deletion
+                current[i - 1] + 1,    # insertion
+                previous[i - 1] + cost,  # substitution
+            )
+            current.append(value)
+            if value < row_min:
+                row_min = value
+        if max_distance is not None and row_min > max_distance:
+            return max_distance + 1
+        previous = current
+    return previous[-1]
+
+
+def damerau_levenshtein_distance(a: str, b: str) -> int:
+    """Edit distance that additionally counts adjacent transpositions."""
+    if a == b:
+        return 0
+    len_a, len_b = len(a), len(b)
+    if not len_a:
+        return len_b
+    if not len_b:
+        return len_a
+
+    # Restricted Damerau-Levenshtein (optimal string alignment).
+    rows = [[0] * (len_b + 1) for _ in range(len_a + 1)]
+    for i in range(len_a + 1):
+        rows[i][0] = i
+    for j in range(len_b + 1):
+        rows[0][j] = j
+    for i in range(1, len_a + 1):
+        for j in range(1, len_b + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            value = min(
+                rows[i - 1][j] + 1,
+                rows[i][j - 1] + 1,
+                rows[i - 1][j - 1] + cost,
+            )
+            if (
+                i > 1 and j > 1
+                and a[i - 1] == b[j - 2]
+                and a[i - 2] == b[j - 1]
+            ):
+                value = min(value, rows[i - 2][j - 2] + 1)
+            rows[i][j] = value
+    return rows[len_a][len_b]
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity in ``[0, 1]``."""
+    if a == b:
+        return 1.0
+    len_a, len_b = len(a), len(b)
+    if not len_a or not len_b:
+        return 0.0
+
+    match_window = max(len_a, len_b) // 2 - 1
+    if match_window < 0:
+        match_window = 0
+    matched_a = [False] * len_a
+    matched_b = [False] * len_b
+
+    matches = 0
+    for i, ch in enumerate(a):
+        start = max(0, i - match_window)
+        end = min(i + match_window + 1, len_b)
+        for j in range(start, end):
+            if not matched_b[j] and b[j] == ch:
+                matched_a[i] = True
+                matched_b[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+
+    # Count transpositions between the matched subsequences.
+    transpositions = 0
+    j = 0
+    for i in range(len_a):
+        if matched_a[i]:
+            while not matched_b[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+
+    return (
+        matches / len_a
+        + matches / len_b
+        + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, *, prefix_weight: float = 0.1,
+                            max_prefix: int = 4) -> float:
+    """Jaro-Winkler similarity: Jaro boosted by common-prefix length."""
+    if not 0.0 <= prefix_weight <= 0.25:
+        raise ValueError("prefix_weight must be in [0, 0.25]")
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for ch_a, ch_b in zip(a, b):
+        if ch_a != ch_b or prefix >= max_prefix:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)
+
+
+class LevenshteinSimilarity(SimilarityFunction):
+    """``1 - distance / max(len)`` normalized Levenshtein similarity."""
+
+    name = "levenshtein"
+
+    def _score(self, a: str, b: str) -> float:
+        if not a and not b:
+            return 0.0
+        longest = max(len(a), len(b))
+        return 1.0 - levenshtein_distance(a, b) / longest
+
+
+class JaroSimilarity(SimilarityFunction):
+    """Jaro similarity as a matcher-pluggable function."""
+
+    name = "jaro"
+
+    def _score(self, a: str, b: str) -> float:
+        return jaro_similarity(a, b)
+
+
+class JaroWinklerSimilarity(SimilarityFunction):
+    """Jaro-Winkler similarity as a matcher-pluggable function."""
+
+    name = "jarowinkler"
+
+    def __init__(self, prefix_weight: float = 0.1, max_prefix: int = 4) -> None:
+        self.prefix_weight = prefix_weight
+        self.max_prefix = max_prefix
+
+    def _score(self, a: str, b: str) -> float:
+        return jaro_winkler_similarity(
+            a, b, prefix_weight=self.prefix_weight, max_prefix=self.max_prefix
+        )

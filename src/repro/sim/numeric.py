@@ -1,0 +1,57 @@
+"""Numeric similarity functions (publication years, citation counts).
+
+The paper's third attribute matcher "compares publication years"
+(§5.2) and its object-value constraint requires "that the publication
+year of matching objects must not differ by more than one year" (§3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.base import SimilarityFunction
+
+
+def _to_float(value: str) -> Optional[float]:
+    try:
+        return float(str(value).strip())
+    except (TypeError, ValueError):
+        return None
+
+
+class NumericSimilarity(SimilarityFunction):
+    """Linear decay similarity: ``max(0, 1 - |a - b| / window)``.
+
+    Non-numeric inputs score 0.0.  ``window`` is the difference at
+    which similarity reaches zero; ``window=1`` means only equal values
+    match at 1.0 and a difference of one scores 0.0.
+    """
+
+    name = "numeric"
+
+    def __init__(self, window: float = 1.0) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+
+    def _score(self, a: str, b: str) -> float:
+        value_a = _to_float(a)
+        value_b = _to_float(b)
+        if value_a is None or value_b is None:
+            return 0.0
+        return max(0.0, 1.0 - abs(value_a - value_b) / self.window)
+
+
+class YearSimilarity(NumericSimilarity):
+    """Year comparison: equal years 1.0, one year apart 0.5, else 0.
+
+    ``window=2`` reproduces the tolerant behaviour needed for
+    conference-vs-journal versions of a paper published a year apart
+    (Figure 1's similarity-0.6 correspondences combine a perfect title
+    match with a one-off year).
+    """
+
+    name = "year"
+
+    def __init__(self, window: float = 2.0) -> None:
+        super().__init__(window=window)

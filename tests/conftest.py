@@ -1,0 +1,39 @@
+"""Shared fixtures: a tiny deterministic dataset and its workbench.
+
+The tiny scale keeps any single test under a second while still
+exercising every pipeline (three sources, duplicates, noise, gold).
+Session scope matters: building the dataset once amortizes it across
+the whole suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import build_dataset
+from repro.eval.experiments import Workbench
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return build_dataset("tiny", seed=7)
+
+
+@pytest.fixture(scope="session")
+def workbench(dataset):
+    return Workbench(dataset)
+
+
+@pytest.fixture(scope="session")
+def dblp(dataset):
+    return dataset.dblp
+
+
+@pytest.fixture(scope="session")
+def acm(dataset):
+    return dataset.acm
+
+
+@pytest.fixture(scope="session")
+def gs(dataset):
+    return dataset.gs

@@ -1,0 +1,120 @@
+"""Tests for the generic attribute matcher."""
+
+import pytest
+
+from repro.core.matchers.attribute import AttributeMatcher
+from repro.core.matchers.base import MatcherError
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+
+
+@pytest.fixture
+def sources():
+    domain = LogicalSource(PhysicalSource("L"), ObjectType("Publication"))
+    range_ = LogicalSource(PhysicalSource("R"), ObjectType("Publication"))
+    domain.add_record("a1", title="Adaptive Query Processing", year=2001)
+    domain.add_record("a2", title="Schema Matching with Cupid", year=2001)
+    domain.add_record("a3", title="Data Cleaning Survey")
+    range_.add_record("b1", title="Adaptive Query Processing", year=2001)
+    range_.add_record("b2", title="Schema Matching with Cupld", year=2002)
+    range_.add_record("b3", title="Workflow Management")
+    return domain, range_
+
+
+class TestBasicMatching:
+    def test_exact_titles_score_one(self, sources):
+        domain, range_ = sources
+        mapping = AttributeMatcher("title", threshold=0.9).match(domain, range_)
+        assert mapping.get("a1", "b1") == 1.0
+
+    def test_typo_tolerated_below_threshold_cut(self, sources):
+        domain, range_ = sources
+        mapping = AttributeMatcher("title", threshold=0.7).match(domain, range_)
+        assert mapping.get("a2", "b2") > 0.7
+
+    def test_threshold_filters(self, sources):
+        domain, range_ = sources
+        strict = AttributeMatcher("title", threshold=0.99).match(domain, range_)
+        assert ("a2", "b2") not in strict.pairs()
+
+    def test_result_metadata(self, sources):
+        domain, range_ = sources
+        mapping = AttributeMatcher("title", threshold=0.5).match(domain, range_)
+        assert mapping.domain == "L.Publication"
+        assert mapping.range == "R.Publication"
+
+    def test_missing_attribute_skipped(self, sources):
+        domain, range_ = sources
+        mapping = AttributeMatcher("year", similarity="exact",
+                                   threshold=1.0).match(domain, range_)
+        assert all(pair[0] != "a3" for pair in mapping.pairs())
+
+    def test_different_range_attribute(self, sources):
+        domain, range_ = sources
+        mapping = AttributeMatcher("title", "title", "trigram",
+                                   0.5).match(domain, range_)
+        assert len(mapping) >= 2
+
+    def test_candidates_restrict_scoring(self, sources):
+        domain, range_ = sources
+        mapping = AttributeMatcher("title", threshold=0.0).match(
+            domain, range_, candidates=[("a1", "b1")])
+        assert mapping.pairs() == {("a1", "b1")}
+
+    def test_similarity_instance_accepted(self, sources):
+        from repro.sim.ngram import TrigramSimilarity
+        domain, range_ = sources
+        mapping = AttributeMatcher("title",
+                                   similarity=TrigramSimilarity(),
+                                   threshold=0.9).match(domain, range_)
+        assert ("a1", "b1") in mapping.pairs()
+
+
+class TestSelfMatching:
+    def test_self_match_excludes_identity(self, sources):
+        domain, _ = sources
+        domain_with_dup = domain
+        mapping = AttributeMatcher("title", threshold=0.3).match(
+            domain_with_dup, domain_with_dup)
+        assert all(a != b for a, b in mapping.pairs())
+
+    def test_self_match_symmetric(self):
+        source = LogicalSource(PhysicalSource("S"), ObjectType("Author"))
+        source.add_record("x", name="John Smith")
+        source.add_record("y", name="Jon Smith")
+        mapping = AttributeMatcher("name", threshold=0.5).match(source, source)
+        assert ("x", "y") in mapping.pairs()
+        assert ("y", "x") in mapping.pairs()
+
+
+class TestValidation:
+    def test_empty_attribute(self):
+        with pytest.raises(MatcherError):
+            AttributeMatcher("")
+
+    def test_bad_threshold(self):
+        with pytest.raises(MatcherError):
+            AttributeMatcher("title", threshold=2.0)
+
+    def test_bad_missing_policy(self):
+        with pytest.raises(MatcherError):
+            AttributeMatcher("title", missing="ignore")
+
+    def test_matcher_name_descriptive(self):
+        matcher = AttributeMatcher("title", threshold=0.8)
+        assert "title" in matcher.name and "0.8" in matcher.name
+
+
+class TestBlockingIntegration:
+    def test_token_blocking_preserves_obvious_matches(self, sources):
+        from repro.blocking import TokenBlocking
+        domain, range_ = sources
+        blocked = AttributeMatcher("title", threshold=0.9,
+                                   blocking=TokenBlocking(max_df=1.0))
+        mapping = blocked.match(domain, range_)
+        assert ("a1", "b1") in mapping.pairs()
+
+    def test_tfidf_prepared_over_both_sources(self, sources):
+        domain, range_ = sources
+        matcher = AttributeMatcher("title", similarity="tfidf", threshold=0.1)
+        mapping = matcher.match(domain, range_)
+        assert mapping.get("a1", "b1") == pytest.approx(1.0, abs=1e-6)

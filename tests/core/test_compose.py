@@ -1,0 +1,127 @@
+"""Tests for the compose operator, anchored on the paper's Figure 6."""
+
+import pytest
+
+from repro.core.mapping import Mapping, MappingKind
+from repro.core.operators.compose import compose
+
+
+@pytest.fixture
+def map1():
+    """Venue -> Publication association of Figure 6 (left)."""
+    return Mapping.from_correspondences("V", "P", [
+        ("v1", "p1", 1.0), ("v1", "p2", 1.0), ("v1", "p3", 0.6),
+        ("v2", "p2", 0.6), ("v2", "p3", 1.0),
+    ], kind=MappingKind.ASSOCIATION)
+
+
+@pytest.fixture
+def map2():
+    """Publication -> Venue' association of Figure 6 (right)."""
+    return Mapping.from_correspondences("P", "W", [
+        ("p1", "w1", 1.0), ("p2", "w1", 1.0), ("p3", "w2", 1.0),
+    ], kind=MappingKind.ASSOCIATION)
+
+
+class TestFigure6:
+    def test_relative(self, map1, map2):
+        result = compose(map1, map2, "min", "relative")
+        assert result.get("v1", "w1") == pytest.approx(0.8)      # 2*2/(3+2)
+        assert result.get("v1", "w2") == pytest.approx(0.3)      # 2*.6/(3+1)
+        assert result.get("v2", "w1") == pytest.approx(0.3)      # 2*.6/(2+2)
+        assert result.get("v2", "w2") == pytest.approx(2 / 3)    # 2*1/(2+1)
+
+    def test_multi_path_preference(self, map1, map2):
+        # (v1,w1) is supported by two publications, (v1,w2) by one
+        result = compose(map1, map2, "min", "relative")
+        assert result.get("v1", "w1") > result.get("v1", "w2")
+
+
+class TestAggregations:
+    def test_avg(self, map1, map2):
+        result = compose(map1, map2, "min", "avg")
+        assert result.get("v1", "w1") == pytest.approx(1.0)
+        assert result.get("v2", "w1") == pytest.approx(0.6)
+
+    def test_min_max(self, map1, map2):
+        low = Mapping.from_correspondences("V", "P", [
+            ("v1", "p1", 0.4), ("v1", "p2", 0.9)],
+            kind=MappingKind.ASSOCIATION)
+        result_min = compose(low, map2, "min", "min")
+        result_max = compose(low, map2, "min", "max")
+        assert result_min.get("v1", "w1") == pytest.approx(0.4)
+        assert result_max.get("v1", "w1") == pytest.approx(0.9)
+
+    def test_sum_clamped(self, map1, map2):
+        result = compose(map1, map2, "min", "sum")
+        assert result.get("v1", "w1") == 1.0  # 2 paths sum to 2, clamped
+
+    def test_relative_left_right(self, map1, map2):
+        left = compose(map1, map2, "min", "relative_left")
+        right = compose(map1, map2, "min", "relative_right")
+        # s(v1,w1)=2, n(v1)=3, n(w1)=2
+        assert left.get("v1", "w1") == pytest.approx(2 / 3)
+        assert right.get("v1", "w1") == pytest.approx(1.0)
+
+    def test_relative_is_harmonic_mean(self, map1, map2):
+        left = compose(map1, map2, "min", "relative_left").get("v1", "w1")
+        right = compose(map1, map2, "min", "relative_right").get("v1", "w1")
+        relative = compose(map1, map2, "min", "relative").get("v1", "w1")
+        harmonic = 2 * left * right / (left + right)
+        assert relative == pytest.approx(harmonic)
+
+    def test_aggregate_aliases(self, map1, map2):
+        assert compose(map1, map2, "min", "RelativeLeft").to_rows() == \
+            compose(map1, map2, "min", "relative_left").to_rows()
+
+    def test_unknown_aggregate(self, map1, map2):
+        with pytest.raises(KeyError):
+            compose(map1, map2, "min", "median")
+
+
+class TestComposeGeneral:
+    def test_requires_shared_source(self, map1):
+        wrong = Mapping.from_correspondences("X", "Y", [("x", "y", 1.0)])
+        with pytest.raises(ValueError):
+            compose(map1, wrong)
+
+    def test_no_shared_instances_is_empty(self, map1):
+        disjoint = Mapping.from_correspondences(
+            "P", "W", [("pX", "w1", 1.0)], kind=MappingKind.ASSOCIATION)
+        assert len(compose(map1, disjoint)) == 0
+
+    def test_f_function_applies_per_path(self, map1, map2):
+        # f=avg on path (v1,p3,w2): (0.6+1)/2 = 0.8 per path
+        result = compose(map1, map2, "avg", "max")
+        assert result.get("v1", "w2") == pytest.approx(0.8)
+
+    def test_kind_inference_same(self):
+        same1 = Mapping.from_correspondences("A", "B", [("a", "b", 1.0)])
+        same2 = Mapping.from_correspondences("B", "C", [("b", "c", 1.0)])
+        assert compose(same1, same2).kind == MappingKind.SAME
+
+    def test_kind_inference_association(self, map1, map2):
+        assert compose(map1, map2).kind == MappingKind.ASSOCIATION
+
+    def test_kind_override(self, map1, map2):
+        forced = compose(map1, map2, kind=MappingKind.SAME)
+        assert forced.kind == MappingKind.SAME
+
+    def test_transitive_same_mapping_composition(self):
+        """§4.1.2: composing same-mappings crosses an intermediate source."""
+        dblp_gs = Mapping.from_correspondences("DBLP", "GS", [
+            ("p1", "g1", 1.0), ("p2", "g2", 0.9)])
+        gs_acm = Mapping.from_correspondences("GS", "ACM", [
+            ("g1", "q1", 1.0)])
+        result = compose(dblp_gs, gs_acm, "min", "max")
+        assert result.to_rows() == [("p1", "q1", 1.0)]
+
+    def test_figure7_duplicate_intermediate_hurts_precision(self):
+        """Fig. 7: GS merging two versions inflates the composed result."""
+        dblp_gs = Mapping.from_correspondences("DBLP", "GS", [
+            ("p2", "g23", 1.0), ("p3", "g23", 1.0)])
+        gs_acm = Mapping.from_correspondences("GS", "ACM", [
+            ("g23", "q2", 1.0), ("g23", "q3", 1.0)])
+        result = compose(dblp_gs, gs_acm, "min", "max")
+        # 4 correspondences instead of the clean 2
+        assert len(result) == 4

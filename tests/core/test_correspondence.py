@@ -1,0 +1,42 @@
+"""Tests for correspondences and similarity validation."""
+
+import pytest
+
+from repro.core.correspondence import Correspondence, validate_similarity
+
+
+class TestCorrespondence:
+    def test_fields(self):
+        corr = Correspondence("a", "b", 0.5)
+        assert corr.domain == "a" and corr.range == "b"
+        assert corr.similarity == 0.5
+
+    def test_swapped(self):
+        corr = Correspondence("a", "b", 0.5).swapped()
+        assert (corr.domain, corr.range) == ("b", "a")
+        assert corr.similarity == 0.5
+
+    def test_with_similarity(self):
+        corr = Correspondence("a", "b", 0.5).with_similarity(0.9)
+        assert corr.similarity == 0.9
+
+    def test_tuple_behaviour(self):
+        domain, range_, similarity = Correspondence("a", "b", 0.5)
+        assert (domain, range_, similarity) == ("a", "b", 0.5)
+
+
+class TestValidateSimilarity:
+    def test_valid_values(self):
+        assert validate_similarity(0) == 0.0
+        assert validate_similarity(1) == 1.0
+        assert validate_similarity(0.5) == 0.5
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            validate_similarity(1.01)
+        with pytest.raises(ValueError):
+            validate_similarity(-0.01)
+
+    def test_coerces_to_float(self):
+        value = validate_similarity(1)
+        assert isinstance(value, float)

@@ -1,0 +1,108 @@
+"""Tests for combination functions (merge/compose §3.1)."""
+
+import pytest
+
+from repro.core.operators.functions import (
+    AvgFunction,
+    MaxFunction,
+    MinFunction,
+    WeightedFunction,
+    get_combination,
+)
+
+
+class TestAvg:
+    def test_ignores_missing_by_default(self):
+        assert AvgFunction().combine([0.8, None, 0.4]) == pytest.approx(0.6)
+
+    def test_missing_as_zero(self):
+        assert AvgFunction(missing_as_zero=True).combine(
+            [0.8, None, 0.4]) == pytest.approx(0.4)
+
+    def test_all_missing_drops(self):
+        assert AvgFunction().combine([None, None]) is None
+
+    def test_all_missing_zero_variant(self):
+        assert AvgFunction(missing_as_zero=True).combine([None, None]) == 0.0
+
+
+class TestMin:
+    def test_plain_min(self):
+        assert MinFunction().combine([0.9, 0.3, None]) == 0.3
+
+    def test_min0_intersection_semantics(self):
+        # a missing value vetoes the correspondence entirely (Fig. 4)
+        assert MinFunction(missing_as_zero=True).combine([0.9, None]) is None
+
+    def test_min0_present_everywhere(self):
+        assert MinFunction(missing_as_zero=True).combine([0.9, 0.6]) == 0.6
+
+    def test_all_missing(self):
+        assert MinFunction().combine([None]) is None
+
+
+class TestMax:
+    def test_max(self):
+        assert MaxFunction().combine([0.2, None, 0.7]) == 0.7
+
+    def test_all_missing(self):
+        assert MaxFunction().combine([None, None]) is None
+
+
+class TestWeighted:
+    def test_weighted_average(self):
+        function = WeightedFunction([3, 1])
+        assert function.combine([1.0, 0.0]) == pytest.approx(0.75)
+
+    def test_missing_renormalizes(self):
+        function = WeightedFunction([3, 1])
+        assert function.combine([None, 0.4]) == pytest.approx(0.4)
+
+    def test_missing_as_zero_keeps_denominator(self):
+        function = WeightedFunction([3, 1], missing_as_zero=True)
+        assert function.combine([None, 0.4]) == pytest.approx(0.1)
+
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            WeightedFunction([1, 1]).combine([0.5])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WeightedFunction([])
+        with pytest.raises(ValueError):
+            WeightedFunction([-1, 2])
+        with pytest.raises(ValueError):
+            WeightedFunction([0, 0])
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,expected_type", [
+        ("avg", AvgFunction), ("average", AvgFunction),
+        ("min", MinFunction), ("max", MaxFunction),
+        ("Min-0", MinFunction), ("AVG0", AvgFunction),
+        ("union", MaxFunction), ("intersect", MinFunction),
+    ])
+    def test_names_resolve(self, name, expected_type):
+        assert isinstance(get_combination(name), expected_type)
+
+    def test_zero_variants_flagged(self):
+        assert get_combination("min0").missing_as_zero is True
+        assert get_combination("min").missing_as_zero is False
+
+    def test_instance_passthrough(self):
+        function = AvgFunction()
+        assert get_combination(function) is function
+
+    def test_weighted_requires_weights(self):
+        with pytest.raises(ValueError):
+            get_combination("weighted")
+        function = get_combination("weighted", weights=[1, 2])
+        assert isinstance(function, WeightedFunction)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_combination("geometric")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            get_combination(42)

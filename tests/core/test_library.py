@@ -1,0 +1,81 @@
+"""Tests for the matcher library registry."""
+
+import pytest
+
+from repro.core.matchers.attribute import AttributeMatcher
+from repro.core.matchers.base import Matcher
+from repro.core.matchers.library import MatcherLibrary, default_library
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+
+
+class TestMatcherLibrary:
+    def test_register_and_create(self):
+        library = MatcherLibrary()
+        library.register("title", lambda **kw: AttributeMatcher("title", **kw))
+        matcher = library.create("title", threshold=0.7)
+        assert isinstance(matcher, Matcher)
+        assert matcher.threshold == 0.7
+
+    def test_case_insensitive(self):
+        library = MatcherLibrary()
+        library.register("Title", lambda **kw: AttributeMatcher("title"))
+        assert "title" in library
+        assert library.create("TITLE") is not None
+
+    def test_duplicate_rejected(self):
+        library = MatcherLibrary()
+        library.register("x", lambda **kw: AttributeMatcher("a"))
+        with pytest.raises(ValueError):
+            library.register("x", lambda **kw: AttributeMatcher("b"))
+
+    def test_replace_allowed(self):
+        library = MatcherLibrary()
+        library.register("x", lambda **kw: AttributeMatcher("a"))
+        library.register("x", lambda **kw: AttributeMatcher("b"), replace=True)
+        assert library.create("x").attribute == "b"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            MatcherLibrary().create("nope")
+
+    def test_empty_name(self):
+        with pytest.raises(ValueError):
+            MatcherLibrary().register("  ", lambda **kw: None)
+
+    def test_fresh_instances(self):
+        library = default_library()
+        assert library.create("attribute", attribute="title") is not \
+            library.create("attribute", attribute="title")
+
+
+class TestDefaultLibrary:
+    def setup_method(self):
+        self.library = default_library()
+
+    def test_expected_names(self):
+        for name in ("attribute", "title", "name", "year",
+                     "multiattribute", "personname"):
+            assert name in self.library
+
+    def test_title_preset_works(self):
+        source = LogicalSource(PhysicalSource("S"), ObjectType("Publication"))
+        source.add_record("p1", title="Adaptive Query Processing")
+        other = LogicalSource(PhysicalSource("T"), ObjectType("Publication"))
+        other.add_record("q1", title="Adaptive Query Processing")
+        matcher = self.library.create("title", threshold=0.8)
+        assert matcher.match(source, other).get("p1", "q1") == 1.0
+
+    def test_year_preset_exact(self):
+        matcher = self.library.create("year")
+        assert matcher.similarity.name == "exact"
+
+    def test_multiattribute_from_dicts(self):
+        matcher = self.library.create("multiattribute", pairs=[
+            {"attribute": "title"}, {"attribute": "year",
+                                     "similarity": "year"},
+        ])
+        assert len(matcher.pairs) == 2
+
+    def test_names_sorted(self):
+        names = self.library.names()
+        assert names == sorted(names)

@@ -1,0 +1,96 @@
+"""Tests for the multi-attribute matcher."""
+
+import pytest
+
+from repro.core.matchers.base import MatcherError
+from repro.core.matchers.multi_attribute import AttributePair, MultiAttributeMatcher
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+
+
+@pytest.fixture
+def sources():
+    domain = LogicalSource(PhysicalSource("L"), ObjectType("Publication"))
+    range_ = LogicalSource(PhysicalSource("R"), ObjectType("Publication"))
+    domain.add_record("a1", title="Adaptive Query Processing", year=2001)
+    domain.add_record("a2", title="Adaptive Query Processing", year=1995)
+    range_.add_record("b1", title="Adaptive Query Processing", year=2001)
+    range_.add_record("b2", title="Data Cleaning", year=2001)
+    range_.add_record("b3", title="Adaptive Query Processing")
+    return domain, range_
+
+
+def title_year_pairs():
+    return [
+        AttributePair("title", similarity="trigram", weight=3.0),
+        AttributePair("year", similarity="year", weight=1.0),
+    ]
+
+
+class TestMultiAttribute:
+    def test_title_and_year_agree(self, sources):
+        domain, range_ = sources
+        matcher = MultiAttributeMatcher(title_year_pairs(), "weighted", 0.9)
+        mapping = matcher.match(domain, range_)
+        assert mapping.get("a1", "b1") == pytest.approx(1.0)
+
+    def test_year_disagreement_lowers_score(self, sources):
+        domain, range_ = sources
+        matcher = MultiAttributeMatcher(title_year_pairs(), "weighted", 0.0)
+        mapping = matcher.match(domain, range_)
+        assert mapping.get("a2", "b1") < mapping.get("a1", "b1")
+
+    def test_missing_attribute_ignored_with_weighted(self, sources):
+        # b3 has no year -> weights renormalize onto title
+        domain, range_ = sources
+        matcher = MultiAttributeMatcher(title_year_pairs(), "weighted", 0.0)
+        mapping = matcher.match(domain, range_)
+        assert mapping.get("a1", "b3") == pytest.approx(1.0)
+
+    def test_min0_requires_all_attributes(self, sources):
+        domain, range_ = sources
+        matcher = MultiAttributeMatcher(title_year_pairs(), "min0", 0.0)
+        mapping = matcher.match(domain, range_)
+        assert mapping.get("a1", "b3") is None
+
+    def test_threshold_applies_to_combined(self, sources):
+        domain, range_ = sources
+        matcher = MultiAttributeMatcher(title_year_pairs(), "weighted", 0.99)
+        mapping = matcher.match(domain, range_)
+        assert ("a2", "b1") not in mapping.pairs()
+
+    def test_candidates_restrict(self, sources):
+        domain, range_ = sources
+        matcher = MultiAttributeMatcher(title_year_pairs(), "weighted", 0.0)
+        mapping = matcher.match(domain, range_, candidates=[("a1", "b2")])
+        assert mapping.pairs() <= {("a1", "b2")}
+
+
+class TestAttributePair:
+    def test_defaults(self):
+        pair = AttributePair("title")
+        assert pair.range_attribute == "title"
+        assert pair.similarity.name == "trigram"
+
+    def test_string_similarity_resolved(self):
+        pair = AttributePair("year", similarity="exact")
+        assert pair.similarity.name == "exact"
+
+    def test_validation(self):
+        with pytest.raises(MatcherError):
+            AttributePair("")
+        with pytest.raises(MatcherError):
+            AttributePair("title", weight=-1)
+
+
+class TestValidation:
+    def test_needs_pairs(self):
+        with pytest.raises(MatcherError):
+            MultiAttributeMatcher([], "avg")
+
+    def test_bad_threshold(self):
+        with pytest.raises(MatcherError):
+            MultiAttributeMatcher(title_year_pairs(), threshold=1.2)
+
+    def test_name_mentions_attributes(self):
+        matcher = MultiAttributeMatcher(title_year_pairs())
+        assert "title" in matcher.name and "year" in matcher.name

@@ -1,0 +1,115 @@
+"""Tests for the neighborhood matcher (§4.2, Figures 9-10)."""
+
+import pytest
+
+from repro.core.mapping import Mapping, MappingKind
+from repro.core.matchers.base import MatcherError
+from repro.core.matchers.neighborhood import NeighborhoodMatcher, neighborhood_match
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+
+
+def figure9_inputs():
+    asso1 = Mapping.from_correspondences(
+        "DBLP.Venue", "DBLP.Publication", [
+            ("conf/VLDB/2001", "conf/VLDB/MadhavanBR01", 1.0),
+            ("conf/VLDB/2001", "conf/VLDB/ChirkovaHS01", 1.0),
+            ("journals/VLDB/2002", "journals/VLDB/ChirkovaHS02", 1.0),
+        ], kind=MappingKind.ASSOCIATION)
+    same = Mapping.from_correspondences(
+        "DBLP.Publication", "ACM.Publication", [
+            ("conf/VLDB/MadhavanBR01", "P-672191", 1.0),
+            ("conf/VLDB/ChirkovaHS01", "P-672216", 1.0),
+            ("conf/VLDB/ChirkovaHS01", "P-641272", 0.6),
+            ("journals/VLDB/ChirkovaHS02", "P-641272", 1.0),
+            ("journals/VLDB/ChirkovaHS02", "P-672216", 0.6),
+        ])
+    asso2 = Mapping.from_correspondences(
+        "ACM.Publication", "ACM.Venue", [
+            ("P-672191", "V-645927", 1.0),
+            ("P-672216", "V-645927", 1.0),
+            ("P-641272", "V-641268", 1.0),
+        ], kind=MappingKind.ASSOCIATION)
+    return asso1, same, asso2
+
+
+class TestFigure9:
+    def test_exact_paper_values(self):
+        asso1, same, asso2 = figure9_inputs()
+        result = neighborhood_match(asso1, same, asso2)
+        assert result.get("conf/VLDB/2001", "V-645927") == pytest.approx(0.8)
+        assert result.get("conf/VLDB/2001", "V-641268") == pytest.approx(0.3)
+        assert result.get("journals/VLDB/2002", "V-645927") == pytest.approx(0.3)
+        assert result.get("journals/VLDB/2002", "V-641268") == pytest.approx(2 / 3)
+
+    def test_result_is_same_mapping(self):
+        asso1, same, asso2 = figure9_inputs()
+        assert neighborhood_match(asso1, same, asso2).kind == MappingKind.SAME
+
+    def test_correct_correspondences_win(self):
+        asso1, same, asso2 = figure9_inputs()
+        result = neighborhood_match(asso1, same, asso2)
+        assert result.get("conf/VLDB/2001", "V-645927") > \
+            result.get("conf/VLDB/2001", "V-641268")
+
+
+class TestWiring:
+    def test_mismatched_asso1_rejected(self):
+        asso1, same, asso2 = figure9_inputs()
+        with pytest.raises(MatcherError):
+            neighborhood_match(asso1, asso2, same)
+
+    def test_mismatched_asso2_rejected(self):
+        asso1, same, asso2 = figure9_inputs()
+        broken = Mapping("Other.Publication", "ACM.Venue",
+                         kind=MappingKind.ASSOCIATION)
+        with pytest.raises(MatcherError):
+            neighborhood_match(asso1, same, broken)
+
+    def test_relative_left_variant(self):
+        """§5.4.3: RelativeLeft divides only by the left degree."""
+        asso1, same, asso2 = figure9_inputs()
+        left = neighborhood_match(asso1, same, asso2, g2="relative_left")
+        # s(conf2001, V-645927) = 2, out-degree in temp = 3
+        assert left.get("conf/VLDB/2001", "V-645927") == pytest.approx(2 / 3)
+
+
+class TestIdentityCase:
+    def test_self_dedup_via_co_authors(self):
+        """§4.3: nhMatch(CoAuthor, Identity, CoAuthor) scores co-author
+        overlap as 2*shared/(deg+deg)."""
+        co = Mapping.from_correspondences("S.Author", "S.Author", [
+            ("a", "x", 1.0), ("a", "y", 1.0),
+            ("b", "x", 1.0), ("b", "y", 1.0), ("b", "z", 1.0),
+            ("x", "a", 1.0), ("y", "a", 1.0),
+            ("x", "b", 1.0), ("y", "b", 1.0), ("z", "b", 1.0),
+        ], kind=MappingKind.ASSOCIATION)
+        identity = Mapping.identity("S.Author", ["a", "b", "x", "y", "z"])
+        result = neighborhood_match(co, identity, co).without_identity()
+        # a and b share co-authors {x, y}: 2*2/(2+3) = 0.8
+        assert result.get("a", "b") == pytest.approx(0.8)
+
+
+class TestMatcherFacade:
+    def test_matcher_validates_sources(self):
+        asso1, same, asso2 = figure9_inputs()
+        matcher = NeighborhoodMatcher(asso1, same, asso2)
+        dblp_venues = LogicalSource(PhysicalSource("DBLP"), ObjectType("Venue"))
+        acm_venues = LogicalSource(PhysicalSource("ACM"), ObjectType("Venue"))
+        result = matcher.match(dblp_venues, acm_venues)
+        assert len(result) == 4
+
+    def test_matcher_rejects_wrong_domain(self):
+        asso1, same, asso2 = figure9_inputs()
+        matcher = NeighborhoodMatcher(asso1, same, asso2)
+        wrong = LogicalSource(PhysicalSource("ACM"), ObjectType("Venue"))
+        with pytest.raises(MatcherError):
+            matcher.match(wrong, wrong)
+
+    def test_candidates_filter_result(self):
+        asso1, same, asso2 = figure9_inputs()
+        matcher = NeighborhoodMatcher(asso1, same, asso2)
+        dblp_venues = LogicalSource(PhysicalSource("DBLP"), ObjectType("Venue"))
+        acm_venues = LogicalSource(PhysicalSource("ACM"), ObjectType("Venue"))
+        result = matcher.match(dblp_venues, acm_venues,
+                               candidates=[("conf/VLDB/2001", "V-645927")])
+        assert result.pairs() == {("conf/VLDB/2001", "V-645927")}

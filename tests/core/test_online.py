@@ -1,0 +1,115 @@
+"""Tests for online (query-time) matching."""
+
+import pytest
+
+from repro.core.online import OnlineMatcher, match_query_results
+from repro.model.entity import ObjectInstance
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+
+
+@pytest.fixture
+def reference():
+    source = LogicalSource(PhysicalSource("DBLP"), ObjectType("Publication"))
+    source.add_record("p1", title="Adaptive Query Processing for Streams")
+    source.add_record("p2", title="Schema Matching with Cupid")
+    source.add_record("p3", title="Data Cleaning in Warehouses")
+    source.add_record("p4", title=None)
+    return source
+
+
+class TestOnlineMatcher:
+    def test_exact_record_matches(self, reference):
+        matcher = OnlineMatcher(reference, "title", threshold=0.8)
+        record = ObjectInstance("q1", {
+            "title": "Adaptive Query Processing for Streams"})
+        results = matcher.match_record(record)
+        assert results[0][0] == "p1"
+        assert results[0][1] == pytest.approx(1.0)
+
+    def test_noisy_record_matches(self, reference):
+        matcher = OnlineMatcher(reference, "title", threshold=0.6)
+        record = ObjectInstance("q1", {
+            "title": "adaptive query processng for streams"})
+        results = matcher.match_record(record)
+        assert results and results[0][0] == "p1"
+
+    def test_threshold_filters(self, reference):
+        matcher = OnlineMatcher(reference, "title", threshold=0.95)
+        record = ObjectInstance("q1", {"title": "schema matchng"})
+        assert matcher.match_record(record) == []
+
+    def test_missing_attribute(self, reference):
+        matcher = OnlineMatcher(reference, "title")
+        assert matcher.match_record(ObjectInstance("q1", {})) == []
+
+    def test_cache_hits(self, reference):
+        matcher = OnlineMatcher(reference, "title", threshold=0.6)
+        record = ObjectInstance("q1", {"title": "schema matching"})
+        first = matcher.match_record(record)
+        second = matcher.match_record(record)
+        assert first == second
+        assert matcher.cache_stats()["hits"] == 1
+
+    def test_cache_eviction(self, reference):
+        matcher = OnlineMatcher(reference, "title", threshold=0.5,
+                                cache_size=1)
+        matcher.match_record(ObjectInstance("q1", {"title": "schema"}))
+        matcher.match_record(ObjectInstance("q2", {"title": "cleaning"}))
+        assert matcher.cache_stats()["size"] == 1
+
+    def test_results_sorted_descending(self, reference):
+        matcher = OnlineMatcher(reference, "title", threshold=0.1)
+        record = ObjectInstance("q1", {"title": "adaptive data processing"})
+        results = matcher.match_record(record)
+        scores = [score for _, score in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_batch_mapping(self, reference):
+        matcher = OnlineMatcher(reference, "title", threshold=0.8)
+        batch = [
+            ObjectInstance("q1", {"title": "Schema Matching with Cupid"}),
+            ObjectInstance("q2", {"title": "Data Cleaning in Warehouses"}),
+        ]
+        mapping = matcher.match_batch(batch, source_name="Query.Publication")
+        assert mapping.domain == "Query.Publication"
+        assert mapping.get("q1", "p2") == pytest.approx(1.0)
+        assert mapping.get("q2", "p3") == pytest.approx(1.0)
+
+    def test_validation(self, reference):
+        with pytest.raises(ValueError):
+            OnlineMatcher(reference, threshold=1.5)
+        with pytest.raises(ValueError):
+            OnlineMatcher(reference, max_candidates=0)
+
+
+class TestConvenienceWrapper:
+    def test_match_query_results(self, reference):
+        results = [ObjectInstance("q1",
+                                  {"title": "Schema Matching with Cupid"})]
+        mapping = match_query_results(results, reference, threshold=0.8)
+        assert mapping.pairs() == {("q1", "p2")}
+
+
+class TestAgainstDataset:
+    def test_gs_harvest_online_matching(self, dataset):
+        """Online pattern end-to-end: query GS, match results to DBLP."""
+        from repro.datagen.query import QueryClient
+
+        client = QueryClient(dataset.gs.publications)
+        matcher = OnlineMatcher(dataset.dblp.publications, "title",
+                                threshold=0.8)
+        gold = dataset.gold.publications("GS.Publication",
+                                         "DBLP.Publication")
+        checked = 0
+        correct = 0
+        for pub_id in dataset.dblp.publications.ids()[:15]:
+            title = dataset.dblp.publications.require(pub_id).get("title")
+            for result in client.search(title, max_results=3):
+                matches = matcher.match_record(result)
+                if not matches:
+                    continue
+                checked += 1
+                if gold.get(result.id, matches[0][0]) is not None:
+                    correct += 1
+        assert checked > 0
+        assert correct / checked > 0.7

@@ -1,0 +1,72 @@
+"""Tests for the prebuilt paper workflows."""
+
+import pytest
+
+from repro.core.prebuilt import (
+    author_neighborhood_workflow,
+    duplicate_author_workflow,
+    prepare_identity,
+    publication_title_workflow,
+    venue_neighborhood_workflow,
+)
+from repro.core.workflow import MatchContext
+
+
+@pytest.fixture
+def context(dataset):
+    return MatchContext(smm=dataset.smm)
+
+
+class TestPublicationWorkflow:
+    def test_produces_quality_mapping(self, dataset, context, workbench):
+        workflow = publication_title_workflow("DBLP", "ACM")
+        mapping = workflow.run(context)
+        quality = workbench.score(mapping, "publications", "DBLP", "ACM")
+        assert quality.f1 > 0.9
+
+    def test_intermediates_published(self, context):
+        publication_title_workflow("DBLP", "ACM").run(context)
+        for name in ("title_map", "authors_map", "year_map", "pub_same"):
+            assert context.resolve_mapping(name) is not None
+
+
+class TestVenueWorkflow:
+    def test_chains_after_publication_workflow(self, dataset, context,
+                                               workbench):
+        publication_title_workflow("DBLP", "ACM").run(context)
+        mapping = venue_neighborhood_workflow("DBLP", "ACM").run(context)
+        quality = workbench.score(mapping, "venues", "DBLP", "ACM")
+        assert quality.f1 > 0.85
+
+    def test_requires_publication_same(self, context):
+        from repro.core.workflow import WorkflowError
+        with pytest.raises(WorkflowError):
+            venue_neighborhood_workflow("DBLP", "ACM").run(context)
+
+
+class TestAuthorWorkflow:
+    def test_author_matching_quality(self, dataset, context, workbench):
+        publication_title_workflow("DBLP", "ACM").run(context)
+        mapping = author_neighborhood_workflow("DBLP", "ACM").run(context)
+        quality = workbench.score(mapping, "authors", "DBLP", "ACM")
+        assert quality.f1 > 0.8
+
+
+class TestDedupWorkflow:
+    def test_surfaces_injected_duplicates(self, dataset, context):
+        prepare_identity(context, "DBLP")
+        mapping = duplicate_author_workflow("DBLP").run(context)
+        assert all(a != b for a, b in mapping.pairs())
+        gold = dataset.gold.get("author-duplicates", "DBLP.Author",
+                                "DBLP.Author")
+        ranked = sorted(mapping, key=lambda c: -c.similarity)
+        top = {tuple(sorted((c.domain, c.range)))
+               for c in ranked[:4 * len(gold.pairs())]}
+        gold_pairs = {tuple(sorted(pair)) for pair in gold.pairs()}
+        assert len(top & gold_pairs) / len(gold_pairs) >= 0.4
+
+    def test_identity_helper(self, dataset, context):
+        prepare_identity(context, "DBLP")
+        identity = context.resolve_mapping("DBLP.AuthorIdentity")
+        assert identity.is_self_mapping()
+        assert len(identity) == len(dataset.dblp.authors)

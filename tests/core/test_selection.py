@@ -1,0 +1,186 @@
+"""Tests for selection strategies (§3.3)."""
+
+import pytest
+
+from repro.core.mapping import Mapping
+from repro.core.operators.selection import (
+    Best1DeltaSelection,
+    BestNSelection,
+    CompositeSelection,
+    ConstraintSelection,
+    MaxAttributeDifference,
+    NotIdentity,
+    ThresholdSelection,
+    select,
+)
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+
+
+@pytest.fixture
+def mapping():
+    return Mapping.from_correspondences("A", "B", [
+        ("a1", "b1", 0.9), ("a1", "b2", 0.85), ("a1", "b3", 0.3),
+        ("a2", "b1", 0.6), ("a2", "b4", 0.6),
+        ("a3", "b5", 0.2),
+    ])
+
+
+class TestThreshold:
+    def test_inclusive_by_default(self, mapping):
+        selected = ThresholdSelection(0.6).apply(mapping)
+        assert len(selected) == 4
+        assert ("a2", "b1") in selected.pairs()
+
+    def test_strict(self, mapping):
+        selected = ThresholdSelection(0.6, strict=True).apply(mapping)
+        assert len(selected) == 2
+
+    def test_zero_keeps_all(self, mapping):
+        assert len(ThresholdSelection(0.0).apply(mapping)) == len(mapping)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdSelection(1.5)
+
+    def test_original_untouched(self, mapping):
+        ThresholdSelection(0.9).apply(mapping)
+        assert len(mapping) == 6
+
+
+class TestBestN:
+    def test_best1_per_domain(self, mapping):
+        selected = BestNSelection(1, side="domain").apply(mapping)
+        assert ("a1", "b1") in selected.pairs()
+        assert ("a1", "b2") not in selected.pairs()
+        # ties are all kept
+        assert ("a2", "b1") in selected.pairs()
+        assert ("a2", "b4") in selected.pairs()
+
+    def test_best2(self, mapping):
+        selected = BestNSelection(2, side="domain").apply(mapping)
+        assert selected.out_degree("a1") == 2
+
+    def test_best1_per_range(self, mapping):
+        selected = BestNSelection(1, side="range").apply(mapping)
+        # b1 keeps only its best domain partner a1
+        assert ("a1", "b1") in selected.pairs()
+        assert ("a2", "b1") not in selected.pairs()
+
+    def test_both_sides_intersect(self, mapping):
+        both = BestNSelection(1, side="both").apply(mapping)
+        domain_only = BestNSelection(1, side="domain").apply(mapping)
+        assert both.pairs() <= domain_only.pairs()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BestNSelection(0)
+        with pytest.raises(ValueError):
+            BestNSelection(1, side="middle")
+
+
+class TestBest1Delta:
+    def test_absolute_delta(self, mapping):
+        selected = Best1DeltaSelection(0.05).apply(mapping)
+        # a1: best .9, keep >= .85
+        assert ("a1", "b2") in selected.pairs()
+        assert ("a1", "b3") not in selected.pairs()
+
+    def test_zero_delta_equals_best1_with_ties(self, mapping):
+        delta = Best1DeltaSelection(0.0).apply(mapping)
+        best = BestNSelection(1).apply(mapping)
+        assert delta.pairs() == best.pairs()
+
+    def test_relative_delta(self, mapping):
+        selected = Best1DeltaSelection(0.1, relative=True).apply(mapping)
+        # a1: keep >= 0.9*0.9 = 0.81 -> b1, b2
+        assert selected.out_degree("a1") == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Best1DeltaSelection(-0.1)
+        with pytest.raises(ValueError):
+            Best1DeltaSelection(1.5, relative=True)
+        with pytest.raises(ValueError):
+            Best1DeltaSelection(0.1, side="sideways")
+
+
+def _sources_with_years():
+    domain = LogicalSource(PhysicalSource("L"), ObjectType("Publication"))
+    range_ = LogicalSource(PhysicalSource("R"), ObjectType("Publication"))
+    domain.add_record("a1", year=2001)
+    domain.add_record("a2", year=2001)
+    range_.add_record("b1", year=2001)
+    range_.add_record("b2", year=2003)
+    range_.add_record("b3")  # missing year
+    return domain, range_
+
+
+class TestConstraints:
+    def test_year_difference_constraint(self):
+        domain, range_ = _sources_with_years()
+        mapping = Mapping.from_correspondences(
+            "L.Publication", "R.Publication",
+            [("a1", "b1", 1.0), ("a1", "b2", 1.0)])
+        constrained = MaxAttributeDifference(domain, range_, "year", 1.0)
+        selected = constrained.apply(mapping)
+        assert selected.pairs() == {("a1", "b1")}
+
+    def test_missing_year_kept_by_default(self):
+        domain, range_ = _sources_with_years()
+        mapping = Mapping.from_correspondences(
+            "L.Publication", "R.Publication", [("a1", "b3", 1.0)])
+        selected = MaxAttributeDifference(domain, range_, "year", 1.0).apply(mapping)
+        assert len(selected) == 1
+
+    def test_missing_year_dropped_when_strict(self):
+        domain, range_ = _sources_with_years()
+        mapping = Mapping.from_correspondences(
+            "L.Publication", "R.Publication", [("a1", "b3", 1.0)])
+        strict = MaxAttributeDifference(domain, range_, "year", 1.0,
+                                        keep_missing=False)
+        assert len(strict.apply(mapping)) == 0
+
+    def test_custom_predicate(self):
+        domain, range_ = _sources_with_years()
+        mapping = Mapping.from_correspondences(
+            "L.Publication", "R.Publication",
+            [("a1", "b1", 1.0), ("a2", "b2", 1.0)])
+        same_year = ConstraintSelection(
+            domain, range_,
+            lambda a, b: a.get("year") == b.get("year"))
+        assert same_year.apply(mapping).pairs() == {("a1", "b1")}
+
+    def test_unresolved_instances(self):
+        domain, range_ = _sources_with_years()
+        mapping = Mapping.from_correspondences(
+            "L.Publication", "R.Publication", [("ghost", "b1", 1.0)])
+        drop = ConstraintSelection(domain, range_, lambda a, b: True)
+        assert len(drop.apply(mapping)) == 0
+        keep = ConstraintSelection(domain, range_, lambda a, b: True,
+                                   keep_unresolved=True)
+        assert len(keep.apply(mapping)) == 1
+
+    def test_negative_difference_rejected(self):
+        domain, range_ = _sources_with_years()
+        with pytest.raises(ValueError):
+            MaxAttributeDifference(domain, range_, "year", -1)
+
+
+class TestCompositionHelpers:
+    def test_not_identity(self):
+        mapping = Mapping.from_correspondences("A", "A", [
+            ("x", "x", 1.0), ("x", "y", 0.9)])
+        assert NotIdentity().apply(mapping).pairs() == {("x", "y")}
+
+    def test_composite_selection(self, mapping):
+        pipeline = CompositeSelection([
+            ThresholdSelection(0.6), BestNSelection(1, side="domain"),
+        ])
+        result = pipeline.apply(mapping)
+        assert ("a1", "b1") in result.pairs()
+        assert ("a1", "b3") not in result.pairs()
+
+    def test_select_function(self, mapping):
+        result = select(mapping, ThresholdSelection(0.85),
+                        BestNSelection(1))
+        assert result.pairs() == {("a1", "b1")}

@@ -1,0 +1,124 @@
+"""Tests for set-style mapping operations."""
+
+import pytest
+
+from repro.core.mapping import Mapping
+from repro.core.operators.setops import (
+    difference,
+    hub_compose,
+    intersection,
+    mapping_union,
+    symmetrize,
+    transitive_closure,
+)
+
+
+@pytest.fixture
+def left():
+    return Mapping.from_correspondences("A", "B", [
+        ("a1", "b1", 0.9), ("a2", "b2", 0.5),
+    ])
+
+
+@pytest.fixture
+def right():
+    return Mapping.from_correspondences("A", "B", [
+        ("a1", "b1", 0.7), ("a3", "b3", 0.8),
+    ])
+
+
+class TestUnionIntersectionDifference:
+    def test_union_keeps_max(self, left, right):
+        union = mapping_union([left, right])
+        assert len(union) == 3
+        assert union.get("a1", "b1") == 0.9
+
+    def test_intersection_keeps_min_of_shared(self, left, right):
+        common = intersection([left, right])
+        assert common.to_rows() == [("a1", "b1", 0.7)]
+
+    def test_difference(self, left, right):
+        only_left = difference(left, right)
+        assert only_left.pairs() == {("a2", "b2")}
+
+    def test_difference_incompatible(self, left):
+        other = Mapping("A", "C")
+        with pytest.raises(ValueError):
+            difference(left, other)
+
+    def test_difference_preserves_similarity(self, left, right):
+        assert difference(left, right).get("a2", "b2") == 0.5
+
+
+class TestSymmetrize:
+    def test_adds_reverse_direction(self):
+        mapping = Mapping.from_correspondences("A", "A", [("x", "y", 0.8)])
+        symmetric = symmetrize(mapping)
+        assert symmetric.get("y", "x") == 0.8
+
+    def test_keeps_max_on_disagreement(self):
+        mapping = Mapping.from_correspondences("A", "A", [
+            ("x", "y", 0.8), ("y", "x", 0.6)])
+        symmetric = symmetrize(mapping)
+        assert symmetric.get("y", "x") == 0.8
+
+    def test_rejects_cross_source(self):
+        with pytest.raises(ValueError):
+            symmetrize(Mapping("A", "B"))
+
+
+class TestTransitiveClosure:
+    def test_chains_become_cliques(self):
+        mapping = Mapping.from_correspondences("A", "A", [
+            ("x", "y", 1.0), ("y", "z", 1.0)])
+        closure = transitive_closure(mapping)
+        assert ("x", "z") in closure.pairs()
+        assert ("z", "x") in closure.pairs()
+
+    def test_cluster_similarity_is_minimum(self):
+        mapping = Mapping.from_correspondences("A", "A", [
+            ("x", "y", 1.0), ("y", "z", 0.6)])
+        closure = transitive_closure(mapping)
+        assert closure.get("x", "z") == 0.6
+
+    def test_separate_components_stay_separate(self):
+        mapping = Mapping.from_correspondences("A", "A", [
+            ("x", "y", 1.0), ("u", "v", 1.0)])
+        closure = transitive_closure(mapping)
+        assert ("x", "u") not in closure.pairs()
+
+    def test_rejects_cross_source(self):
+        with pytest.raises(ValueError):
+            transitive_closure(Mapping("A", "B"))
+
+
+class TestHubCompose:
+    def test_figure8_hub_matching(self):
+        """Fig. 8: peripheral sources match through the DBLP hub."""
+        gs_hub = Mapping.from_correspondences("GS", "DBLP", [
+            ("g1", "d1", 1.0), ("g2", "d2", 0.9)])
+        hub_acm = Mapping.from_correspondences("DBLP", "ACM", [
+            ("d1", "q1", 1.0), ("d2", "q2", 1.0)])
+        result = hub_compose([gs_hub, hub_acm], "GS", "ACM")
+        assert result.get("g1", "q1") == 1.0
+        assert result.get("g2", "q2") == 0.9
+
+    def test_orientation_flipped_automatically(self):
+        hub_gs = Mapping.from_correspondences("DBLP", "GS", [
+            ("d1", "g1", 1.0)])
+        hub_acm = Mapping.from_correspondences("DBLP", "ACM", [
+            ("d1", "q1", 1.0)])
+        result = hub_compose([hub_gs, hub_acm], "GS", "ACM")
+        assert result.pairs() == {("g1", "q1")}
+
+    def test_unconnected_sources_rejected(self):
+        hub_acm = Mapping.from_correspondences("DBLP", "ACM", [
+            ("d1", "q1", 1.0)])
+        with pytest.raises(ValueError):
+            hub_compose([hub_acm], "GS", "ACM")
+
+    def test_disagreeing_hub_rejected(self):
+        gs_x = Mapping.from_correspondences("GS", "X", [("g", "x", 1.0)])
+        y_acm = Mapping.from_correspondences("Y", "ACM", [("y", "q", 1.0)])
+        with pytest.raises(ValueError):
+            hub_compose([gs_x, y_acm], "GS", "ACM")

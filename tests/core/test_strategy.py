@@ -1,0 +1,125 @@
+"""Tests for match-strategy selection."""
+
+import pytest
+
+from repro.core.mapping import Mapping
+from repro.core.strategy import StrategySelector
+
+
+@pytest.fixture
+def gold():
+    return Mapping.from_correspondences("A", "B", [
+        (f"a{i}", f"b{i}", 1.0) for i in range(20)
+    ])
+
+
+def good_strategy():
+    return Mapping.from_correspondences("A", "B", [
+        (f"a{i}", f"b{i}", 0.9) for i in range(20)
+    ])
+
+
+def noisy_strategy():
+    rows = [(f"a{i}", f"b{i}", 0.9) for i in range(10)]
+    rows += [(f"a{i}", "wrong", 0.9) for i in range(10, 20)]
+    return Mapping.from_correspondences("A", "B", rows)
+
+
+def empty_strategy():
+    return Mapping("A", "B")
+
+
+class TestSelection:
+    def test_ranks_by_f1(self, gold):
+        selector = StrategySelector(gold, training_fraction=0.5, seed=1)
+        selector.register("good", good_strategy)
+        selector.register("noisy", noisy_strategy)
+        selector.register("empty", empty_strategy)
+        outcomes = selector.evaluate()
+        assert [outcome.name for outcome in outcomes][0] == "good"
+        assert outcomes[0].f1 == pytest.approx(1.0)
+        assert outcomes[-1].name == "empty"
+
+    def test_select_returns_best(self, gold):
+        selector = StrategySelector(gold)
+        selector.register("good", good_strategy)
+        selector.register("noisy", noisy_strategy)
+        assert selector.select().name == "good"
+
+    def test_training_domain_sampled(self, gold):
+        selector = StrategySelector(gold, training_fraction=0.25, seed=3)
+        training = selector.training_domain()
+        assert len(training) == 5
+        assert training <= gold.domain_ids()
+
+    def test_training_domain_stable(self, gold):
+        selector = StrategySelector(gold, seed=3)
+        assert selector.training_domain() is not None
+        assert selector.training_domain() == selector.training_domain()
+
+    def test_keep_mappings_flag(self, gold):
+        selector = StrategySelector(gold, keep_mappings=True)
+        selector.register("good", good_strategy)
+        outcome = selector.select()
+        assert outcome.mapping is not None
+        selector_no = StrategySelector(gold)
+        selector_no.register("good", good_strategy)
+        assert selector_no.select().mapping is None
+
+    def test_scoring_restricted_to_training(self, gold):
+        # a strategy only correct on the training half still scores 1.0
+        selector = StrategySelector(gold, training_fraction=0.3, seed=5)
+        training = selector.training_domain()
+
+        def partial():
+            return Mapping.from_correspondences("A", "B", [
+                (a, f"b{a[1:]}", 0.9) for a in training
+            ])
+
+        selector.register("partial", partial)
+        assert selector.select().f1 == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_fraction_bounds(self, gold):
+        with pytest.raises(ValueError):
+            StrategySelector(gold, training_fraction=0.0)
+
+    def test_duplicate_name(self, gold):
+        selector = StrategySelector(gold)
+        selector.register("x", good_strategy)
+        with pytest.raises(ValueError):
+            selector.register("x", good_strategy)
+
+    def test_empty_name(self, gold):
+        with pytest.raises(ValueError):
+            StrategySelector(gold).register("", good_strategy)
+
+    def test_no_strategies(self, gold):
+        with pytest.raises(ValueError):
+            StrategySelector(gold).evaluate()
+
+
+class TestOnDataset:
+    def test_selects_merge_over_singles(self, dataset, workbench):
+        gold = dataset.gold.publications("DBLP.Publication",
+                                         "ACM.Publication")
+        from repro.core.operators.merge import merge
+        from repro.core.operators.selection import ThresholdSelection
+
+        threshold = ThresholdSelection(0.8)
+        selector = StrategySelector(gold, training_fraction=0.4, seed=2)
+        selector.register(
+            "title-only",
+            lambda: threshold.apply(workbench.fuzzy_title("DBLP", "ACM")))
+        selector.register(
+            "year-only",
+            lambda: workbench.year_mapping("DBLP", "ACM"))
+        selector.register(
+            "merged",
+            lambda: threshold.apply(merge(
+                [workbench.fuzzy_title("DBLP", "ACM"),
+                 workbench.fuzzy_pub_authors("DBLP", "ACM"),
+                 workbench.year_mapping("DBLP", "ACM")], "avg0")))
+        best = selector.select()
+        assert best.name == "merged"

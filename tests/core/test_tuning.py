@@ -1,0 +1,193 @@
+"""Tests for self-tuning (threshold search, grid search, decision trees)."""
+
+import pytest
+
+from repro.core.mapping import Mapping
+from repro.core.tuning import (
+    DecisionTree,
+    DecisionTreeMatcherTuner,
+    FeatureSpec,
+    GridSearchTuner,
+    tune_merge_weights,
+    tune_threshold,
+)
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+
+
+@pytest.fixture
+def sources():
+    domain = LogicalSource(PhysicalSource("L"), ObjectType("Publication"))
+    range_ = LogicalSource(PhysicalSource("R"), ObjectType("Publication"))
+    titles = [
+        "Adaptive Query Processing", "Schema Matching with Cupid",
+        "Data Cleaning Approaches", "View Maintenance Strategies",
+        "Streaming Joins", "Top-k Retrieval Methods",
+    ]
+    for index, title in enumerate(titles):
+        domain.add_record(f"a{index}", title=title, year=2000 + index)
+        range_.add_record(f"b{index}", title=title, year=2000 + index)
+    # a noisy extra record that should not match anything
+    range_.add_record("noise", title="Entirely Different Topic", year=1990)
+    return domain, range_
+
+
+@pytest.fixture
+def gold(sources):
+    domain, range_ = sources
+    return Mapping.from_correspondences(
+        domain.name, range_.name,
+        [(f"a{i}", f"b{i}", 1.0) for i in range(6)])
+
+
+class TestTuneThreshold:
+    def test_perfect_mapping_threshold(self, gold):
+        fuzzy = Mapping.from_correspondences("L.Publication", "R.Publication", [
+            ("a0", "b0", 0.95), ("a1", "b1", 0.9), ("a2", "b2", 0.85),
+            ("a3", "b3", 0.8), ("a4", "b4", 0.75), ("a5", "b5", 0.7),
+            ("a0", "noise", 0.5), ("a1", "noise", 0.45),
+        ])
+        threshold, f1 = tune_threshold(fuzzy, gold)
+        assert threshold == pytest.approx(0.7)
+        assert f1 == pytest.approx(1.0)
+
+    def test_empty_mapping(self, gold):
+        threshold, f1 = tune_threshold(Mapping("L.Publication",
+                                               "R.Publication"), gold)
+        assert f1 == 0.0
+
+    def test_tie_group_handling(self, gold):
+        fuzzy = Mapping.from_correspondences("L.Publication", "R.Publication", [
+            ("a0", "b0", 0.8), ("a1", "b1", 0.8), ("a0", "noise", 0.8),
+        ])
+        threshold, f1 = tune_threshold(fuzzy, gold)
+        # all candidates share one similarity; F is computed on the group
+        assert threshold == pytest.approx(0.8)
+        assert 0 < f1 < 1
+
+
+class TestGridSearch:
+    def test_finds_title_over_year(self, sources, gold):
+        domain, range_ = sources
+        tuner = GridSearchTuner(
+            attributes=["title", "year"],
+            similarities=["trigram", "exact"],
+            thresholds=[0.5, 0.8, 1.0],
+        )
+        result = tuner.tune(domain, range_, gold)
+        assert result.params["attribute"] == "title"
+        assert result.f1 == pytest.approx(1.0)
+
+    def test_auto_threshold_mode(self, sources, gold):
+        domain, range_ = sources
+        tuner = GridSearchTuner(["title"], ["trigram"])
+        result = tuner.tune(domain, range_, gold)
+        assert 0 < result.params["threshold"] <= 1.0
+        assert result.f1 > 0.9
+
+    def test_best_matcher_constructible(self, sources, gold):
+        domain, range_ = sources
+        result = GridSearchTuner(["title"], ["trigram"],
+                                 [0.8]).tune(domain, range_, gold)
+        matcher = result.best_matcher()
+        mapping = matcher.match(domain, range_)
+        assert len(mapping) >= 6
+
+    def test_trials_recorded(self, sources, gold):
+        domain, range_ = sources
+        tuner = GridSearchTuner(["title", "year"], ["trigram"], [0.5, 0.9])
+        result = tuner.tune(domain, range_, gold)
+        assert len(result.trials) == 4
+
+    def test_sampling(self, sources, gold):
+        domain, range_ = sources
+        tuner = GridSearchTuner(["title"], ["trigram"], [0.8],
+                                sample_size=3, seed=1)
+        result = tuner.tune(domain, range_, gold)
+        assert result.f1 >= 0.0  # runs without error on the sample
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridSearchTuner([], ["trigram"])
+
+
+class TestMergeWeightTuning:
+    def test_prefers_informative_mapping(self, gold):
+        good = Mapping.from_correspondences(
+            "L.Publication", "R.Publication",
+            [(f"a{i}", f"b{i}", 0.9) for i in range(6)])
+        bad = Mapping.from_correspondences(
+            "L.Publication", "R.Publication",
+            [(f"a{i}", "noise", 0.9) for i in range(6)])
+        weights, threshold, f1 = tune_merge_weights([good, bad], gold,
+                                                    steps=3)
+        assert f1 == pytest.approx(1.0)
+        assert weights[0] > 0
+
+    def test_validation(self, gold):
+        single = Mapping("L.Publication", "R.Publication")
+        with pytest.raises(ValueError):
+            tune_merge_weights([single], gold)
+        with pytest.raises(ValueError):
+            tune_merge_weights([single, single], gold, steps=1)
+
+
+class TestDecisionTree:
+    def test_learns_threshold_split(self):
+        features = [[0.1], [0.2], [0.3], [0.8], [0.9], [0.95]] * 5
+        labels = [0, 0, 0, 1, 1, 1] * 5
+        tree = DecisionTree(max_depth=2, min_samples_split=2)
+        tree.fit(features, labels)
+        assert tree.predict([0.15]) == 0
+        assert tree.predict([0.85]) == 1
+
+    def test_probability_at_leaves(self):
+        features = [[0.0], [0.0], [1.0], [1.0]] * 5
+        labels = [0, 1, 1, 1] * 5
+        tree = DecisionTree(min_samples_split=2).fit(features, labels)
+        assert 0.0 <= tree.predict_proba([0.0]) <= 1.0
+
+    def test_pure_node_stops(self):
+        tree = DecisionTree().fit([[0.1]] * 10, [1] * 10)
+        assert tree.depth() == 0
+        assert tree.predict([0.5]) == 1
+
+    def test_two_features(self):
+        # label depends only on the second feature
+        features = [[0.5, 0.1], [0.5, 0.9], [0.4, 0.2], [0.6, 0.8]] * 10
+        labels = [0, 1, 0, 1] * 10
+        tree = DecisionTree(min_samples_split=2).fit(features, labels)
+        assert tree.predict([0.5, 0.95]) == 1
+        assert tree.predict([0.5, 0.05]) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTree().fit([], [])
+        with pytest.raises(ValueError):
+            DecisionTree().fit([[1.0]], [1, 0])
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict([0.5])
+
+
+class TestDecisionTreeMatcherTuner:
+    def test_learned_matcher_recovers_gold(self, sources, gold):
+        domain, range_ = sources
+        tuner = DecisionTreeMatcherTuner(
+            [FeatureSpec("title"), FeatureSpec("year", similarity="year")],
+            negatives_per_positive=5, seed=3)
+        matcher = tuner.fit(domain, range_, gold)
+        predicted = matcher.match(domain, range_)
+        gold_pairs = gold.pairs()
+        true_positives = len(predicted.pairs() & gold_pairs)
+        assert true_positives / len(gold_pairs) >= 0.8
+
+    def test_empty_gold_rejected(self, sources):
+        domain, range_ = sources
+        tuner = DecisionTreeMatcherTuner([FeatureSpec("title")])
+        with pytest.raises(ValueError):
+            tuner.fit(domain, range_, Mapping(domain.name, range_.name))
+
+    def test_feature_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeMatcherTuner([])

@@ -1,0 +1,138 @@
+"""Tests for noise operators."""
+
+import random
+
+import pytest
+
+from repro.datagen.corruption import (
+    abbreviate_first_name,
+    case_mangle,
+    corrupt_title,
+    drop_word,
+    name_variant,
+    ocr_noise,
+    random_venue_string,
+    truncate_words,
+    typo,
+    venue_string,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestTypo:
+    def test_changes_string(self, rng):
+        original = "schema matching"
+        changed = [typo(original, rng) for _ in range(10)]
+        assert any(result != original for result in changed)
+
+    def test_empty_string_safe(self, rng):
+        assert typo("", rng) == ""
+
+    def test_deterministic_with_seed(self):
+        first = typo("schema matching", random.Random(1))
+        second = typo("schema matching", random.Random(1))
+        assert first == second
+
+    def test_multiple_errors(self, rng):
+        result = typo("abcdefghij", rng, errors=5)
+        assert result != "abcdefghij"
+
+
+class TestTitleNoise:
+    def test_ocr_noise_probability_zero(self, rng):
+        assert ocr_noise("hello world", rng, probability=0.0) == "hello world"
+
+    def test_drop_word_keeps_single(self, rng):
+        assert drop_word("single", rng) == "single"
+
+    def test_drop_word_removes_one(self, rng):
+        assert len(drop_word("a b c d", rng).split()) == 3
+
+    def test_truncate_keeps_min(self, rng):
+        assert truncate_words("a b c", rng, min_keep=3) == "a b c"
+
+    def test_truncate_shortens(self, rng):
+        result = truncate_words("a b c d e f g h", rng, min_keep=3)
+        assert 3 <= len(result.split()) < 8
+
+    def test_case_mangle(self, rng):
+        result = case_mangle("Mixed Case", rng)
+        assert result in ("mixed case", "MIXED CASE")
+
+    def test_corrupt_title_full_noise(self):
+        rng = random.Random(1)
+        corrupted = [
+            corrupt_title("Adaptive Query Processing for Data Streams", rng,
+                          typo_probability=1.0)
+            for _ in range(5)
+        ]
+        assert all(text for text in corrupted)
+        assert any(text != "Adaptive Query Processing for Data Streams"
+                   for text in corrupted)
+
+    def test_corrupt_title_no_noise(self, rng):
+        title = "Adaptive Query Processing"
+        unchanged = corrupt_title(title, rng, typo_probability=0,
+                                  ocr_probability=0, truncate_probability=0,
+                                  drop_probability=0, case_probability=0)
+        assert unchanged == title
+
+
+class TestNames:
+    def test_abbreviate_first_name(self):
+        assert abbreviate_first_name("John") == "J."
+        assert abbreviate_first_name("John B.") == "J. B."
+        assert abbreviate_first_name("John B.", keep_middle=False) == "J."
+        assert abbreviate_first_name("") == ""
+
+    def test_name_variant_changes_something(self, rng):
+        variants = {name_variant("Agathoniki", "Trigoni", rng)
+                    for _ in range(20)}
+        assert any(variant != ("Agathoniki", "Trigoni")
+                   for variant in variants)
+
+
+class TestVenueStrings:
+    def test_conference_styles(self):
+        assert venue_string("conference", "VLDB", 2002, 28, "short") == \
+            "VLDB 2002"
+        assert venue_string("conference", "VLDB", 2002, 28, "tight") == \
+            "VLDB'02"
+        long = venue_string("conference", "VLDB", 2002, 28, "long")
+        assert "28th" in long and "Very Large Data Bases" in long
+
+    def test_journal_styles(self):
+        tight = venue_string("journal", "SIGMOD Record", 2002, 31, "tight")
+        assert tight.startswith("SIGMOD Record 31(")
+        full = venue_string("journal", "TODS", 2001, 26, "full")
+        assert "Transactions on Database Systems" in full
+
+    def test_ordinal_suffixes(self):
+        assert "21st" in venue_string("conference", "VLDB", 1995, 21, "long")
+        assert "22nd" in venue_string("conference", "VLDB", 1996, 22, "long")
+        assert "23rd" in venue_string("conference", "VLDB", 1997, 23, "long")
+        assert "11th" in venue_string("conference", "VLDB", 1985, 11, "long")
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            venue_string("conference", "VLDB", 2002, 28, "fancy")
+        with pytest.raises(ValueError):
+            venue_string("booklet", "VLDB", 2002, 28, "short")
+
+    def test_random_style_valid(self, rng):
+        for _ in range(10):
+            text = random_venue_string("conference", "SIGMOD", 1999, 25, rng)
+            assert text
+
+    def test_diversity_defeats_string_matching(self, rng):
+        """The §5.4.1 premise: venue strings for the same venue differ
+        wildly across styles."""
+        from repro.sim.ngram import TrigramSimilarity
+        sim = TrigramSimilarity()
+        short = venue_string("conference", "VLDB", 2002, 28, "short")
+        long = venue_string("conference", "VLDB", 2002, 28, "long")
+        assert sim(short, long) < 0.3

@@ -1,0 +1,131 @@
+"""Tests for the e-commerce domain generator (domain independence)."""
+
+import pytest
+
+from repro.core.matchers.attribute import AttributeMatcher
+from repro.core.matchers.neighborhood import neighborhood_match
+from repro.core.operators.merge import merge
+from repro.core.operators.selection import BestNSelection, ThresholdSelection
+from repro.datagen.ecommerce import (
+    BRANDS,
+    CATEGORIES,
+    EcommerceConfig,
+    build_ecommerce_dataset,
+)
+from repro.eval import evaluate
+
+
+@pytest.fixture(scope="module")
+def shop_data():
+    return build_ecommerce_dataset(EcommerceConfig(seed=5, products=150))
+
+
+class TestGeneration:
+    def test_catalog_complete(self, shop_data):
+        assert len(shop_data.catalog.products) == len(shop_data.products)
+
+    def test_market_coverage_partial(self, shop_data):
+        covered = len(shop_data.market.products_of_true)
+        assert 0 < covered < len(shop_data.products)
+
+    def test_duplicate_offers_exist(self, shop_data):
+        assert any(len(ids) > 1
+                   for ids in shop_data.market.products_of_true.values())
+
+    def test_market_names_noisy(self, shop_data):
+        differing = 0
+        for offer_id, true_id in shop_data.market.true_product.items():
+            clean = shop_data.products[true_id].name
+            offered = shop_data.market.products.require(offer_id).get("name")
+            if offered != clean:
+                differing += 1
+        assert differing > len(shop_data.market.true_product) * 0.3
+
+    def test_market_categories_sometimes_missing(self, shop_data):
+        with_category = shop_data.market.products.attribute_values("category")
+        assert len(with_category) < len(shop_data.market.products)
+
+    def test_brand_category_entities(self, shop_data):
+        assert len(shop_data.catalog.brands) == len(BRANDS)
+        assert len(shop_data.market.categories) == len(CATEGORIES)
+
+    def test_determinism(self):
+        config = EcommerceConfig(seed=9, products=40)
+        first = build_ecommerce_dataset(config)
+        second = build_ecommerce_dataset(config)
+        first_names = first.market.products.attribute_values("name")
+        second_names = second.market.products.attribute_values("name")
+        assert first_names == second_names
+
+    def test_gold_covers_market(self, shop_data):
+        gold = shop_data.gold.get("products", "Catalog.Product",
+                                  "Market.Product")
+        assert gold.range_ids() == set(shop_data.market.products.ids())
+
+    def test_smm_registered(self, shop_data):
+        assert shop_data.smm.find_mapping("Catalog.BrandProduct") is not None
+        assert shop_data.smm.get_source("Market.Product") is not None
+
+
+class TestDomainIndependentMatching:
+    """The paper's §7 claim: the same framework works on e-commerce."""
+
+    def test_attribute_matching_reasonable(self, shop_data):
+        matcher = AttributeMatcher("name", similarity="trigram",
+                                   threshold=0.6)
+        mapping = BestNSelection(1, side="range").apply(
+            matcher.match(shop_data.catalog.products,
+                          shop_data.market.products))
+        gold = shop_data.gold.get("products", "Catalog.Product",
+                                  "Market.Product")
+        quality = evaluate(mapping, gold)
+        assert quality.f1 > 0.6
+
+    def test_brand_matching_via_neighborhood(self, shop_data):
+        """1:n neighborhood matching transfers: match brands by their
+        products, exactly as venues were matched by publications."""
+        matcher = AttributeMatcher("name", similarity="trigram",
+                                   threshold=0.6)
+        product_same = ThresholdSelection(0.75).apply(
+            matcher.match(shop_data.catalog.products,
+                          shop_data.market.products))
+        brand_same = neighborhood_match(
+            shop_data.catalog.brand_product, product_same,
+            shop_data.market.product_brand)
+        mapping = BestNSelection(1).apply(brand_same)
+        gold = shop_data.gold.get("brands", "Catalog.Brand", "Market.Brand")
+        quality = evaluate(mapping, gold)
+        assert quality.f1 > 0.85
+
+    def test_merge_improves_products(self, shop_data):
+        """Neighborhood refinement (category-constrained candidates)
+        merged with the direct name matcher lifts recall."""
+        name_matcher = AttributeMatcher("name", similarity="trigram",
+                                        threshold=0.6)
+        fuzzy = name_matcher.match(shop_data.catalog.products,
+                                   shop_data.market.products)
+        direct = ThresholdSelection(0.8).apply(fuzzy)
+        permissive = ThresholdSelection(0.55).apply(fuzzy)
+        category_same = neighborhood_match(
+            shop_data.catalog.category_product, direct,
+            shop_data.market.product_category)
+        category_best = BestNSelection(1).apply(category_same)
+        constrained = neighborhood_match(
+            shop_data.catalog.product_category, category_best,
+            shop_data.market.category_product)
+        refined = merge([permissive, constrained], "min0")
+        merged = BestNSelection(1, side="range").apply(
+            merge([direct, refined], "max"))
+        gold = shop_data.gold.get("products", "Catalog.Product",
+                                  "Market.Product")
+        merged_quality = evaluate(merged, gold)
+        direct_quality = evaluate(
+            BestNSelection(1, side="range").apply(direct), gold)
+        assert merged_quality.recall >= direct_quality.recall
+        assert merged_quality.f1 >= direct_quality.f1 - 0.01
+
+
+class TestConfigValidation:
+    def test_small_world(self):
+        dataset = build_ecommerce_dataset(EcommerceConfig(products=10))
+        assert len(dataset.catalog.products) == 10

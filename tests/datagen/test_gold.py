@@ -1,0 +1,65 @@
+"""Unit tests for the GoldStandard container."""
+
+import pytest
+
+from repro.core.mapping import Mapping
+from repro.datagen.gold import GoldStandard
+
+
+@pytest.fixture
+def gold():
+    standard = GoldStandard()
+    standard.add("publications", Mapping.from_correspondences(
+        "DBLP.Publication", "ACM.Publication", [("p1", "q1", 1.0)]))
+    standard.add("authors", Mapping.from_correspondences(
+        "DBLP.Author", "ACM.Author", [("a1", "b1", 1.0)]))
+    return standard
+
+
+class TestRegistryBehaviour:
+    def test_get_forward(self, gold):
+        mapping = gold.get("publications", "DBLP.Publication",
+                           "ACM.Publication")
+        assert mapping.get("p1", "q1") == 1.0
+
+    def test_get_inverse_derived(self, gold):
+        mapping = gold.get("publications", "ACM.Publication",
+                           "DBLP.Publication")
+        assert mapping.get("q1", "p1") == 1.0
+
+    def test_category_case_insensitive(self, gold):
+        assert gold.get("Publications", "DBLP.Publication",
+                        "ACM.Publication") is not None
+
+    def test_convenience_accessors(self, gold):
+        assert gold.publications("DBLP.Publication", "ACM.Publication")
+        assert gold.authors("DBLP.Author", "ACM.Author")
+        with pytest.raises(KeyError):
+            gold.venues("DBLP.Venue", "ACM.Venue")
+
+    def test_try_get(self, gold):
+        assert gold.try_get("venues", "X", "Y") is None
+        assert gold.try_get("authors", "DBLP.Author",
+                            "ACM.Author") is not None
+
+    def test_duplicate_add_rejected(self, gold):
+        with pytest.raises(ValueError):
+            gold.add("publications", Mapping("DBLP.Publication",
+                                             "ACM.Publication"))
+
+    def test_contains_both_orientations(self, gold):
+        assert ("publications", "DBLP.Publication",
+                "ACM.Publication") in gold
+        assert ("publications", "ACM.Publication",
+                "DBLP.Publication") in gold
+        assert ("venues", "X", "Y") not in gold
+
+    def test_iteration_and_len(self, gold):
+        keys = list(gold)
+        assert len(gold) == 2
+        assert all(len(key) == 3 for key in keys)
+
+    def test_error_lists_known_keys(self, gold):
+        with pytest.raises(KeyError) as excinfo:
+            gold.get("venues", "A", "B")
+        assert "publications" in str(excinfo.value)

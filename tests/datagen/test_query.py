@@ -1,0 +1,77 @@
+"""Tests for the query-only web-source interface."""
+
+import pytest
+
+from repro.datagen.query import QueryClient, harvest_by_titles
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+
+
+@pytest.fixture
+def client():
+    source = LogicalSource(PhysicalSource("GS", downloadable=False),
+                           ObjectType("Publication"))
+    source.add_record("g1", title="Adaptive Query Processing for Streams")
+    source.add_record("g2", title="Adaptive View Maintenance")
+    source.add_record("g3", title="Schema Matching with Cupid")
+    source.add_record("g4", title=None)
+    return QueryClient(source, attribute="title", max_results=10)
+
+
+class TestSearch:
+    def test_exact_title_ranks_first(self, client):
+        results = client.search("Adaptive Query Processing for Streams")
+        assert results[0].id == "g1"
+
+    def test_partial_overlap_found(self, client):
+        results = client.search("query processing")
+        assert any(instance.id == "g1" for instance in results)
+
+    def test_ranking_by_overlap(self, client):
+        results = client.search("adaptive query")
+        ids = [instance.id for instance in results]
+        assert ids.index("g1") < ids.index("g2")
+
+    def test_no_match(self, client):
+        assert client.search("entirely unrelated nonsense") == []
+
+    def test_empty_query(self, client):
+        assert client.search("") == []
+
+    def test_max_results_limit(self, client):
+        results = client.search("adaptive", max_results=1)
+        assert len(results) == 1
+
+    def test_none_titles_not_indexed(self, client):
+        results = client.search("anything")
+        assert all(instance.id != "g4" for instance in results)
+
+    def test_invalid_max_results(self, client):
+        with pytest.raises(ValueError):
+            QueryClient(client.source, max_results=0)
+
+
+class TestHarvest:
+    def test_harvest_returns_subset_view(self, client):
+        subset, stats = harvest_by_titles(
+            client, ["Adaptive Query Processing", "Schema Matching"])
+        assert stats["queries"] == 2
+        assert stats["distinct_results"] == len(subset)
+        assert set(subset.ids()) <= {"g1", "g2", "g3"}
+
+    def test_harvest_dedupes(self, client):
+        subset, stats = harvest_by_titles(
+            client, ["adaptive", "adaptive", "adaptive"])
+        assert stats["queries"] == 3
+        ids = subset.ids()
+        assert len(ids) == len(set(ids))
+
+    def test_harvest_on_real_gs(self, dataset):
+        gs_client = QueryClient(dataset.gs.publications)
+        titles = [
+            dataset.dblp.publications.require(pub_id).get("title")
+            for pub_id in dataset.dblp.publications.ids()[:20]
+        ]
+        subset, stats = harvest_by_titles(gs_client, titles,
+                                          max_results_per_query=5)
+        assert stats["queries"] == 20
+        assert len(subset) > 0

@@ -1,0 +1,167 @@
+"""Tests for the derived source views and gold standard."""
+
+import pytest
+
+from repro.core.mapping import MappingKind
+from repro.datagen.sources import build_dataset, dataset_statistics
+
+
+class TestDblp:
+    def test_complete_coverage(self, dataset):
+        assert len(dataset.dblp.publications) == len(dataset.world.publications)
+
+    def test_clean_titles(self, dataset):
+        for pub_id, true_id in dataset.dblp.true_pub.items():
+            instance = dataset.dblp.publications.require(pub_id)
+            assert instance.get("title") == \
+                dataset.world.publications[true_id].title
+
+    def test_duplicate_authors_injected(self, dataset):
+        duplicated = [ids for ids in dataset.dblp.authors_of_true.values()
+                      if len(ids) > 1]
+        assert duplicated
+        for ids in duplicated:
+            names = {dataset.dblp.authors.require(i).get("name") for i in ids}
+            assert len(names) >= 1  # variant names may collide only rarely
+
+    def test_duplicate_author_owns_pubs(self, dataset):
+        for true_id, ids in dataset.dblp.authors_of_true.items():
+            if len(ids) < 2:
+                continue
+            for source_id in ids:
+                assert len(dataset.dblp.author_pub.range_ids_of(source_id)) >= 1
+
+    def test_associations_consistent(self, dataset):
+        pub_author = dataset.dblp.pub_author
+        author_pub = dataset.dblp.author_pub
+        assert pub_author.inverse().to_rows() == author_pub.to_rows()
+
+    def test_co_author_symmetric(self, dataset):
+        co = dataset.dblp.co_author
+        for domain_id, range_id, similarity in co:
+            assert co.get(range_id, domain_id) == similarity
+
+    def test_venue_association_n_to_1(self, dataset):
+        for pub_id in dataset.dblp.publications.ids():
+            assert dataset.dblp.pub_venue.out_degree(pub_id) == 1
+
+
+class TestAcm:
+    def test_missing_vldb_2002_2003(self, dataset):
+        years = set()
+        for venue_id, true_id in dataset.acm.true_venue.items():
+            venue = dataset.world.venues[true_id]
+            if venue.series == "VLDB":
+                years.add(venue.year)
+        assert 2002 not in years and 2003 not in years
+
+    def test_smaller_than_dblp(self, dataset):
+        assert len(dataset.acm.publications) < len(dataset.dblp.publications)
+
+    def test_numeric_keys(self, dataset):
+        assert all(pub_id.startswith("P-")
+                   for pub_id in dataset.acm.publications.ids())
+
+    def test_citations_attribute(self, dataset):
+        values = dataset.acm.publications.attribute_values("citations")
+        assert values and all(value >= 0 for value in values)
+
+    def test_verbose_venue_strings(self, dataset):
+        assert dataset.acm.venues is not None
+        names = dataset.acm.venues.attribute_values("name")
+        assert any("Proceedings" in name or "Transactions" in name
+                   or "Journal" in name for name in names)
+
+
+class TestGs:
+    def test_duplicate_entries_exist(self, dataset):
+        multi = [ids for ids in dataset.gs.pubs_of_true.values()
+                 if len(ids) > 1]
+        assert multi
+
+    def test_more_entries_than_dblp(self, dataset):
+        assert len(dataset.gs.publications) > \
+            0.8 * len(dataset.dblp.publications)
+
+    def test_years_sometimes_missing(self, dataset):
+        with_year = dataset.gs.publications.attribute_values("year")
+        assert len(with_year) < len(dataset.gs.publications)
+
+    def test_abbreviated_author_names(self, dataset):
+        names = dataset.gs.authors.attribute_values("name")
+        assert all(name.split()[0].endswith(".") for name in names)
+
+    def test_no_venue_lds(self, dataset):
+        # Fig. 2: the GS peer only exposes a Publication LDS
+        assert dataset.gs.venues is None
+
+    def test_link_mapping_low_recall(self, dataset):
+        links = dataset.gs.extras["links_to_acm"]
+        gold = dataset.gold.publications("GS.Publication", "ACM.Publication")
+        recall = len(links.pairs() & gold.pairs()) / len(gold.pairs())
+        assert 0.05 < recall < 0.45
+
+    def test_link_mapping_is_same_mapping(self, dataset):
+        assert dataset.gs.extras["links_to_acm"].kind == MappingKind.SAME
+
+
+class TestGold:
+    def test_pub_gold_covers_acm(self, dataset):
+        gold = dataset.gold.publications("DBLP.Publication", "ACM.Publication")
+        # every ACM publication has a DBLP counterpart (DBLP is complete)
+        assert gold.range_ids() == set(dataset.acm.publications.ids())
+
+    def test_gs_gold_contains_all_duplicate_entries(self, dataset):
+        gold = dataset.gold.publications("DBLP.Publication", "GS.Publication")
+        assert gold.range_ids() == set(dataset.gs.publications.ids())
+
+    def test_author_gold_includes_duplicates(self, dataset):
+        gold = dataset.gold.authors("DBLP.Author", "ACM.Author")
+        duplicated = [ids for ids in dataset.dblp.authors_of_true.values()
+                      if len(ids) > 1]
+        for ids in duplicated:
+            out_degrees = [gold.out_degree(i) for i in ids]
+            # both duplicate ids map to the same ACM author (when covered)
+            assert len(set(out_degrees)) <= 2
+
+    def test_venue_gold_excludes_missing(self, dataset):
+        gold = dataset.gold.venues("DBLP.Venue", "ACM.Venue")
+        assert len(gold) == len(dataset.acm.venues)
+
+    def test_inverse_resolution(self, dataset):
+        forward = dataset.gold.publications("DBLP.Publication",
+                                            "ACM.Publication")
+        backward = dataset.gold.publications("ACM.Publication",
+                                             "DBLP.Publication")
+        assert backward.to_rows() == forward.inverse().to_rows()
+
+    def test_unknown_gold_raises(self, dataset):
+        with pytest.raises(KeyError):
+            dataset.gold.get("publications", "X", "Y")
+
+
+class TestDataset:
+    def test_bundle_lookup(self, dataset):
+        assert dataset.bundle("dblp") is dataset.dblp
+        with pytest.raises(KeyError):
+            dataset.bundle("ieee")
+
+    def test_statistics_structure(self, dataset):
+        stats = dataset_statistics(dataset)
+        assert stats["DBLP"]["publications"] == len(dataset.dblp.publications)
+        assert stats["GS"]["venues"] == 0
+
+    def test_smm_registered_mappings(self, dataset):
+        for name in ("DBLP.PubAuthor", "DBLP.CoAuthor", "ACM.VenuePub",
+                     "GS.PubAuthor", "GS.LinksToACM"):
+            assert dataset.smm.find_mapping(name) is not None
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError):
+            build_dataset("galactic")
+
+    def test_determinism_across_builds(self):
+        first = build_dataset("tiny", seed=3)
+        second = build_dataset("tiny", seed=3)
+        assert first.dblp.publications.ids() == second.dblp.publications.ids()
+        assert first.gs.publications.ids() == second.gs.publications.ids()

@@ -1,0 +1,146 @@
+"""Tests for ground-truth world generation."""
+
+import random
+
+import pytest
+
+from repro.datagen.names import generate_author_names
+from repro.datagen.text import RECURRING_TITLES, generate_distinct_titles
+from repro.datagen.world import WorldConfig, generate_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(WorldConfig(
+        seed=11, start_year=2001, end_year=2003,
+        conference_pubs=(6, 10), journal_pubs=(2, 3), magazine_pubs=(2, 4),
+        clusters=8,
+    ))
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        config = WorldConfig(seed=5, start_year=2002, end_year=2003,
+                             conference_pubs=(4, 6), journal_pubs=(1, 2),
+                             magazine_pubs=(2, 3), clusters=6)
+        first = generate_world(config)
+        second = generate_world(config)
+        assert sorted(first.publications) == sorted(second.publications)
+        first_titles = {pub.id: pub.title
+                        for pub in first.publications.values()}
+        second_titles = {pub.id: pub.title
+                         for pub in second.publications.values()}
+        assert first_titles == second_titles
+
+    def test_different_seeds_differ(self):
+        base = dict(start_year=2002, end_year=2003,
+                    conference_pubs=(4, 6), journal_pubs=(1, 2),
+                    magazine_pubs=(2, 3), clusters=6)
+        first = generate_world(WorldConfig(seed=1, **base))
+        second = generate_world(WorldConfig(seed=2, **base))
+        first_titles = sorted(p.title for p in first.publications.values())
+        second_titles = sorted(p.title for p in second.publications.values())
+        assert first_titles != second_titles
+
+
+class TestStructure:
+    def test_venue_counts(self, world):
+        config = world.config
+        years = 3
+        expected_conferences = len(config.conferences) * years
+        expected_journal_issues = (len(config.journals) * years
+                                   * config.issues_per_year)
+        conferences = [v for v in world.venues.values()
+                       if v.kind == "conference"]
+        journals = [v for v in world.venues.values() if v.kind == "journal"]
+        assert len(conferences) == expected_conferences
+        assert len(journals) == expected_journal_issues
+
+    def test_publication_counts_within_bounds(self, world):
+        for venue in world.venues.values():
+            pubs = [p for p in world.publications_of_venue(venue.id)
+                    if not p.recurring]
+            if venue.kind == "conference":
+                low, high = world.config.conference_pubs
+            elif venue.series == "SIGMOD Record":
+                low, high = world.config.magazine_pubs
+            else:
+                low, high = world.config.journal_pubs
+            assert low <= len(pubs) <= high
+
+    def test_publication_years_match_venue(self, world):
+        for pub in world.publications.values():
+            assert pub.year == world.venues[pub.venue_id].year
+
+    def test_authors_exist(self, world):
+        for pub in world.publications.values():
+            assert pub.author_ids
+            for author_id in pub.author_ids:
+                assert author_id in world.authors
+
+    def test_author_lists_have_no_duplicates(self, world):
+        for pub in world.publications.values():
+            assert len(set(pub.author_ids)) == len(pub.author_ids)
+
+    def test_journal_versions_share_title_and_authors(self, world):
+        versions = [p for p in world.publications.values()
+                    if p.version_of is not None]
+        for version in versions:
+            original = world.publications[version.version_of]
+            assert version.title == original.title
+            assert version.author_ids == original.author_ids
+            assert version.year > original.year
+
+    def test_recurring_titles_repeat(self, world):
+        recurring = [p for p in world.publications.values() if p.recurring]
+        for pub in recurring:
+            assert pub.title in RECURRING_TITLES
+
+    def test_statistics(self, world):
+        stats = world.statistics()
+        assert stats["publications"] == len(world.publications)
+        assert stats["venues"] == len(world.venues)
+        assert 0 < stats["authors"] <= len(world.authors)
+
+    def test_repeat_collaboration_exists(self, world):
+        """Collaborator affinity must create repeated co-author pairs —
+        the signal Table 9's duplicate detection relies on."""
+        pair_counts = {}
+        for pub in world.publications.values():
+            authors = sorted(pub.author_ids)
+            for i, author_a in enumerate(authors):
+                for author_b in authors[i + 1:]:
+                    key = (author_a, author_b)
+                    pair_counts[key] = pair_counts.get(key, 0) + 1
+        assert any(count >= 2 for count in pair_counts.values())
+
+
+class TestConfigValidation:
+    def test_year_order(self):
+        with pytest.raises(ValueError):
+            WorldConfig(start_year=2005, end_year=2001)
+
+    def test_positive_scale(self):
+        with pytest.raises(ValueError):
+            WorldConfig(scale=0)
+
+    def test_need_some_series(self):
+        with pytest.raises(ValueError):
+            WorldConfig(conferences=(), journals=())
+
+
+class TestCorpora:
+    def test_distinct_names(self):
+        rng = random.Random(3)
+        names = generate_author_names(500, rng)
+        assert len(set(names)) == 500
+
+    def test_name_pool_limit(self):
+        rng = random.Random(3)
+        with pytest.raises(ValueError):
+            generate_author_names(10 ** 9, rng)
+
+    def test_distinct_titles(self):
+        rng = random.Random(3)
+        titles = generate_distinct_titles(300, rng)
+        assert len(set(titles)) == 300

@@ -1,0 +1,127 @@
+"""Tests for mapping diagnostics."""
+
+import pytest
+
+from repro.core.mapping import Mapping
+from repro.eval.diagnostics import (
+    agreement,
+    cardinality_profile,
+    describe,
+    similarity_histogram,
+)
+
+
+@pytest.fixture
+def mapping():
+    return Mapping.from_correspondences("A", "B", [
+        ("a1", "b1", 1.0),               # clean 1:1
+        ("a2", "b2", 0.9), ("a2", "b3", 0.8),   # 1:2 (GS duplicates)
+        ("a3", "b4", 0.3),
+    ])
+
+
+class TestCardinality:
+    def test_counts(self, mapping):
+        profile = cardinality_profile(mapping)
+        assert profile.correspondences == 4
+        assert profile.domain_objects == 3
+        assert profile.range_objects == 4
+        assert profile.max_out_degree == 2
+        assert profile.max_in_degree == 1
+
+    def test_unique_sides(self, mapping):
+        profile = cardinality_profile(mapping)
+        assert profile.unique_domain == 2  # a1, a3
+        assert profile.unique_range == 4
+
+    def test_one_to_one_ratio(self, mapping):
+        profile = cardinality_profile(mapping)
+        # a1/b1 and a3/b4 are 1:1 on both sides
+        assert profile.one_to_one_ratio == pytest.approx(0.5)
+
+    def test_empty_mapping(self):
+        profile = cardinality_profile(Mapping("A", "B"))
+        assert profile.correspondences == 0
+        assert profile.one_to_one_ratio == 1.0
+
+    def test_duplicate_heavy_mapping_flagged(self, workbench):
+        """DBLP-GS gold has 1:n structure by construction (dup entries)."""
+        gold = workbench.gold("publications", "DBLP", "GS")
+        profile = cardinality_profile(gold)
+        assert profile.max_out_degree > 1
+        assert profile.one_to_one_ratio < 1.0
+
+
+class TestHistogram:
+    def test_bin_assignment(self, mapping):
+        histogram = similarity_histogram(mapping, bins=10)
+        counts = {low: count for low, _, count in histogram}
+        assert counts[0.9] == 2  # 0.9 and 1.0 share the top bin
+        assert counts[0.8] == 1
+        assert counts[0.3] == 1
+
+    def test_total_preserved(self, mapping):
+        histogram = similarity_histogram(mapping, bins=7)
+        assert sum(count for _, _, count in histogram) == len(mapping)
+
+    def test_single_bin(self, mapping):
+        histogram = similarity_histogram(mapping, bins=1)
+        assert histogram == [(0.0, 1.0, 4)]
+
+    def test_invalid_bins(self, mapping):
+        with pytest.raises(ValueError):
+            similarity_histogram(mapping, bins=0)
+
+
+class TestAgreement:
+    def test_partition(self):
+        left = Mapping.from_correspondences("A", "B", [
+            ("a1", "b1", 1.0), ("a2", "b2", 0.9)])
+        right = Mapping.from_correspondences("A", "B", [
+            ("a1", "b1", 0.95), ("a3", "b3", 0.7)])
+        report = agreement(left, right)
+        assert report.both == 1
+        assert report.only_left == 1 and report.only_right == 1
+        assert report.jaccard == pytest.approx(1 / 3)
+
+    def test_similarity_conflicts(self):
+        left = Mapping.from_correspondences("A", "B", [("a", "b", 1.0)])
+        right = Mapping.from_correspondences("A", "B", [("a", "b", 0.5)])
+        report = agreement(left, right, similarity_tolerance=0.1)
+        assert report.similarity_conflicts == 1
+        relaxed = agreement(left, right, similarity_tolerance=0.6)
+        assert relaxed.similarity_conflicts == 0
+
+    def test_examples_bounded(self):
+        left = Mapping.from_correspondences("A", "B", [
+            (f"a{i}", f"b{i}", 1.0) for i in range(10)])
+        right = Mapping("A", "B")
+        report = agreement(left, right, max_examples=3)
+        assert len(report.examples_only_left) == 3
+
+    def test_incompatible_sources(self):
+        with pytest.raises(ValueError):
+            agreement(Mapping("A", "B"), Mapping("A", "C"))
+
+    def test_merge_rationale_on_dataset(self, workbench):
+        """Complementary disagreement is why merging helps (§4.1.1)."""
+        from repro.core.operators.selection import ThresholdSelection
+        threshold = ThresholdSelection(0.8)
+        title = threshold.apply(workbench.fuzzy_title("DBLP", "ACM"))
+        authors = threshold.apply(
+            workbench.fuzzy_pub_authors("DBLP", "ACM"))
+        report = agreement(title, authors)
+        assert report.only_left > 0 and report.only_right > 0
+
+
+class TestDescribe:
+    def test_summary_fields(self, mapping):
+        summary = describe(mapping)
+        assert summary["correspondences"] == 4
+        assert summary["min_similarity"] == 0.3
+        assert summary["max_similarity"] == 1.0
+        assert 0 < summary["mean_similarity"] < 1
+
+    def test_empty(self):
+        summary = describe(Mapping("A", "B"))
+        assert summary["mean_similarity"] is None

@@ -1,0 +1,54 @@
+"""Tests for the §5.6 GS self-mapping extension workflow."""
+
+import pytest
+
+from repro.eval.experiments.extension_self_mapping import (
+    gs_self_mapping,
+    run_self_mapping_extension,
+)
+
+
+class TestGsSelfMapping:
+    def test_self_mapping_is_self(self, workbench):
+        mapping = gs_self_mapping(workbench)
+        assert mapping.is_self_mapping()
+        assert mapping.domain == "GS.Publication"
+
+    def test_clusters_are_symmetric(self, workbench):
+        mapping = gs_self_mapping(workbench)
+        for domain_id, range_id, similarity in mapping:
+            assert mapping.get(range_id, domain_id) == similarity
+
+    def test_clusters_mostly_true_duplicates(self, workbench):
+        mapping = gs_self_mapping(workbench)
+        true_of = workbench.dataset.gs.true_pub
+        agree = sum(1 for a, b in mapping.pairs()
+                    if true_of[a] == true_of[b])
+        assert agree / max(len(mapping), 1) > 0.8
+
+    def test_version_pairs_separated(self, workbench):
+        """Conference/journal versions share titles but must not be
+        clustered (the year constraint's job)."""
+        mapping = gs_self_mapping(workbench)
+        world = workbench.dataset.world
+        true_of = workbench.dataset.gs.true_pub
+        for a, b in mapping.pairs():
+            pub_a = world.publications[true_of[a]]
+            pub_b = world.publications[true_of[b]]
+            if pub_a.id != pub_b.id:
+                # misclusters may exist but never across version pairs
+                # with known different years recorded on both entries
+                year_a = workbench.dataset.gs.publications.require(a).get("year")
+                year_b = workbench.dataset.gs.publications.require(b).get("year")
+                if year_a is not None and year_b is not None:
+                    assert abs(year_a - year_b) <= 1
+
+
+class TestExtensionExperiment:
+    def test_improves_over_base(self, workbench):
+        result = run_self_mapping_extension(workbench)
+        assert result.data["expanded"]["f1"] >= result.data["base"]["f1"]
+
+    def test_render(self, workbench):
+        result = run_self_mapping_extension(workbench)
+        assert "duplicate clusters" in result.render()

@@ -1,0 +1,69 @@
+"""Tests for the figure-checking helpers and figure data integrity."""
+
+import pytest
+
+from repro.core.mapping import Mapping
+from repro.eval.experiments.figures import (
+    FIGURE1_SAME,
+    FIGURE4_EXPECTED,
+    FIGURE6_EXPECTED,
+    FIGURE9_EXPECTED,
+    _rows_match,
+)
+
+
+class TestRowsMatch:
+    def test_exact_match(self):
+        mapping = Mapping.from_correspondences("A", "B", [("a", "b", 0.8)])
+        assert _rows_match(mapping, [("a", "b", 0.8)]) is True
+
+    def test_rounding_tolerance(self):
+        mapping = Mapping.from_correspondences("A", "B",
+                                               [("a", "b", 2 / 3)])
+        assert _rows_match(mapping, [("a", "b", 0.67)]) is True
+
+    def test_value_mismatch(self):
+        mapping = Mapping.from_correspondences("A", "B", [("a", "b", 0.8)])
+        assert _rows_match(mapping, [("a", "b", 0.9)]) is False
+
+    def test_missing_row(self):
+        mapping = Mapping.from_correspondences("A", "B", [("a", "b", 0.8)])
+        assert _rows_match(mapping, [("a", "b", 0.8),
+                                     ("c", "d", 0.5)]) is False
+
+    def test_extra_row(self):
+        mapping = Mapping.from_correspondences(
+            "A", "B", [("a", "b", 0.8), ("c", "d", 0.5)])
+        assert _rows_match(mapping, [("a", "b", 0.8)]) is False
+
+    def test_digit_precision_parameter(self):
+        mapping = Mapping.from_correspondences("A", "B",
+                                               [("a", "b", 0.812)])
+        assert _rows_match(mapping, [("a", "b", 0.81)], digits=2) is True
+        assert _rows_match(mapping, [("a", "b", 0.81)], digits=3) is False
+
+
+class TestFigureConstants:
+    """The embedded paper values must stay internally consistent."""
+
+    def test_figure1_has_five_correspondences(self):
+        assert len(FIGURE1_SAME) == 5
+        sims = [sim for _, _, sim in FIGURE1_SAME]
+        assert sims.count(1.0) == 3 and sims.count(0.6) == 2
+
+    def test_figure4_prefer_is_superset_of_map1(self):
+        prefer = {(a, b) for a, b, _ in FIGURE4_EXPECTED["prefer"]}
+        assert {("a1", "b1"), ("a2", "b2")} <= prefer
+
+    def test_figure6_relative_values(self):
+        values = {(a, b): s for a, b, s in FIGURE6_EXPECTED}
+        assert values[("v1", "v'1")] == pytest.approx(0.8)
+        # multi-path support outranks single-path for v1
+        assert values[("v1", "v'1")] > values[("v1", "v'2")]
+
+    def test_figure9_uses_figure1_mapping(self):
+        # Figure 9 composes through exactly the Figure 1 correspondences
+        dblp_pubs = {domain for domain, _, _ in FIGURE1_SAME}
+        assert "conf/VLDB/ChirkovaHS01" in dblp_pubs
+        venues = {b for _, b, _ in FIGURE9_EXPECTED}
+        assert venues == {"V-645927", "V-641268"}

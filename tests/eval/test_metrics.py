@@ -1,0 +1,75 @@
+"""Tests for evaluation metrics."""
+
+import pytest
+
+from repro.core.mapping import Mapping
+from repro.eval.metrics import (
+    evaluate,
+    evaluate_pairs,
+    f_measure,
+    precision_recall_f1,
+)
+
+
+class TestFMeasure:
+    def test_harmonic_mean(self):
+        assert f_measure(1.0, 1.0) == 1.0
+        assert f_measure(0.5, 1.0) == pytest.approx(2 / 3)
+
+    def test_zero_case(self):
+        assert f_measure(0.0, 0.0) == 0.0
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        gold = {("a", "b"), ("c", "d")}
+        assert precision_recall_f1(gold, gold) == (1.0, 1.0, 1.0)
+
+    def test_half_precision(self):
+        predicted = {("a", "b"), ("x", "y")}
+        gold = {("a", "b"), ("c", "d")}
+        precision, recall, f1 = precision_recall_f1(predicted, gold)
+        assert precision == 0.5 and recall == 0.5 and f1 == 0.5
+
+    def test_empty_prediction(self):
+        assert precision_recall_f1(set(), {("a", "b")}) == (0.0, 0.0, 0.0)
+
+    def test_empty_gold(self):
+        precision, recall, f1 = precision_recall_f1({("a", "b")}, set())
+        assert recall == 0.0
+
+
+class TestEvaluate:
+    def test_counts(self):
+        predicted = Mapping.from_correspondences("A", "B", [
+            ("a1", "b1", 1.0), ("a2", "bX", 0.9)])
+        gold = Mapping.from_correspondences("A", "B", [
+            ("a1", "b1", 1.0), ("a3", "b3", 1.0)])
+        quality = evaluate(predicted, gold)
+        assert quality.true_positives == 1
+        assert quality.predicted == 2 and quality.gold == 2
+        assert quality.precision == 0.5 and quality.recall == 0.5
+
+    def test_similarities_ignored(self):
+        predicted = Mapping.from_correspondences("A", "B", [("a", "b", 0.1)])
+        gold = Mapping.from_correspondences("A", "B", [("a", "b", 1.0)])
+        assert evaluate(predicted, gold).f1 == 1.0
+
+    def test_restrict_filters_both_sides(self):
+        predicted = Mapping.from_correspondences("A", "B", [
+            ("conf1", "x", 1.0), ("jour1", "y", 1.0)])
+        gold = Mapping.from_correspondences("A", "B", [
+            ("conf1", "x", 1.0), ("jour1", "z", 1.0)])
+        conference_only = evaluate(predicted, gold,
+                                   restrict=lambda p: p[0].startswith("conf"))
+        assert conference_only.f1 == 1.0
+        assert conference_only.gold == 1
+
+    def test_as_row(self):
+        predicted = Mapping.from_correspondences("A", "B", [("a", "b", 1.0)])
+        row = evaluate(predicted, predicted).as_row()
+        assert row["f1"] == 1.0 and row["tp"] == 1
+
+    def test_evaluate_pairs_direct(self):
+        quality = evaluate_pairs({("a", "b")}, {("a", "b"), ("c", "d")})
+        assert quality.recall == 0.5

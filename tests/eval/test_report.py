@@ -1,0 +1,46 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.eval.report import Table, format_percent, render_table
+
+
+class TestFormatPercent:
+    def test_basic(self):
+        assert format_percent(0.919) == "91.9%"
+
+    def test_digits(self):
+        assert format_percent(0.5, digits=0) == "50%"
+
+    def test_none(self):
+        assert format_percent(None) == "-"
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table("Demo", ["name", "value"])
+        table.add_row("alpha", 1)
+        table.add_row("beta", 22)
+        table.add_note("a footnote")
+        text = table.render()
+        assert "Demo" in text
+        assert "alpha" in text and "22" in text
+        assert "a footnote" in text
+
+    def test_column_alignment(self):
+        table = Table("T", ["a", "b"])
+        table.add_row("short", "x")
+        table.add_row("a much longer cell", "y")
+        lines = render_table(table).splitlines()
+        header, rows = lines[2], lines[4:]
+        pipe_positions = {line.index("|") for line in [header] + rows}
+        assert len(pipe_positions) == 1  # all rows align
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only one")
+
+    def test_empty_table_renders(self):
+        table = Table("Empty", ["col"])
+        assert "Empty" in table.render()

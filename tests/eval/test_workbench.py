@@ -1,0 +1,72 @@
+"""Tests for the experiment workbench (shared pipeline cache)."""
+
+import pytest
+
+from repro.core.mapping import Mapping
+from repro.eval.experiments import Workbench
+from repro.eval.experiments.common import ensure_workbench
+
+
+class TestCaching:
+    def test_fuzzy_title_cached(self, workbench):
+        first = workbench.fuzzy_title("DBLP", "ACM")
+        second = workbench.fuzzy_title("DBLP", "ACM")
+        assert first is second
+
+    def test_threshold_variants_distinct(self, workbench):
+        loose = workbench.pub_same("DBLP", "ACM", threshold=0.5)
+        tight = workbench.pub_same("DBLP", "ACM", threshold=0.9)
+        assert len(loose) >= len(tight)
+
+    def test_venue_same_selection_variants(self, workbench):
+        best1 = workbench.venue_same(selection="best1")
+        threshold = workbench.venue_same(selection="0.5")
+        assert best1 is workbench.venue_same(selection="best1")
+        assert best1.to_rows() != [] and threshold is not best1
+
+
+class TestResolution:
+    def test_bundle_lookup(self, workbench):
+        assert workbench.bundle("DBLP").name == "DBLP"
+        with pytest.raises(KeyError):
+            workbench.bundle("IEEE")
+
+    def test_gold_resolution(self, workbench):
+        gold = workbench.gold("publications", "DBLP", "ACM")
+        assert isinstance(gold, Mapping)
+        assert gold.domain == "DBLP.Publication"
+
+    def test_score_matches_manual_evaluate(self, workbench):
+        from repro.eval import evaluate
+        mapping = workbench.pub_same("DBLP", "ACM")
+        direct = evaluate(mapping, workbench.gold("publications",
+                                                  "DBLP", "ACM"))
+        via_workbench = workbench.score(mapping, "publications",
+                                        "DBLP", "ACM")
+        assert direct == via_workbench
+
+    def test_venue_kinds(self, workbench):
+        kinds = workbench.venue_kind_of_dblp_venue()
+        assert set(kinds.values()) <= {"conference", "journal"}
+        pub_kinds = workbench.venue_kind_of_pub("DBLP")
+        assert set(pub_kinds.values()) <= {"conference", "journal"}
+        assert len(pub_kinds) == len(workbench.bundle("DBLP").publications)
+
+
+class TestEnsureWorkbench:
+    def test_idempotent_on_workbench(self, workbench):
+        assert ensure_workbench(workbench) is workbench
+
+    def test_wraps_dataset(self, dataset):
+        workbench = ensure_workbench(dataset)
+        assert isinstance(workbench, Workbench)
+        assert workbench.dataset is dataset
+
+
+class TestGsAuthorSame:
+    def test_person_name_mapping_quality(self, workbench):
+        mapping = workbench.gs_author_same("DBLP")
+        gold = workbench.gold("authors", "DBLP", "GS")
+        quality = workbench.score(mapping, "authors", "DBLP", "GS")
+        assert quality.f1 > 0.8
+        assert gold  # sanity: gold non-empty

@@ -1,0 +1,164 @@
+"""Tests for clustering, attribute fusion and citation analysis."""
+
+import pytest
+
+from repro.core.mapping import Mapping, MappingKind
+from repro.fusion.aggregate import FusionPolicy, fuse_clusters
+from repro.fusion.citation import citation_analysis
+from repro.fusion.cluster import clusters_from_mappings
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+
+
+def make_source(name, records):
+    source = LogicalSource(PhysicalSource(name), ObjectType("Publication"))
+    for record_id, attributes in records.items():
+        source.add_record(record_id, **attributes)
+    return source
+
+
+@pytest.fixture
+def sources():
+    dblp = make_source("DBLP", {
+        "d1": {"title": "Adaptive Query Processing", "year": 2001},
+        "d2": {"title": "Schema Matching", "year": 2002},
+        "d3": {"title": "Lonely Paper", "year": 1999},
+    })
+    acm = make_source("ACM", {
+        "a1": {"title": "Adaptive Query Processing", "citations": 40},
+        "a2": {"title": "Schema Matching", "citations": 120},
+    })
+    gs = make_source("GS", {
+        "g1": {"title": "adaptive query processing", "citations": 55},
+        "g1b": {"title": "Adaptive Query Proc.", "citations": 12},
+    })
+    return dblp, acm, gs
+
+
+@pytest.fixture
+def mappings(sources):
+    dblp, acm, gs = sources
+    dblp_acm = Mapping.from_correspondences(
+        dblp.name, acm.name, [("d1", "a1", 1.0), ("d2", "a2", 0.9)])
+    dblp_gs = Mapping.from_correspondences(
+        dblp.name, gs.name, [("d1", "g1", 1.0), ("d1", "g1b", 0.8)])
+    return dblp_acm, dblp_gs
+
+
+class TestClustering:
+    def test_transitive_clusters(self, mappings):
+        clusters = clusters_from_mappings(mappings)
+        biggest = clusters[0]
+        assert biggest.ids("DBLP.Publication") == ["d1"]
+        assert biggest.ids("ACM.Publication") == ["a1"]
+        assert set(biggest.ids("GS.Publication")) == {"g1", "g1b"}
+
+    def test_min_similarity_cuts_edges(self, mappings):
+        clusters = clusters_from_mappings(mappings, min_similarity=0.95)
+        biggest = clusters[0]
+        assert "g1b" not in biggest.ids("GS.Publication")
+
+    def test_singletons_seeded(self, sources, mappings):
+        dblp, _, _ = sources
+        clusters = clusters_from_mappings(
+            mappings, singletons={dblp.name: dblp.ids()})
+        all_dblp = {pub_id for cluster in clusters
+                    for pub_id in cluster.ids(dblp.name)}
+        assert "d3" in all_dblp
+
+    def test_association_mapping_rejected(self):
+        association = Mapping("A", "B", kind=MappingKind.ASSOCIATION)
+        with pytest.raises(ValueError):
+            clusters_from_mappings([association])
+
+    def test_clusters_sorted_by_size(self, mappings):
+        clusters = clusters_from_mappings(mappings)
+        sizes = [cluster.size() for cluster in clusters]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestFusion:
+    def test_prefer_source(self, sources, mappings):
+        dblp, acm, gs = sources
+        clusters = clusters_from_mappings(mappings)
+        policy = FusionPolicy(
+            strategies={"title": "prefer_source"},
+            source_priority=[dblp.name, acm.name, gs.name],
+        )
+        fused = fuse_clusters(clusters, {
+            dblp.name: dblp, acm.name: acm, gs.name: gs}, policy)
+        adaptive = next(obj for obj in fused
+                        if "d1" in obj.cluster.ids(dblp.name))
+        assert adaptive.get("title") == "Adaptive Query Processing"
+
+    def test_max_citations(self, sources, mappings):
+        dblp, acm, gs = sources
+        clusters = clusters_from_mappings(mappings)
+        policy = FusionPolicy(strategies={"citations": "max"})
+        fused = fuse_clusters(clusters, {
+            dblp.name: dblp, acm.name: acm, gs.name: gs}, policy)
+        adaptive = next(obj for obj in fused
+                        if "d1" in obj.cluster.ids(dblp.name))
+        assert adaptive.get("citations") == 55
+
+    def test_sum_strategy(self, sources, mappings):
+        dblp, acm, gs = sources
+        clusters = clusters_from_mappings(mappings)
+        policy = FusionPolicy(strategies={"citations": "sum"})
+        fused = fuse_clusters(clusters, {
+            dblp.name: dblp, acm.name: acm, gs.name: gs}, policy)
+        adaptive = next(obj for obj in fused
+                        if "d1" in obj.cluster.ids(dblp.name))
+        assert adaptive.get("citations") == 40 + 55 + 12
+
+    def test_vote_strategy(self, sources, mappings):
+        dblp, acm, gs = sources
+        clusters = clusters_from_mappings(mappings)
+        policy = FusionPolicy(strategies={"title": "vote"})
+        fused = fuse_clusters(clusters, {
+            dblp.name: dblp, acm.name: acm, gs.name: gs}, policy)
+        assert all(obj.get("title") for obj in fused)
+
+    def test_longest_strategy(self, sources, mappings):
+        dblp, acm, gs = sources
+        clusters = clusters_from_mappings(mappings)
+        policy = FusionPolicy(strategies={"title": "longest"})
+        fused = fuse_clusters(clusters, {
+            dblp.name: dblp, acm.name: acm, gs.name: gs}, policy)
+        adaptive = next(obj for obj in fused
+                        if "d1" in obj.cluster.ids(dblp.name))
+        assert adaptive.get("title") in (
+            "Adaptive Query Processing", "adaptive query processing")
+
+    def test_unknown_strategy_rejected(self, sources, mappings):
+        dblp, acm, gs = sources
+        clusters = clusters_from_mappings(mappings)
+        policy = FusionPolicy(default_strategy="median")
+        with pytest.raises(ValueError):
+            fuse_clusters(clusters, {dblp.name: dblp}, policy)
+
+
+class TestCitationAnalysis:
+    def test_on_generated_dataset(self, dataset, workbench):
+        same = [workbench.pub_same("DBLP", "ACM"),
+                workbench.pub_same("DBLP", "GS")]
+        report = citation_analysis(dataset.dblp, [dataset.acm, dataset.gs],
+                                   same)
+        assert len(report.per_publication) == len(dataset.dblp.publications)
+        assert report.per_venue
+        assert report.per_author
+
+    def test_fused_counts_bounded_by_truth(self, dataset, workbench):
+        same = [workbench.pub_same("DBLP", "ACM")]
+        report = citation_analysis(dataset.dblp, [dataset.acm], same)
+        max_true = max(pub.citations
+                       for pub in dataset.world.publications.values())
+        assert max(report.per_publication.values()) <= max_true
+
+    def test_top_rankings_consistent(self, dataset, workbench):
+        same = [workbench.pub_same("DBLP", "ACM")]
+        report = citation_analysis(dataset.dblp, [dataset.acm], same)
+        top = report.top_publications(5)
+        values = [count for _, count in top]
+        assert values == sorted(values, reverse=True)
+        assert len(report.top_venues(3)) <= 3
+        assert len(report.top_authors(3)) <= 3

@@ -1,0 +1,145 @@
+"""End-to-end integration: full match pipelines on the tiny dataset."""
+
+import pytest
+
+from repro import (
+    AttributeMatcher,
+    BestNSelection,
+    MatchContext,
+    MatchWorkflow,
+    MappingRepository,
+    ThresholdSelection,
+    neighborhood_match,
+)
+from repro.blocking import TokenBlocking
+from repro.eval import evaluate
+from repro.fusion import clusters_from_mappings
+from repro.script import ScriptEngine
+
+
+class TestFullWorkflowApi:
+    def test_workflow_reproduces_direct_pipeline(self, dataset):
+        """The workflow engine and hand-written operator calls agree."""
+        context = MatchContext(smm=dataset.smm,
+                               repository=MappingRepository())
+        workflow = (
+            MatchWorkflow("dblp-acm-pubs")
+            .add_matcher(
+                "titles",
+                AttributeMatcher("title", similarity="trigram",
+                                 threshold=0.5,
+                                 blocking=TokenBlocking()),
+                "DBLP.Publication", "ACM.Publication")
+            .add_select("final", "titles", ThresholdSelection(0.8))
+            .add_store("final", "pub-same-dblp-acm")
+        )
+        result = workflow.run(context)
+
+        direct = ThresholdSelection(0.8).apply(
+            AttributeMatcher("title", similarity="trigram", threshold=0.5,
+                             blocking=TokenBlocking()).match(
+                dataset.dblp.publications, dataset.acm.publications))
+        assert result.to_rows() == direct.to_rows()
+        assert context.repository.contains("pub-same-dblp-acm")
+
+    def test_stored_mapping_reusable_across_workflows(self, dataset):
+        repository = MappingRepository()
+        context = MatchContext(smm=dataset.smm, repository=repository)
+        (MatchWorkflow("producer")
+         .add_matcher("titles",
+                      AttributeMatcher("title", threshold=0.8,
+                                       blocking=TokenBlocking()),
+                      "DBLP.Publication", "ACM.Publication")
+         .add_store("titles", "shared")).run(context)
+
+        consumer_context = MatchContext(smm=dataset.smm,
+                                        repository=repository)
+        consumer = (MatchWorkflow("consumer")
+                    .add_select("refined", "shared",
+                                BestNSelection(1, side="both")))
+        refined = consumer.run(consumer_context)
+        assert len(refined) > 0
+
+    def test_workflow_quality_against_gold(self, dataset, workbench):
+        gold = dataset.gold.publications("DBLP.Publication",
+                                         "ACM.Publication")
+        mapping = workbench.pub_same("DBLP", "ACM")
+        quality = evaluate(mapping, gold)
+        assert quality.f1 > 0.75
+
+
+class TestScriptParity:
+    def test_script_and_api_agree_on_dedup(self, dataset):
+        engine = ScriptEngine(smm=dataset.smm)
+        script_result = engine.run(
+            "$CoAuthSim = nhMatch(DBLP.CoAuthor, DBLP.AuthorAuthor, "
+            "DBLP.CoAuthor)\n"
+            "$Result = select($CoAuthSim, \"[domain.id]<>[range.id]\")"
+        )
+        from repro import Mapping
+        identity = Mapping.identity("DBLP.Author",
+                                    dataset.dblp.authors.ids())
+        api_result = neighborhood_match(
+            dataset.dblp.co_author, identity, dataset.dblp.co_author
+        ).without_identity()
+        assert script_result.to_rows() == api_result.to_rows()
+
+    def test_script_merge_pipeline(self, dataset):
+        engine = ScriptEngine(smm=dataset.smm)
+        result = engine.run(
+            '$T = attrMatch(DBLP.Publication, ACM.Publication, Trigram, '
+            '0.8, "[title]", "[title]")\n'
+            '$Y = attrMatch(DBLP.Publication, ACM.Publication, Exact, '
+            '1.0, "[year]", "[year]")\n'
+            "$M = merge($T, $Y, Min0)\n"
+            "$Final = select($M, 0.5)"
+        )
+        gold = dataset.gold.publications("DBLP.Publication",
+                                         "ACM.Publication")
+        quality = evaluate(result, gold)
+        assert quality.precision > 0.7
+
+
+class TestDuplicateDetection:
+    def test_injected_duplicates_rank_high(self, dataset):
+        from repro import Mapping, merge
+        identity = Mapping.identity("DBLP.Author",
+                                    dataset.dblp.authors.ids())
+        co_sim = neighborhood_match(dataset.dblp.co_author, identity,
+                                    dataset.dblp.co_author)
+        name_sim = AttributeMatcher(
+            "name", similarity="trigram", threshold=0.5,
+            blocking=TokenBlocking(max_df=0.3)).match(
+                dataset.dblp.authors, dataset.dblp.authors)
+        merged = merge([co_sim, name_sim], "avg0").without_identity()
+        gold = dataset.gold.get("author-duplicates", "DBLP.Author",
+                                "DBLP.Author")
+        ranked = sorted(merged, key=lambda c: -c.similarity)
+        top_pairs = {tuple(sorted((c.domain, c.range)))
+                     for c in ranked[:4 * len(gold.pairs())]}
+        gold_pairs = {tuple(sorted(p)) for p in gold.pairs()}
+        recovered = len(top_pairs & gold_pairs) / len(gold_pairs)
+        assert recovered >= 0.4
+
+
+class TestCrossSourceFusion:
+    def test_entity_clusters_mostly_pure(self, dataset, workbench):
+        same = [workbench.pub_same("DBLP", "ACM"),
+                workbench.pub_same("DBLP", "GS")]
+        clusters = clusters_from_mappings(same)
+        world = dataset.world
+        pure = 0
+        checked = 0
+        for cluster in clusters[:50]:
+            true_ids = set()
+            for source, bundle in (("DBLP.Publication", dataset.dblp),
+                                   ("ACM.Publication", dataset.acm),
+                                   ("GS.Publication", dataset.gs)):
+                for instance_id in cluster.ids(source):
+                    true_ids.add(bundle.true_pub[instance_id])
+            checked += 1
+            # allow conf/journal versions of the same work in one cluster
+            titles = {world.publications[t].title for t in true_ids}
+            if len(titles) == 1:
+                pure += 1
+        assert pure / checked > 0.85

@@ -1,0 +1,58 @@
+"""Tests for object instances."""
+
+import pytest
+
+from repro.model.entity import ObjectInstance
+
+
+class TestObjectInstance:
+    def test_requires_id(self):
+        with pytest.raises(ValueError):
+            ObjectInstance("")
+
+    def test_requires_string_id(self):
+        with pytest.raises(ValueError):
+            ObjectInstance(123)  # type: ignore[arg-type]
+
+    def test_attribute_access(self):
+        instance = ObjectInstance("p1", {"title": "A", "year": 2001})
+        assert instance["title"] == "A"
+        assert instance.get("year") == 2001
+
+    def test_get_default(self):
+        instance = ObjectInstance("p1")
+        assert instance.get("missing", "fallback") == "fallback"
+
+    def test_contains(self):
+        instance = ObjectInstance("p1", {"title": "A"})
+        assert "title" in instance
+        assert "year" not in instance
+
+    def test_attributes_are_read_only(self):
+        instance = ObjectInstance("p1", {"title": "A"})
+        with pytest.raises(TypeError):
+            instance.attributes["title"] = "B"  # type: ignore[index]
+
+    def test_source_dict_mutation_isolated(self):
+        source = {"title": "A"}
+        instance = ObjectInstance("p1", source)
+        source["title"] = "B"
+        assert instance["title"] == "A"
+
+    def test_with_attributes_creates_copy(self):
+        instance = ObjectInstance("p1", {"title": "A"})
+        updated = instance.with_attributes(year=2001)
+        assert updated is not instance
+        assert updated["year"] == 2001
+        assert "year" not in instance
+
+    def test_equality_by_id_and_attributes(self):
+        assert ObjectInstance("p1", {"a": 1}) == ObjectInstance("p1", {"a": 1})
+        assert ObjectInstance("p1", {"a": 1}) != ObjectInstance("p1", {"a": 2})
+
+    def test_hash_by_id(self):
+        assert hash(ObjectInstance("p1")) == hash(ObjectInstance("p1", {"x": 1}))
+
+    def test_iteration_yields_attribute_names(self):
+        instance = ObjectInstance("p1", {"a": 1, "b": 2})
+        assert sorted(instance) == ["a", "b"]

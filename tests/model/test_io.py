@@ -1,0 +1,94 @@
+"""Tests for mapping-table CSV import/export."""
+
+import io
+
+import pytest
+
+from repro.core.mapping import Mapping, MappingKind
+from repro.model.io import (
+    mapping_to_csv_text,
+    read_mapping_csv,
+    write_mapping_csv,
+)
+
+
+@pytest.fixture
+def mapping():
+    return Mapping.from_correspondences("A", "B", [
+        ("a1", "b1", 1.0), ("a2", "b2", 0.75), ("a3", "b3", 0.5),
+    ])
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, tmp_path, mapping):
+        path = tmp_path / "mapping.csv"
+        count = write_mapping_csv(mapping, path)
+        assert count == 3
+        loaded = read_mapping_csv(path, domain="A", range="B")
+        assert loaded.to_rows() == mapping.to_rows()
+
+    def test_stream_round_trip(self, mapping):
+        text = mapping_to_csv_text(mapping)
+        loaded = read_mapping_csv(io.StringIO(text), domain="A", range="B")
+        assert loaded.to_rows() == mapping.to_rows()
+
+    def test_tab_delimiter(self, mapping):
+        text = mapping_to_csv_text(mapping, delimiter="\t")
+        loaded = read_mapping_csv(io.StringIO(text), domain="A", range="B",
+                                  delimiter="\t")
+        assert loaded.to_rows() == mapping.to_rows()
+
+    def test_headerless_export(self, mapping):
+        text = mapping_to_csv_text(mapping, header=False)
+        assert not text.startswith("domain_id")
+        loaded = read_mapping_csv(io.StringIO(text), domain="A", range="B")
+        assert len(loaded) == 3
+
+    def test_kind_and_name_applied(self, mapping):
+        text = mapping_to_csv_text(mapping)
+        loaded = read_mapping_csv(io.StringIO(text), domain="A", range="B",
+                                  kind=MappingKind.ASSOCIATION,
+                                  name="imported")
+        assert loaded.kind == MappingKind.ASSOCIATION
+        assert loaded.name == "imported"
+
+    def test_deterministic_order(self, mapping):
+        assert mapping_to_csv_text(mapping) == mapping_to_csv_text(mapping)
+
+
+class TestTwoColumnImport:
+    def test_link_dump_format(self):
+        text = "g1,q1\ng2,q2\n"
+        loaded = read_mapping_csv(io.StringIO(text), domain="GS", range="ACM")
+        assert loaded.get("g1", "q1") == 1.0
+
+    def test_default_similarity_override(self):
+        text = "g1,q1\n"
+        loaded = read_mapping_csv(io.StringIO(text), domain="GS",
+                                  range="ACM", default_similarity=0.5)
+        assert loaded.get("g1", "q1") == 0.5
+
+    def test_blank_lines_skipped(self):
+        text = "a,b,0.5\n\n , \nc,d,0.6\n"
+        loaded = read_mapping_csv(io.StringIO(text), domain="A", range="B")
+        assert len(loaded) == 2
+
+
+class TestErrors:
+    def test_bad_similarity(self):
+        with pytest.raises(ValueError) as excinfo:
+            read_mapping_csv(io.StringIO("a,b,high\n"), domain="A",
+                             range="B")
+        assert "line 1" in str(excinfo.value)
+
+    def test_out_of_range_similarity(self):
+        with pytest.raises(ValueError):
+            read_mapping_csv(io.StringIO("a,b,1.5\n"), domain="A", range="B")
+
+    def test_one_column_rejected(self):
+        with pytest.raises(ValueError):
+            read_mapping_csv(io.StringIO("only\n"), domain="A", range="B")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            read_mapping_csv(io.StringIO(",b,0.5\n"), domain="A", range="B")

@@ -1,0 +1,118 @@
+"""Tests for the SQLite mapping repository."""
+
+import pytest
+
+from repro.core.mapping import Mapping, MappingKind
+from repro.model.repository import MappingRepository
+
+
+@pytest.fixture
+def repository():
+    with MappingRepository(":memory:") as repo:
+        yield repo
+
+
+@pytest.fixture
+def sample():
+    return Mapping.from_correspondences(
+        "DBLP.Publication", "ACM.Publication",
+        [("p1", "q1", 1.0), ("p2", "q2", 0.8), ("p3", "q3", 0.6)],
+    )
+
+
+class TestSaveLoad:
+    def test_round_trip(self, repository, sample):
+        repository.save("pubs", sample)
+        loaded = repository.load("pubs")
+        assert loaded.to_rows() == sample.to_rows()
+        assert loaded.domain == sample.domain
+        assert loaded.kind == MappingKind.SAME
+
+    def test_association_kind_preserved(self, repository):
+        mapping = Mapping.from_correspondences(
+            "DBLP.Publication", "DBLP.Author", [("p1", "a1", 1.0)],
+            kind=MappingKind.ASSOCIATION,
+        )
+        repository.save("pub-author", mapping)
+        assert repository.load("pub-author").kind == MappingKind.ASSOCIATION
+
+    def test_load_missing_raises(self, repository):
+        with pytest.raises(KeyError):
+            repository.load("ghost")
+
+    def test_replace_default(self, repository, sample):
+        repository.save("pubs", sample)
+        smaller = Mapping.from_correspondences(
+            "DBLP.Publication", "ACM.Publication", [("p1", "q1", 0.5)])
+        repository.save("pubs", smaller)
+        assert len(repository.load("pubs")) == 1
+
+    def test_no_replace_raises(self, repository, sample):
+        repository.save("pubs", sample)
+        with pytest.raises(ValueError):
+            repository.save("pubs", sample, replace=False)
+
+    def test_empty_name_rejected(self, repository, sample):
+        with pytest.raises(ValueError):
+            repository.save("", sample)
+
+
+class TestCatalog:
+    def test_contains(self, repository, sample):
+        repository.save("pubs", sample)
+        assert "pubs" in repository
+        assert "ghost" not in repository
+
+    def test_names_sorted(self, repository, sample):
+        repository.save("zeta", sample)
+        repository.save("alpha", sample)
+        assert repository.names() == ["alpha", "zeta"]
+
+    def test_len(self, repository, sample):
+        assert len(repository) == 0
+        repository.save("pubs", sample)
+        assert len(repository) == 1
+
+    def test_delete(self, repository, sample):
+        repository.save("pubs", sample)
+        assert repository.delete("pubs") is True
+        assert repository.delete("pubs") is False
+        assert "pubs" not in repository
+
+    def test_info(self, repository, sample):
+        repository.save("pubs", sample)
+        info = repository.info("pubs")
+        assert info["correspondences"] == 3
+        assert info["domain"] == "DBLP.Publication"
+
+    def test_info_missing(self, repository):
+        assert repository.info("ghost") is None
+
+
+class TestRelationalJoin:
+    def test_join_is_compose_prejoin(self, repository):
+        left = Mapping.from_correspondences(
+            "A", "C", [("a1", "c1", 1.0), ("a2", "c2", 0.5)])
+        right = Mapping.from_correspondences(
+            "C", "B", [("c1", "b1", 0.8), ("c2", "b2", 1.0)])
+        repository.save("left", left)
+        repository.save("right", right)
+        rows = repository.join("left", "right")
+        assert ("a1", "c1", "b1", 1.0, 0.8) in rows
+        assert len(rows) == 2
+
+    def test_join_empty_when_no_shared_ids(self, repository):
+        repository.save("left", Mapping.from_correspondences(
+            "A", "C", [("a1", "c1", 1.0)]))
+        repository.save("right", Mapping.from_correspondences(
+            "C", "B", [("cX", "b1", 1.0)]))
+        assert repository.join("left", "right") == []
+
+
+class TestPersistence:
+    def test_disk_round_trip(self, tmp_path, sample):
+        path = str(tmp_path / "mappings.db")
+        with MappingRepository(path) as repo:
+            repo.save("pubs", sample)
+        with MappingRepository(path) as repo:
+            assert repo.load("pubs").to_rows() == sample.to_rows()

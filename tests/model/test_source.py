@@ -1,0 +1,79 @@
+"""Tests for physical and logical sources."""
+
+import pytest
+
+from repro.model.entity import ObjectInstance
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+
+
+@pytest.fixture
+def lds():
+    source = LogicalSource(PhysicalSource("DBLP"), ObjectType("Publication"))
+    source.add_record("p1", title="Alpha", year=2001)
+    source.add_record("p2", title="Beta", year=2002)
+    source.add_record("p3", title="Gamma")
+    return source
+
+
+class TestPhysicalSource:
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            PhysicalSource("")
+
+    def test_downloadable_default(self):
+        assert PhysicalSource("DBLP").downloadable is True
+
+    def test_query_only_source(self):
+        assert PhysicalSource("GS", downloadable=False).downloadable is False
+
+
+class TestObjectType:
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            ObjectType("")
+
+    def test_equality(self):
+        assert ObjectType("Publication") == ObjectType("Publication")
+
+
+class TestLogicalSource:
+    def test_qualified_name(self, lds):
+        assert lds.name == "DBLP.Publication"
+
+    def test_add_and_get(self, lds):
+        assert lds.get("p1").get("title") == "Alpha"
+
+    def test_duplicate_id_rejected(self, lds):
+        with pytest.raises(ValueError):
+            lds.add(ObjectInstance("p1"))
+
+    def test_require_missing_raises(self, lds):
+        with pytest.raises(KeyError):
+            lds.require("nope")
+
+    def test_contains_and_len(self, lds):
+        assert "p2" in lds
+        assert len(lds) == 3
+
+    def test_iteration_order(self, lds):
+        assert [instance.id for instance in lds] == ["p1", "p2", "p3"]
+
+    def test_attribute_values_skips_missing(self, lds):
+        assert sorted(lds.attribute_values("year")) == [2001, 2002]
+
+    def test_select_predicate(self, lds):
+        recent = lds.select(lambda inst: inst.get("year") == 2002)
+        assert [instance.id for instance in recent] == ["p2"]
+
+    def test_subset_view(self, lds):
+        view = lds.subset(["p1", "p3", "ghost"])
+        assert view.ids() == ["p1", "p3"]
+        assert view.name == lds.name
+
+    def test_subset_shares_instances(self, lds):
+        view = lds.subset(["p1"])
+        assert view.get("p1") is lds.get("p1")
+
+    def test_ids_and_instances(self, lds):
+        assert lds.ids() == ["p1", "p2", "p3"]
+        assert len(lds.instances()) == 3

@@ -1,0 +1,84 @@
+"""Property-based tests for the Mapping data structure."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping import Mapping
+
+ids = st.text(alphabet="abcdefgh", min_size=1, max_size=3)
+sims = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+correspondences = st.lists(st.tuples(ids, ids, sims), max_size=40)
+
+
+def build(rows, domain="A", range_="B"):
+    return Mapping.from_correspondences(domain, range_, rows)
+
+
+@given(correspondences)
+def test_indexes_stay_consistent(rows):
+    mapping = build(rows)
+    # by_domain and by_range always describe the same correspondence set
+    from_domain = {(a, b, s) for a, row in mapping.by_domain.items()
+                   for b, s in row.items()}
+    from_range = {(a, b, s) for b, row in mapping.by_range.items()
+                  for a, s in row.items()}
+    assert from_domain == from_range
+    assert len(mapping) == len(from_domain)
+
+
+@given(correspondences)
+def test_inverse_is_involution(rows):
+    mapping = build(rows)
+    assert mapping.inverse().inverse().to_rows() == mapping.to_rows()
+
+
+@given(correspondences)
+def test_inverse_preserves_degrees(rows):
+    mapping = build(rows)
+    inverse = mapping.inverse()
+    for domain_id in mapping.domain_ids():
+        assert mapping.out_degree(domain_id) == inverse.in_degree(domain_id)
+
+
+@given(correspondences)
+def test_conflict_max_keeps_maximum(rows):
+    mapping = build(rows)
+    best = {}
+    for a, b, s in rows:
+        key = (a, b)
+        best[key] = max(best.get(key, 0.0), s)
+    for (a, b), expected in best.items():
+        assert mapping.get(a, b) == expected
+
+
+@given(correspondences, sims)
+def test_filter_threshold_monotone(rows, threshold):
+    mapping = build(rows)
+    filtered = mapping.filter(lambda c: c.similarity >= threshold)
+    assert len(filtered) <= len(mapping)
+    assert all(s >= threshold for _, _, s in filtered.to_rows())
+
+
+@given(correspondences)
+def test_copy_equals_original(rows):
+    mapping = build(rows)
+    assert mapping.copy() == mapping
+
+
+@given(correspondences, st.sets(ids, max_size=5))
+def test_restrict_domain_is_projection(rows, keep):
+    mapping = build(rows)
+    restricted = mapping.restrict_domain(keep)
+    assert restricted.domain_ids() <= keep
+    for a, b, s in restricted.to_rows():
+        assert mapping.get(a, b) == s
+
+
+@given(st.lists(st.tuples(ids, ids, sims), max_size=30))
+@settings(max_examples=50)
+def test_without_identity_removes_only_diagonal(rows):
+    mapping = Mapping.from_correspondences("A", "A", rows)
+    cleaned = mapping.without_identity()
+    assert all(a != b for a, b in cleaned.pairs())
+    diagonal = sum(1 for a, b in mapping.pairs() if a == b)
+    assert len(cleaned) == len(mapping) - diagonal

@@ -1,0 +1,122 @@
+"""Property-based tests for merge, compose and selection invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping import Mapping
+from repro.core.operators.compose import compose
+from repro.core.operators.merge import merge
+from repro.core.operators.selection import BestNSelection, ThresholdSelection
+
+ids = st.text(alphabet="abcde", min_size=1, max_size=2)
+sims = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+rows = st.lists(st.tuples(ids, ids, sims), min_size=0, max_size=25)
+
+
+def mapping_ab(data):
+    return Mapping.from_correspondences("A", "B", data)
+
+
+@given(rows, rows)
+def test_merge_similarities_bounded(left_rows, right_rows):
+    left, right = mapping_ab(left_rows), mapping_ab(right_rows)
+    for function in ("avg", "min", "max", "avg0"):
+        merged = merge([left, right], function)
+        assert all(0.0 <= s <= 1.0 for _, _, s in merged.to_rows())
+
+
+@given(rows, rows)
+def test_merge_pair_set_relations(left_rows, right_rows):
+    left, right = mapping_ab(left_rows), mapping_ab(right_rows)
+    union_pairs = left.pairs() | right.pairs()
+    intersection_pairs = left.pairs() & right.pairs()
+    assert merge([left, right], "max").pairs() == union_pairs
+    assert merge([left, right], "min0").pairs() == intersection_pairs
+    assert merge([left, right], "avg").pairs() == union_pairs
+
+
+@given(rows, rows)
+def test_merge_commutative_for_symmetric_functions(left_rows, right_rows):
+    left, right = mapping_ab(left_rows), mapping_ab(right_rows)
+    for function in ("avg", "min", "max"):
+        forward = merge([left, right], function)
+        backward = merge([right, left], function)
+        assert forward.to_rows() == backward.to_rows()
+
+
+@given(rows, rows)
+def test_merge_min_le_avg_le_max(left_rows, right_rows):
+    left, right = mapping_ab(left_rows), mapping_ab(right_rows)
+    low = merge([left, right], "min")
+    mid = merge([left, right], "avg")
+    high = merge([left, right], "max")
+    for a, b, s in mid.to_rows():
+        assert low.get(a, b) - 1e-12 <= s <= high.get(a, b) + 1e-12
+
+
+@given(rows, rows)
+def test_merge_prefer_keeps_preferred_intact(left_rows, right_rows):
+    left, right = mapping_ab(left_rows), mapping_ab(right_rows)
+    merged = merge([left, right], "prefer", prefer=0)
+    for a, b, s in left.to_rows():
+        assert merged.get(a, b) == s
+    # added pairs only for uncovered domain objects
+    for a, b in merged.pairs() - left.pairs():
+        assert a not in left.domain_ids()
+
+
+@given(rows, rows)
+@settings(max_examples=60)
+def test_compose_bounded_and_connected(left_rows, right_rows):
+    left = Mapping.from_correspondences("A", "C", left_rows)
+    right = Mapping.from_correspondences("C", "B", right_rows)
+    for aggregate in ("avg", "min", "max", "relative",
+                      "relative_left", "relative_right", "sum"):
+        composed = compose(left, right, "min", aggregate)
+        for a, b, s in composed.to_rows():
+            assert 0.0 < s <= 1.0
+            # every output pair is witnessed by at least one path
+            witnessed = any(
+                right.get(c, b) is not None
+                for c in left.range_ids_of(a)
+            )
+            assert witnessed
+
+
+@given(rows, rows)
+@settings(max_examples=60)
+def test_compose_relative_le_max(left_rows, right_rows):
+    left = Mapping.from_correspondences("A", "C", left_rows)
+    right = Mapping.from_correspondences("C", "B", right_rows)
+    relative = compose(left, right, "min", "relative")
+    maximal = compose(left, right, "min", "max")
+    for a, b, s in relative.to_rows():
+        assert s <= maximal.get(a, b) + 1e-12
+
+
+@given(rows, sims)
+def test_threshold_idempotent(data, threshold):
+    mapping = mapping_ab(data)
+    selection = ThresholdSelection(threshold)
+    once = selection.apply(mapping)
+    twice = selection.apply(once)
+    assert once.to_rows() == twice.to_rows()
+
+
+@given(rows, st.integers(min_value=1, max_value=3))
+def test_best_n_bounds_degree_up_to_ties(data, n):
+    mapping = mapping_ab(data)
+    selected = BestNSelection(n, side="domain").apply(mapping)
+    for domain_id in selected.domain_ids():
+        row = selected.range_ids_of(domain_id)
+        if len(row) > n:
+            # overflow is only allowed through ties at the cutoff
+            ranked = sorted(row.values(), reverse=True)
+            assert ranked[n - 1] == ranked[-1]
+
+
+@given(rows)
+def test_best1_subset_of_input(data):
+    mapping = mapping_ab(data)
+    selected = BestNSelection(1).apply(mapping)
+    assert selected.pairs() <= mapping.pairs()

@@ -1,0 +1,78 @@
+"""Property-based tests for the script language front end."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.script.lexer import TokenType, tokenize
+from repro.script.nodes import Assignment, Call
+from repro.script.parser import parse
+
+identifiers = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,8}", fullmatch=True) \
+    .filter(lambda s: s.upper() not in ("PROCEDURE", "RETURN", "END"))
+variables = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True)
+numbers = st.floats(min_value=0, max_value=1000, allow_nan=False,
+                    allow_infinity=False).map(lambda f: round(f, 3))
+
+
+@st.composite
+def call_expressions(draw, depth=0):
+    """Random call expression source text + expected argument count."""
+    name = draw(identifiers)
+    argument_count = draw(st.integers(min_value=0, max_value=4))
+    arguments = []
+    for _ in range(argument_count):
+        choice = draw(st.integers(min_value=0, max_value=3 if depth < 2 else 2))
+        if choice == 0:
+            arguments.append(f"${draw(variables)}")
+        elif choice == 1:
+            arguments.append(str(draw(numbers)))
+        elif choice == 2:
+            arguments.append(draw(identifiers))
+        else:
+            inner, _ = draw(call_expressions(depth=depth + 1))
+            arguments.append(inner)
+    return f"{name}({', '.join(arguments)})", argument_count
+
+
+@given(call_expressions())
+@settings(max_examples=80)
+def test_generated_calls_parse(data):
+    source, argument_count = data
+    program = parse(f"$X = {source}")
+    statement = program.statements[0]
+    assert isinstance(statement, Assignment)
+    assert isinstance(statement.expression, Call)
+    assert len(statement.expression.arguments) == argument_count
+
+
+@given(st.lists(st.tuples(variables, call_expressions()),
+                min_size=1, max_size=6))
+@settings(max_examples=40)
+def test_generated_programs_parse(statements):
+    source = "\n".join(f"${target} = {expression}"
+                       for target, (expression, _) in statements)
+    program = parse(source)
+    assert len(program.statements) == len(statements)
+    targets = [statement.target for statement in program.statements]
+    assert targets == [target for target, _ in statements]
+
+
+@given(variables, identifiers, numbers)
+@settings(max_examples=60)
+def test_token_stream_structure(variable, identifier, number):
+    source = f"${variable} = {identifier}({number})"
+    tokens = tokenize(source)
+    types = [token.type for token in tokens]
+    assert types[:5] == [TokenType.VARIABLE, TokenType.EQUALS,
+                         TokenType.IDENTIFIER, TokenType.LPAREN,
+                         TokenType.NUMBER]
+    values = {token.type: token.value for token in tokens}
+    assert values[TokenType.VARIABLE] == variable
+    assert values[TokenType.IDENTIFIER] == identifier
+
+
+@given(st.text(alphabet=" \t\n#", max_size=30))
+@settings(max_examples=40)
+def test_whitespace_and_comments_never_crash(source):
+    program = parse(source)
+    assert program.statements == []

@@ -1,0 +1,116 @@
+"""Tests for constraint expressions."""
+
+import pytest
+
+from repro.core.correspondence import Correspondence
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+from repro.script.constraints import ConstraintExpression
+from repro.script.errors import ScriptRuntimeError
+
+
+@pytest.fixture
+def sources():
+    domain = LogicalSource(PhysicalSource("L"), ObjectType("Publication"))
+    range_ = LogicalSource(PhysicalSource("R"), ObjectType("Publication"))
+    domain.add_record("a1", year=2001, venue="vldb")
+    domain.add_record("a2", year=2003)
+    range_.add_record("b1", year=2002, venue="vldb")
+    range_.add_record("b2", venue="sigmod")
+    return domain, range_
+
+
+class TestIdentityConstraint:
+    def test_not_equal_ids(self):
+        constraint = ConstraintExpression("[domain.id]<>[range.id]")
+        assert constraint(Correspondence("x", "y", 1.0)) is True
+        assert constraint(Correspondence("x", "x", 1.0)) is False
+
+    def test_equal_ids(self):
+        constraint = ConstraintExpression("[domain.id]=[range.id]")
+        assert constraint(Correspondence("x", "x", 1.0)) is True
+
+
+class TestAttributeConstraints:
+    def test_year_difference(self, sources):
+        domain, range_ = sources
+        constraint = ConstraintExpression(
+            "[domain.year]-[range.year]<=1",
+            domain_source=domain, range_source=range_)
+        assert constraint(Correspondence("a1", "b1", 1.0)) is True
+        assert constraint(Correspondence("a2", "b1", 1.0)) is True
+        constraint_strict = ConstraintExpression(
+            "[domain.year]-[range.year]<=0.5",
+            domain_source=domain, range_source=range_)
+        assert constraint_strict(Correspondence("a1", "b1", 1.0)) is False
+
+    def test_difference_is_absolute(self, sources):
+        domain, range_ = sources
+        constraint = ConstraintExpression(
+            "[range.year]-[domain.year]<=1",
+            domain_source=domain, range_source=range_)
+        assert constraint(Correspondence("a1", "b1", 1.0)) is True
+
+    def test_string_equality(self, sources):
+        domain, range_ = sources
+        constraint = ConstraintExpression(
+            "[domain.venue]=[range.venue]",
+            domain_source=domain, range_source=range_)
+        assert constraint(Correspondence("a1", "b1", 1.0)) is True
+        assert constraint(Correspondence("a1", "b2", 1.0)) is False
+
+    def test_literal_comparison(self, sources):
+        domain, range_ = sources
+        constraint = ConstraintExpression(
+            "[domain.year]>=2002", domain_source=domain,
+            range_source=range_)
+        assert constraint(Correspondence("a2", "b1", 1.0)) is True
+        assert constraint(Correspondence("a1", "b1", 1.0)) is False
+
+    def test_string_literal_operand(self, sources):
+        domain, range_ = sources
+        constraint = ConstraintExpression(
+            "[domain.venue]='vldb'", domain_source=domain,
+            range_source=range_)
+        assert constraint(Correspondence("a1", "b1", 1.0)) is True
+
+
+class TestMissingValues:
+    def test_missing_drops_by_default(self, sources):
+        domain, range_ = sources
+        constraint = ConstraintExpression(
+            "[domain.year]-[range.year]<=1",
+            domain_source=domain, range_source=range_)
+        assert constraint(Correspondence("a1", "b2", 1.0)) is False
+
+    def test_keep_missing_mode(self, sources):
+        domain, range_ = sources
+        constraint = ConstraintExpression(
+            "[domain.year]-[range.year]<=1",
+            domain_source=domain, range_source=range_, keep_missing=True)
+        assert constraint(Correspondence("a1", "b2", 1.0)) is True
+
+    def test_unresolved_instance(self, sources):
+        domain, range_ = sources
+        constraint = ConstraintExpression(
+            "[domain.year]>=2000", domain_source=domain,
+            range_source=range_)
+        assert constraint(Correspondence("ghost", "b1", 1.0)) is False
+
+
+class TestErrors:
+    def test_no_operator(self):
+        with pytest.raises(ScriptRuntimeError):
+            ConstraintExpression("[domain.id] [range.id]")
+
+    def test_attribute_without_source(self):
+        constraint = ConstraintExpression("[domain.year]>=2000")
+        with pytest.raises(ScriptRuntimeError):
+            constraint(Correspondence("a", "b", 1.0))
+
+    def test_garbage_operand(self):
+        with pytest.raises(ScriptRuntimeError):
+            ConstraintExpression("???<>[range.id]")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ScriptRuntimeError):
+            ConstraintExpression("[domain.venue]='open")

@@ -1,0 +1,69 @@
+"""Tests for the script tokenizer."""
+
+import pytest
+
+from repro.script.errors import ScriptSyntaxError
+from repro.script.lexer import TokenType, tokenize
+
+
+def types(text):
+    return [token.type for token in tokenize(text)]
+
+
+class TestTokenize:
+    def test_assignment_tokens(self):
+        tokens = tokenize("$X = merge($A, $B, Average)")
+        assert [t.type for t in tokens[:3]] == [
+            TokenType.VARIABLE, TokenType.EQUALS, TokenType.IDENTIFIER]
+
+    def test_variable_names(self):
+        token = tokenize("$CoAuthSim")[0]
+        assert token.type == TokenType.VARIABLE
+        assert token.value == "CoAuthSim"
+
+    def test_keywords_case_insensitive(self):
+        for text in ("PROCEDURE", "procedure", "Procedure"):
+            assert tokenize(text)[0].type == TokenType.KEYWORD
+
+    def test_dotted_identifier(self):
+        token = tokenize("DBLP.CoAuthor")[0]
+        assert token.type == TokenType.IDENTIFIER
+        assert token.value == "DBLP.CoAuthor"
+
+    def test_number_literal(self):
+        token = tokenize("0.5")[0]
+        assert token.type == TokenType.NUMBER
+        assert token.value == "0.5"
+
+    def test_string_literal(self):
+        token = tokenize('"[name]"')[0]
+        assert token.type == TokenType.STRING
+        assert token.value == "[name]"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ScriptSyntaxError):
+            tokenize('"unclosed')
+
+    def test_comments_skipped(self):
+        tokens = tokenize("# comment line\n$X = $Y // trailing\n")
+        assert all(token.type != TokenType.IDENTIFIER for token in tokens)
+
+    def test_newlines_collapsed(self):
+        tokens = types("$A = $B\n\n\n$C = $D")
+        assert tokens.count(TokenType.NEWLINE) == 2
+
+    def test_line_numbers(self):
+        tokens = tokenize("$A = $B\n$C = $D")
+        last_assignment = [t for t in tokens if t.type == TokenType.VARIABLE][-1]
+        assert last_assignment.line == 2
+
+    def test_empty_variable_rejected(self):
+        with pytest.raises(ScriptSyntaxError):
+            tokenize("$ = x")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ScriptSyntaxError):
+            tokenize("$X = a @ b")
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].type == TokenType.EOF

@@ -1,0 +1,95 @@
+"""Tests for the script parser."""
+
+import pytest
+
+from repro.script.errors import ScriptSyntaxError
+from repro.script.nodes import (
+    Assignment,
+    Call,
+    Identifier,
+    NumberLiteral,
+    ProcedureDef,
+    Return,
+    StringLiteral,
+    VariableRef,
+)
+from repro.script.parser import parse
+
+
+class TestExpressions:
+    def test_assignment(self):
+        program = parse("$X = $Y")
+        statement = program.statements[0]
+        assert isinstance(statement, Assignment)
+        assert statement.target == "X"
+        assert isinstance(statement.expression, VariableRef)
+
+    def test_call_with_mixed_arguments(self):
+        program = parse('$M = attrMatch(DBLP.Author, DBLP.Author, '
+                        'Trigram, 0.5, "[name]", "[name]")')
+        call = program.statements[0].expression
+        assert isinstance(call, Call)
+        assert call.name == "attrMatch"
+        assert isinstance(call.arguments[0], Identifier)
+        assert isinstance(call.arguments[3], NumberLiteral)
+        assert isinstance(call.arguments[4], StringLiteral)
+
+    def test_nested_calls(self):
+        program = parse("$X = merge(compose($A, $B), $C, Average)")
+        outer = program.statements[0].expression
+        assert isinstance(outer.arguments[0], Call)
+        assert outer.arguments[0].name == "compose"
+
+    def test_multiline_call(self):
+        program = parse("$X = merge(\n  $A,\n  $B,\n  Average\n)")
+        assert len(program.statements[0].expression.arguments) == 3
+
+    def test_bare_expression_statement(self):
+        program = parse("size($X)")
+        assert program.statements[0].expression.name == "size"
+
+
+class TestProcedures:
+    PAPER_SCRIPT = """
+    PROCEDURE nhMatch ( $Asso1, $Same, $Asso2)
+       $Temp = compose ( $Asso1 , $Same , Min, Average )
+       $Result = compose ( $Temp , $Asso2 , Min, Relative )
+       RETURN $Result
+    END
+    """
+
+    def test_paper_procedure_parses(self):
+        program = parse(self.PAPER_SCRIPT)
+        procedure = program.statements[0]
+        assert isinstance(procedure, ProcedureDef)
+        assert procedure.name == "nhMatch"
+        assert procedure.parameters == ("Asso1", "Same", "Asso2")
+        assert len(procedure.body) == 3
+        assert isinstance(procedure.body[-1], Return)
+
+    def test_procedure_without_end_rejected(self):
+        with pytest.raises(ScriptSyntaxError):
+            parse("PROCEDURE broken($A)\n$X = $A\n")
+
+    def test_empty_parameter_list(self):
+        program = parse("PROCEDURE noop()\nRETURN 1\nEND")
+        assert program.statements[0].parameters == ()
+
+    def test_multiple_statements(self):
+        program = parse("$A = f()\n$B = g($A)\n$C = h($B)")
+        assert len(program.statements) == 3
+
+
+class TestErrors:
+    def test_unbalanced_parens(self):
+        with pytest.raises(ScriptSyntaxError):
+            parse("$X = merge($A, $B")
+
+    def test_garbage_after_statement(self):
+        with pytest.raises(ScriptSyntaxError):
+            parse("$X = $Y $Z")
+
+    def test_error_carries_line(self):
+        with pytest.raises(ScriptSyntaxError) as excinfo:
+            parse("$A = f()\n$X = merge($A,")
+        assert excinfo.value.line >= 2

@@ -1,0 +1,47 @@
+"""Tests for affix similarity."""
+
+import pytest
+
+from repro.sim.affix import AffixSimilarity, common_prefix_length, common_suffix_length
+
+
+class TestHelpers:
+    def test_prefix_length(self):
+        assert common_prefix_length("database", "databank") == 6
+
+    def test_prefix_no_overlap(self):
+        assert common_prefix_length("abc", "xyz") == 0
+
+    def test_suffix_length(self):
+        assert common_suffix_length("matching", "patching") == 7
+
+    def test_suffix_empty(self):
+        assert common_suffix_length("", "abc") == 0
+
+
+class TestAffixSimilarity:
+    def setup_method(self):
+        self.sim = AffixSimilarity()
+
+    def test_identical_scores_one(self):
+        assert self.sim("data cleaning", "data cleaning") == pytest.approx(1.0)
+
+    def test_no_double_counting(self):
+        # identical strings must not exceed 1.0 via prefix+suffix overlap
+        assert self.sim("aaa", "aaa") <= 1.0
+
+    def test_shared_prefix(self):
+        assert self.sim("VLDB 2002", "VLDB 2003") > 0.5
+
+    def test_disjoint(self):
+        assert self.sim("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert self.sim("", "abc") == 0.0
+
+    def test_normalization(self):
+        assert self.sim("Data!", "data") == pytest.approx(1.0)
+
+    def test_asymmetric_lengths(self):
+        value = self.sim("sig", "sigmod record")
+        assert 0 < value < 1

@@ -1,0 +1,116 @@
+"""Tests for the edit-distance similarity family."""
+
+import pytest
+
+from repro.sim.edit import (
+    JaroSimilarity,
+    JaroWinklerSimilarity,
+    LevenshteinSimilarity,
+    damerau_levenshtein_distance,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+)
+
+
+class TestLevenshteinDistance:
+    def test_identical(self):
+        assert levenshtein_distance("kitten", "kitten") == 0
+
+    def test_classic_example(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_empty_vs_word(self):
+        assert levenshtein_distance("", "abc") == 3
+
+    def test_symmetry(self):
+        assert levenshtein_distance("abc", "acb") == levenshtein_distance("acb", "abc")
+
+    def test_single_substitution(self):
+        assert levenshtein_distance("flaw", "claw") == 1
+
+    def test_max_distance_cutoff(self):
+        # returns max+1 as soon as the bound is provably exceeded
+        assert levenshtein_distance("aaaa", "bbbb", max_distance=2) == 3
+
+    def test_max_distance_length_gap(self):
+        assert levenshtein_distance("a", "abcdef", max_distance=2) == 3
+
+    def test_max_distance_not_triggered(self):
+        assert levenshtein_distance("abc", "abd", max_distance=2) == 1
+
+
+class TestDamerau:
+    def test_transposition_counts_one(self):
+        assert damerau_levenshtein_distance("ab", "ba") == 1
+        assert levenshtein_distance("ab", "ba") == 2
+
+    def test_identical(self):
+        assert damerau_levenshtein_distance("same", "same") == 0
+
+    def test_empty(self):
+        assert damerau_levenshtein_distance("", "ab") == 2
+
+    def test_mixed_edits(self):
+        assert damerau_levenshtein_distance("ca", "abc") == 3
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_dissimilar(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_symmetry(self):
+        assert jaro_similarity("dwayne", "duane") == pytest.approx(
+            jaro_similarity("duane", "dwayne"))
+
+
+class TestJaroWinkler:
+    def test_known_value(self):
+        assert jaro_winkler_similarity("martha", "marhta") == pytest.approx(
+            0.9611, abs=1e-3)
+
+    def test_prefix_boost(self):
+        plain = jaro_similarity("prefixed", "prefixes")
+        boosted = jaro_winkler_similarity("prefixed", "prefixes")
+        assert boosted > plain
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_weight=0.5)
+
+    def test_max_prefix_caps_boost(self):
+        long_prefix = jaro_winkler_similarity("abcdefgh", "abcdefgx",
+                                              max_prefix=4)
+        longer_cap = jaro_winkler_similarity("abcdefgh", "abcdefgx",
+                                             max_prefix=8)
+        assert longer_cap >= long_prefix
+
+
+class TestSimilarityClasses:
+    def test_levenshtein_normalized(self):
+        sim = LevenshteinSimilarity()
+        assert sim("abcd", "abcd") == 1.0
+        assert sim("abcd", "abce") == pytest.approx(0.75)
+
+    def test_levenshtein_empty_pair(self):
+        assert LevenshteinSimilarity()("", "") == 0.0
+
+    def test_jaro_class_delegates(self):
+        assert JaroSimilarity()("martha", "marhta") == pytest.approx(
+            jaro_similarity("martha", "marhta"))
+
+    def test_jaro_winkler_class_params(self):
+        sim = JaroWinklerSimilarity(prefix_weight=0.2)
+        assert sim("martha", "marhta") >= jaro_similarity("martha", "marhta")
+
+    def test_none_handling(self):
+        assert LevenshteinSimilarity()(None, None) == 0.0

@@ -1,0 +1,90 @@
+"""Tests for hybrid and person-name similarities."""
+
+import pytest
+
+from repro.sim.hybrid import (
+    ExactSimilarity,
+    MongeElkanSimilarity,
+    PersonNameSimilarity,
+    TokenJaccardSimilarity,
+)
+
+
+class TestExact:
+    def test_equal_after_normalization(self):
+        assert ExactSimilarity()("VLDB 2002!", "vldb 2002") == 1.0
+
+    def test_different(self):
+        assert ExactSimilarity()("2001", "2002") == 0.0
+
+
+class TestTokenJaccard:
+    def test_identical(self):
+        assert TokenJaccardSimilarity()("data streams", "data streams") == 1.0
+
+    def test_half_overlap(self):
+        value = TokenJaccardSimilarity()("a b", "b c")
+        assert value == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        assert TokenJaccardSimilarity()("", "abc") == 0.0
+
+
+class TestMongeElkan:
+    def test_identical(self):
+        assert MongeElkanSimilarity()("john smith", "john smith") == pytest.approx(1.0)
+
+    def test_asymmetric_directed(self):
+        sim = MongeElkanSimilarity(symmetric=False)
+        forward = sim("data", "data processing systems")
+        backward = sim("data processing systems", "data")
+        assert forward > backward
+
+    def test_symmetric_mode_is_symmetric(self):
+        sim = MongeElkanSimilarity(symmetric=True)
+        a, b = "schema matching cupid", "cupid schema"
+        assert sim(a, b) == pytest.approx(sim(b, a))
+
+    def test_typo_tokens_still_match(self):
+        assert MongeElkanSimilarity()("jon smith", "john smith") > 0.8
+
+    def test_empty(self):
+        assert MongeElkanSimilarity()("", "x") == 0.0
+
+
+class TestPersonName:
+    def setup_method(self):
+        self.sim = PersonNameSimilarity()
+
+    def test_identical_full_names(self):
+        assert self.sim("John Smith", "John Smith") == pytest.approx(1.0)
+
+    def test_initial_matches_full_first_name(self):
+        # the Google Scholar case: "J. Smith" vs "John Smith"
+        assert self.sim("J. Smith", "John Smith") == pytest.approx(1.0)
+
+    def test_wrong_initial_penalized(self):
+        right = self.sim("J. Smith", "John Smith")
+        wrong = self.sim("K. Smith", "John Smith")
+        assert wrong < right
+
+    def test_different_last_names_dominate(self):
+        assert self.sim("John Smith", "John Smythe") < 0.95
+        assert self.sim("John Smith", "John Miller") < 0.6
+
+    def test_middle_initial_prefix_match(self):
+        assert self.sim("J. B. Smith", "John B. Smith") == pytest.approx(1.0)
+
+    def test_missing_first_name_neutral(self):
+        value = self.sim("Smith", "John Smith")
+        assert 0.5 < value < 1.0
+
+    def test_comma_convention(self):
+        assert self.sim("Smith, John", "John Smith") == pytest.approx(1.0)
+
+    def test_invalid_weight(self):
+        with pytest.raises(ValueError):
+            PersonNameSimilarity(last_weight=1.5)
+
+    def test_typo_in_last_name(self):
+        assert self.sim("John Smith", "John Smth") > 0.6

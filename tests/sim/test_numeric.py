@@ -1,0 +1,45 @@
+"""Tests for numeric and year similarity."""
+
+import pytest
+
+from repro.sim.numeric import NumericSimilarity, YearSimilarity
+
+
+class TestNumeric:
+    def test_equal_values(self):
+        assert NumericSimilarity(window=5)(10, 10) == 1.0
+
+    def test_linear_decay(self):
+        assert NumericSimilarity(window=4)(10, 12) == pytest.approx(0.5)
+
+    def test_outside_window(self):
+        assert NumericSimilarity(window=2)(10, 20) == 0.0
+
+    def test_non_numeric_scores_zero(self):
+        assert NumericSimilarity()(10, "abc") == 0.0
+
+    def test_string_numbers_parsed(self):
+        assert NumericSimilarity(window=2)("10", "11") == pytest.approx(0.5)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            NumericSimilarity(window=0)
+
+    def test_none(self):
+        assert NumericSimilarity()(None, 5) == 0.0
+
+
+class TestYear:
+    def test_equal_years(self):
+        assert YearSimilarity()(2001, 2001) == 1.0
+
+    def test_one_year_apart(self):
+        # conference vs journal version: one year off scores 0.5,
+        # matching Figure 1's 0.6-style partial correspondences
+        assert YearSimilarity()(2001, 2002) == pytest.approx(0.5)
+
+    def test_two_years_apart(self):
+        assert YearSimilarity()(2001, 2003) == 0.0
+
+    def test_missing_year(self):
+        assert YearSimilarity()(None, 2001) == 0.0

@@ -1,0 +1,78 @@
+"""Tests for TF/IDF cosine and SoftTFIDF."""
+
+import pytest
+
+from repro.sim.tfidf import SoftTfIdfSimilarity, TfIdfCosineSimilarity
+
+
+CORPUS = [
+    "adaptive query processing",
+    "query optimization in relational databases",
+    "data integration for web databases",
+    "schema matching with cupid",
+    "the the the common words",
+]
+
+
+class TestTfIdfCosine:
+    def setup_method(self):
+        self.sim = TfIdfCosineSimilarity()
+        self.sim.prepare(CORPUS)
+
+    def test_identical(self):
+        assert self.sim("adaptive query processing",
+                        "adaptive query processing") == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert self.sim("alpha beta", "gamma delta") == 0.0
+
+    def test_rare_tokens_dominate(self):
+        # sharing the rare token "cupid" beats sharing the common "query"
+        rare = self.sim("schema matching with cupid", "cupid evaluation")
+        common = self.sim("adaptive query processing", "query languages")
+        assert rare > common
+
+    def test_unprepared_degrades_to_tf(self):
+        fresh = TfIdfCosineSimilarity()
+        assert fresh("a b", "a b") == pytest.approx(1.0)
+
+    def test_unknown_token_gets_max_idf(self):
+        assert self.sim.idf("neverseen") >= self.sim.idf("query")
+
+    def test_prepare_resets_vectors(self):
+        before = self.sim("query processing", "query optimization")
+        self.sim.prepare(["query", "query", "query"])
+        after = self.sim("query processing", "query optimization")
+        assert before != after or before == pytest.approx(after)
+
+    def test_none_prepare_entries_skipped(self):
+        sim = TfIdfCosineSimilarity()
+        sim.prepare(["abc", None, "def"])
+        assert sim._corpus_size == 2
+
+    def test_score_in_range(self):
+        value = self.sim("query data", "data query optimization")
+        assert 0.0 <= value <= 1.0
+
+
+class TestSoftTfIdf:
+    def setup_method(self):
+        self.sim = SoftTfIdfSimilarity(token_threshold=0.9)
+        self.sim.prepare(CORPUS)
+
+    def test_exact_tokens(self):
+        assert self.sim("schema matching", "schema matching") == pytest.approx(
+            1.0, abs=1e-6)
+
+    def test_typo_tolerance_beats_hard_tfidf(self):
+        hard = TfIdfCosineSimilarity()
+        hard.prepare(CORPUS)
+        a, b = "schema matching", "schema matchng"
+        assert self.sim(a, b) > hard(a, b)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SoftTfIdfSimilarity(token_threshold=0.0)
+
+    def test_empty(self):
+        assert self.sim("", "anything") == 0.0

@@ -1,0 +1,121 @@
+"""Tests for string normalization and tokenization."""
+
+import pytest
+
+from repro.sim.tokenize import (
+    initials,
+    name_parts,
+    ngram_windows,
+    normalize,
+    qgrams,
+    strip_accents,
+    strip_punctuation,
+    word_tokens,
+)
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize("Query Processing") == "query processing"
+
+    def test_strips_punctuation(self):
+        assert normalize("Potter's Wheel: A System!") == "potter s wheel a system"
+
+    def test_collapses_whitespace(self):
+        assert normalize("  a   b\t c ") == "a b c"
+
+    def test_empty_string(self):
+        assert normalize("") == ""
+
+    def test_accents_removed(self):
+        assert normalize("Café Müller") == "cafe muller"
+
+    def test_idempotent(self):
+        once = normalize("A  Strange-Title!")
+        assert normalize(once) == once
+
+
+class TestStripHelpers:
+    def test_strip_accents(self):
+        assert strip_accents("naïve résumé") == "naive resume"
+
+    def test_strip_punctuation_keeps_words(self):
+        assert strip_punctuation("a,b.c").split() == ["a", "b", "c"]
+
+
+class TestWordTokens:
+    def test_basic_split(self):
+        assert word_tokens("Data Integration") == ["data", "integration"]
+
+    def test_numbers_kept(self):
+        assert word_tokens("VLDB 2002") == ["vldb", "2002"]
+
+    def test_empty(self):
+        assert word_tokens("") == []
+
+    def test_punctuation_separates(self):
+        assert word_tokens("top-k retrieval") == ["top", "k", "retrieval"]
+
+
+class TestQgrams:
+    def test_trigrams_padded(self):
+        grams = qgrams("ab", 3)
+        assert "##a" in grams and "ab#" in grams
+
+    def test_unpadded_shorter_than_q(self):
+        assert qgrams("ab", 3, pad=False) == ["ab"]
+
+    def test_count_matches_formula(self):
+        text = "abcdef"
+        grams = qgrams(text, 3, pad=False)
+        assert len(grams) == len(text) - 3 + 1
+
+    def test_empty_text(self):
+        assert qgrams("", 3) == []
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", 0)
+
+    def test_normalization_applied(self):
+        assert qgrams("AB", 2) == qgrams("ab", 2)
+
+
+class TestNgramWindows:
+    def test_windows(self):
+        assert list(ngram_windows(["a", "b", "c"], 2)) == [("a", "b"), ("b", "c")]
+
+    def test_window_too_large(self):
+        assert list(ngram_windows(["a"], 2)) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            list(ngram_windows(["a"], 0))
+
+
+class TestNameParts:
+    def test_first_last(self):
+        assert name_parts("John Smith") == ("John", "Smith")
+
+    def test_middle_goes_to_first(self):
+        assert name_parts("John B. Smith") == ("John B.", "Smith")
+
+    def test_comma_convention(self):
+        assert name_parts("Smith, John") == ("John", "Smith")
+
+    def test_single_token(self):
+        assert name_parts("Smith") == ("", "Smith")
+
+    def test_empty(self):
+        assert name_parts("") == ("", "")
+
+
+class TestInitials:
+    def test_full_name(self):
+        assert initials("John B.") == "jb"
+
+    def test_single(self):
+        assert initials("J.") == "j"
+
+    def test_empty(self):
+        assert initials("") == ""

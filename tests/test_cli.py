@@ -1,0 +1,63 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestStats:
+    def test_prints_table1(self, capsys):
+        assert main(["--scale", "tiny", "stats"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output and "DBLP" in output
+
+
+class TestExperiments:
+    def test_single_experiment(self, capsys):
+        assert main(["--scale", "tiny", "experiments", "table4"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 4" in output
+        assert "neighborhood" in output
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["--scale", "tiny", "experiments", "table42"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_extension_runs(self, capsys):
+        assert main(["--scale", "tiny", "experiments",
+                     "self-mapping"]) == 0
+        assert "duplicate clusters" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_all_figures_match(self, capsys):
+        assert main(["figures"]) == 0
+        output = capsys.readouterr().out
+        assert "all figures match the paper: True" in output
+
+
+class TestExport:
+    def test_exports_mapping_tables(self, tmp_path, capsys):
+        out = tmp_path / "mappings"
+        assert main(["--scale", "tiny", "export", "--out", str(out)]) == 0
+        files = sorted(path.name for path in out.glob("*.csv"))
+        assert any(name.startswith("DBLP_PubAuthor") for name in files)
+        assert any(name.startswith("gold_publications") for name in files)
+
+    def test_exported_tables_reimportable(self, tmp_path):
+        from repro.model.io import read_mapping_csv
+        out = tmp_path / "mappings"
+        main(["--scale", "tiny", "export", "--out", str(out)])
+        path = next(out.glob("DBLP_CoAuthor.csv"))
+        mapping = read_mapping_csv(path, domain="DBLP.Author",
+                                   range="DBLP.Author")
+        assert len(mapping) > 0
+
+
+class TestSeedScale:
+    def test_seed_changes_world(self, capsys):
+        main(["--scale", "tiny", "--seed", "1", "stats"])
+        first = capsys.readouterr().out
+        main(["--scale", "tiny", "--seed", "2", "stats"])
+        second = capsys.readouterr().out
+        assert first != second
