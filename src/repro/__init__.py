@@ -60,13 +60,22 @@ from repro.model import (
     PhysicalSource,
     SourceMappingModel,
 )
+from repro.engine import (
+    BatchMatchEngine,
+    EngineConfig,
+    configure_default_engine,
+    get_default_engine,
+    set_default_engine,
+)
 from repro.sim import SimilarityFunction, get_similarity
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AttributeMatcher",
     "AttributePair",
+    "BatchMatchEngine",
+    "EngineConfig",
     "Best1DeltaSelection",
     "BestNSelection",
     "CompositeSelection",
@@ -95,9 +104,12 @@ __all__ = [
     "SourceMappingModel",
     "ThresholdSelection",
     "compose",
+    "configure_default_engine",
     "default_library",
     "difference",
+    "get_default_engine",
     "get_similarity",
+    "set_default_engine",
     "hub_compose",
     "intersection",
     "mapping_union",

@@ -32,6 +32,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="dataset scale preset (default: tiny)")
     parser.add_argument("--seed", type=int, default=7,
                         help="world generator seed (default: 7)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the batch match engine "
+                             "(default: 1 = serial)")
+    parser.add_argument("--chunk-size", type=int, default=2048,
+                        help="candidate pairs per engine chunk "
+                             "(default: 2048)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("stats", help="print dataset statistics")
@@ -152,6 +158,14 @@ def _command_export(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.chunk_size < 1:
+        print("--chunk-size must be >= 1", file=sys.stderr)
+        return 2
+    from repro.engine import configure_default_engine
+    configure_default_engine(workers=args.workers, chunk_size=args.chunk_size)
     if args.command == "stats":
         return _command_stats(args)
     if args.command == "experiments":

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Iterator, Set, Tuple
+from typing import Iterable, Iterator, Optional, Set, Tuple
 
 from repro.core.mapping import Mapping
 from repro.model.source import LogicalSource
@@ -21,13 +21,31 @@ class PairGenerator(ABC):
         """Yield candidate pairs; duplicates are allowed (matchers dedup)."""
 
     def count(self, domain: LogicalSource, range: LogicalSource, *,
-              domain_attribute: str, range_attribute: str) -> int:
-        """Number of *distinct* candidate pairs (diagnostics)."""
-        return len(set(self.candidates(
-            domain, range,
-            domain_attribute=domain_attribute,
-            range_attribute=range_attribute,
-        )))
+              domain_attribute: str, range_attribute: str,
+              limit: Optional[int] = None) -> int:
+        """Number of *distinct* candidate pairs (diagnostics).
+
+        Streams the candidate generator instead of materializing it,
+        but exact distinct counting still needs a seen-set, so memory
+        grows with the number of *distinct* pairs counted.  For large
+        sources pass ``limit`` to stop (and bound the seen-set) at the
+        first ``limit`` distinct pairs — diagnostics rarely need more
+        precision than "at least N".  Strategies with a closed-form
+        pair count (e.g. :class:`FullCross`) override this with an
+        O(1) implementation.
+        """
+        seen: Set[Pair] = set()
+        add = seen.add
+        counted = 0
+        for pair in self.candidates(domain, range,
+                                    domain_attribute=domain_attribute,
+                                    range_attribute=range_attribute):
+            if pair not in seen:
+                add(pair)
+                counted += 1
+                if limit is not None and counted >= limit:
+                    break
+        return counted
 
 
 class FullCross(PairGenerator):
@@ -46,6 +64,22 @@ class FullCross(PairGenerator):
             for id_a in domain.ids():
                 for id_b in range_ids:
                     yield id_a, id_b
+
+    def count(self, domain: LogicalSource, range: LogicalSource, *,
+              domain_attribute: str, range_attribute: str,
+              limit: Optional[int] = None) -> int:
+        """Closed-form count — the cross product is never materialized.
+
+        The generic implementation would build a quadratic seen-set
+        here (the full cross product *is* distinct), which is exactly
+        the memory blow-up this override avoids.
+        """
+        if domain is range or domain.name == range.name:
+            n = len(domain)
+            total = n * (n - 1) // 2
+        else:
+            total = len(domain) * len(range)
+        return total if limit is None else min(total, limit)
 
 
 def unique_pairs(pairs: Iterable[Pair]) -> Iterator[Pair]:

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Tuple, Union
 
-from repro.core.mapping import Mapping, MappingKind
+from repro.core.mapping import Mapping
 from repro.core.matchers.base import Matcher, MatcherError
+from repro.engine import AttributeSpec, MatchRequest, get_default_engine
 from repro.model.source import LogicalSource
 from repro.sim.base import SimilarityFunction
 from repro.sim.registry import get_similarity
@@ -39,6 +40,11 @@ class AttributeMatcher(Matcher):
         ``"skip"`` (default) produces no correspondence for pairs with
         a missing value; ``"zero"`` scores them 0 (only observable with
         ``threshold == 0`` diagnostics).
+    engine:
+        Optional :class:`~repro.engine.BatchMatchEngine` executing the
+        candidate scoring; defaults to the process-wide default engine
+        (serial unless configured otherwise, e.g. via the CLI's
+        ``--workers`` flag or a workflow step's engine override).
     """
 
     def __init__(self, attribute: str,
@@ -48,6 +54,7 @@ class AttributeMatcher(Matcher):
                  *,
                  blocking: Optional[object] = None,
                  missing: str = "skip",
+                 engine: Optional[object] = None,
                  name: Optional[str] = None) -> None:
         if not attribute:
             raise MatcherError("attribute name must be non-empty")
@@ -63,58 +70,22 @@ class AttributeMatcher(Matcher):
         self.threshold = threshold
         self.blocking = blocking
         self.missing = missing
+        self.engine = engine
         self.name = name or (
             f"attr[{self.attribute}~{self.similarity.name}@{self.threshold:g}]"
         )
 
-    def _candidate_pairs(self, domain: LogicalSource, range: LogicalSource,
-                         candidates: Optional[Iterable[Tuple[str, str]]]
-                         ) -> Iterable[Tuple[str, str]]:
-        if candidates is not None:
-            return candidates
-        if self.blocking is not None:
-            return self.blocking.candidates(
-                domain, range,
-                domain_attribute=self.attribute,
-                range_attribute=self.range_attribute,
-            )
-        return self.cross_product(domain, range)
-
     def match(self, domain: LogicalSource, range: LogicalSource, *,
               candidates: Optional[Iterable[Tuple[str, str]]] = None) -> Mapping:
-        # Corpus-level preparation (TF/IDF document frequencies) over
-        # the union of both sources' attribute values.
-        corpus = domain.attribute_values(self.attribute)
-        if range is not domain:
-            corpus = corpus + range.attribute_values(self.range_attribute)
-        self.similarity.prepare(corpus)
-
-        result = Mapping(domain.name, range.name, kind=MappingKind.SAME,
-                         name=self.name)
-        is_self = domain is range or domain.name == range.name
-        seen: set[Tuple[str, str]] = set()
-        for id_a, id_b in self._candidate_pairs(domain, range, candidates):
-            if is_self:
-                if id_a == id_b:
-                    continue
-                key = (id_b, id_a) if id_b < id_a else (id_a, id_b)
-                if key in seen:
-                    continue
-                seen.add(key)
-            instance_a = domain.get(id_a)
-            instance_b = range.get(id_b)
-            if instance_a is None or instance_b is None:
-                continue
-            value_a = instance_a.get(self.attribute)
-            value_b = instance_b.get(self.range_attribute)
-            if value_a is None or value_b is None:
-                if self.missing == "skip":
-                    continue
-                score = 0.0
-            else:
-                score = self.similarity.similarity(value_a, value_b)
-            if score >= self.threshold and score > 0.0:
-                result.add(id_a, id_b, score)
-                if is_self:
-                    result.add(id_b, id_a, score)
-        return result
+        request = MatchRequest(
+            domain=domain,
+            range=range,
+            specs=[AttributeSpec(self.attribute, self.range_attribute,
+                                 self.similarity)],
+            threshold=self.threshold,
+            candidates=candidates,
+            blocking=self.blocking,
+            name=self.name,
+        )
+        engine = self.engine if self.engine is not None else get_default_engine()
+        return engine.execute(request)

@@ -11,9 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Tuple, Union
 
-from repro.core.mapping import Mapping, MappingKind
+from repro.core.mapping import Mapping
 from repro.core.matchers.base import Matcher, MatcherError
 from repro.core.operators.functions import CombinationFunction, get_combination
+from repro.engine import AttributeSpec, MatchRequest, get_default_engine
 from repro.model.source import LogicalSource
 from repro.sim.base import SimilarityFunction
 from repro.sim.registry import get_similarity
@@ -55,6 +56,7 @@ class MultiAttributeMatcher(Matcher):
                  threshold: float = 0.0,
                  *,
                  blocking: Optional[object] = None,
+                 engine: Optional[object] = None,
                  name: Optional[str] = None) -> None:
         if not pairs:
             raise MatcherError("multi-attribute matcher needs at least one pair")
@@ -65,58 +67,23 @@ class MultiAttributeMatcher(Matcher):
         self.combiner = get_combination(combine, weights=weights)
         self.threshold = threshold
         self.blocking = blocking
+        self.engine = engine
         attrs = "+".join(pair.attribute for pair in self.pairs)
         self.name = name or f"multiattr[{attrs}@{threshold:g}]"
 
-    def _candidate_pairs(self, domain: LogicalSource, range: LogicalSource,
-                         candidates: Optional[Iterable[Tuple[str, str]]]
-                         ) -> Iterable[Tuple[str, str]]:
-        if candidates is not None:
-            return candidates
-        if self.blocking is not None:
-            first = self.pairs[0]
-            return self.blocking.candidates(
-                domain, range,
-                domain_attribute=first.attribute,
-                range_attribute=first.range_attribute,
-            )
-        return self.cross_product(domain, range)
-
     def match(self, domain: LogicalSource, range: LogicalSource, *,
               candidates: Optional[Iterable[Tuple[str, str]]] = None) -> Mapping:
-        for pair in self.pairs:
-            corpus = domain.attribute_values(pair.attribute)
-            if range is not domain:
-                corpus = corpus + range.attribute_values(pair.range_attribute)
-            pair.similarity.prepare(corpus)
-
-        result = Mapping(domain.name, range.name, kind=MappingKind.SAME,
-                         name=self.name)
-        is_self = domain is range or domain.name == range.name
-        seen: set[Tuple[str, str]] = set()
-        for id_a, id_b in self._candidate_pairs(domain, range, candidates):
-            if is_self:
-                if id_a == id_b:
-                    continue
-                key = (id_b, id_a) if id_b < id_a else (id_a, id_b)
-                if key in seen:
-                    continue
-                seen.add(key)
-            instance_a = domain.get(id_a)
-            instance_b = range.get(id_b)
-            if instance_a is None or instance_b is None:
-                continue
-            values: list[Optional[float]] = []
-            for pair in self.pairs:
-                value_a = instance_a.get(pair.attribute)
-                value_b = instance_b.get(pair.range_attribute)
-                if value_a is None or value_b is None:
-                    values.append(None)
-                else:
-                    values.append(pair.similarity.similarity(value_a, value_b))
-            score = self.combiner.combine(values)
-            if score is not None and score >= self.threshold and score > 0.0:
-                result.add(id_a, id_b, score)
-                if is_self:
-                    result.add(id_b, id_a, score)
-        return result
+        request = MatchRequest(
+            domain=domain,
+            range=range,
+            specs=[AttributeSpec(pair.attribute, pair.range_attribute,
+                                 pair.similarity)
+                   for pair in self.pairs],
+            threshold=self.threshold,
+            combiner=self.combiner,
+            candidates=candidates,
+            blocking=self.blocking,
+            name=self.name,
+        )
+        engine = self.engine if self.engine is not None else get_default_engine()
+        return engine.execute(request)

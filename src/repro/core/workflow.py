@@ -56,10 +56,15 @@ class MatchContext:
                  repository: Optional[MappingRepository] = None,
                  cache: Optional[MappingCache] = None,
                  sources: Optional[Dict[str, LogicalSource]] = None,
-                 mappings: Optional[Dict[str, Mapping]] = None) -> None:
+                 mappings: Optional[Dict[str, Mapping]] = None,
+                 engine: Optional[object] = None) -> None:
         self.smm = smm
         self.repository = repository
         self.cache = cache if cache is not None else MappingCache()
+        #: batch engine injected into matcher steps that don't carry
+        #: their own (``repro.engine.BatchMatchEngine``); ``None`` keeps
+        #: each matcher's own engine (usually the process default).
+        self.engine = engine
         self._sources = dict(sources) if sources else {}
         self._mappings = dict(mappings) if mappings else {}
         self.workspace: Dict[str, Mapping] = {}
@@ -110,18 +115,35 @@ class MatchContext:
 
 @dataclass
 class MatcherStep:
-    """Execute a matcher and publish its same-mapping."""
+    """Execute a matcher and publish its same-mapping.
+
+    ``engine`` optionally overrides the batch execution engine for this
+    step; otherwise the context's engine (if any) applies.  Matchers
+    that don't expose an ``engine`` attribute run unchanged.
+    """
 
     output: str
     matcher: Matcher
     domain: str
     range: str
     candidates: Optional[Iterable[Tuple[str, str]]] = None
+    engine: Optional[object] = None
 
     def run(self, context: MatchContext) -> Mapping:
         domain = context.resolve_source(self.domain)
         range_ = context.resolve_source(self.range)
-        mapping = self.matcher.match(domain, range_, candidates=self.candidates)
+        engine = self.engine if self.engine is not None else context.engine
+        if engine is not None and hasattr(self.matcher, "engine"):
+            previous = self.matcher.engine
+            self.matcher.engine = engine
+            try:
+                mapping = self.matcher.match(domain, range_,
+                                             candidates=self.candidates)
+            finally:
+                self.matcher.engine = previous
+        else:
+            mapping = self.matcher.match(domain, range_,
+                                         candidates=self.candidates)
         context.publish(self.output, mapping)
         context.trace.append(
             f"matcher {self.matcher.name} {self.domain}->{self.range}: "
@@ -231,9 +253,10 @@ class MatchWorkflow:
 
     def add_matcher(self, output: str, matcher: Matcher,
                     domain: str, range: str,
-                    candidates: Optional[Iterable[Tuple[str, str]]] = None
-                    ) -> "MatchWorkflow":
-        self.steps.append(MatcherStep(output, matcher, domain, range, candidates))
+                    candidates: Optional[Iterable[Tuple[str, str]]] = None,
+                    engine: Optional[object] = None) -> "MatchWorkflow":
+        self.steps.append(MatcherStep(output, matcher, domain, range,
+                                      candidates, engine))
         return self
 
     def add_merge(self, output: str, inputs: Sequence[Union[str, Mapping]],

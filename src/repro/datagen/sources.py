@@ -30,7 +30,6 @@ from repro.datagen.corruption import (
 from repro.datagen.gold import GoldStandard
 from repro.datagen.names import full_name
 from repro.datagen.world import (
-    TruePublication,
     World,
     WorldConfig,
     generate_world,

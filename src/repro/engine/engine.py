@@ -1,0 +1,362 @@
+"""The parallel batch match engine.
+
+Execution model (replacing the matchers' one-pair-at-a-time loops):
+
+1. candidate pairs are streamed from an explicit iterable, a blocking
+   strategy or the cross product, with self-matching dedup applied on
+   the fly (reflexive pairs skipped, unordered duplicates dropped);
+2. the stream is cut into fixed-size chunks (:mod:`repro.engine.chunks`);
+3. each chunk is scored by a :class:`~repro.engine.scorer.ChunkScorer`
+   — inline for ``workers=1``, or across a ``concurrent.futures``
+   process pool otherwise — evaluating similarity functions through
+   their batched ``score_batch`` kernels with per-attribute memoization;
+4. surviving triples are merged into one :class:`Mapping` in chunk
+   submission order, so serial and parallel execution produce
+   *identical* mappings.
+
+Workers are forked after ``prepare`` has run, so corpus-level indexes
+(gram caches, TF/IDF document frequencies) are built once and shared
+copy-on-write.  On platforms without ``fork`` the scorer is pickled to
+each worker; if that fails the engine degrades to serial execution
+rather than erroring.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import pickle
+import warnings
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.mapping import Mapping, MappingKind
+from repro.engine import scorer as scorer_module
+from repro.engine import vectorized
+from repro.engine.chunks import iter_chunks
+from repro.engine.request import MatchRequest
+from repro.engine.scorer import ChunkScorer
+from repro.engine.vectorized import IndexedScorer
+
+Pair = Tuple[str, str]
+Triple = Tuple[str, str, float]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tuning knobs for batch execution.
+
+    ``workers=1`` is the serial fallback (no processes, no IPC).
+    ``chunk_size`` trades scheduling overhead against pipelining; the
+    default suits pure-Python similarity kernels.  ``max_inflight``
+    bounds how many chunks may be queued on the pool ahead of the
+    merge cursor (default ``2 * workers``), which caps memory while
+    keeping every worker busy.
+    """
+
+    workers: int = 1
+    chunk_size: int = 2048
+    max_inflight: Optional[int] = None
+    #: opt-in best-effort duplicate-pair filter for two-source matching
+    #: (entries, not bytes; 0 = off).  Useful when a custom candidate
+    #: stream emits the same pair many times: the filter (reset when
+    #: full, so memory stays bounded) saves their resolution and IPC
+    #: cost.  Rescoring a duplicate is idempotent, so this is purely a
+    #: performance knob; the built-in blocking strategies already
+    #: deduplicate, hence off by default.
+    dedup_limit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers!r}")
+        if self.chunk_size < 1:
+            raise ValueError(
+                f"chunk_size must be >= 1, got {self.chunk_size!r}"
+            )
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {self.max_inflight!r}"
+            )
+        if self.dedup_limit < 0:
+            raise ValueError(
+                f"dedup_limit must be >= 0, got {self.dedup_limit!r}"
+            )
+
+    @property
+    def inflight(self) -> int:
+        if self.max_inflight is not None:
+            return self.max_inflight
+        return max(2, 2 * self.workers)
+
+
+class BatchMatchEngine:
+    """Executes :class:`MatchRequest`\\ s serially or on a worker pool."""
+
+    def __init__(self, config: Optional[EngineConfig] = None, *,
+                 workers: Optional[int] = None,
+                 chunk_size: Optional[int] = None) -> None:
+        if config is None:
+            config = EngineConfig()
+        overrides = {}
+        if workers is not None:
+            overrides["workers"] = workers
+        if chunk_size is not None:
+            overrides["chunk_size"] = chunk_size
+        if overrides:
+            config = dataclasses.replace(config, **overrides)
+        self.config = config
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BatchMatchEngine(workers={self.config.workers}, "
+                f"chunk_size={self.config.chunk_size})")
+
+    # -- execution -----------------------------------------------------
+
+    def execute(self, request: MatchRequest) -> Mapping:
+        """Run ``request`` and return its same-mapping."""
+        self._prepare(request)
+        result = Mapping(request.domain.name, request.range.name,
+                         kind=MappingKind.SAME, name=request.name)
+        is_self = request.is_self
+        chunks = iter_chunks(self._pair_stream(request),
+                             self.config.chunk_size)
+        indexed = self._try_indexed(request)
+        if indexed is not None:
+            self._run_indexed(indexed, chunks, result, is_self)
+            return result
+        scorer = ChunkScorer(request)
+        if self.config.workers > 1:
+            executed = self._execute_parallel(scorer, chunks, result, is_self)
+            if executed:
+                return result
+            # fell back (pool unavailable); continue serially below with
+            # whatever chunks the parallel path did not consume.
+        for chunk in chunks:
+            self._merge(result, scorer.score_chunk(chunk), is_self)
+        return result
+
+    def _try_indexed(self, request: MatchRequest) -> Optional[IndexedScorer]:
+        """Build the vectorized fast path when the request is eligible.
+
+        Single-attribute requests whose similarity has a bit-exact
+        vector kernel (q-gram family) score through packed numpy
+        matrices; everything else uses the generic chunk scorer.
+        Explicit candidate lists skip the kernel: they are typically
+        tiny relative to the sources, and packing full source matrices
+        to score a handful of pairs would cost more than it saves.
+        """
+        if request.combiner is not None or len(request.specs) != 1:
+            return None
+        if request.candidates is not None:
+            return None
+        spec = request.specs[0]
+        kernel = vectorized.build_kernel(
+            spec.similarity, request.domain, request.range,
+            spec.attribute, spec.range_attribute)
+        if kernel is None:
+            return None
+        return IndexedScorer(kernel, request.domain.ids(),
+                             request.range.ids(), request.threshold)
+
+    def _prepare(self, request: MatchRequest) -> None:
+        """Build corpus-level indexes before any pair is scored.
+
+        Must run before workers fork so prepared state is inherited.
+        """
+        for spec in request.specs:
+            corpus = request.domain.attribute_values(spec.attribute)
+            if request.range is not request.domain:
+                corpus = corpus + request.range.attribute_values(
+                    spec.range_attribute)
+            spec.similarity.prepare(corpus)
+
+    def _pair_stream(self, request: MatchRequest) -> Iterator[Pair]:
+        """Candidate pairs with duplicate suppression applied streamingly.
+
+        Self-matching uses the exact unordered-pair dedup the matchers
+        always had.  Two-source matching gets a *best-effort* filter
+        bounded by ``dedup_limit``: blocking strategies may emit the
+        same pair many times (once per shared token / canopy), and
+        every duplicate that slips through costs resolution and IPC
+        even though its score is memoized.  The filter resets when
+        full; duplicates it misses are rescored idempotently, so
+        results are unaffected.
+        """
+        pairs = self._raw_pairs(request)
+        if not request.is_self:
+            limit = self.config.dedup_limit
+            if limit == 0:
+                yield from pairs
+                return
+            seen: set = set()
+            for pair in pairs:
+                if pair in seen:
+                    continue
+                if len(seen) >= limit:
+                    seen.clear()
+                seen.add(pair)
+                yield pair
+            return
+        seen = set()
+        for id_a, id_b in pairs:
+            if id_a == id_b:
+                continue
+            key = (id_b, id_a) if id_b < id_a else (id_a, id_b)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield id_a, id_b
+
+    def _raw_pairs(self, request: MatchRequest) -> Iterable[Pair]:
+        if request.candidates is not None:
+            return request.candidates
+        if request.blocking is not None:
+            first = request.specs[0]
+            return request.blocking.candidates(
+                request.domain, request.range,
+                domain_attribute=first.attribute,
+                range_attribute=first.range_attribute,
+            )
+        return self._cross_product(request)
+
+    @staticmethod
+    def _cross_product(request: MatchRequest) -> Iterator[Pair]:
+        if request.is_self:
+            ids = request.domain.ids()
+            for i, id_a in enumerate(ids):
+                for id_b in ids[i + 1:]:
+                    yield id_a, id_b
+        else:
+            range_ids = request.range.ids()
+            for id_a in request.domain.ids():
+                for id_b in range_ids:
+                    yield id_a, id_b
+
+    @staticmethod
+    def _merge(result: Mapping, triples: List[Triple], is_self: bool) -> None:
+        add = result.add
+        if is_self:
+            for id_a, id_b, score in triples:
+                add(id_a, id_b, score)
+                add(id_b, id_a, score)
+        else:
+            for id_a, id_b, score in triples:
+                add(id_a, id_b, score)
+
+    def _run_indexed(self, indexed: IndexedScorer,
+                     chunks: Iterator[List[Pair]], result: Mapping,
+                     is_self: bool) -> None:
+        """Drive the vectorized path, serially or across the pool.
+
+        The parent converts id-pair chunks to row arrays; workers (when
+        ``workers > 1``) inherit the packed matrices through fork and
+        return only surviving rows, so IPC is ~8 bytes per candidate
+        pair plus the (sparse) survivors.
+        """
+        workers = self.config.workers
+        if workers > 1 and "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+            vectorized._install_indexed(indexed)
+            pending: deque = deque()
+            try:
+                with ProcessPoolExecutor(max_workers=workers,
+                                         mp_context=context) as pool:
+                    for chunk in chunks:
+                        rows = indexed.convert(chunk)
+                        pending.append(
+                            pool.submit(vectorized._score_rows_task, rows))
+                        if len(pending) >= self.config.inflight:
+                            survivors = pending.popleft().result()
+                            self._merge(result,
+                                        indexed.triples(*survivors), is_self)
+                    while pending:
+                        survivors = pending.popleft().result()
+                        self._merge(result, indexed.triples(*survivors),
+                                    is_self)
+            finally:
+                vectorized._install_indexed(None)
+            return
+        for chunk in chunks:
+            rows_a, rows_b = indexed.convert(chunk)
+            survivors = indexed.score_rows(rows_a, rows_b)
+            self._merge(result, indexed.triples(*survivors), is_self)
+
+    # -- parallel path -------------------------------------------------
+
+    def _execute_parallel(self, scorer: ChunkScorer,
+                          chunks: Iterator[List[Pair]], result: Mapping,
+                          is_self: bool) -> bool:
+        """Score chunks on a process pool; returns False to fall back.
+
+        Chunks are merged strictly in submission order, so the result
+        is identical to serial execution regardless of which worker
+        finishes first.
+        """
+        start_methods = multiprocessing.get_all_start_methods()
+        if "fork" in start_methods:
+            context = multiprocessing.get_context("fork")
+            initializer, initargs = None, ()
+        else:  # pragma: no cover - exercised only on spawn-only platforms
+            context = multiprocessing.get_context()
+            try:
+                pickle.dumps(scorer)
+            except Exception:
+                warnings.warn(
+                    "match request is not picklable and fork is "
+                    "unavailable; falling back to serial execution",
+                    RuntimeWarning, stacklevel=3)
+                return False
+            initializer, initargs = scorer_module._install_scorer, (scorer,)
+        scorer_module._install_scorer(scorer)
+        pending: deque = deque()
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=self.config.workers, mp_context=context,
+                    initializer=initializer, initargs=initargs) as pool:
+                for chunk in chunks:
+                    pending.append(
+                        pool.submit(scorer_module._score_chunk_task, chunk))
+                    if len(pending) >= self.config.inflight:
+                        self._merge(result, pending.popleft().result(),
+                                    is_self)
+                while pending:
+                    self._merge(result, pending.popleft().result(), is_self)
+        finally:
+            scorer_module._install_scorer(None)
+        return True
+
+
+# ----------------------------------------------------------------------
+# Process-wide default engine.
+#
+# Matchers without an explicit engine use this one, so a single
+# configuration point (e.g. the CLI's --workers/--chunk-size flags)
+# parallelizes every matcher in every workflow of the process.
+# ----------------------------------------------------------------------
+
+_default_engine: Optional[BatchMatchEngine] = None
+
+
+def get_default_engine() -> BatchMatchEngine:
+    """The engine used by matchers when none is injected (serial)."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = BatchMatchEngine()
+    return _default_engine
+
+
+def set_default_engine(engine: Optional[BatchMatchEngine]) -> None:
+    """Replace the process default; ``None`` resets to a serial engine."""
+    global _default_engine
+    _default_engine = engine
+
+
+def configure_default_engine(*, workers: int = 1,
+                             chunk_size: int = 2048) -> BatchMatchEngine:
+    """Build and install the process default engine; returns it."""
+    engine = BatchMatchEngine(EngineConfig(workers=workers,
+                                           chunk_size=chunk_size))
+    set_default_engine(engine)
+    return engine

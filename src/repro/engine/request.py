@@ -1,0 +1,77 @@
+"""The engine's unit of work: a batch match request.
+
+Matchers translate their configuration into a :class:`MatchRequest` —
+which attributes to compare, with which similarity functions, over
+which candidate pairs — and hand it to a
+:class:`~repro.engine.engine.BatchMatchEngine` for execution.  Keeping
+the request declarative is what lets one engine serve both the
+single-attribute and the multi-attribute matcher, serially or across a
+worker pool, without the matchers knowing how chunks are scheduled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.operators.functions import CombinationFunction
+from repro.model.source import LogicalSource
+from repro.sim.base import SimilarityFunction
+
+Pair = Tuple[str, str]
+
+
+@dataclass
+class AttributeSpec:
+    """One attribute comparison executed by the engine."""
+
+    attribute: str
+    range_attribute: str
+    similarity: SimilarityFunction
+
+    def __post_init__(self) -> None:
+        if not self.attribute or not self.range_attribute:
+            raise ValueError("attribute names must be non-empty")
+
+
+@dataclass
+class MatchRequest:
+    """Everything the engine needs to produce one same-mapping.
+
+    ``combiner`` distinguishes the two matcher semantics: ``None``
+    means single-attribute matching (exactly one spec; pairs with a
+    missing value produce no correspondence), while a
+    :class:`CombinationFunction` means multi-attribute matching
+    (missing values become ``None`` slots resolved by the combiner's
+    missing-value policy).
+
+    Candidate pairs come from, in priority order: an explicit
+    ``candidates`` iterable, the ``blocking`` strategy, or the full
+    cross product of the two sources.
+    """
+
+    domain: LogicalSource
+    range: LogicalSource
+    specs: List[AttributeSpec] = field(default_factory=list)
+    threshold: float = 0.0
+    combiner: Optional[CombinationFunction] = None
+    candidates: Optional[Iterable[Pair]] = None
+    blocking: Optional[object] = None
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ValueError("match request needs at least one attribute spec")
+        if self.combiner is None and len(self.specs) != 1:
+            raise ValueError(
+                "multiple attribute specs require a combination function"
+            )
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be in [0, 1], got {self.threshold!r}"
+            )
+
+    @property
+    def is_self(self) -> bool:
+        """True for self-matching (duplicate detection in one source)."""
+        return self.domain is self.range or self.domain.name == self.range.name

@@ -1,0 +1,191 @@
+"""Chunk scoring: the engine's per-worker execution kernel.
+
+A :class:`ChunkScorer` turns a chunk of candidate ``(domain id,
+range id)`` pairs into surviving ``(domain id, range id, score)``
+triples.  It is deliberately self-contained — sources, similarity
+functions, threshold and combiner are all captured at construction —
+so the *same* object drives both serial execution (one scorer in the
+parent process) and parallel execution (one inherited copy per forked
+worker, reached through the module-level ``_ACTIVE_SCORER`` slot).
+
+Scoring is deterministic and cache-transparent: repeated value pairs
+are resolved from a per-attribute memo, and every path evaluates the
+similarity function through :meth:`SimilarityFunction.score_batch`,
+which is bit-identical to per-pair ``similarity`` calls.  Worker-local
+caches therefore cannot change results, only speed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.request import MatchRequest
+
+Pair = Tuple[str, str]
+Triple = Tuple[str, str, float]
+
+
+class ChunkScorer:
+    """Score chunks of candidate pairs for one match request.
+
+    Per attribute, a memo maps coerced ``(value_a, value_b)`` string
+    pairs to scores; only distinct unseen value pairs reach the
+    similarity function's ``score_batch``.  Blocking strategies that
+    emit duplicate candidate pairs (token blocking, canopies) and
+    sources with repeated attribute values both collapse onto cache
+    hits.  The memo is cleared when it outgrows ``cache_limit`` to
+    bound worker memory on very large runs.
+    """
+
+    def __init__(self, request: MatchRequest, *,
+                 cache_limit: int = 1 << 20) -> None:
+        self.domain = request.domain
+        self.range = request.range
+        self.specs = list(request.specs)
+        self.threshold = request.threshold
+        self.combiner = request.combiner
+        self.cache_limit = cache_limit
+        self._caches: List[dict] = [{} for _ in self.specs]
+
+    def score_chunk(self, pairs: Sequence[Pair]) -> List[Triple]:
+        """Return the correspondences of ``pairs`` surviving the threshold."""
+        if self.combiner is None:
+            return self._score_single(pairs)
+        return self._score_multi(pairs)
+
+    # -- single attribute ----------------------------------------------
+
+    def _score_single(self, pairs: Sequence[Pair]) -> List[Triple]:
+        spec = self.specs[0]
+        attribute = spec.attribute
+        range_attribute = spec.range_attribute
+        get_a = self.domain.get
+        get_b = self.range.get
+        cache = self._caches[0]
+        records: List[Tuple[str, str, Pair]] = []
+        pending: dict = {}
+        for id_a, id_b in pairs:
+            instance_a = get_a(id_a)
+            instance_b = get_b(id_b)
+            if instance_a is None or instance_b is None:
+                continue
+            value_a = instance_a.get(attribute)
+            value_b = instance_b.get(range_attribute)
+            if value_a is None or value_b is None:
+                # Single-attribute semantics: a missing value never
+                # produces a correspondence (both missing policies of
+                # AttributeMatcher reduce to this for the result set).
+                continue
+            key = (str(value_a), str(value_b))
+            records.append((id_a, id_b, key))
+            if key not in cache and key not in pending:
+                pending[key] = None
+        fresh = self._score_pending(0, list(pending))
+        threshold = self.threshold
+        out: List[Triple] = []
+        append = out.append
+        for id_a, id_b, key in records:
+            score = fresh.get(key)
+            if score is None:
+                score = cache[key]
+            if score >= threshold and score > 0.0:
+                append((id_a, id_b, score))
+        self._merge_cache(0, fresh)
+        return out
+
+    # -- multiple attributes -------------------------------------------
+
+    def _score_multi(self, pairs: Sequence[Pair]) -> List[Triple]:
+        specs = self.specs
+        caches = self._caches
+        get_a = self.domain.get
+        get_b = self.range.get
+        records: List[Tuple[str, str, List[Optional[Pair]]]] = []
+        pending: List[dict] = [{} for _ in specs]
+        for id_a, id_b in pairs:
+            instance_a = get_a(id_a)
+            instance_b = get_b(id_b)
+            if instance_a is None or instance_b is None:
+                continue
+            keys: List[Optional[Pair]] = []
+            for index, spec in enumerate(specs):
+                value_a = instance_a.get(spec.attribute)
+                value_b = instance_b.get(spec.range_attribute)
+                if value_a is None or value_b is None:
+                    keys.append(None)
+                else:
+                    key = (str(value_a), str(value_b))
+                    keys.append(key)
+                    if key not in caches[index] and key not in pending[index]:
+                        pending[index][key] = None
+            records.append((id_a, id_b, keys))
+        fresh = [self._score_pending(index, list(pending[index]))
+                 for index in range(len(specs))]
+        combine = self.combiner.combine
+        threshold = self.threshold
+        out: List[Triple] = []
+        append = out.append
+        for id_a, id_b, keys in records:
+            values: List[Optional[float]] = []
+            for index, key in enumerate(keys):
+                if key is None:
+                    values.append(None)
+                    continue
+                score = fresh[index].get(key)
+                if score is None:
+                    score = caches[index][key]
+                values.append(score)
+            score = combine(values)
+            if score is not None and score >= threshold and score > 0.0:
+                append((id_a, id_b, score))
+        for index, chunk_fresh in enumerate(fresh):
+            self._merge_cache(index, chunk_fresh)
+        return out
+
+    def _score_pending(self, index: int, work: List[Pair]) -> dict:
+        """Score the chunk's unseen value pairs as a chunk-local dict.
+
+        The shared memo is not touched here: cache maintenance happens
+        in :meth:`_merge_cache` *after* the chunk's records have been
+        served, so a cache reset can never invalidate keys the
+        in-flight records still reference.
+        """
+        if not work:
+            return {}
+        scores = self.specs[index].similarity.score_batch(work)
+        return dict(zip(work, scores))
+
+    def _merge_cache(self, index: int, fresh: dict) -> None:
+        """Fold a chunk's fresh scores into the bounded memo."""
+        if not fresh:
+            return
+        cache = self._caches[index]
+        if len(cache) + len(fresh) > self.cache_limit:
+            cache.clear()
+        if len(fresh) <= self.cache_limit:
+            cache.update(fresh)
+
+
+# ----------------------------------------------------------------------
+# Worker-side plumbing.
+#
+# Parallel execution installs the scorer here *before* the pool forks
+# (children inherit it through copy-on-write memory) or via the pool
+# initializer when only spawn is available (the scorer is pickled once
+# per worker).  Tasks then only ship chunks of id pairs in and
+# surviving triples out, which keeps IPC payloads tiny.
+# ----------------------------------------------------------------------
+
+_ACTIVE_SCORER: Optional[ChunkScorer] = None
+
+
+def _install_scorer(scorer: Optional[ChunkScorer]) -> None:
+    global _ACTIVE_SCORER
+    _ACTIVE_SCORER = scorer
+
+
+def _score_chunk_task(pairs: Sequence[Pair]) -> List[Triple]:
+    scorer = _ACTIVE_SCORER
+    if scorer is None:  # pragma: no cover - defensive; engine installs first
+        raise RuntimeError("no scorer installed in worker process")
+    return scorer.score_chunk(pairs)

@@ -1,0 +1,219 @@
+"""Vectorized similarity kernels over prepared source indexes.
+
+The generic engine path scores value pairs through Python loops —
+cheap per call, but the interpreter overhead dominates at millions of
+pairs.  For similarity functions whose math reduces to set algebra we
+can do radically better: encode every source value's q-gram set as a
+bit row of one packed ``uint64`` matrix per source, and score a whole
+chunk with three array operations (gather, bitwise AND,
+``np.bitwise_count``).  Candidate pairs then cross process boundaries
+as int index arrays (~8 bytes/pair) instead of string tuples, so the
+parallel path's IPC cost collapses as well.
+
+Bit-exactness: the kernels evaluate the *same* arithmetic expressions
+as the scalar ``_score`` implementations (integer-derived float64
+division, one rounding), so vectorized, batched and per-pair scoring
+agree to the last bit — the engine's equivalence guarantee holds
+across all execution paths.
+
+numpy is optional: :func:`build_kernel` returns ``None`` when numpy
+(or ``np.bitwise_count``, numpy >= 2.0) is unavailable, when the
+similarity function is not recognized, or when the packed index would
+exceed the memory budget; callers fall back to the Python path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+try:  # numpy is an optional accelerator, never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - image always has numpy
+    _np = None
+
+from repro.model.source import LogicalSource
+from repro.sim.base import SimilarityFunction
+from repro.sim.ngram import NGramSimilarity
+
+#: refuse to build packed matrices larger than this (bytes, both sides)
+MAX_INDEX_BYTES = 512 * 1024 * 1024
+
+
+def numpy_available() -> bool:
+    """True when the bit-kernel's numpy primitives exist."""
+    return _np is not None and hasattr(_np, "bitwise_count")
+
+
+class NGramBitKernel:
+    """Packed-bitmap q-gram scorer for one (domain, range) attribute pair.
+
+    Rows are aligned with ``source.ids()`` order; a missing attribute
+    value becomes an all-zero row, which scores 0.0 against everything
+    and is therefore dropped by the engine's ``score > 0`` filter —
+    the same outcome as the scalar path's missing-value skip.
+    """
+
+    def __init__(self, sim: NGramSimilarity,
+                 domain_values: Sequence[object],
+                 range_values: Sequence[object]) -> None:
+        self.method = sim.method
+        vocabulary: dict = {}
+        domain_grams = [self._grams(sim, value) for value in domain_values]
+        range_grams = [self._grams(sim, value) for value in range_values]
+        for grams in domain_grams:
+            for gram in grams:
+                if gram not in vocabulary:
+                    vocabulary[gram] = len(vocabulary)
+        for grams in range_grams:
+            for gram in grams:
+                if gram not in vocabulary:
+                    vocabulary[gram] = len(vocabulary)
+        width = max(1, (len(vocabulary) + 63) // 64)
+        rows = len(domain_grams) + len(range_grams)
+        if rows * width * 8 > MAX_INDEX_BYTES:
+            raise MemoryError("packed gram index exceeds budget")
+        self.domain_bits, self.domain_sizes = self._pack(
+            domain_grams, vocabulary, width)
+        self.range_bits, self.range_sizes = self._pack(
+            range_grams, vocabulary, width)
+
+    @staticmethod
+    def _grams(sim: NGramSimilarity, value: object) -> frozenset:
+        if value is None:
+            return frozenset()
+        return sim.grams(str(value))
+
+    @staticmethod
+    def _pack(gram_sets: List[frozenset], vocabulary: dict, width: int):
+        bits = _np.zeros((len(gram_sets), width), dtype=_np.uint64)
+        sizes = _np.zeros(len(gram_sets), dtype=_np.int64)
+        for row, grams in enumerate(gram_sets):
+            sizes[row] = len(grams)
+            for gram in grams:
+                position = vocabulary[gram]
+                bits[row, position >> 6] |= _np.uint64(1 << (position & 63))
+        return bits, sizes
+
+    def score_rows(self, domain_rows, range_rows):
+        """Score aligned row-index arrays; returns a float64 array.
+
+        Evaluates the scalar ``_score`` expressions elementwise:
+        overlap 0 (including missing values) scores 0.0 exactly.
+        """
+        overlap = _np.bitwise_count(
+            self.domain_bits[domain_rows] & self.range_bits[range_rows]
+        ).sum(axis=1, dtype=_np.int64)
+        size_a = self.domain_sizes[domain_rows]
+        size_b = self.range_sizes[range_rows]
+        if self.method == "dice":
+            denominator = size_a + size_b
+        elif self.method == "jaccard":
+            denominator = size_a + size_b - overlap
+        else:  # overlap coefficient
+            denominator = _np.minimum(size_a, size_b)
+        safe = _np.maximum(denominator, 1)
+        if self.method == "dice":
+            scores = 2.0 * overlap / safe
+        else:
+            scores = overlap / safe
+        scores[overlap == 0] = 0.0
+        return scores
+
+
+def build_kernel(sim: SimilarityFunction,
+                 domain: LogicalSource, range_: LogicalSource,
+                 attribute: str,
+                 range_attribute: str) -> Optional[NGramBitKernel]:
+    """Build a vectorized kernel for ``sim`` over two sources, or ``None``.
+
+    Only exact :class:`NGramSimilarity` scoring is eligible (a subclass
+    overriding ``_score`` silently changes the math, so it falls back
+    to the generic batch path).
+    """
+    if not numpy_available():
+        return None
+    if not isinstance(sim, NGramSimilarity):
+        return None
+    if type(sim)._score is not NGramSimilarity._score:
+        return None
+    domain_values = [instance.get(attribute) for instance in domain]
+    if range_ is domain and range_attribute == attribute:
+        range_values = domain_values
+    else:
+        range_values = [instance.get(range_attribute) for instance in range_]
+    try:
+        return NGramBitKernel(sim, domain_values, range_values)
+    except MemoryError:
+        return None
+
+
+class IndexedScorer:
+    """Bridges id-pair chunks onto a vectorized kernel.
+
+    The parent converts each chunk of ``(domain id, range id)`` string
+    pairs into int row arrays (:meth:`convert`); scoring
+    (:meth:`score_rows`) runs wherever the scorer lives — inline, or
+    inside forked workers that inherited the packed matrices — and
+    returns only surviving rows; :meth:`triples` maps survivors back
+    to id strings in the parent.
+    """
+
+    def __init__(self, kernel: NGramBitKernel, domain_ids: List[str],
+                 range_ids: List[str], threshold: float) -> None:
+        self.kernel = kernel
+        self.threshold = threshold
+        self.domain_ids = domain_ids
+        self.range_ids = range_ids
+        self._domain_rows = {id: row for row, id in enumerate(domain_ids)}
+        self._range_rows = {id: row for row, id in enumerate(range_ids)}
+
+    def convert(self, chunk):
+        """Map a chunk of id pairs to row arrays (unknown ids dropped)."""
+        domain_row = self._domain_rows.get
+        range_row = self._range_rows.get
+        rows_a: List[int] = []
+        rows_b: List[int] = []
+        for id_a, id_b in chunk:
+            row_a = domain_row(id_a)
+            row_b = range_row(id_b)
+            if row_a is None or row_b is None:
+                continue
+            rows_a.append(row_a)
+            rows_b.append(row_b)
+        # int32 keeps IPC payloads at 8 bytes/pair; sources are far
+        # below 2**31 rows.
+        return (_np.asarray(rows_a, dtype=_np.int32),
+                _np.asarray(rows_b, dtype=_np.int32))
+
+    def score_rows(self, rows_a, rows_b):
+        """Score row arrays; return only rows surviving the threshold."""
+        scores = self.kernel.score_rows(rows_a, rows_b)
+        mask = (scores >= self.threshold) & (scores > 0.0)
+        return rows_a[mask], rows_b[mask], scores[mask]
+
+    def triples(self, rows_a, rows_b, scores):
+        """Materialize surviving rows as (domain id, range id, score)."""
+        domain_ids = self.domain_ids
+        range_ids = self.range_ids
+        return [
+            (domain_ids[row_a], range_ids[row_b], score)
+            for row_a, row_b, score in zip(
+                rows_a.tolist(), rows_b.tolist(), scores.tolist())
+        ]
+
+
+# Worker-side slot for the parallel indexed path (see scorer.py for the
+# same pattern on the generic path).
+_ACTIVE_INDEXED: Optional[IndexedScorer] = None
+
+
+def _install_indexed(scorer: Optional[IndexedScorer]) -> None:
+    global _ACTIVE_INDEXED
+    _ACTIVE_INDEXED = scorer
+
+
+def _score_rows_task(rows):
+    scorer = _ACTIVE_INDEXED
+    if scorer is None:  # pragma: no cover - defensive; engine installs first
+        raise RuntimeError("no indexed scorer installed in worker process")
+    return scorer.score_rows(*rows)

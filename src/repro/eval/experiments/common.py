@@ -15,7 +15,6 @@ from repro.blocking import KeyBlocking, TokenBlocking
 from repro.core.mapping import Mapping
 from repro.core.matchers.attribute import AttributeMatcher
 from repro.core.matchers.neighborhood import neighborhood_match
-from repro.core.operators.merge import merge
 from repro.core.operators.selection import BestNSelection, ThresholdSelection
 from repro.datagen.sources import BibliographicDataset, SourceBundle
 from repro.eval.metrics import MatchQuality, evaluate

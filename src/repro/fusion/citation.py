@@ -11,7 +11,7 @@ author through the association mappings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.core.mapping import Mapping
 from repro.datagen.sources import SourceBundle

@@ -10,7 +10,7 @@ of a particular semantic object type" (paper §2.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
 from repro.model.entity import ObjectInstance

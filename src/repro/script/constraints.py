@@ -19,7 +19,7 @@ matching the paper's "years must not differ by more than one year".
 from __future__ import annotations
 
 import re
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.core.correspondence import Correspondence
 from repro.model.source import LogicalSource

@@ -10,7 +10,7 @@ into :meth:`SimilarityFunction.prepare`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 
 class SimilarityFunction(ABC):
@@ -48,6 +48,25 @@ class SimilarityFunction(ABC):
         if score > 1.0:
             return 1.0
         return score
+
+    def score_batch(self, pairs: Sequence[Tuple[str, str]]) -> List[float]:
+        """Score many value pairs at once (the batch engine's hot path).
+
+        ``pairs`` follows :meth:`_score`'s contract: values are
+        non-``None`` and already coerced to ``str``.  The default
+        implementation loops :meth:`_score` with the same clamping as
+        :meth:`similarity`; corpus-aware functions override this with
+        vectorized variants over their prepared token/vector indexes.
+        Results must be bit-identical to per-pair :meth:`similarity`
+        calls so that serial and batched execution agree exactly.
+        """
+        score = self._score
+        out: List[float] = []
+        append = out.append
+        for a, b in pairs:
+            s = score(a, b)
+            append(0.0 if s < 0.0 else (1.0 if s > 1.0 else s))
+        return out
 
     def __call__(self, a: object, b: object) -> float:
         return self.similarity(a, b)
@@ -91,6 +110,43 @@ class CachedSimilarity(SimilarityFunction):
             self._cache.clear()
         self._cache[key] = score
         return score
+
+    def score_batch(self, pairs: Sequence[Tuple[str, str]]) -> List[float]:
+        """Batch scoring through the cache: only misses reach ``inner``.
+
+        Distinct cache keys missing from the cache are scored once via
+        ``inner.score_batch`` and then filled in, so a batch with many
+        repeated pairs costs one inner evaluation per distinct pair.
+        """
+        cache = self._cache
+        symmetric = self._symmetric
+        keys = []
+        miss_keys: dict[Tuple[str, str], None] = {}
+        for a, b in pairs:
+            key = (b, a) if symmetric and b < a else (a, b)
+            keys.append(key)
+            if key in cache or key in miss_keys:
+                self.hits += 1
+            else:
+                self.misses += 1
+                miss_keys[key] = None
+        fresh: dict[Tuple[str, str], float] = {}
+        if miss_keys:
+            misses = list(miss_keys)
+            fresh = dict(zip(misses, self.inner.score_batch(misses)))
+        # Serve the batch before any cache maintenance so a reset can
+        # never drop keys this batch still references, then respect the
+        # bound: an oversized batch must not leave the cache over limit.
+        out = [cache[key] if key in cache else fresh[key] for key in keys]
+        if fresh:
+            if self._max_size is not None:
+                if len(cache) + len(fresh) > self._max_size:
+                    cache.clear()
+                if len(fresh) <= self._max_size:
+                    cache.update(fresh)
+            else:
+                cache.update(fresh)
+        return out
 
     def cache_info(self) -> dict[str, int]:
         """Return hit/miss/size counters for diagnostics."""

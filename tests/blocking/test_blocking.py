@@ -105,7 +105,9 @@ class TestKeyBlocking:
 
     def test_custom_key(self, sources):
         domain, range_ = sources
-        length_key = lambda value: str(len(str(value)) // 10)
+        def length_key(value):
+            return str(len(str(value)) // 10)
+
         pairs = collect(KeyBlocking(key=length_key), domain, range_)
         assert pairs  # produces some candidates deterministically
 

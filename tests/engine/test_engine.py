@@ -1,0 +1,450 @@
+"""Tests for the parallel batch match engine (``repro.engine``).
+
+The load-bearing guarantee is *execution equivalence*: chunked,
+cached, parallel scoring must produce byte-identical mappings to
+serial one-pair-at-a-time evaluation, for every matcher flavor and
+blocking strategy.  The property test drives that over randomized
+sources; the seed-scenario tests pin it on the deterministic datagen
+world the rest of the suite uses.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import AttributeMatcher, AttributePair, MultiAttributeMatcher
+from repro.blocking import (
+    CanopyBlocking,
+    FullCross,
+    KeyBlocking,
+    SortedNeighborhood,
+    TokenBlocking,
+)
+from repro.core.workflow import MatchContext, MatchWorkflow
+from repro.engine import (
+    AttributeSpec,
+    BatchMatchEngine,
+    ChunkScorer,
+    EngineConfig,
+    MatchRequest,
+    iter_chunks,
+    vectorized,
+)
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+from repro.sim.base import CachedSimilarity, SimilarityFunction
+from repro.sim.ngram import JaccardNGram, NGramSimilarity, TrigramSimilarity
+from repro.sim.tfidf import SoftTfIdfSimilarity, TfIdfCosineSimilarity
+
+PARALLEL = BatchMatchEngine(EngineConfig(workers=4, chunk_size=64))
+SERIAL = BatchMatchEngine(EngineConfig(workers=1, chunk_size=64))
+
+
+def _source(name: str, titles, years=None) -> LogicalSource:
+    source = LogicalSource(PhysicalSource(name), ObjectType("Publication"))
+    for index, title in enumerate(titles):
+        year = None if years is None else years[index % len(years)]
+        source.add_record(f"{name.lower()}{index}", title=title, year=year)
+    return source
+
+
+# ----------------------------------------------------------------------
+# chunked streaming
+# ----------------------------------------------------------------------
+
+class TestIterChunks:
+    def test_partitions_without_loss_or_overlap(self):
+        items = list(range(25))
+        chunks = list(iter_chunks(items, 8))
+        assert [len(c) for c in chunks] == [8, 8, 8, 1]
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_exact_multiple_has_no_empty_tail(self):
+        assert [len(c) for c in iter_chunks(range(16), 8)] == [8, 8]
+
+    def test_empty_iterable_yields_nothing(self):
+        assert list(iter_chunks([], 4)) == []
+
+    def test_rejects_non_positive_chunk_size(self):
+        with pytest.raises(ValueError):
+            next(iter_chunks([1], 0))
+
+    def test_streams_lazily(self):
+        pulled = []
+
+        def generator():
+            for i in range(100):
+                pulled.append(i)
+                yield i
+
+        chunks = iter_chunks(generator(), 10)
+        next(chunks)
+        # only the first chunk (plus nothing beyond it) was pulled
+        assert len(pulled) == 10
+
+    @pytest.mark.parametrize("blocking", [
+        FullCross(),
+        KeyBlocking(),
+        TokenBlocking(max_df=1.0),
+        SortedNeighborhood(window=3),
+        CanopyBlocking(loose=0.1, tight=0.5),
+    ], ids=lambda b: type(b).__name__)
+    def test_chunked_stream_covers_each_blocking_strategy(self, blocking):
+        domain = _source("L", [f"alpha beta {i}xx" for i in range(12)])
+        range_ = _source("R", [f"alpha beta {i}xx" for i in range(12)])
+        full = list(blocking.candidates(domain, range_,
+                                        domain_attribute="title",
+                                        range_attribute="title"))
+        chunks = list(iter_chunks(
+            blocking.candidates(domain, range_,
+                                domain_attribute="title",
+                                range_attribute="title"), 7))
+        assert all(len(chunk) <= 7 for chunk in chunks)
+        assert [pair for chunk in chunks for pair in chunk] == full
+
+
+# ----------------------------------------------------------------------
+# serial == parallel (property + seed scenarios)
+# ----------------------------------------------------------------------
+
+_titles = st.lists(
+    st.text(alphabet="abcdefg ", min_size=0, max_size=12),
+    min_size=0, max_size=12)
+
+
+class TestSerialParallelEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(domain_titles=_titles, range_titles=_titles,
+           threshold=st.sampled_from([0.0, 0.3, 0.7]))
+    def test_property_identical_mappings(self, domain_titles, range_titles,
+                                         threshold):
+        domain = _source("L", domain_titles)
+        range_ = _source("R", range_titles)
+        serial = AttributeMatcher("title", similarity="trigram",
+                                  threshold=threshold, engine=SERIAL)
+        parallel = AttributeMatcher("title", similarity="trigram",
+                                    threshold=threshold, engine=PARALLEL)
+        assert serial.match(domain, range_).to_rows() == \
+            parallel.match(domain, range_).to_rows()
+
+    def test_seed_scenario_single_attribute(self, dataset):
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        serial = AttributeMatcher("title", similarity="trigram",
+                                  threshold=0.4, engine=SERIAL)
+        parallel = AttributeMatcher("title", similarity="trigram",
+                                    threshold=0.4, engine=PARALLEL)
+        rows = serial.match(dblp, acm).to_rows()
+        assert rows == parallel.match(dblp, acm).to_rows()
+        assert rows  # the scenario is non-trivial
+
+    def test_seed_scenario_multi_attribute(self, dataset):
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        pairs = [AttributePair("title", similarity="tfidf"),
+                 AttributePair("year", similarity="year", weight=0.5)]
+        serial = MultiAttributeMatcher(
+            [AttributePair("title", similarity="tfidf"),
+             AttributePair("year", similarity="year", weight=0.5)],
+            combine="weighted", threshold=0.3, engine=SERIAL)
+        parallel = MultiAttributeMatcher(pairs, combine="weighted",
+                                         threshold=0.3, engine=PARALLEL)
+        assert serial.match(dblp, acm).to_rows() == \
+            parallel.match(dblp, acm).to_rows()
+
+    def test_seed_scenario_self_mapping(self, dataset):
+        gs = dataset.gs.publications
+        serial = AttributeMatcher("title", similarity="trigram",
+                                  threshold=0.7, engine=SERIAL)
+        parallel = AttributeMatcher("title", similarity="trigram",
+                                    threshold=0.7, engine=PARALLEL)
+        rows = serial.match(gs, gs).to_rows()
+        assert rows == parallel.match(gs, gs).to_rows()
+        # self-mappings stay symmetric through the parallel merge
+        mapping = parallel.match(gs, gs)
+        for domain_id, range_id, similarity in mapping.to_rows():
+            assert mapping.get(range_id, domain_id) == similarity
+
+    def test_seed_scenario_with_blocking(self, dataset):
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        blocking = TokenBlocking(max_df=0.5)
+        serial = AttributeMatcher("title", similarity="trigram", threshold=0.4,
+                                  blocking=blocking, engine=SERIAL)
+        parallel = AttributeMatcher("title", similarity="trigram",
+                                    threshold=0.4, blocking=blocking,
+                                    engine=PARALLEL)
+        assert serial.match(dblp, acm).to_rows() == \
+            parallel.match(dblp, acm).to_rows()
+
+    def test_explicit_candidate_list_respected(self, dataset):
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        candidates = [(a, b) for a in dblp.ids()[:20] for b in acm.ids()[:20]]
+        matcher = AttributeMatcher("title", similarity="trigram",
+                                   engine=PARALLEL)
+        mapping = matcher.match(dblp, acm, candidates=candidates)
+        allowed = set(candidates)
+        assert all((a, b) in allowed for a, b, _ in mapping.to_rows())
+
+
+# ----------------------------------------------------------------------
+# engine internals
+# ----------------------------------------------------------------------
+
+class TestEngineConfig:
+    def test_defaults_are_serial(self):
+        config = EngineConfig()
+        assert config.workers == 1
+        assert config.chunk_size == 2048
+
+    @pytest.mark.parametrize("kwargs", [
+        {"workers": 0}, {"chunk_size": 0}, {"max_inflight": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            EngineConfig(**kwargs)
+
+    def test_engine_kwarg_overrides(self):
+        engine = BatchMatchEngine(workers=3, chunk_size=17)
+        assert engine.config.workers == 3
+        assert engine.config.chunk_size == 17
+
+    def test_kwarg_overrides_preserve_other_config_fields(self):
+        base = EngineConfig(dedup_limit=12345, max_inflight=7)
+        engine = BatchMatchEngine(base, workers=4)
+        assert engine.config.workers == 4
+        assert engine.config.dedup_limit == 12345
+        assert engine.config.max_inflight == 7
+
+
+class TestMatchRequest:
+    def test_requires_specs(self, dataset):
+        dblp = dataset.dblp.publications
+        with pytest.raises(ValueError):
+            MatchRequest(domain=dblp, range=dblp, specs=[])
+
+    def test_multi_spec_requires_combiner(self, dataset):
+        dblp = dataset.dblp.publications
+        specs = [AttributeSpec("title", "title", TrigramSimilarity()),
+                 AttributeSpec("year", "year", TrigramSimilarity())]
+        with pytest.raises(ValueError):
+            MatchRequest(domain=dblp, range=dblp, specs=specs)
+
+
+class TestChunkScorerCaching:
+    def test_duplicate_value_pairs_score_once(self):
+        class CountingSim(SimilarityFunction):
+            name = "counting"
+            calls = 0
+
+            def _score(self, a: str, b: str) -> float:
+                type(self).calls += 1
+                return 1.0 if a == b else 0.5
+
+        domain = _source("L", ["same title"] * 6)
+        range_ = _source("R", ["same title"] * 6)
+        sim = CountingSim()
+        request = MatchRequest(
+            domain=domain, range=range_,
+            specs=[AttributeSpec("title", "title", sim)])
+        scorer = ChunkScorer(request)
+        pairs = [(a, b) for a in domain.ids() for b in range_.ids()]
+        triples = scorer.score_chunk(pairs)
+        assert len(triples) == 36
+        assert CountingSim.calls == 1  # 36 pairs, one distinct value pair
+
+
+class TestChunkScorerCacheLimit:
+    def test_tiny_cache_limit_never_loses_scores(self, dataset):
+        """Regression: a memo reset must not orphan in-flight records."""
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        reference = AttributeMatcher("title", similarity="trigram",
+                                     threshold=0.4, engine=SERIAL)
+        expected = reference.match(dblp, acm).to_rows()
+
+        request = MatchRequest(
+            domain=dblp, range=acm,
+            specs=[AttributeSpec("title", "title", TrigramSimilarity())],
+            threshold=0.4)
+        scorer = ChunkScorer(request, cache_limit=16)
+        request.specs[0].similarity.prepare(
+            dblp.attribute_values("title") + acm.attribute_values("title"))
+        triples = []
+        for chunk in iter_chunks(
+                ((a, b) for a in dblp.ids() for b in acm.ids()), 64):
+            triples.extend(scorer.score_chunk(chunk))
+        assert sorted(triples) == expected
+
+
+class TestWorkflowEngineInjection:
+    def test_context_engine_reaches_matcher_step(self, dataset):
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        matcher = AttributeMatcher("title", similarity="trigram",
+                                   threshold=0.4)
+        workflow = MatchWorkflow("wired").add_matcher(
+            "out", matcher, dblp.name, acm.name)
+
+        serial_context = MatchContext(
+            sources={dblp.name: dblp, acm.name: acm})
+        parallel_context = MatchContext(
+            sources={dblp.name: dblp, acm.name: acm}, engine=PARALLEL)
+        serial_rows = workflow.run(serial_context).to_rows()
+        parallel_rows = workflow.run(parallel_context).to_rows()
+        assert serial_rows == parallel_rows
+        # the injection is per-step: the matcher's own engine is restored
+        assert matcher.engine is None
+
+
+# ----------------------------------------------------------------------
+# vectorized (bit-kernel) path
+# ----------------------------------------------------------------------
+
+class TestVectorizedKernel:
+    @pytest.mark.skipif(not vectorized.numpy_available(),
+                        reason="numpy bit kernel unavailable")
+    @pytest.mark.parametrize("make_sim", [
+        TrigramSimilarity,
+        lambda: JaccardNGram(2),
+        lambda: NGramSimilarity(3, method="overlap"),
+    ], ids=["dice", "jaccard", "overlap"])
+    def test_bit_identical_to_python_path(self, dataset, monkeypatch,
+                                          make_sim):
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        engine = BatchMatchEngine(EngineConfig(workers=1, chunk_size=128))
+        fast = AttributeMatcher("title", similarity=make_sim(),
+                                threshold=0.0, engine=engine)
+        fast_rows = fast.match(dblp, acm).to_rows()
+
+        monkeypatch.setattr(vectorized, "build_kernel",
+                            lambda *args, **kwargs: None)
+        slow = AttributeMatcher("title", similarity=make_sim(),
+                                threshold=0.0, engine=engine)
+        assert slow.match(dblp, acm).to_rows() == fast_rows
+
+    @pytest.mark.skipif(not vectorized.numpy_available(),
+                        reason="numpy bit kernel unavailable")
+    def test_parallel_indexed_path_identical(self, dataset):
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        serial = AttributeMatcher("title", similarity="trigram",
+                                  threshold=0.3, engine=SERIAL)
+        parallel = AttributeMatcher("title", similarity="trigram",
+                                    threshold=0.3, engine=PARALLEL)
+        assert serial.match(dblp, acm).to_rows() == \
+            parallel.match(dblp, acm).to_rows()
+
+    def test_subclass_with_custom_score_is_not_eligible(self, dataset):
+        class Tweaked(TrigramSimilarity):
+            def _score(self, a: str, b: str) -> float:
+                return min(1.0, super()._score(a, b) * 1.1)
+
+        dblp = dataset.dblp.publications
+        kernel = vectorized.build_kernel(Tweaked(), dblp, dblp,
+                                         "title", "title")
+        assert kernel is None
+
+    def test_explicit_candidates_skip_kernel_build(self, dataset,
+                                                   monkeypatch):
+        """A tiny candidate list must not pay for full source matrices."""
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+
+        def exploding_build(*args, **kwargs):
+            raise AssertionError("kernel built for an explicit list")
+
+        monkeypatch.setattr(vectorized, "build_kernel", exploding_build)
+        matcher = AttributeMatcher("title", similarity="trigram",
+                                   engine=SERIAL)
+        candidates = [(dblp.ids()[0], acm.ids()[0])]
+        mapping = matcher.match(dblp, acm, candidates=candidates)
+        assert len(mapping) <= 1
+
+    def test_missing_values_score_like_python_path(self, monkeypatch):
+        domain = _source("L", ["alpha beta", None, "gamma delta"])
+        range_ = _source("R", ["alpha beta", "gamma delta", None])
+        engine = BatchMatchEngine(EngineConfig(workers=1, chunk_size=2))
+        fast = AttributeMatcher("title", similarity="trigram",
+                                threshold=0.0, engine=engine)
+        fast_rows = fast.match(domain, range_).to_rows()
+        monkeypatch.setattr(vectorized, "build_kernel",
+                            lambda *args, **kwargs: None)
+        slow = AttributeMatcher("title", similarity="trigram",
+                                threshold=0.0, engine=engine)
+        assert slow.match(domain, range_).to_rows() == fast_rows
+
+
+# ----------------------------------------------------------------------
+# score_batch kernels
+# ----------------------------------------------------------------------
+
+class TestScoreBatch:
+    PAIRS = [("data cleaning", "data cleaning in warehouses"),
+             ("schema matching", "cupid schema matching"),
+             ("", "empty left"), ("x", "y"), ("abc", "abc")]
+
+    @pytest.mark.parametrize("sim", [
+        TrigramSimilarity(),
+        TfIdfCosineSimilarity(),
+        SoftTfIdfSimilarity(),
+        CachedSimilarity(TrigramSimilarity()),
+    ], ids=lambda s: s.name)
+    def test_batch_matches_per_pair_scoring(self, sim):
+        sim.prepare([a for a, _ in self.PAIRS] + [b for _, b in self.PAIRS])
+        expected = [sim.similarity(a, b) for a, b in self.PAIRS]
+        assert sim.score_batch(self.PAIRS) == expected
+
+    def test_cached_similarity_batches_misses_once(self):
+        cached = CachedSimilarity(TrigramSimilarity())
+        pairs = [("aa", "bb"), ("bb", "aa"), ("aa", "bb")]
+        scores = cached.score_batch(pairs)
+        assert scores[0] == scores[1] == scores[2]
+        # symmetric normalization: one distinct key, two batch hits
+        assert cached.misses == 1
+        assert cached.hits == 2
+
+    def test_cached_similarity_bounded_cache_serves_evicted_hits(self):
+        """Regression: a size-triggered reset mid-batch must not drop
+        keys the batch already counted as hits."""
+        cached = CachedSimilarity(TrigramSimilarity(), max_size=2)
+        warm = cached.similarity("alpha", "beta")
+        batch = [("alpha", "beta"), ("gamma", "delta"),
+                 ("epsilon", "zeta"), ("eta", "theta")]
+        scores = cached.score_batch(batch)
+        assert scores[0] == warm
+        assert len(cached._cache) <= 2  # the bound survives the batch
+
+    def test_cached_similarity_oversized_batch_respects_bound(self):
+        cached = CachedSimilarity(TrigramSimilarity(), max_size=3)
+        pairs = [(f"left {i}", f"right {i}") for i in range(10)]
+        expected = [cached.inner.similarity(a, b) for a, b in pairs]
+        assert cached.score_batch(pairs) == expected
+        assert len(cached._cache) <= 3
+
+
+# ----------------------------------------------------------------------
+# streaming pair counting
+# ----------------------------------------------------------------------
+
+class TestPairCounting:
+    def test_full_cross_closed_form(self):
+        domain = _source("L", [f"t{i}" for i in range(7)])
+        range_ = _source("R", [f"t{i}" for i in range(5)])
+        blocking = FullCross()
+        assert blocking.count(domain, range_, domain_attribute="title",
+                              range_attribute="title") == 35
+        assert blocking.count(domain, domain, domain_attribute="title",
+                              range_attribute="title") == 21  # 7 choose 2
+
+    def test_full_cross_limit(self):
+        domain = _source("L", [f"t{i}" for i in range(7)])
+        blocking = FullCross()
+        assert blocking.count(domain, domain, domain_attribute="title",
+                              range_attribute="title", limit=4) == 4
+
+    def test_generic_count_deduplicates_and_limits(self):
+        domain = _source("L", ["alpha beta"] * 4)
+        range_ = _source("R", ["alpha beta"] * 4)
+        blocking = TokenBlocking(max_df=1.0)
+        full = blocking.count(domain, range_, domain_attribute="title",
+                              range_attribute="title")
+        distinct = len(set(blocking.candidates(
+            domain, range_, domain_attribute="title",
+            range_attribute="title")))
+        assert full == distinct == 16
+        assert blocking.count(domain, range_, domain_attribute="title",
+                              range_attribute="title", limit=5) == 5

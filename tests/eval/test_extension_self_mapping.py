@@ -1,6 +1,5 @@
 """Tests for the §5.6 GS self-mapping extension workflow."""
 
-import pytest
 
 from repro.eval.experiments.extension_self_mapping import (
     gs_self_mapping,

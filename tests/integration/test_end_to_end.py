@@ -1,6 +1,5 @@
 """End-to-end integration: full match pipelines on the tiny dataset."""
 
-import pytest
 
 from repro import (
     AttributeMatcher,
