@@ -1,6 +1,6 @@
 """Engine benchmark: serial per-pair matching vs the batch engine.
 
-Compares three execution models on one workload — a datagen world
+Compares four execution models on one workload — a datagen world
 scaled ~10x beyond the default (``small``) benchmark scale, blocked
 with token blocking and scored with the trigram matcher:
 
@@ -10,21 +10,31 @@ with token blocking and scored with the trigram matcher:
 * **engine, workers=1** — chunked streaming through the vectorized
   ``score_batch`` kernels, no processes;
 * **engine, workers=4** — the same chunks fanned out across a
-  process pool.
+  process pool, with the parent generating every candidate pair
+  (the PR-1 parallel model);
+* **engine, workers=4 sharded** — ``shard_blocking=True``: workers
+  generate *and* score their own blocking shards; the parent ships
+  shard indices and merges survivors.
 
-All three must produce identical correspondences, and the 4-worker
-engine must beat the serial baseline's wall-clock.  On single-core
-containers the engine's win comes from batched/vectorized scoring
-(the pool only adds IPC there, so ``workers=1`` is typically fastest);
-on real multi-core hardware the pool widens the gap further.
+All four must produce identical correspondences.  The 4-worker engine
+must beat the serial baseline, and the sharded path must beat the
+parent-streamed parallel path — parent-side candidate generation is
+the Amdahl bottleneck the sharded path exists to remove, so the gap
+shows up even on single-core containers (where the parent-streamed
+pool only adds IPC on top of the serial generation cost).
 
 Run standalone with ``PYTHONPATH=src python benchmarks/bench_engine.py``
 or via pytest.  Set ``REPRO_ENGINE_BENCH=small`` for a quick smoke run
-at the ordinary benchmark scale.
+at the ordinary benchmark scale (smoke runs report the sharded ratio
+but don't gate on it — sub-second workloads are noise-bound).  Set
+``REPRO_BENCH_JSON=/path/to/BENCH_engine.json`` to also write the
+measurements as JSON (what the CI bench-smoke step archives so the
+perf trajectory is visible across PRs).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
 
@@ -39,11 +49,22 @@ from repro.sim.ngram import TrigramSimilarity
 THRESHOLD = 0.7
 CHUNK_SIZE = 16384
 WORKERS = 4
+#: the sharded path must beat the parent-streamed parallel path by at
+#: least this factor on the full-scale blocked workload
+SHARDED_SPEEDUP_FLOOR = 1.3
+
+SERIAL_LABEL = "serial (per-pair loop)"
+PARALLEL_LABEL = f"engine workers={WORKERS}"
+SHARDED_LABEL = f"engine workers={WORKERS} sharded"
+
+
+def _small_mode() -> bool:
+    return os.environ.get("REPRO_ENGINE_BENCH") == "small"
 
 
 def _build_workload():
     """DBLP x ACM publications at ~10x the default benchmark scale."""
-    if os.environ.get("REPRO_ENGINE_BENCH") == "small":
+    if _small_mode():
         dataset = build_dataset("small", seed=7)
     else:
         # the "small" preset is scale=0.35 / clusters=30; this is 10x that
@@ -72,17 +93,42 @@ def _serial_baseline(domain, range_, blocking) -> Mapping:
     return result
 
 
-def _engine_run(domain, range_, blocking, workers: int) -> Mapping:
+def _engine_run(domain, range_, blocking, workers: int,
+                shard_blocking: bool = False) -> Mapping:
     engine = BatchMatchEngine(
-        EngineConfig(workers=workers, chunk_size=CHUNK_SIZE))
+        EngineConfig(workers=workers, chunk_size=CHUNK_SIZE,
+                     shard_blocking=shard_blocking))
     matcher = AttributeMatcher("title", similarity=TrigramSimilarity(),
                                threshold=THRESHOLD, blocking=blocking,
                                engine=engine)
     return matcher.match(domain, range_)
 
 
+def _write_json(path: str, domain, range_, timings, identical) -> None:
+    serial = timings[SERIAL_LABEL]
+    payload = {
+        "benchmark": "engine",
+        "mode": "small" if _small_mode() else "full",
+        "workload": {
+            "domain_size": len(domain),
+            "range_size": len(range_),
+            "blocking": "TokenBlocking",
+            "threshold": THRESHOLD,
+        },
+        "timings_seconds": timings,
+        "speedups_vs_serial": {
+            label: serial / seconds for label, seconds in timings.items()
+        },
+        "sharded_vs_parallel": timings[PARALLEL_LABEL] / timings[SHARDED_LABEL],
+        "identical_correspondences": identical,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
 def run_engine_benchmark():
-    """Time the three execution models; return (render, measurements)."""
+    """Time the four execution models; return (render, measurements)."""
     domain, range_ = _build_workload()
     blocking = TokenBlocking()
 
@@ -90,7 +136,7 @@ def run_engine_benchmark():
 
     start = time.perf_counter()
     baseline = _serial_baseline(domain, range_, blocking)
-    timings["serial (per-pair loop)"] = time.perf_counter() - start
+    timings[SERIAL_LABEL] = time.perf_counter() - start
 
     start = time.perf_counter()
     engine_serial = _engine_run(domain, range_, blocking, workers=1)
@@ -98,22 +144,35 @@ def run_engine_benchmark():
 
     start = time.perf_counter()
     engine_parallel = _engine_run(domain, range_, blocking, workers=WORKERS)
-    timings[f"engine workers={WORKERS}"] = time.perf_counter() - start
+    timings[PARALLEL_LABEL] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    engine_sharded = _engine_run(domain, range_, blocking, workers=WORKERS,
+                                 shard_blocking=True)
+    timings[SHARDED_LABEL] = time.perf_counter() - start
 
     rows = baseline.to_rows()
     identical = (rows == engine_serial.to_rows()
-                 and rows == engine_parallel.to_rows())
+                 and rows == engine_parallel.to_rows()
+                 and rows == engine_sharded.to_rows())
 
-    serial_time = timings["serial (per-pair loop)"]
+    serial_time = timings[SERIAL_LABEL]
     lines = [
         "engine benchmark: "
         f"{len(domain)} x {len(range_)} publications, "
         f"{len(baseline)} correspondences @ threshold {THRESHOLD}",
     ]
     for label, seconds in timings.items():
-        lines.append(f"  {label:<24} {seconds:8.2f}s "
+        lines.append(f"  {label:<32} {seconds:8.2f}s "
                      f"({serial_time / seconds:5.2f}x vs serial)")
+    lines.append(f"  sharded vs parent-streamed parallel: "
+                 f"{timings[PARALLEL_LABEL] / timings[SHARDED_LABEL]:.2f}x")
     lines.append(f"  identical correspondences: {identical}")
+
+    json_path = os.environ.get("REPRO_BENCH_JSON")
+    if json_path:
+        _write_json(json_path, domain, range_, timings, identical)
+        lines.append(f"  measurements written to {json_path}")
     return "\n".join(lines), timings, identical
 
 
@@ -122,11 +181,17 @@ def test_engine_beats_serial_baseline(report):
     report("engine", rendered)
     print(rendered)
     assert identical, "execution models disagree on the result mapping"
-    parallel = timings[f"engine workers={WORKERS}"]
-    serial = timings["serial (per-pair loop)"]
+    parallel = timings[PARALLEL_LABEL]
+    serial = timings[SERIAL_LABEL]
     assert parallel < serial, (
         f"parallel engine ({parallel:.2f}s) did not beat the serial "
         f"per-pair baseline ({serial:.2f}s)")
+    if not _small_mode():
+        ratio = parallel / timings[SHARDED_LABEL]
+        assert ratio >= SHARDED_SPEEDUP_FLOOR, (
+            f"sharded blocking ({timings[SHARDED_LABEL]:.2f}s) only "
+            f"{ratio:.2f}x faster than the parent-streamed parallel path "
+            f"({parallel:.2f}s); expected >= {SHARDED_SPEEDUP_FLOOR}x")
 
 
 if __name__ == "__main__":
@@ -134,7 +199,13 @@ if __name__ == "__main__":
     print(rendered)
     if not identical:
         raise SystemExit("FAIL: execution models disagree")
-    if timings[f"engine workers={WORKERS}"] >= timings["serial (per-pair loop)"]:
+    if timings[PARALLEL_LABEL] >= timings[SERIAL_LABEL]:
         raise SystemExit("FAIL: parallel engine slower than serial baseline")
-    print("OK: engine (4 workers) beats the serial per-pair baseline "
-          "with identical correspondences")
+    ratio = timings[PARALLEL_LABEL] / timings[SHARDED_LABEL]
+    if not _small_mode() and ratio < SHARDED_SPEEDUP_FLOOR:
+        raise SystemExit(
+            f"FAIL: sharded blocking only {ratio:.2f}x faster than the "
+            f"parent-streamed parallel path")
+    print("OK: engine (4 workers) beats the serial per-pair baseline, "
+          f"sharded blocking beats parent streaming {ratio:.2f}x, "
+          "identical correspondences")

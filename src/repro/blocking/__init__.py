@@ -14,9 +14,15 @@ cross product avoided) — the standard blocking metrics.
 """
 
 from repro.blocking.pair_generator import (
+    BlockShard,
     FullCross,
+    IdBlock,
+    IterableShard,
     PairGenerator,
+    PairShard,
+    dedup_self_pairs,
     pair_completeness,
+    partition_spans,
     reduction_ratio,
     unique_pairs,
 )
@@ -26,13 +32,19 @@ from repro.blocking.sorted_neighborhood import SortedNeighborhood
 from repro.blocking.canopy import CanopyBlocking
 
 __all__ = [
+    "BlockShard",
     "CanopyBlocking",
     "FullCross",
+    "IdBlock",
+    "IterableShard",
     "KeyBlocking",
     "PairGenerator",
+    "PairShard",
     "SortedNeighborhood",
     "TokenBlocking",
+    "dedup_self_pairs",
     "pair_completeness",
+    "partition_spans",
     "reduction_ratio",
     "unique_pairs",
 ]

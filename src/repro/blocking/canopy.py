@@ -3,18 +3,30 @@
 A cheap token-Jaccard similarity partitions records into overlapping
 canopies: a random seed collects every record within ``loose``
 similarity; records within ``tight`` similarity stop being future
-seeds.  Pairs sharing a canopy are candidates.  Deterministic given
-the seed.
+*seeds* but remain assignable to later canopies (that overlap is the
+point of canopies — a record tightly bound to one seed can still be
+loosely similar to another, and dropping it there would silently lose
+cross-canopy true matches).  Pairs sharing a canopy are candidates.
+Deterministic given the seed.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Set, Tuple
+from typing import Iterator, List, Tuple
 
-from repro.blocking.pair_generator import Pair, PairGenerator
+from repro.blocking.pair_generator import (
+    BlockShard,
+    IdBlock,
+    Pair,
+    PairGenerator,
+    PairShard,
+    partition_spans,
+)
 from repro.model.source import LogicalSource
 from repro.sim.tokenize import word_tokens
+
+Record = Tuple[str, int, frozenset]
 
 
 class CanopyBlocking(PairGenerator):
@@ -38,7 +50,7 @@ class CanopyBlocking(PairGenerator):
         return overlap / (len(tokens_a) + len(tokens_b) - overlap)
 
     def _tokenized(self, source: LogicalSource, attribute: str,
-                   side: int) -> List[Tuple[str, int, frozenset]]:
+                   side: int) -> List[Record]:
         records = []
         for instance in source:
             value = instance.get(attribute)
@@ -49,50 +61,98 @@ class CanopyBlocking(PairGenerator):
                 records.append((instance.id, side, tokens))
         return records
 
-    def candidates(self, domain: LogicalSource, range: LogicalSource, *,
-                   domain_attribute: str,
-                   range_attribute: str) -> Iterator[Pair]:
+    def _records(self, domain: LogicalSource, range: LogicalSource,
+                 domain_attribute: str,
+                 range_attribute: str) -> Tuple[List[Record], bool]:
         is_self = domain is range or domain.name == range.name
         records = self._tokenized(domain, domain_attribute, 0)
         if not is_self:
             records += self._tokenized(range, range_attribute, 1)
+        return records, is_self
 
+    def _canopies(self, records: List[Record]) -> List[List[int]]:
+        """Run the clustering pass; return canopies as index lists.
+
+        ``remaining`` holds the candidate *seeds* only.  A record
+        within ``tight`` of a seed is deleted from it — it can never
+        start a canopy again and is never rescanned by the seed loop —
+        but membership scans the full record list, so removed records
+        keep joining every later canopy they are loosely similar to.
+        """
         rng = random.Random(self.seed)
-        remaining: Dict[int, Tuple[str, int, frozenset]] = dict(enumerate(records))
-        order = list(remaining)
+        order = list(range(len(records)))
         rng.shuffle(order)
 
-        emitted: Set[Pair] = set()
-        removed: Set[int] = set()
+        remaining = dict.fromkeys(order)
+        canopies: List[List[int]] = []
         for seed_index in order:
-            if seed_index in removed:
+            if seed_index not in remaining:
                 continue
-            seed_record = remaining[seed_index]
-            canopy = []
-            for index, record in remaining.items():
-                if index in removed and index != seed_index:
-                    continue
-                similarity = self._jaccard(seed_record[2], record[2])
+            seed_tokens = records[seed_index][2]
+            canopy: List[int] = []
+            for index, record in enumerate(records):
+                similarity = self._jaccard(seed_tokens, record[2])
                 if similarity >= self.loose:
-                    canopy.append((index, record, similarity))
-            for index, _, similarity in canopy:
-                if similarity >= self.tight:
-                    removed.add(index)
-            # pairs within the canopy
-            for i, (_, record_a, _) in enumerate(canopy):
-                for _, record_b, _ in canopy[i + 1:]:
-                    id_a, side_a, _ = record_a
-                    id_b, side_b, _ = record_b
-                    if is_self:
-                        if id_a == id_b:
-                            continue
-                        pair = (id_a, id_b) if id_a < id_b else (id_b, id_a)
-                    elif side_a == 0 and side_b == 1:
-                        pair = (id_a, id_b)
-                    elif side_a == 1 and side_b == 0:
-                        pair = (id_b, id_a)
-                    else:
-                        continue
-                    if pair not in emitted:
-                        emitted.add(pair)
-                        yield pair
+                    canopy.append(index)
+                    if similarity >= self.tight and index in remaining:
+                        del remaining[index]
+            canopies.append(canopy)
+        return canopies
+
+    def _canopy_blocks(self, records: List[Record],
+                       canopies: List[List[int]],
+                       is_self: bool) -> List[IdBlock]:
+        """Materialize canopies as id blocks (cross-side for two sources)."""
+        blocks: List[IdBlock] = []
+        for canopy in canopies:
+            if is_self:
+                if len(canopy) < 2:
+                    continue
+                ids = [records[index][0] for index in canopy]
+                blocks.append(IdBlock(ids, ids, triangle=True))
+            else:
+                domain_ids = [records[index][0] for index in canopy
+                              if records[index][1] == 0]
+                range_ids = [records[index][0] for index in canopy
+                             if records[index][1] == 1]
+                if domain_ids and range_ids:
+                    blocks.append(IdBlock(domain_ids, range_ids))
+        return blocks
+
+    def candidates(self, domain: LogicalSource, range: LogicalSource, *,
+                   domain_attribute: str,
+                   range_attribute: str) -> Iterator[Pair]:
+        records, is_self = self._records(domain, range,
+                                         domain_attribute, range_attribute)
+        blocks = self._canopy_blocks(records, self._canopies(records),
+                                     is_self)
+        # canopies overlap, so dedup globally; self-matching pairs are
+        # canonical (min, max)
+        yield from BlockShard(lambda: iter(blocks), dedup=True,
+                              canonical=is_self).pairs()
+
+    def shards(self, domain: LogicalSource, range: LogicalSource, *,
+               n_shards: int, domain_attribute: str,
+               range_attribute: str) -> List[PairShard]:
+        """Seed partitions: each shard expands a run of whole canopies.
+
+        Canopy *formation* stays sequential (each seed's tight removals
+        gate later seed choices), but it is a linear number of cheap
+        Jaccard scans; the quadratic part — expanding every canopy
+        into pairs — is what the shards distribute.  Overlapping
+        canopies can emit the same pair from two shards; consumers
+        resolve that idempotently.
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+        records, is_self = self._records(domain, range,
+                                         domain_attribute, range_attribute)
+        canopies = self._canopies(records)
+        blocks = self._canopy_blocks(records, canopies, is_self)
+        spans = partition_spans([block.pair_count() for block in blocks],
+                                n_shards)
+        return [
+            BlockShard(lambda s=start, e=end: iter(blocks[s:e]),
+                       dedup=True, canonical=is_self)
+            for start, end in spans
+        ]

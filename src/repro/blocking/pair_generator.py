@@ -1,15 +1,193 @@
-"""Blocking protocol, trivial generator and blocking quality metrics."""
+"""Blocking protocol, trivial generator, sharding and quality metrics.
+
+Besides the streaming ``candidates`` protocol, every strategy can
+partition its work into independent *shards* (``shards``): units of
+candidate generation that can run on different worker processes with
+no shared mutable state.  The engine's sharded execution path
+(:mod:`repro.engine.shards`) ships shard *indices* across process
+boundaries instead of streaming every candidate pair through the
+parent, which removes the parent-side Amdahl bottleneck of blocked
+parallel runs.
+"""
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Iterator, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.mapping import Mapping
 from repro.model.source import LogicalSource
 
 Pair = Tuple[str, str]
 
+#: the protocol names a parameter ``range``, which shadows the builtin
+#: inside generator methods — keep a module-level alias
+_range = range
+
+
+# ----------------------------------------------------------------------
+# shard primitives
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class IdBlock:
+    """One rectangular (or triangular) unit of candidate pairs.
+
+    ``triangle=False`` means the cross product ``domain_ids x
+    range_ids`` oriented as (domain id, range id).  ``triangle=True``
+    means the self-matching pairs of ``domain_ids`` alone: every
+    ``(domain_ids[i], domain_ids[j])`` with ``i < j`` by list position
+    (``range_ids`` is ignored).  Blocks deliberately carry plain id
+    lists so the blocking layer stays independent of how the engine
+    scores them (Python pairs or packed row arrays).
+    """
+
+    domain_ids: Sequence[str]
+    range_ids: Sequence[str]
+    triangle: bool = False
+
+    def pair_count(self) -> int:
+        """Raw (pre-dedup) number of pairs the block expands to."""
+        if self.triangle:
+            n = len(self.domain_ids)
+            return n * (n - 1) // 2
+        return len(self.domain_ids) * len(self.range_ids)
+
+
+class PairShard(ABC):
+    """One independent unit of a strategy's candidate generation.
+
+    The contract is set-level: the union of ``pairs()`` over all
+    shards of one ``shards()`` call equals the distinct pair set of
+    ``candidates()`` on the same inputs.  A pair may appear in more
+    than one shard (e.g. two tokens of the same pair assigned to
+    different shards); downstream consumers must treat duplicate pairs
+    idempotently, exactly as they must for ``candidates`` streams.
+    """
+
+    @abstractmethod
+    def pairs(self) -> Iterator[Pair]:
+        """Yield the shard's candidate pairs (duplicates allowed)."""
+
+    def blocks(self) -> Optional[Iterator[IdBlock]]:
+        """Optional block-structured view enabling vectorized scoring.
+
+        Strategies whose shards are unions of rectangular/triangular
+        id blocks return an iterator of :class:`IdBlock`; the engine
+        can then expand pairs as packed row arrays without creating a
+        Python tuple per pair.  ``None`` (the default) means the shard
+        is only reachable through :meth:`pairs`.
+        """
+        return None
+
+
+class IterableShard(PairShard):
+    """A shard wrapping an arbitrary pair-producing callable."""
+
+    def __init__(self, factory: Callable[[], Iterable[Pair]]) -> None:
+        self._factory = factory
+
+    def pairs(self) -> Iterator[Pair]:
+        yield from self._factory()
+
+
+class BlockShard(PairShard):
+    """A shard made of :class:`IdBlock`\\ s.
+
+    ``dedup`` applies a shard-local first-seen filter so strategies
+    whose serial ``candidates`` deduplicate (token blocking, canopies)
+    keep that behavior per shard; cross-shard duplicates remain
+    possible and allowed.  ``canonical`` orients self-matching
+    (triangle) pairs as ``(min id, max id)`` to match the serial
+    emission of those strategies; block-order orientation is kept
+    otherwise (key blocking, full cross).
+    """
+
+    def __init__(self, factory: Callable[[], Iterable[IdBlock]], *,
+                 dedup: bool = False, canonical: bool = False) -> None:
+        self._factory = factory
+        self.dedup = dedup
+        self.canonical = canonical
+
+    def blocks(self) -> Iterator[IdBlock]:
+        return iter(self._factory())
+
+    def pairs(self) -> Iterator[Pair]:
+        emitted: Optional[Set[Pair]] = set() if self.dedup else None
+        for block in self.blocks():
+            if block.triangle:
+                ids = block.domain_ids
+                for i, id_a in enumerate(ids):
+                    for id_b in ids[i + 1:]:
+                        if self.canonical and id_b < id_a:
+                            pair = (id_b, id_a)
+                        else:
+                            pair = (id_a, id_b)
+                        if emitted is not None:
+                            if pair in emitted:
+                                continue
+                            emitted.add(pair)
+                        yield pair
+            else:
+                for id_a in block.domain_ids:
+                    for id_b in block.range_ids:
+                        pair = (id_a, id_b)
+                        if emitted is not None:
+                            if pair in emitted:
+                                continue
+                            emitted.add(pair)
+                        yield pair
+
+
+def partition_spans(costs: Sequence[int], n_shards: int) -> List[Tuple[int, int]]:
+    """Split ``range(len(costs))`` into at most ``n_shards`` contiguous,
+    cost-balanced ``(start, end)`` spans.
+
+    Deterministic and order-preserving: concatenating the spans
+    reproduces the original index order, which is what lets sharded
+    candidate generation mirror the serial iteration order of each
+    strategy.  Skewed cost distributions may yield fewer spans than
+    requested; every span is non-empty.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+    n = len(costs)
+    if n == 0:
+        return []
+    n_shards = min(n_shards, n)
+    total = sum(costs)
+    if total <= 0:
+        # degenerate (all-zero) costs: balance by count instead
+        step = (n + n_shards - 1) // n_shards
+        return [(i, min(i + step, n)) for i in range(0, n, step)]
+    target = total / n_shards
+    spans: List[Tuple[int, int]] = []
+    start = 0
+    acc = 0.0
+    for index, cost in enumerate(costs):
+        acc += cost
+        if acc >= target and len(spans) < n_shards - 1:
+            spans.append((start, index + 1))
+            start = index + 1
+            acc = 0.0
+    if start < n:
+        spans.append((start, n))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# the generator protocol
+# ----------------------------------------------------------------------
 
 class PairGenerator(ABC):
     """Produces candidate (domain id, range id) pairs for matching."""
@@ -19,6 +197,29 @@ class PairGenerator(ABC):
                    domain_attribute: str,
                    range_attribute: str) -> Iterator[Pair]:
         """Yield candidate pairs; duplicates are allowed (matchers dedup)."""
+
+    def shards(self, domain: LogicalSource, range: LogicalSource, *,
+               n_shards: int, domain_attribute: str,
+               range_attribute: str) -> List[PairShard]:
+        """Partition candidate generation into independent units.
+
+        The union of the shards' ``pairs()`` equals the distinct pair
+        set of :meth:`candidates` on the same inputs.  The base
+        implementation cannot split unknown strategies, so it returns
+        a single shard delegating to :meth:`candidates`; subclasses
+        override with genuinely parallel partitions (key groups,
+        posting-list ranges, window segments, seed partitions, id
+        tiles).  The engine's sharded path detects the un-overridden
+        default and prefers its streamed pool instead — one delegating
+        shard would serialize the whole request into a single worker.
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+        return [IterableShard(lambda: self.candidates(
+            domain, range,
+            domain_attribute=domain_attribute,
+            range_attribute=range_attribute,
+        ))]
 
     def count(self, domain: LogicalSource, range: LogicalSource, *,
               domain_attribute: str, range_attribute: str,
@@ -65,6 +266,41 @@ class FullCross(PairGenerator):
                 for id_b in range_ids:
                     yield id_a, id_b
 
+    def shards(self, domain: LogicalSource, range: LogicalSource, *,
+               n_shards: int, domain_attribute: str,
+               range_attribute: str) -> List[PairShard]:
+        """Id-range tiles: contiguous slices of the domain id list.
+
+        Self-matching tiles are balanced by the triangular row costs
+        (row ``i`` contributes ``n - 1 - i`` pairs), so early tiles
+        take fewer rows than late ones.
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+        ids = domain.ids()
+        if domain is range or domain.name == range.name:
+            n = len(ids)
+            spans = partition_spans([n - 1 - i for i in _range(n)], n_shards)
+
+            def tile(start: int, end: int) -> Callable[[], Iterator[IdBlock]]:
+                def blocks() -> Iterator[IdBlock]:
+                    for i in _range(start, end):
+                        tail = ids[i + 1:]
+                        if tail:
+                            yield IdBlock(ids[i:i + 1], tail)
+                return blocks
+
+            return [BlockShard(tile(start, end)) for start, end in spans]
+        range_ids = range.ids()
+        if not ids or not range_ids:
+            return []
+        spans = partition_spans([1] * len(ids), n_shards)
+        return [
+            BlockShard(lambda s=start, e=end: iter(
+                [IdBlock(ids[s:e], range_ids)]))
+            for start, end in spans
+        ]
+
     def count(self, domain: LogicalSource, range: LogicalSource, *,
               domain_attribute: str, range_attribute: str,
               limit: Optional[int] = None) -> int:
@@ -91,6 +327,26 @@ def unique_pairs(pairs: Iterable[Pair]) -> Iterator[Pair]:
             yield pair
 
 
+def dedup_self_pairs(pairs: Iterable[Pair]) -> Iterator[Pair]:
+    """Self-matching hygiene for a candidate pair stream.
+
+    Skips reflexive pairs and drops unordered duplicates — (a, b) and
+    (b, a) are the same self-matching candidate; the first orientation
+    seen survives.  Both engine execution paths (streamed and sharded)
+    apply exactly this filter, which is part of why their results are
+    identical; keep it the single definition.
+    """
+    seen: Set[Pair] = set()
+    for id_a, id_b in pairs:
+        if id_a == id_b:
+            continue
+        key = (id_b, id_a) if id_b < id_a else (id_a, id_b)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield id_a, id_b
+
+
 def pair_completeness(candidate_pairs: Iterable[Pair], gold: Mapping) -> float:
     """Fraction of gold correspondences retained by blocking.
 
@@ -105,9 +361,19 @@ def pair_completeness(candidate_pairs: Iterable[Pair], gold: Mapping) -> float:
 
 
 def reduction_ratio(candidate_count: int, domain_size: int,
-                    range_size: int) -> float:
-    """Fraction of the cross product that blocking avoided."""
-    total = domain_size * range_size
+                    range_size: int, *, self_match: bool = False) -> float:
+    """Fraction of the comparison space that blocking avoided.
+
+    For two-source matching the comparison space is the cross product
+    ``domain_size * range_size``.  For self-matching (``self_match=
+    True``, i.e. duplicate detection within one source) it is the
+    unordered-pair count ``n * (n - 1) / 2`` — using the cross product
+    there understates how much blocking saved by more than 2x.
+    """
+    if self_match:
+        total = domain_size * (domain_size - 1) // 2
+    else:
+        total = domain_size * range_size
     if total == 0:
         return 0.0
     return max(0.0, 1.0 - candidate_count / total)

@@ -8,9 +8,15 @@ preserve prefixes (names); complements token blocking.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Set, Tuple
 
-from repro.blocking.pair_generator import Pair, PairGenerator
+from repro.blocking.pair_generator import (
+    IterableShard,
+    Pair,
+    PairGenerator,
+    PairShard,
+    partition_spans,
+)
 from repro.model.source import LogicalSource
 from repro.sim.tokenize import normalize
 
@@ -37,9 +43,10 @@ class SortedNeighborhood(PairGenerator):
         self.window = window
         self.key = key
 
-    def candidates(self, domain: LogicalSource, range: LogicalSource, *,
-                   domain_attribute: str,
-                   range_attribute: str) -> Iterator[Pair]:
+    def _entries(self, domain: LogicalSource, range: LogicalSource,
+                 domain_attribute: str,
+                 range_attribute: str) -> List[Tuple[str, int, str]]:
+        """The merged sort order both execution paths slide over."""
         # Tag each record with its side so cross-source pairs can be
         # oriented; for self-matching both sides coincide.
         is_self = domain is range or domain.name == range.name
@@ -54,9 +61,22 @@ class SortedNeighborhood(PairGenerator):
                 if sort_key is not None:
                     entries.append((sort_key, 1, instance.id))
         entries.sort()
+        return entries
 
-        emitted: set[Pair] = set()
-        for i, (_, side_a, id_a) in enumerate(entries):
+    def _window_pairs(self, entries: List[Tuple[str, int, str]],
+                      start: int, end: int,
+                      is_self: bool) -> Iterator[Pair]:
+        """Window pairs anchored at positions ``[start, end)``.
+
+        The window of the last anchors reaches past ``end`` into the
+        following segment, so segment streams overlap-free partition
+        the anchor positions while still producing every cross-segment
+        pair.  Deduplication is local to the call (the serial stream
+        passes the whole range, shards their own segment).
+        """
+        emitted: Set[Pair] = set()
+        for i in _range(start, end):
+            _, side_a, id_a = entries[i]
             upper = min(i + self.window, len(entries))
             for j in _range(i + 1, upper):
                 _, side_b, id_b = entries[j]
@@ -73,3 +93,36 @@ class SortedNeighborhood(PairGenerator):
                 if pair not in emitted:
                     emitted.add(pair)
                     yield pair
+
+    def candidates(self, domain: LogicalSource, range: LogicalSource, *,
+                   domain_attribute: str,
+                   range_attribute: str) -> Iterator[Pair]:
+        is_self = domain is range or domain.name == range.name
+        entries = self._entries(domain, range,
+                                domain_attribute, range_attribute)
+        yield from self._window_pairs(entries, 0, len(entries), is_self)
+
+    def shards(self, domain: LogicalSource, range: LogicalSource, *,
+               n_shards: int, domain_attribute: str,
+               range_attribute: str) -> List[PairShard]:
+        """Window segments: contiguous anchor ranges of the sort order.
+
+        Each shard anchors windows at its own positions; windows near
+        a segment boundary read (but do not anchor in) the next
+        segment, so no pair is lost at the seams.  A pair can repeat
+        across shards when the same ids meet in two windows anchored
+        in different segments; consumers resolve that idempotently.
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+        is_self = domain is range or domain.name == range.name
+        entries = self._entries(domain, range,
+                                domain_attribute, range_attribute)
+        if not entries:
+            return []
+        spans = partition_spans([1] * len(entries), n_shards)
+        return [
+            IterableShard(lambda s=start, e=end: self._window_pairs(
+                entries, s, e, is_self))
+            for start, end in spans
+        ]

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Optional
 
-from repro.blocking.pair_generator import Pair, PairGenerator
+from repro.blocking.pair_generator import (
+    BlockShard,
+    IdBlock,
+    Pair,
+    PairGenerator,
+    PairShard,
+    partition_spans,
+)
 from repro.model.source import LogicalSource
 
 
@@ -41,14 +48,21 @@ class KeyBlocking(PairGenerator):
                 blocks.setdefault(key, []).append(instance.id)
         return blocks
 
-    def candidates(self, domain: LogicalSource, range: LogicalSource, *,
-                   domain_attribute: str,
-                   range_attribute: str) -> Iterator[Pair]:
+    def _eligible_blocks(self, domain: LogicalSource, range: LogicalSource,
+                         domain_attribute: str,
+                         range_attribute: str) -> List[IdBlock]:
+        """Surviving key blocks, in domain key iteration order.
+
+        Keys present in only one source and blocks tripping the
+        ``max_block_size`` guard are dropped here so the candidate
+        stream and the sharded path share one filter.
+        """
         domain_blocks = self._blocks(domain, domain_attribute)
         is_self = domain is range or domain.name == range.name
         range_blocks = (
             domain_blocks if is_self else self._blocks(range, range_attribute)
         )
+        eligible: List[IdBlock] = []
         for key, domain_ids in domain_blocks.items():
             range_ids = range_blocks.get(key)
             if not range_ids:
@@ -58,10 +72,37 @@ class KeyBlocking(PairGenerator):
                     self.max_block_size * self.max_block_size):
                 continue
             if is_self:
-                for i, id_a in enumerate(domain_ids):
-                    for id_b in domain_ids[i + 1:]:
-                        yield id_a, id_b
+                eligible.append(IdBlock(domain_ids, domain_ids, triangle=True))
             else:
-                for id_a in domain_ids:
-                    for id_b in range_ids:
-                        yield id_a, id_b
+                eligible.append(IdBlock(domain_ids, range_ids))
+        return eligible
+
+    def candidates(self, domain: LogicalSource, range: LogicalSource, *,
+                   domain_attribute: str,
+                   range_attribute: str) -> Iterator[Pair]:
+        blocks = self._eligible_blocks(domain, range,
+                                       domain_attribute, range_attribute)
+        # key blocks are disjoint, so no dedup; self-matching pairs
+        # keep block-list orientation (BlockShard's default)
+        yield from BlockShard(lambda: iter(blocks)).pairs()
+
+    def shards(self, domain: LogicalSource, range: LogicalSource, *,
+               n_shards: int, domain_attribute: str,
+               range_attribute: str) -> List[PairShard]:
+        """Key groups: each shard owns a contiguous run of key blocks.
+
+        Keys partition the instances, so blocks are pairwise disjoint
+        and each candidate pair lives in exactly one shard.  Runs are
+        balanced by block pair counts, not key counts, so one huge
+        block does not serialize the whole run.
+        """
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+        blocks = self._eligible_blocks(domain, range,
+                                       domain_attribute, range_attribute)
+        spans = partition_spans([block.pair_count() for block in blocks],
+                                n_shards)
+        return [
+            BlockShard(lambda s=start, e=end: iter(blocks[s:e]))
+            for start, end in spans
+        ]

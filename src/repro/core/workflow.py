@@ -118,8 +118,12 @@ class MatcherStep:
     """Execute a matcher and publish its same-mapping.
 
     ``engine`` optionally overrides the batch execution engine for this
-    step; otherwise the context's engine (if any) applies.  Matchers
-    that don't expose an ``engine`` attribute run unchanged.
+    step; otherwise the context's engine (if any) applies.  Either may
+    be a ``repro.engine.BatchMatchEngine`` or a bare
+    ``repro.engine.EngineConfig`` (wrapped into an engine on use, so
+    workflow definitions can ask for e.g. sharded four-worker execution
+    without importing the engine class).  Matchers that don't expose an
+    ``engine`` attribute run unchanged.
     """
 
     output: str
@@ -130,9 +134,13 @@ class MatcherStep:
     engine: Optional[object] = None
 
     def run(self, context: MatchContext) -> Mapping:
+        from repro.engine import BatchMatchEngine, EngineConfig
+
         domain = context.resolve_source(self.domain)
         range_ = context.resolve_source(self.range)
         engine = self.engine if self.engine is not None else context.engine
+        if isinstance(engine, EngineConfig):
+            engine = BatchMatchEngine(engine)
         if engine is not None and hasattr(self.matcher, "engine"):
             previous = self.matcher.engine
             self.matcher.engine = engine

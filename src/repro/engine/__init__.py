@@ -19,6 +19,12 @@ Typical use::
 
 or process-wide via :func:`configure_default_engine` (what the CLI's
 ``--workers`` / ``--chunk-size`` flags call).
+
+With ``EngineConfig(shard_blocking=True)`` candidate generation itself
+moves into the workers (:mod:`repro.engine.shards`): the blocking
+strategy is partitioned into shards, each worker generates and scores
+its shard's pairs locally, and the parent only merges surviving
+triples — same results, no parent-side generation bottleneck.
 """
 
 from repro.engine.chunks import iter_chunks

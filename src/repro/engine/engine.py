@@ -32,6 +32,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Tuple
 
+from repro.blocking.pair_generator import dedup_self_pairs
 from repro.core.mapping import Mapping, MappingKind
 from repro.engine import scorer as scorer_module
 from repro.engine import vectorized
@@ -67,6 +68,17 @@ class EngineConfig:
     #: performance knob; the built-in blocking strategies already
     #: deduplicate, hence off by default.
     dedup_limit: int = 0
+    #: run candidate generation inside the workers (``repro.engine.
+    #: shards``) instead of streaming every pair through the parent.
+    #: Results are identical; on blocked workloads this removes the
+    #: parent-side generation bottleneck.  Ignored (falling back to
+    #: the streamed paths) for explicit candidate lists, blocking
+    #: objects without an authoritative ``shards`` protocol, and
+    #: multi-worker runs on platforms without ``fork``.
+    shard_blocking: bool = False
+    #: how many shards to cut the blocking work into (None = 4 per
+    #: worker, which over-partitions enough to absorb skewed blocks)
+    n_shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -82,6 +94,10 @@ class EngineConfig:
         if self.dedup_limit < 0:
             raise ValueError(
                 f"dedup_limit must be >= 0, got {self.dedup_limit!r}"
+            )
+        if self.n_shards is not None and self.n_shards < 1:
+            raise ValueError(
+                f"n_shards must be >= 1, got {self.n_shards!r}"
             )
 
     @property
@@ -119,6 +135,12 @@ class BatchMatchEngine:
         self._prepare(request)
         result = Mapping(request.domain.name, request.range.name,
                          kind=MappingKind.SAME, name=request.name)
+        if self.config.shard_blocking:
+            from repro.engine import shards as shards_module
+            if shards_module.execute_sharded(self, request, result):
+                return result
+            # not shardable (explicit candidates / foreign blocking
+            # object): continue on the streamed paths below
         is_self = request.is_self
         chunks = iter_chunks(self._pair_stream(request),
                              self.config.chunk_size)
@@ -199,15 +221,7 @@ class BatchMatchEngine:
                 seen.add(pair)
                 yield pair
             return
-        seen = set()
-        for id_a, id_b in pairs:
-            if id_a == id_b:
-                continue
-            key = (id_b, id_a) if id_b < id_a else (id_a, id_b)
-            if key in seen:
-                continue
-            seen.add(key)
-            yield id_a, id_b
+        yield from dedup_self_pairs(pairs)
 
     def _raw_pairs(self, request: MatchRequest) -> Iterable[Pair]:
         if request.candidates is not None:
@@ -353,10 +367,11 @@ def set_default_engine(engine: Optional[BatchMatchEngine]) -> None:
     _default_engine = engine
 
 
-def configure_default_engine(*, workers: int = 1,
-                             chunk_size: int = 2048) -> BatchMatchEngine:
+def configure_default_engine(*, workers: int = 1, chunk_size: int = 2048,
+                             shard_blocking: bool = False) -> BatchMatchEngine:
     """Build and install the process default engine; returns it."""
     engine = BatchMatchEngine(EngineConfig(workers=workers,
-                                           chunk_size=chunk_size))
+                                           chunk_size=chunk_size,
+                                           shard_blocking=shard_blocking))
     set_default_engine(engine)
     return engine

@@ -1,0 +1,322 @@
+"""Sharded execution: candidate generation *and* scoring in workers.
+
+The streamed parallel path (:mod:`repro.engine.engine`) generates
+every candidate pair in the parent and ships chunks to workers — on
+blocked workloads the pure-Python pair generation serializes the run
+(Amdahl).  The sharded path removes that bottleneck: the parent asks
+the blocking strategy for *shards* (:meth:`PairGenerator.shards` —
+key groups, posting-list ranges, window segments, seed partitions, id
+tiles), builds the scoring state, and forks.  Workers inherit
+everything copy-on-write, receive only a shard index, generate their
+shard's pairs locally and return the surviving triples; nothing
+per-pair ever crosses a process boundary.
+
+Two worker-side scoring modes:
+
+* **block-vectorized** — when the request is eligible for the
+  q-gram bit kernel *and* the shard exposes an :class:`IdBlock`
+  structure, pairs are expanded directly as packed row arrays
+  (``np.repeat``/``np.tile``) and scored in bulk — no Python tuple is
+  ever created per pair.  Duplicate pairs across blocks/shards are
+  scored redundantly instead of deduplicated: scoring is
+  deterministic, the result mapping is keyed, and on measured
+  workloads re-scoring ~30% duplicates is far cheaper than sorting
+  tens of millions of pair codes.
+* **streamed** — any other shard iterates ``shard.pairs()`` through
+  the same chunk scorers the serial path uses.
+
+Correctness contract: for every blocking strategy the sharded result
+mapping equals the serial result mapping exactly.  Shard pair sets
+union to the serial candidate set, scores depend only on the value
+pair, and the merge is idempotent for duplicates, so shard order and
+duplication cannot change the outcome.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
+
+from repro.blocking.pair_generator import (
+    FullCross,
+    IdBlock,
+    PairGenerator,
+    PairShard,
+    dedup_self_pairs,
+)
+from repro.engine.chunks import iter_chunks
+from repro.engine.request import MatchRequest
+from repro.engine.scorer import ChunkScorer
+from repro.engine.vectorized import IndexedScorer
+
+try:  # numpy backs the block-vectorized mode; optional like elsewhere
+    import numpy as _np
+except ImportError:  # pragma: no cover - image always has numpy
+    _np = None
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import BatchMatchEngine
+
+Pair = Tuple[str, str]
+Triple = Tuple[str, str, float]
+
+#: row-array slice size for one vectorized scoring call; bounds worker
+#: memory at a few MB per in-flight slice while amortizing numpy call
+#: overhead over ~1M pairs
+ROWS_PER_CALL = 1 << 20
+
+
+class ShardRunner:
+    """Executes one shard end-to-end; lives in the parent, runs anywhere.
+
+    Built (and installed in the module slot) before the pool forks, so
+    workers inherit the shard list, sources, similarity state and
+    packed kernel matrices copy-on-write and tasks only carry a shard
+    index.  Exactly one of ``indexed`` / ``scorer`` is set.
+    """
+
+    def __init__(self, shards: Sequence[PairShard], request: MatchRequest,
+                 chunk_size: int, indexed: Optional[IndexedScorer],
+                 scorer: Optional[ChunkScorer]) -> None:
+        self.shards = list(shards)
+        self.is_self = request.is_self
+        self.chunk_size = chunk_size
+        self.indexed = indexed
+        self.scorer = scorer
+
+    def run(self, shard_index: int):
+        """Score one shard; returns a payload for :func:`merge_payload`.
+
+        Payloads are ``("rows", (rows_a, rows_b, scores))`` from the
+        vectorized modes (int/float arrays — the parent maps rows back
+        to ids) or ``("triples", [...])`` from the generic scorer.
+        """
+        shard = self.shards[shard_index]
+        if self.indexed is not None:
+            blocks = shard.blocks()
+            if blocks is not None and _np is not None:
+                return "rows", self._run_blocks(blocks)
+            return "rows", self._run_pairs_indexed(shard)
+        return "triples", self._run_pairs_scorer(shard)
+
+    # -- block-vectorized mode -----------------------------------------
+
+    def _block_rows(self, block: IdBlock):
+        """Row arrays of a block's id lists (ids unknown to the request's
+        sources are dropped, mirroring ``IndexedScorer.convert``)."""
+        indexed = self.indexed
+        domain_row = indexed._domain_rows.get
+        rows_d = [row for row in map(domain_row, block.domain_ids)
+                  if row is not None]
+        if block.triangle:
+            # self-matching: both sides index the same source/matrix
+            return (_np.asarray(rows_d, dtype=_np.int32), None)
+        range_row = indexed._range_rows.get
+        rows_r = [row for row in map(range_row, block.range_ids)
+                  if row is not None]
+        return (_np.asarray(rows_d, dtype=_np.int32),
+                _np.asarray(rows_r, dtype=_np.int32))
+
+    def _expand_blocks(self, blocks: Iterator[IdBlock]):
+        """Yield (rows_a, rows_b) array slices of at most ROWS_PER_CALL."""
+        for block in blocks:
+            rows_d, rows_r = self._block_rows(block)
+            if rows_r is None:  # triangle: pairs (i, j) with j > i
+                k = len(rows_d)
+                i = 0
+                while i < k - 1:
+                    j = i
+                    budget = 0
+                    while j < k - 1 and budget + (k - 1 - j) <= ROWS_PER_CALL:
+                        budget += k - 1 - j
+                        j += 1
+                    if j == i:  # single row exceeds the budget: take it
+                        j = i + 1
+                    counts = _np.arange(k - 1 - i, k - 1 - j, -1)
+                    rows_a = _np.repeat(rows_d[i:j], counts)
+                    rows_b = _np.concatenate(
+                        [rows_d[m + 1:] for m in range(i, j)])
+                    yield rows_a, rows_b
+                    i = j
+            else:
+                width = len(rows_r)
+                if width == 0 or len(rows_d) == 0:
+                    continue
+                step = max(1, ROWS_PER_CALL // width)
+                for start in range(0, len(rows_d), step):
+                    left = rows_d[start:start + step]
+                    yield (_np.repeat(left, width),
+                           _np.tile(rows_r, len(left)))
+
+    def _run_blocks(self, blocks: Iterator[IdBlock]):
+        indexed = self.indexed
+        out_a, out_b, out_s = [], [], []
+        for rows_a, rows_b in self._expand_blocks(blocks):
+            kept_a, kept_b, kept_s = indexed.score_rows(rows_a, rows_b)
+            if len(kept_a):
+                out_a.append(kept_a)
+                out_b.append(kept_b)
+                out_s.append(kept_s)
+        if not out_a:
+            empty_rows = _np.asarray([], dtype=_np.int32)
+            return empty_rows, empty_rows, _np.asarray([], dtype=_np.float64)
+        return (_np.concatenate(out_a), _np.concatenate(out_b),
+                _np.concatenate(out_s))
+
+    # -- streamed modes -------------------------------------------------
+
+    def _shard_pairs(self, shard: PairShard) -> Iterator[Pair]:
+        """The shard's pair stream with self-matching hygiene applied.
+
+        Mirrors the serial path's ``_pair_stream`` through the shared
+        :func:`dedup_self_pairs` filter (shard-locally — cross-shard
+        duplicates resolve idempotently at the merge).  Required for
+        custom strategies whose shards may not canonicalize; harmless
+        for the built-ins, which already do.
+        """
+        pairs = shard.pairs()
+        if not self.is_self:
+            yield from pairs
+            return
+        yield from dedup_self_pairs(pairs)
+
+    def _run_pairs_indexed(self, shard: PairShard):
+        indexed = self.indexed
+        out_a, out_b, out_s = [], [], []
+        for chunk in iter_chunks(self._shard_pairs(shard), self.chunk_size):
+            rows_a, rows_b = indexed.convert(chunk)
+            kept_a, kept_b, kept_s = indexed.score_rows(rows_a, rows_b)
+            if len(kept_a):
+                out_a.append(kept_a)
+                out_b.append(kept_b)
+                out_s.append(kept_s)
+        if not out_a:
+            empty_rows = _np.asarray([], dtype=_np.int32)
+            return empty_rows, empty_rows, _np.asarray([], dtype=_np.float64)
+        return (_np.concatenate(out_a), _np.concatenate(out_b),
+                _np.concatenate(out_s))
+
+    def _run_pairs_scorer(self, shard: PairShard) -> List[Triple]:
+        scorer = self.scorer
+        triples: List[Triple] = []
+        for chunk in iter_chunks(self._shard_pairs(shard), self.chunk_size):
+            triples.extend(scorer.score_chunk(chunk))
+        return triples
+
+
+# ----------------------------------------------------------------------
+# worker-side plumbing (same pattern as scorer.py / vectorized.py)
+# ----------------------------------------------------------------------
+
+_ACTIVE_RUNNER: Optional[ShardRunner] = None
+
+
+def _install_runner(runner: Optional[ShardRunner]) -> None:
+    global _ACTIVE_RUNNER
+    _ACTIVE_RUNNER = runner
+
+
+def _run_shard_task(shard_index: int):
+    runner = _ACTIVE_RUNNER
+    if runner is None:  # pragma: no cover - defensive; engine installs first
+        raise RuntimeError("no shard runner installed in worker process")
+    return runner.run(shard_index)
+
+
+# ----------------------------------------------------------------------
+# parent-side orchestration
+# ----------------------------------------------------------------------
+
+def _shards_authoritative(blocking) -> bool:
+    """Whether ``blocking.shards`` actually describes ``candidates``.
+
+    False for the un-overridden :meth:`PairGenerator.shards` default
+    (one shard delegating to ``candidates()`` — running that here
+    would serialize the whole request into a single worker; the
+    streamed pool does better) and for subclasses that override
+    ``candidates`` *below* the class providing ``shards`` (the
+    inherited partition describes the parent's pair set, not the
+    override's).
+    """
+    cls = type(blocking)
+
+    def defining(name):
+        for base in cls.__mro__:
+            if name in vars(base):
+                return base
+        return None
+
+    shards_cls = defining("shards")
+    candidates_cls = defining("candidates")
+    if shards_cls is None or shards_cls is PairGenerator:
+        return False
+    if candidates_cls is None or candidates_cls is shards_cls:
+        return True
+    # candidates defined more derived than shards => shards is stale
+    return not issubclass(candidates_cls, shards_cls)
+
+
+def execute_sharded(engine: "BatchMatchEngine", request: MatchRequest,
+                    result) -> bool:
+    """Run ``request`` through the sharded path; False means "not mine".
+
+    Falls through (returning False, leaving ``result`` untouched) when
+    the candidate source cannot shard: an explicit candidate iterable,
+    a blocking object that does not implement the ``shards`` protocol
+    (or inherits a stale one — see :func:`_shards_authoritative`), or
+    a multi-worker run on a platform without ``fork`` (the streamed
+    path still parallelizes there by pickling the scorer).  Once
+    sharding starts it always completes — with a forked process pool
+    when ``workers > 1``, inline otherwise (same results, no
+    processes).
+    """
+    config = engine.config
+    if request.candidates is not None:
+        return False
+    if config.workers > 1 and \
+            "fork" not in multiprocessing.get_all_start_methods():
+        return False
+    blocking = request.blocking if request.blocking is not None else FullCross()
+    if not _shards_authoritative(blocking):
+        return False
+    shards_method = blocking.shards
+    spec = request.specs[0]
+    n_shards = config.n_shards
+    if n_shards is None:
+        n_shards = max(4, config.workers * 4)
+    shards = shards_method(
+        request.domain, request.range, n_shards=n_shards,
+        domain_attribute=spec.attribute,
+        range_attribute=spec.range_attribute)
+    if not shards:
+        return True  # no candidates at all: the empty mapping is correct
+    indexed = engine._try_indexed(request)
+    scorer = None if indexed is not None else ChunkScorer(request)
+    runner = ShardRunner(shards, request, config.chunk_size, indexed, scorer)
+
+    def merge_payload(payload) -> None:
+        kind, data = payload
+        triples = indexed.triples(*data) if kind == "rows" else data
+        engine._merge(result, triples, request.is_self)
+
+    workers = min(config.workers, len(shards))
+    if workers == 1:
+        for index in range(len(shards)):
+            merge_payload(runner.run(index))
+        return True
+
+    context = multiprocessing.get_context("fork")
+    _install_runner(runner)
+    pending: deque = deque()
+    try:
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            for index in range(len(shards)):
+                pending.append(pool.submit(_run_shard_task, index))
+            while pending:
+                merge_payload(pending.popleft().result())
+    finally:
+        _install_runner(None)
+    return True

@@ -48,8 +48,17 @@ class Workbench:
     def __init__(self, dataset: BibliographicDataset) -> None:
         self.dataset = dataset
         self.cache = MappingCache(max_entries=256)
-        self._title_blocking = TokenBlocking()
-        self._name_blocking = TokenBlocking(max_df=0.25)
+        # max_df values are calibrated to the corrected two-source
+        # cutoff semantics (a token's df is compared against max_df of
+        # the *combined* population).  The doubled values reproduce the
+        # old effective cutoffs to within one df count (integer
+        # truncation differs at some population sizes); no token sits
+        # on that boundary at the tiny/small/paper dataset scales, so
+        # the candidate sets the experiments were tuned on are
+        # unchanged.  Both instances only ever run in two-source mode
+        # here.
+        self._title_blocking = TokenBlocking(max_df=0.2)
+        self._name_blocking = TokenBlocking(max_df=0.5)
 
     # -- plumbing --------------------------------------------------------
 

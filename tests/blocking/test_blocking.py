@@ -86,6 +86,33 @@ class TestTokenBlocking:
         pairs = collect(TokenBlocking(max_df=1.0), domain, domain)
         assert all(a < b for a, b in pairs)
 
+    def test_df_cutoff_consistent_across_matching_modes(self):
+        """Regression: the cutoff test double-counted the shared posting
+        list on self-matching runs, so the same ``max_df`` meant a 2x
+        looser effective cutoff for two-source matching.  A token in
+        40% of all values must be suppressed at ``max_df=0.3`` in both
+        modes."""
+        # two-source: "shared" occurs in 4 of 10 values (40% > 30%)
+        domain = LogicalSource(PhysicalSource("L"), ObjectType("P"))
+        range_ = LogicalSource(PhysicalSource("R"), ObjectType("P"))
+        for index in range(2):
+            domain.add_record(f"a{index}", title=f"shared common{index}x")
+            range_.add_record(f"b{index}", title=f"shared common{index}x")
+        for index in range(2, 5):
+            domain.add_record(f"a{index}", title=f"filler{index}y")
+            range_.add_record(f"b{index}", title=f"filler{index}y")
+        pairs = collect(TokenBlocking(max_df=0.3), domain, range_)
+        # "shared" is a stop word; only the aligned rare tokens block
+        assert pairs == {(f"a{i}", f"b{i}") for i in range(5)}
+
+        # self-matching: "shared" occurs in 4 of 10 values as well
+        source = LogicalSource(PhysicalSource("S"), ObjectType("P"))
+        for index in range(4):
+            source.add_record(f"s{index}", title=f"shared only{index}z")
+        for index in range(4, 10):
+            source.add_record(f"s{index}", title=f"lone{index}q")
+        assert collect(TokenBlocking(max_df=0.3), source, source) == set()
+
     def test_validation(self):
         with pytest.raises(ValueError):
             TokenBlocking(min_token_length=0)
@@ -169,12 +196,42 @@ class TestCanopy:
         with pytest.raises(ValueError):
             CanopyBlocking(loose=0.9, tight=0.5)
 
+    def test_tight_removed_records_join_later_canopies(self):
+        """Regression: tight removal must only stop a record from
+        *seeding* future canopies — McCallum canopies overlap, so the
+        record stays assignable.  Here ``s1`` is tightly bound to
+        ``s0``'s canopy but loosely similar to ``s2``; dropping it
+        from ``s2``'s canopy silently loses the (s1, s2) candidate."""
+        source = LogicalSource(PhysicalSource("S"), ObjectType("P"))
+        source.add_record("s0", title="alpha beta gamma")
+        # jaccard(s0, s1) = 3/4 >= tight: s1 never seeds again
+        source.add_record("s1", title="alpha beta gamma delta")
+        # jaccard(s1, s2) = 1/6 >= loose, jaccard(s0, s2) = 0
+        source.add_record("s2", title="delta epsilon zeta")
+        # shuffle seed 5 orders the seeds s0, s1, s2: s0's canopy
+        # removes s1, then s2 opens the canopy that must reclaim it
+        blocking = CanopyBlocking(loose=0.15, tight=0.6, seed=5)
+        pairs = collect(blocking, source, source)
+        assert ("s0", "s1") in pairs
+        assert ("s1", "s2") in pairs
+
 
 class TestMetrics:
     def test_reduction_ratio(self):
         assert reduction_ratio(25, 5, 5) == 0.0
         assert reduction_ratio(5, 5, 5) == pytest.approx(0.8)
         assert reduction_ratio(0, 0, 5) == 0.0
+
+    def test_reduction_ratio_self_matching(self):
+        """Regression: the self-matching comparison space is the
+        n*(n-1)/2 unordered pairs, not the n*n cross product — the
+        cross-product denominator understated blocking savings."""
+        # 5 records self-matched: 10 possible pairs, none avoided
+        assert reduction_ratio(10, 5, 5, self_match=True) == 0.0
+        # half the pairs avoided reads 0.5, not the cross product's 0.8
+        assert reduction_ratio(5, 5, 5, self_match=True) == pytest.approx(0.5)
+        # degenerate single-record source has nothing to avoid
+        assert reduction_ratio(0, 1, 1, self_match=True) == 0.0
 
     def test_pair_completeness_empty_gold(self):
         assert pair_completeness([], Mapping("A", "B")) == 1.0

@@ -1,0 +1,206 @@
+"""Tests for the sharded candidate-generation protocol.
+
+The load-bearing contract: for every blocking strategy, the union of
+``shards()``'s pair streams equals the distinct ``candidates()`` set
+on the same inputs — for any shard count, in both matching modes.
+That set-level equality (plus deterministic scoring and idempotent
+merging) is what makes sharded parallel execution byte-identical to
+serial execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blocking import (
+    CanopyBlocking,
+    FullCross,
+    IdBlock,
+    KeyBlocking,
+    PairGenerator,
+    SortedNeighborhood,
+    TokenBlocking,
+    partition_spans,
+)
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+
+STRATEGIES = [
+    FullCross(),
+    KeyBlocking(),
+    KeyBlocking(max_block_size=3),
+    TokenBlocking(max_df=1.0),
+    TokenBlocking(max_df=0.4),
+    SortedNeighborhood(window=3),
+    CanopyBlocking(loose=0.15, tight=0.5, seed=3),
+]
+
+IDS = [
+    "FullCross", "KeyBlocking", "KeyBlocking-capped", "TokenBlocking",
+    "TokenBlocking-df", "SortedNeighborhood", "CanopyBlocking",
+]
+
+
+def _source(name: str, titles) -> LogicalSource:
+    source = LogicalSource(PhysicalSource(name), ObjectType("Publication"))
+    for index, title in enumerate(titles):
+        source.add_record(f"{name.lower()}{index}", title=title)
+    return source
+
+
+@pytest.fixture(scope="module")
+def sources():
+    titles = [
+        "adaptive query processing for streams",
+        "adaptive query optimization",
+        "schema matching with cupid",
+        "schema matching survey",
+        "data cleaning in warehouses",
+        "streaming joins over windows",
+        "top retrieval for the web",
+        "web data extraction",
+        None,
+        "query answering using views",
+        "views and query rewriting",
+    ]
+    return _source("L", titles), _source("R", list(reversed(titles)))
+
+
+def _candidate_set(blocking, domain, range_):
+    return set(blocking.candidates(domain, range_,
+                                   domain_attribute="title",
+                                   range_attribute="title"))
+
+
+def _shard_union(blocking, domain, range_, n_shards):
+    shards = blocking.shards(domain, range_, n_shards=n_shards,
+                             domain_attribute="title",
+                             range_attribute="title")
+    assert len(shards) <= max(1, n_shards)
+    union = set()
+    for shard in shards:
+        union |= set(shard.pairs())
+    return union
+
+
+class TestShardUnionEqualsCandidates:
+    @pytest.mark.parametrize("blocking", STRATEGIES, ids=IDS)
+    @pytest.mark.parametrize("n_shards", [1, 2, 5, 64])
+    def test_two_source(self, sources, blocking, n_shards):
+        domain, range_ = sources
+        assert _shard_union(blocking, domain, range_, n_shards) == \
+            _candidate_set(blocking, domain, range_)
+
+    @pytest.mark.parametrize("blocking", STRATEGIES, ids=IDS)
+    @pytest.mark.parametrize("n_shards", [1, 3, 64])
+    def test_self_matching(self, sources, blocking, n_shards):
+        domain, _ = sources
+        assert _shard_union(blocking, domain, domain, n_shards) == \
+            _candidate_set(blocking, domain, domain)
+
+    @pytest.mark.parametrize("blocking", STRATEGIES, ids=IDS)
+    def test_empty_sources(self, blocking):
+        domain = _source("L", [])
+        range_ = _source("R", [])
+        assert _shard_union(blocking, domain, range_, 4) == set()
+
+    @settings(max_examples=20, deadline=None)
+    @given(titles=st.lists(st.text(alphabet="abcd ", min_size=0,
+                                   max_size=10),
+                           min_size=0, max_size=10),
+           n_shards=st.integers(min_value=1, max_value=12))
+    def test_property_over_random_titles(self, titles, n_shards):
+        domain = _source("L", titles)
+        range_ = _source("R", titles[::-1])
+        for blocking in STRATEGIES:
+            assert _shard_union(blocking, domain, range_, n_shards) == \
+                _candidate_set(blocking, domain, range_), type(blocking)
+
+
+class TestShardBlocks:
+    """The optional block view must agree with the shard's pair stream."""
+
+    @pytest.mark.parametrize("blocking", STRATEGIES, ids=IDS)
+    @pytest.mark.parametrize("self_match", [False, True])
+    def test_blocks_cover_pairs(self, sources, blocking, self_match):
+        domain, range_ = sources
+        range_ = domain if self_match else range_
+        shards = blocking.shards(domain, range_, n_shards=3,
+                                 domain_attribute="title",
+                                 range_attribute="title")
+        for shard in shards:
+            blocks = shard.blocks()
+            if blocks is None:
+                continue
+            expanded = set()
+            for block in blocks:
+                if block.triangle:
+                    ids = block.domain_ids
+                    for i, id_a in enumerate(ids):
+                        for id_b in ids[i + 1:]:
+                            expanded.add(tuple(sorted((id_a, id_b))))
+                else:
+                    expanded.update(
+                        (a, b) for a in block.domain_ids
+                        for b in block.range_ids)
+            pairs = {tuple(sorted(pair)) if self_match else pair
+                     for pair in shard.pairs()}
+            assert pairs == {tuple(sorted(pair)) if self_match else pair
+                             for pair in expanded}
+
+    def test_id_block_pair_count(self):
+        assert IdBlock(["a", "b"], ["x", "y", "z"]).pair_count() == 6
+        assert IdBlock(["a", "b", "c"], ["a", "b", "c"],
+                       triangle=True).pair_count() == 3
+
+
+class TestShardValidation:
+    @pytest.mark.parametrize("blocking", STRATEGIES, ids=IDS)
+    def test_rejects_non_positive_shard_count(self, sources, blocking):
+        domain, range_ = sources
+        with pytest.raises(ValueError):
+            blocking.shards(domain, range_, n_shards=0,
+                            domain_attribute="title",
+                            range_attribute="title")
+
+    def test_base_class_default_is_one_delegating_shard(self, sources):
+        class Custom(PairGenerator):
+            def candidates(self, domain, range, *, domain_attribute,
+                           range_attribute):
+                yield ("x", "y")
+                yield ("x", "z")
+
+        domain, range_ = sources
+        shards = Custom().shards(domain, range_, n_shards=8,
+                                 domain_attribute="title",
+                                 range_attribute="title")
+        assert len(shards) == 1
+        assert set(shards[0].pairs()) == {("x", "y"), ("x", "z")}
+
+
+class TestPartitionSpans:
+    def test_balances_uniform_costs(self):
+        assert partition_spans([1] * 16, 4) == \
+            [(0, 4), (4, 8), (8, 12), (12, 16)]
+
+    def test_contiguous_and_complete(self):
+        costs = [5, 1, 1, 1, 9, 1, 2, 7]
+        spans = partition_spans(costs, 3)
+        assert spans[0][0] == 0 and spans[-1][1] == len(costs)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert end == start
+
+    def test_never_exceeds_requested_count(self):
+        assert len(partition_spans([1] * 100, 7)) <= 7
+        assert len(partition_spans([100] + [1] * 5, 4)) <= 4
+
+    def test_fewer_items_than_shards(self):
+        assert partition_spans([3, 3], 10) == [(0, 1), (1, 2)]
+
+    def test_empty_and_zero_costs(self):
+        assert partition_spans([], 4) == []
+        assert partition_spans([0, 0, 0, 0], 2) == [(0, 2), (2, 4)]
+
+    def test_rejects_non_positive_shard_count(self):
+        with pytest.raises(ValueError):
+            partition_spans([1, 2], 0)

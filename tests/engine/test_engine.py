@@ -38,6 +38,11 @@ from repro.sim.tfidf import SoftTfIdfSimilarity, TfIdfCosineSimilarity
 
 PARALLEL = BatchMatchEngine(EngineConfig(workers=4, chunk_size=64))
 SERIAL = BatchMatchEngine(EngineConfig(workers=1, chunk_size=64))
+SHARDED = BatchMatchEngine(EngineConfig(workers=4, chunk_size=64,
+                                        shard_blocking=True))
+SHARDED_INLINE = BatchMatchEngine(EngineConfig(workers=1, chunk_size=64,
+                                               shard_blocking=True,
+                                               n_shards=5))
 
 
 def _source(name: str, titles, years=None) -> LogicalSource:
@@ -185,6 +190,213 @@ class TestSerialParallelEquivalence:
 
 
 # ----------------------------------------------------------------------
+# serial == sharded (candidate generation inside the workers)
+# ----------------------------------------------------------------------
+
+ALL_BLOCKINGS = [
+    None,  # full cross product
+    FullCross(),
+    KeyBlocking(),
+    TokenBlocking(max_df=0.5),
+    SortedNeighborhood(window=3),
+    CanopyBlocking(loose=0.1, tight=0.5),
+]
+BLOCKING_IDS = ["cross-default", "FullCross", "KeyBlocking",
+                "TokenBlocking", "SortedNeighborhood", "CanopyBlocking"]
+
+
+class TestSerialShardedEquivalence:
+    """Sharded execution must be byte-identical to serial execution
+    for every blocking strategy, in every worker-side scoring mode
+    (block-vectorized q-gram kernel, row-converted pair stream, and
+    the generic chunk scorer)."""
+
+    @pytest.mark.parametrize("blocking", ALL_BLOCKINGS, ids=BLOCKING_IDS)
+    @pytest.mark.parametrize("engine", [SHARDED, SHARDED_INLINE],
+                             ids=["pool", "inline"])
+    def test_vectorized_kernel_path(self, dataset, blocking, engine):
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        serial = AttributeMatcher("title", similarity="trigram",
+                                  threshold=0.4, blocking=blocking,
+                                  engine=SERIAL)
+        sharded = AttributeMatcher("title", similarity="trigram",
+                                   threshold=0.4, blocking=blocking,
+                                   engine=engine)
+        rows = serial.match(dblp, acm).to_rows()
+        assert rows == sharded.match(dblp, acm).to_rows()
+        assert rows  # the scenario is non-trivial
+
+    @pytest.mark.parametrize("blocking", ALL_BLOCKINGS, ids=BLOCKING_IDS)
+    def test_chunk_scorer_path(self, dataset, blocking):
+        """tfidf has no bit kernel, forcing the generic scorer mode."""
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        serial = AttributeMatcher("title", similarity="tfidf",
+                                  threshold=0.3, blocking=blocking,
+                                  engine=SERIAL)
+        sharded = AttributeMatcher("title", similarity="tfidf",
+                                   threshold=0.3, blocking=blocking,
+                                   engine=SHARDED)
+        assert serial.match(dblp, acm).to_rows() == \
+            sharded.match(dblp, acm).to_rows()
+
+    @pytest.mark.parametrize("blocking", ALL_BLOCKINGS, ids=BLOCKING_IDS)
+    def test_self_matching(self, dataset, blocking):
+        gs = dataset.gs.publications
+        serial = AttributeMatcher("title", similarity="trigram",
+                                  threshold=0.7, blocking=blocking,
+                                  engine=SERIAL)
+        sharded = AttributeMatcher("title", similarity="trigram",
+                                   threshold=0.7, blocking=blocking,
+                                   engine=SHARDED)
+        rows = serial.match(gs, gs).to_rows()
+        assert rows == sharded.match(gs, gs).to_rows()
+        # self-mappings stay symmetric through the sharded merge
+        mapping = sharded.match(gs, gs)
+        for domain_id, range_id, similarity in mapping.to_rows():
+            assert mapping.get(range_id, domain_id) == similarity
+
+    def test_multi_attribute(self, dataset):
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        pairs = [AttributePair("title", similarity="tfidf"),
+                 AttributePair("year", similarity="year", weight=0.5)]
+        serial = MultiAttributeMatcher(pairs, combine="weighted",
+                                       threshold=0.3,
+                                       blocking=TokenBlocking(max_df=0.5),
+                                       engine=SERIAL)
+        sharded = MultiAttributeMatcher(pairs, combine="weighted",
+                                        threshold=0.3,
+                                        blocking=TokenBlocking(max_df=0.5),
+                                        engine=SHARDED)
+        assert serial.match(dblp, acm).to_rows() == \
+            sharded.match(dblp, acm).to_rows()
+
+    def test_explicit_candidates_fall_back_to_streaming(self, dataset):
+        """Explicit candidate lists cannot shard; the engine must fall
+        through to the streamed path and still honor the list."""
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        candidates = [(a, b) for a in dblp.ids()[:15] for b in acm.ids()[:15]]
+        matcher = AttributeMatcher("title", similarity="trigram",
+                                   engine=SHARDED)
+        mapping = matcher.match(dblp, acm, candidates=candidates)
+        allowed = set(candidates)
+        assert all((a, b) in allowed for a, b, _ in mapping.to_rows())
+
+    def test_foreign_blocking_object_falls_back(self, dataset):
+        """A blocking object without the shards protocol still works
+        through the streamed path."""
+        class BareBlocking:
+            def candidates(self, domain, range, *, domain_attribute,
+                           range_attribute):
+                for id_a in domain.ids()[:10]:
+                    for id_b in range.ids()[:10]:
+                        yield id_a, id_b
+
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        serial = AttributeMatcher("title", similarity="trigram",
+                                  threshold=0.4, blocking=BareBlocking(),
+                                  engine=SERIAL)
+        sharded = AttributeMatcher("title", similarity="trigram",
+                                   threshold=0.4, blocking=BareBlocking(),
+                                   engine=SHARDED)
+        assert serial.match(dblp, acm).to_rows() == \
+            sharded.match(dblp, acm).to_rows()
+
+    def test_subclass_without_shards_override_uses_streamed_pool(
+            self, dataset, monkeypatch):
+        """A PairGenerator subclass that only overrides candidates()
+        must fall through to the streamed pool — running the default
+        single delegating shard would serialize the request into one
+        worker."""
+        from repro.blocking.pair_generator import PairGenerator
+        from repro.engine import shards as shards_module
+
+        class CandidatesOnly(PairGenerator):
+            def candidates(self, domain, range, *, domain_attribute,
+                           range_attribute):
+                for id_a in domain.ids()[:10]:
+                    for id_b in range.ids()[:10]:
+                        yield id_a, id_b
+
+        installed = []
+        monkeypatch.setattr(
+            shards_module, "_install_runner",
+            lambda runner: installed.append(runner))
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        serial = AttributeMatcher("title", similarity="tfidf",
+                                  threshold=0.4, blocking=CandidatesOnly(),
+                                  engine=SERIAL)
+        sharded = AttributeMatcher("title", similarity="tfidf",
+                                   threshold=0.4, blocking=CandidatesOnly(),
+                                   engine=SHARDED)
+        assert serial.match(dblp, acm).to_rows() == \
+            sharded.match(dblp, acm).to_rows()
+        assert not installed  # the sharded orchestration never engaged
+
+    def test_subclass_overriding_candidates_invalidates_inherited_shards(
+            self, dataset):
+        """Inherited shards() describing the parent's pair set must not
+        be used when candidates() was overridden below it — the sharded
+        run would score pairs serial execution never generates."""
+        class FilteredTokenBlocking(TokenBlocking):
+            def candidates(self, domain, range, *, domain_attribute,
+                           range_attribute):
+                for id_a, id_b in super().candidates(
+                        domain, range, domain_attribute=domain_attribute,
+                        range_attribute=range_attribute):
+                    if hash((id_a, id_b)) % 2:
+                        yield id_a, id_b
+
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        blocking = FilteredTokenBlocking(max_df=0.5)
+        serial = AttributeMatcher("title", similarity="trigram",
+                                  threshold=0.4, blocking=blocking,
+                                  engine=SERIAL)
+        sharded = AttributeMatcher("title", similarity="trigram",
+                                   threshold=0.4, blocking=blocking,
+                                   engine=SHARDED)
+        assert serial.match(dblp, acm).to_rows() == \
+            sharded.match(dblp, acm).to_rows()
+
+    def test_spawn_only_platform_falls_back_to_streamed_pool(
+            self, dataset, monkeypatch):
+        """Without fork, the streamed path still parallelizes (spawn +
+        pickle); the sharded path must step aside rather than running
+        everything inline."""
+        from repro.engine import shards as shards_module
+        from repro.engine.request import AttributeSpec as Spec
+
+        monkeypatch.setattr(shards_module.multiprocessing,
+                            "get_all_start_methods", lambda: ["spawn"])
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        request = MatchRequest(
+            domain=dblp, range=acm,
+            specs=[Spec("title", "title", TrigramSimilarity())],
+            threshold=0.4, blocking=TokenBlocking(max_df=0.5))
+        from repro.core.mapping import Mapping
+        result = Mapping(dblp.name, acm.name)
+        assert shards_module.execute_sharded(SHARDED, request, result) \
+            is False
+        assert len(result) == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(domain_titles=_titles, range_titles=_titles,
+           threshold=st.sampled_from([0.0, 0.3, 0.7]))
+    def test_property_identical_mappings(self, domain_titles, range_titles,
+                                         threshold):
+        domain = _source("L", domain_titles)
+        range_ = _source("R", range_titles)
+        blocking = TokenBlocking(max_df=1.0)
+        serial = AttributeMatcher("title", similarity="trigram",
+                                  threshold=threshold, blocking=blocking,
+                                  engine=SERIAL)
+        sharded = AttributeMatcher("title", similarity="trigram",
+                                   threshold=threshold, blocking=blocking,
+                                   engine=SHARDED_INLINE)
+        assert serial.match(domain, range_).to_rows() == \
+            sharded.match(domain, range_).to_rows()
+
+
+# ----------------------------------------------------------------------
 # engine internals
 # ----------------------------------------------------------------------
 
@@ -196,6 +408,7 @@ class TestEngineConfig:
 
     @pytest.mark.parametrize("kwargs", [
         {"workers": 0}, {"chunk_size": 0}, {"max_inflight": 0},
+        {"n_shards": 0},
     ])
     def test_validation(self, kwargs):
         with pytest.raises(ValueError):
@@ -289,6 +502,28 @@ class TestWorkflowEngineInjection:
         parallel_rows = workflow.run(parallel_context).to_rows()
         assert serial_rows == parallel_rows
         # the injection is per-step: the matcher's own engine is restored
+        assert matcher.engine is None
+
+    def test_engine_config_injected_as_config(self, dataset):
+        """A bare EngineConfig (e.g. asking for sharded execution) is
+        accepted wherever an engine instance is."""
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        matcher = AttributeMatcher("title", similarity="trigram",
+                                   threshold=0.4,
+                                   blocking=TokenBlocking(max_df=0.5))
+        workflow = MatchWorkflow("wired").add_matcher(
+            "out", matcher, dblp.name, acm.name,
+            engine=EngineConfig(workers=2, chunk_size=64,
+                                shard_blocking=True))
+        serial_context = MatchContext(
+            sources={dblp.name: dblp, acm.name: acm})
+        sharded_rows = workflow.run(serial_context).to_rows()
+
+        reference = AttributeMatcher("title", similarity="trigram",
+                                     threshold=0.4,
+                                     blocking=TokenBlocking(max_df=0.5),
+                                     engine=SERIAL)
+        assert sharded_rows == reference.match(dblp, acm).to_rows()
         assert matcher.engine is None
 
 

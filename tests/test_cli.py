@@ -60,3 +60,36 @@ class TestSeedScale:
         main(["--scale", "tiny", "--seed", "2", "stats"])
         second = capsys.readouterr().out
         assert first != second
+
+
+class TestEngineFlags:
+    def test_shard_blocking_flag_configures_default_engine(self, capsys):
+        from repro.engine import get_default_engine, set_default_engine
+
+        try:
+            assert main(["--scale", "tiny", "--workers", "2",
+                         "--shard-blocking", "experiments", "table2"]) == 0
+            engine = get_default_engine()
+            assert engine.config.workers == 2
+            assert engine.config.shard_blocking is True
+            assert "Table 2" in capsys.readouterr().out
+        finally:
+            set_default_engine(None)
+
+    def test_sharded_run_matches_streamed_run(self, capsys):
+        from repro.engine import set_default_engine
+
+        try:
+            main(["--scale", "tiny", "experiments", "table2"])
+            streamed = capsys.readouterr().out
+            main(["--scale", "tiny", "--workers", "2", "--shard-blocking",
+                  "experiments", "table2"])
+            sharded = capsys.readouterr().out
+            # strip the trailing wall-time line before comparing
+            def trim(text):
+                return [line for line in text.splitlines()
+                        if not line.strip().startswith("[table2")]
+
+            assert trim(streamed) == trim(sharded)
+        finally:
+            set_default_engine(None)
