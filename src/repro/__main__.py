@@ -43,6 +43,12 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(sharded blocking) instead of streaming them "
                              "from the parent; identical results, faster "
                              "blocked multi-worker runs")
+    parser.add_argument("--balance-shards", action="store_true",
+                        help="with --shard-blocking: split oversized "
+                             "blocking shards and bin-pack them so skewed "
+                             "block-size distributions (one dominant key "
+                             "or stop-word token) cannot leave one worker "
+                             "with a long tail; identical results")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("stats", help="print dataset statistics")
@@ -171,7 +177,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     from repro.engine import configure_default_engine
     configure_default_engine(workers=args.workers, chunk_size=args.chunk_size,
-                             shard_blocking=args.shard_blocking)
+                             shard_blocking=args.shard_blocking,
+                             balance_shards=args.balance_shards)
     if args.command == "stats":
         return _command_stats(args)
     if args.command == "experiments":

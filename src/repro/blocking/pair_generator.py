@@ -3,11 +3,25 @@
 Besides the streaming ``candidates`` protocol, every strategy can
 partition its work into independent *shards* (``shards``): units of
 candidate generation that can run on different worker processes with
-no shared mutable state.  The engine's sharded execution path
-(:mod:`repro.engine.shards`) ships shard *indices* across process
-boundaries instead of streaming every candidate pair through the
-parent, which removes the parent-side Amdahl bottleneck of blocked
-parallel runs.
+no shared mutable state.
+
+The shard-payload contract with the engine's sharded execution path
+(:mod:`repro.engine.shards`) is **indices in, survivors out**: the
+shard list is built in the parent *before* the worker pool forks, so
+workers inherit it (sources, similarity state, packed kernel arrays
+and all) copy-on-write; each task ships only an int shard index into
+a worker, the worker generates that shard's pairs locally via
+:meth:`PairShard.pairs` (or expands its :meth:`PairShard.blocks`
+directly as packed row arrays), scores them, and ships only the
+surviving correspondences back.  Nothing per-pair ever crosses a
+process boundary, which removes the parent-side Amdahl bottleneck of
+blocked parallel runs.
+
+Shards additionally expose a :meth:`PairShard.cost` estimate (raw
+pair count, pre-dedup) so the engine can rebalance skewed shard
+distributions — splitting oversized block groups and bin-packing the
+pieces — before any worker starts (``EngineConfig(balance_shards=
+True)``, :func:`repro.engine.shards.rebalance_shards`).
 """
 
 from __future__ import annotations
@@ -90,15 +104,35 @@ class PairShard(ABC):
         """
         return None
 
+    def cost(self) -> Optional[int]:
+        """Estimated raw (pre-dedup) pair count of this shard.
+
+        The engine's skew-aware rebalancing uses this to spot long-tail
+        shards before any worker starts.  ``None`` (the default) means
+        unknown; such shards are never split, only bin-packed with an
+        assumed average cost.
+        """
+        return None
+
 
 class IterableShard(PairShard):
-    """A shard wrapping an arbitrary pair-producing callable."""
+    """A shard wrapping an arbitrary pair-producing callable.
 
-    def __init__(self, factory: Callable[[], Iterable[Pair]]) -> None:
+    ``cost`` is an optional raw pair-count estimate for the stream;
+    strategies that can size their segments (e.g. sorted-neighborhood
+    windows) pass it so rebalancing can weigh them.
+    """
+
+    def __init__(self, factory: Callable[[], Iterable[Pair]], *,
+                 cost: Optional[int] = None) -> None:
         self._factory = factory
+        self._cost = cost
 
     def pairs(self) -> Iterator[Pair]:
         yield from self._factory()
+
+    def cost(self) -> Optional[int]:
+        return self._cost
 
 
 class BlockShard(PairShard):
@@ -107,10 +141,12 @@ class BlockShard(PairShard):
     ``dedup`` applies a shard-local first-seen filter so strategies
     whose serial ``candidates`` deduplicate (token blocking, canopies)
     keep that behavior per shard; cross-shard duplicates remain
-    possible and allowed.  ``canonical`` orients self-matching
-    (triangle) pairs as ``(min id, max id)`` to match the serial
-    emission of those strategies; block-order orientation is kept
-    otherwise (key blocking, full cross).
+    possible and allowed.  ``canonical`` orients self-matching pairs
+    as ``(min id, max id)`` to match the serial emission of those
+    strategies — for triangle blocks and also for rectangular blocks
+    (which rebalancing produces by splitting oversized triangles);
+    block-order orientation is kept otherwise (key blocking, full
+    cross).
     """
 
     def __init__(self, factory: Callable[[], Iterable[IdBlock]], *,
@@ -141,12 +177,19 @@ class BlockShard(PairShard):
             else:
                 for id_a in block.domain_ids:
                     for id_b in block.range_ids:
-                        pair = (id_a, id_b)
+                        if self.canonical and id_b < id_a:
+                            pair = (id_b, id_a)
+                        else:
+                            pair = (id_a, id_b)
                         if emitted is not None:
                             if pair in emitted:
                                 continue
                             emitted.add(pair)
                         yield pair
+
+    def cost(self) -> int:
+        """Exact raw pair count: the sum of the blocks' pair counts."""
+        return sum(block.pair_count() for block in self.blocks())
 
 
 def partition_spans(costs: Sequence[int], n_shards: int) -> List[Tuple[int, int]]:

@@ -121,8 +121,12 @@ class SortedNeighborhood(PairGenerator):
         if not entries:
             return []
         spans = partition_spans([1] * len(entries), n_shards)
+        # cost estimate: each anchor pairs with at most window - 1
+        # followers; windows are count-balanced, so this upper bound
+        # weighs segments fairly for the engine's shard rebalancing
         return [
             IterableShard(lambda s=start, e=end: self._window_pairs(
-                entries, s, e, is_self))
+                entries, s, e, is_self),
+                cost=(end - start) * (self.window - 1))
             for start, end in spans
         ]

@@ -25,6 +25,14 @@ moves into the workers (:mod:`repro.engine.shards`): the blocking
 strategy is partitioned into shards, each worker generates and scores
 its shard's pairs locally, and the parent only merges surviving
 triples — same results, no parent-side generation bottleneck.
+``balance_shards=True`` additionally splits and LPT-packs skewed
+shard lists so one dominant block cannot leave a worker with a long
+tail.
+
+Two vectorized kernels back the hot paths (bit-identical to scalar
+scoring, numpy optional): packed q-gram bitmaps
+(:mod:`repro.engine.vectorized`) and sparse CSR TF/IDF
+(:mod:`repro.engine.sparse`).  See ``docs/engine.md``.
 """
 
 from repro.engine.chunks import iter_chunks

@@ -77,8 +77,17 @@ class EngineConfig:
     #: multi-worker runs on platforms without ``fork``.
     shard_blocking: bool = False
     #: how many shards to cut the blocking work into (None = 4 per
-    #: worker, which over-partitions enough to absorb skewed blocks)
+    #: worker, which over-partitions enough to absorb *moderately*
+    #: skewed blocks)
     n_shards: Optional[int] = None
+    #: skew-aware rebalancing for ``shard_blocking`` runs: split
+    #: oversized block groups (one stop-word token, one dominant key)
+    #: and LPT-pack the pieces so no worker holds a long tail
+    #: (:func:`repro.engine.shards.rebalance_shards`).  Results are
+    #: identical; only the work distribution changes.  Off by default
+    #: because unskewed workloads pay a small cost-estimation pass for
+    #: nothing.
+    balance_shards: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -163,8 +172,9 @@ class BatchMatchEngine:
         """Build the vectorized fast path when the request is eligible.
 
         Single-attribute requests whose similarity has a bit-exact
-        vector kernel (q-gram family) score through packed numpy
-        matrices; everything else uses the generic chunk scorer.
+        vector kernel — the q-gram bit kernel or the sparse TF/IDF
+        kernel — score through packed numpy arrays; everything else
+        uses the generic chunk scorer.
         Explicit candidate lists skip the kernel: they are typically
         tiny relative to the sources, and packing full source matrices
         to score a handful of pairs would cost more than it saves.
@@ -368,10 +378,12 @@ def set_default_engine(engine: Optional[BatchMatchEngine]) -> None:
 
 
 def configure_default_engine(*, workers: int = 1, chunk_size: int = 2048,
-                             shard_blocking: bool = False) -> BatchMatchEngine:
+                             shard_blocking: bool = False,
+                             balance_shards: bool = False) -> BatchMatchEngine:
     """Build and install the process default engine; returns it."""
     engine = BatchMatchEngine(EngineConfig(workers=workers,
                                            chunk_size=chunk_size,
-                                           shard_blocking=shard_blocking))
+                                           shard_blocking=shard_blocking,
+                                           balance_shards=balance_shards))
     set_default_engine(engine)
     return engine

@@ -48,6 +48,13 @@ class MatchRequest:
     Candidate pairs come from, in priority order: an explicit
     ``candidates`` iterable, the ``blocking`` strategy, or the full
     cross product of the two sources.
+
+    The request also decides kernel eligibility: only single-attribute
+    requests (``combiner is None``) without an explicit candidate list
+    can take a vectorized fast path (q-gram bit kernel, sparse TF/IDF
+    kernel — see :func:`repro.engine.vectorized.build_kernel`); the
+    sharded path additionally requires a ``blocking`` object with an
+    authoritative ``shards`` protocol.
     """
 
     domain: LogicalSource

@@ -25,26 +25,50 @@ Two worker-side scoring modes:
 * **streamed** — any other shard iterates ``shard.pairs()`` through
   the same chunk scorers the serial path uses.
 
+Shard-payload contract (the other side of :meth:`PairGenerator.
+shards`): the :class:`ShardRunner` — shard list, request, scoring
+state — is installed in the parent *before* the pool forks, so
+workers inherit everything copy-on-write; each task carries one int
+**shard index in** and returns only the **survivors out** — ``("rows",
+(rows_a, rows_b, scores))`` arrays from the vectorized modes or
+``("triples", [...])`` from the generic scorer.
+
+Skewed block-size distributions (one stop-word token, one dominant
+blocking key) leave the naive shard list with a long tail: one shard
+holds most of the work and its worker finishes long after the rest.
+:func:`rebalance_shards` is the skew-aware fix — shards expose cost
+estimates (:meth:`PairShard.cost`), oversized block groups are *split*
+(down to row/column slices of a single giant block) and the pieces
+greedily bin-packed, largest first, onto the least-loaded of
+``n_shards`` bins (classic LPT), so no bin exceeds ~2x the mean load.
+Opt in with ``EngineConfig(balance_shards=True)`` / CLI
+``--balance-shards``.
+
 Correctness contract: for every blocking strategy the sharded result
-mapping equals the serial result mapping exactly.  Shard pair sets
-union to the serial candidate set, scores depend only on the value
-pair, and the merge is idempotent for duplicates, so shard order and
-duplication cannot change the outcome.
+mapping equals the serial result mapping exactly, balanced or not.
+Shard pair sets union to the serial candidate set (splitting
+partitions blocks pair-exactly; packing only concatenates), scores
+depend only on the value pair, and the merge is idempotent for
+duplicates, so shard order, splitting and duplication cannot change
+the outcome.
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
 from repro.blocking.pair_generator import (
+    BlockShard,
     FullCross,
     IdBlock,
     PairGenerator,
     PairShard,
     dedup_self_pairs,
+    partition_spans,
 )
 from repro.engine.chunks import iter_chunks
 from repro.engine.request import MatchRequest
@@ -207,6 +231,185 @@ class ShardRunner:
 
 
 # ----------------------------------------------------------------------
+# skew-aware shard rebalancing
+# ----------------------------------------------------------------------
+
+class CompositeShard(PairShard):
+    """Several shards executed as one unit (an LPT bin).
+
+    ``pairs()`` chains the members' streams, preserving each member's
+    own dedup/canonicalization; ``blocks()`` chains the members' block
+    views when *every* member has one (mixing would silently drop the
+    block-less members from the vectorized mode), ``None`` otherwise.
+    """
+
+    def __init__(self, members: Sequence[PairShard]) -> None:
+        self.members = list(members)
+
+    def pairs(self) -> Iterator[Pair]:
+        for member in self.members:
+            yield from member.pairs()
+
+    def blocks(self) -> Optional[Iterator[IdBlock]]:
+        views = []
+        for member in self.members:
+            view = member.blocks()
+            if view is None:
+                return None
+            views.append(view)
+
+        def chain() -> Iterator[IdBlock]:
+            for view in views:
+                yield from view
+
+        return chain()
+
+    def cost(self) -> Optional[int]:
+        costs = [member.cost() for member in self.members]
+        if any(cost is None for cost in costs):
+            return None
+        return sum(costs)
+
+
+def _explode_block(block: IdBlock, target: int) -> Iterator[IdBlock]:
+    """Split one block into pieces of at most ~``target`` pairs.
+
+    Pair-exact: the union of the pieces' pairs equals the block's
+    pairs.  Triangles decompose into *row bands* of ~``target`` pairs
+    — the band's own (sub-)triangle plus one band x tail rectangle —
+    so piece count and materialized id references stay
+    O(pair_count / target), not O(rows); oversized rectangles slice
+    their longer dimension.  Orientation of triangle-derived
+    rectangle pairs becomes block order, which :class:`BlockShard`'s
+    ``canonical`` flag re-orients for strategies whose serial stream
+    emits ``(min id, max id)``.
+    """
+    if block.pair_count() <= target:
+        yield block
+        return
+    if block.triangle:
+        ids = list(block.domain_ids)
+        n = len(ids)
+        start = 0
+        while start < n - 1:
+            # rows [start, end) whose remaining-pair costs (n - 1 - i)
+            # sum to ~target; a single row may exceed it and is taken
+            # alone (its rectangle recurses into range-side slices)
+            end = start
+            budget = 0
+            while end < n - 1 and (end == start
+                                   or budget + (n - 1 - end) <= target):
+                budget += n - 1 - end
+                end += 1
+            band = ids[start:end]
+            if len(band) > 1:
+                yield IdBlock(band, band, triangle=True)
+            tail = ids[end:]
+            if tail:
+                yield from _explode_block(IdBlock(band, tail), target)
+            start = end
+        return
+    domain_ids = list(block.domain_ids)
+    range_ids = list(block.range_ids)
+    if len(domain_ids) > 1:
+        step = max(1, target // max(1, len(range_ids)))
+        for start in range(0, len(domain_ids), step):
+            yield from _explode_block(
+                IdBlock(domain_ids[start:start + step], range_ids), target)
+        return
+    step = max(1, target)
+    for start in range(0, len(range_ids), step):
+        yield IdBlock(domain_ids, range_ids[start:start + step])
+
+
+def _split_shard(shard: PairShard, cost: int,
+                 target: int) -> List[Tuple[PairShard, int]]:
+    """Split one oversized shard into ~``target``-cost pieces.
+
+    Only block-structured shards can split (their pair sets partition
+    cleanly); anything else is returned whole.  Pieces inherit the
+    shard's dedup/canonical behavior — shard-local dedup weakens to
+    piece-local, so duplicate pairs may now span pieces, which the
+    idempotent merge already absorbs.
+    """
+    blocks_view = shard.blocks()
+    if blocks_view is None:
+        return [(shard, cost)]
+    dedup = bool(getattr(shard, "dedup", False))
+    canonical = bool(getattr(shard, "canonical", False))
+    exploded: List[IdBlock] = []
+    for block in blocks_view:
+        exploded.extend(_explode_block(block, target))
+    if len(exploded) <= 1:
+        return [(shard, cost)]
+    spans = partition_spans([block.pair_count() for block in exploded],
+                            max(1, -(-cost // target)))
+    pieces: List[Tuple[PairShard, int]] = []
+    for start, end in spans:
+        piece_blocks = exploded[start:end]
+        pieces.append((
+            BlockShard(lambda bs=piece_blocks: iter(bs),
+                       dedup=dedup, canonical=canonical),
+            sum(block.pair_count() for block in piece_blocks),
+        ))
+    return pieces
+
+
+def rebalance_shards(shards: Sequence[PairShard],
+                     n_shards: int) -> List[PairShard]:
+    """Rebalance a skewed shard list: split the long tail, LPT-pack.
+
+    Deterministic: costs come from :meth:`PairShard.cost` (unknown
+    costs are assumed average and never split), shards whose cost
+    exceeds the per-bin target ``ceil(total / n_shards)`` are split
+    into block pieces, and all pieces are packed largest-first onto
+    the least-loaded bin.  Returns at most ``n_shards`` shards whose
+    pair-set union equals the input's — the result mapping is
+    unchanged, only the work distribution.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards!r}")
+    shards = list(shards)
+    # a *single* oversized shard is the worst skew of all (one
+    # dominant key block), so one input shard must still split
+    if n_shards == 1 or not shards:
+        return shards
+    costs = [shard.cost() for shard in shards]
+    known = [cost for cost in costs if cost is not None]
+    if not known:
+        return shards
+    assumed = max(1, sum(known) // len(known))
+    costs = [assumed if cost is None else cost for cost in costs]
+    total = sum(costs)
+    if total <= 0:
+        return shards
+    target = max(1, -(-total // n_shards))
+    pieces: List[Tuple[PairShard, int]] = []
+    for shard, cost in zip(shards, costs):
+        if cost > target:
+            pieces.extend(_split_shard(shard, cost, target))
+        else:
+            pieces.append((shard, cost))
+    # LPT: place the largest piece on the least-loaded bin; ties break
+    # on bin index, keeping the packing fully deterministic.
+    order = sorted(range(len(pieces)), key=lambda i: (-pieces[i][1], i))
+    bins: List[List[PairShard]] = [[] for _ in range(min(n_shards,
+                                                         len(pieces)))]
+    heap = [(0, index) for index in range(len(bins))]
+    for piece_index in order:
+        load, bin_index = heapq.heappop(heap)
+        bins[bin_index].append(pieces[piece_index][0])
+        heapq.heappush(heap, (load + pieces[piece_index][1], bin_index))
+    balanced: List[PairShard] = []
+    for members in bins:
+        if not members:
+            continue
+        balanced.append(members[0] if len(members) == 1
+                        else CompositeShard(members))
+    return balanced
+
+
+# ----------------------------------------------------------------------
 # worker-side plumbing (same pattern as scorer.py / vectorized.py)
 # ----------------------------------------------------------------------
 
@@ -258,6 +461,43 @@ def _shards_authoritative(blocking) -> bool:
     return not issubclass(candidates_cls, shards_cls)
 
 
+def build_shard_runner(engine: "BatchMatchEngine", request: MatchRequest):
+    """Resolve the shard list and runner the sharded path would execute.
+
+    The single source of truth for the sharded plan — shard count
+    default, skew rebalancing, kernel-vs-scorer choice — shared by
+    :func:`execute_sharded` and by benchmarks/diagnostics that need to
+    time individual shards without duplicating the engine's wiring.
+    Returns ``None`` when the request cannot shard (explicit candidate
+    iterable, or a blocking object without an authoritative ``shards``
+    protocol — see :func:`_shards_authoritative`); ``([], None)`` when
+    the strategy yields no shards at all; ``(shards, runner)``
+    otherwise.
+    """
+    config = engine.config
+    if request.candidates is not None:
+        return None
+    blocking = request.blocking if request.blocking is not None else FullCross()
+    if not _shards_authoritative(blocking):
+        return None
+    spec = request.specs[0]
+    n_shards = config.n_shards
+    if n_shards is None:
+        n_shards = max(4, config.workers * 4)
+    shards = blocking.shards(
+        request.domain, request.range, n_shards=n_shards,
+        domain_attribute=spec.attribute,
+        range_attribute=spec.range_attribute)
+    if not shards:
+        return [], None
+    if config.balance_shards:
+        shards = rebalance_shards(shards, n_shards)
+    indexed = engine._try_indexed(request)
+    scorer = None if indexed is not None else ChunkScorer(request)
+    return shards, ShardRunner(shards, request, config.chunk_size, indexed,
+                               scorer)
+
+
 def execute_sharded(engine: "BatchMatchEngine", request: MatchRequest,
                     result) -> bool:
     """Run ``request`` through the sharded path; False means "not mine".
@@ -273,28 +513,16 @@ def execute_sharded(engine: "BatchMatchEngine", request: MatchRequest,
     processes).
     """
     config = engine.config
-    if request.candidates is not None:
-        return False
     if config.workers > 1 and \
             "fork" not in multiprocessing.get_all_start_methods():
         return False
-    blocking = request.blocking if request.blocking is not None else FullCross()
-    if not _shards_authoritative(blocking):
+    plan = build_shard_runner(engine, request)
+    if plan is None:
         return False
-    shards_method = blocking.shards
-    spec = request.specs[0]
-    n_shards = config.n_shards
-    if n_shards is None:
-        n_shards = max(4, config.workers * 4)
-    shards = shards_method(
-        request.domain, request.range, n_shards=n_shards,
-        domain_attribute=spec.attribute,
-        range_attribute=spec.range_attribute)
+    shards, runner = plan
     if not shards:
         return True  # no candidates at all: the empty mapping is correct
-    indexed = engine._try_indexed(request)
-    scorer = None if indexed is not None else ChunkScorer(request)
-    runner = ShardRunner(shards, request, config.chunk_size, indexed, scorer)
+    indexed = runner.indexed
 
     def merge_payload(payload) -> None:
         kind, data = payload

@@ -2,24 +2,41 @@
 
 The generic engine path scores value pairs through Python loops —
 cheap per call, but the interpreter overhead dominates at millions of
-pairs.  For similarity functions whose math reduces to set algebra we
-can do radically better: encode every source value's q-gram set as a
-bit row of one packed ``uint64`` matrix per source, and score a whole
-chunk with three array operations (gather, bitwise AND,
-``np.bitwise_count``).  Candidate pairs then cross process boundaries
-as int index arrays (~8 bytes/pair) instead of string tuples, so the
-parallel path's IPC cost collapses as well.
+pairs.  For similarity functions whose math reduces to array algebra
+we can do radically better.  :func:`build_kernel` is the kernel
+registry: given a similarity function and two sources it returns the
+matching fast-path kernel, or ``None`` for the generic batch path.
+Two kernels exist today:
+
+* **q-gram bit kernel** (:class:`NGramBitKernel`, here) — every
+  source value's q-gram set becomes a bit row of one packed ``uint64``
+  matrix per source; a whole chunk scores with three array operations
+  (gather, bitwise AND, ``np.bitwise_count``);
+* **sparse TF/IDF kernel** (:class:`~repro.engine.sparse.TfIdfKernel`,
+  :mod:`repro.engine.sparse`) — prepared TF/IDF vectors packed as CSR
+  arrays over the shared vocabulary, chunks scored as sparse dot
+  products.
+
+Both expose ``score_rows(domain_rows, range_rows) -> float64 scores``
+over row indices aligned with ``source.ids()`` order, which is the
+whole kernel contract: :class:`IndexedScorer` (and the sharded
+block-vectorized mode) is kernel-agnostic.  Candidate pairs cross
+process boundaries as int index arrays (~8 bytes/pair) instead of
+string tuples, so the parallel path's IPC cost collapses as well; on
+the sharded path the payload contract is *shard indices in, surviving
+``(rows_a, rows_b, scores)`` arrays out* (see
+:mod:`repro.engine.shards`).
 
 Bit-exactness: the kernels evaluate the *same* arithmetic expressions
-as the scalar ``_score`` implementations (integer-derived float64
-division, one rounding), so vectorized, batched and per-pair scoring
-agree to the last bit — the engine's equivalence guarantee holds
-across all execution paths.
+as the scalar ``_score`` implementations in the same order, so
+vectorized, batched and per-pair scoring agree to the last bit — the
+engine's equivalence guarantee holds across all execution paths.
 
 numpy is optional: :func:`build_kernel` returns ``None`` when numpy
-(or ``np.bitwise_count``, numpy >= 2.0) is unavailable, when the
-similarity function is not recognized, or when the packed index would
-exceed the memory budget; callers fall back to the Python path.
+(for the bit kernel, ``np.bitwise_count``/numpy >= 2.0) is
+unavailable, when the similarity function is not recognized, or when
+the packed index would exceed the memory budget; callers fall back to
+the Python path.
 """
 
 from __future__ import annotations
@@ -123,42 +140,49 @@ class NGramBitKernel:
 def build_kernel(sim: SimilarityFunction,
                  domain: LogicalSource, range_: LogicalSource,
                  attribute: str,
-                 range_attribute: str) -> Optional[NGramBitKernel]:
+                 range_attribute: str):
     """Build a vectorized kernel for ``sim`` over two sources, or ``None``.
 
-    Only exact :class:`NGramSimilarity` scoring is eligible (a subclass
-    overriding ``_score`` silently changes the math, so it falls back
-    to the generic batch path).
+    This is the engine's kernel registry: exact
+    :class:`NGramSimilarity` scoring gets the packed bit kernel, exact
+    :class:`~repro.sim.tfidf.TfIdfCosineSimilarity` scoring gets the
+    sparse CSR kernel (:mod:`repro.engine.sparse`), and everything
+    else — including subclasses that override ``_score`` and thereby
+    silently change the math, such as SoftTFIDF — returns ``None``
+    and falls back to the generic batch path.
     """
-    if not numpy_available():
-        return None
-    if not isinstance(sim, NGramSimilarity):
-        return None
-    if type(sim)._score is not NGramSimilarity._score:
-        return None
-    domain_values = [instance.get(attribute) for instance in domain]
-    if range_ is domain and range_attribute == attribute:
-        range_values = domain_values
-    else:
-        range_values = [instance.get(range_attribute) for instance in range_]
-    try:
-        return NGramBitKernel(sim, domain_values, range_values)
-    except MemoryError:
-        return None
+    if numpy_available() and isinstance(sim, NGramSimilarity) \
+            and type(sim)._score is NGramSimilarity._score:
+        domain_values = [instance.get(attribute) for instance in domain]
+        if range_ is domain and range_attribute == attribute:
+            range_values = domain_values
+        else:
+            range_values = [instance.get(range_attribute)
+                            for instance in range_]
+        try:
+            return NGramBitKernel(sim, domain_values, range_values)
+        except MemoryError:
+            return None
+    from repro.engine import sparse
+    return sparse.build_tfidf_kernel(sim, domain, range_,
+                                     attribute, range_attribute)
 
 
 class IndexedScorer:
     """Bridges id-pair chunks onto a vectorized kernel.
 
-    The parent converts each chunk of ``(domain id, range id)`` string
-    pairs into int row arrays (:meth:`convert`); scoring
-    (:meth:`score_rows`) runs wherever the scorer lives — inline, or
-    inside forked workers that inherited the packed matrices — and
-    returns only surviving rows; :meth:`triples` maps survivors back
-    to id strings in the parent.
+    Kernel-agnostic: anything exposing ``score_rows(domain_rows,
+    range_rows)`` over ``source.ids()``-aligned row indices works (the
+    q-gram bit kernel and the sparse TF/IDF kernel today).  The parent
+    converts each chunk of ``(domain id, range id)`` string pairs into
+    int row arrays (:meth:`convert`); scoring (:meth:`score_rows`)
+    runs wherever the scorer lives — inline, or inside forked workers
+    that inherited the packed arrays — and returns only surviving
+    rows; :meth:`triples` maps survivors back to id strings in the
+    parent.
     """
 
-    def __init__(self, kernel: NGramBitKernel, domain_ids: List[str],
+    def __init__(self, kernel, domain_ids: List[str],
                  range_ids: List[str], threshold: float) -> None:
         self.kernel = kernel
         self.threshold = threshold

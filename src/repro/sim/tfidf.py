@@ -73,19 +73,40 @@ class TfIdfCosineSimilarity(SimilarityFunction):
         self._vector_cache[text] = weights
         return weights
 
+    def value_vector(self, value: object) -> Dict[str, float]:
+        """Prepared vector of a raw attribute value (``None`` → empty).
+
+        This is the packing contract of the engine's sparse TF/IDF
+        kernel (:mod:`repro.engine.sparse`): every source row is
+        exactly ``value_vector(instance.get(attribute))``, so the
+        packed CSR arrays hold bit-identical weights to the ones the
+        scalar paths read from the vector cache.
+        """
+        if value is None:
+            return {}
+        return self.vector(str(value))
+
     def _score(self, a: str, b: str) -> float:
+        # Iterate the smaller vector; on equal sizes, the vector of
+        # the lexicographically smaller text.  The tie-break makes
+        # _score(a, b) bit-identical to _score(b, a): a sum over the
+        # same products in the same order regardless of argument
+        # order.  The engine's block-vectorized sharded mode relies on
+        # this — it may expand a self-matching pair in either
+        # orientation and must still reproduce serial scores exactly.
         vec_a = self.vector(a)
         vec_b = self.vector(b)
-        if len(vec_b) < len(vec_a):
+        if len(vec_b) < len(vec_a) or (len(vec_b) == len(vec_a) and b < a):
             vec_a, vec_b = vec_b, vec_a
         return sum(weight * vec_b.get(token, 0.0) for token, weight in vec_a.items())
 
     def score_batch(self, pairs: Sequence[Tuple[str, str]]) -> List[float]:
         """Vectorized batch cosine over the prepared TF/IDF vector cache.
 
-        Same dot-product expression as :meth:`_score` (bit-identical
-        results), with the vector cache bound locally and the clamp of
-        :meth:`similarity` applied inline.
+        Same dot-product expression (and symmetric tie-break) as
+        :meth:`_score` — bit-identical results — with the vector cache
+        bound locally and the clamp of :meth:`similarity` applied
+        inline.
         """
         vector = self.vector
         out: List[float] = []
@@ -93,7 +114,7 @@ class TfIdfCosineSimilarity(SimilarityFunction):
         for a, b in pairs:
             vec_a = vector(a)
             vec_b = vector(b)
-            if len(vec_b) < len(vec_a):
+            if len(vec_b) < len(vec_a) or (len(vec_b) == len(vec_a) and b < a):
                 vec_a, vec_b = vec_b, vec_a
             get = vec_b.get
             s = sum(weight * get(token, 0.0) for token, weight in vec_a.items())
@@ -112,9 +133,19 @@ class SoftTfIdfSimilarity(TfIdfCosineSimilarity):
 
     name = "softtfidf"
 
-    # The parent's vectorized batch computes a plain cosine; SoftTFIDF
-    # must fall back to the generic per-pair loop over its own _score.
-    score_batch = SimilarityFunction.score_batch
+    def score_batch(self, pairs: Sequence[Tuple[str, str]]) -> List[float]:
+        """Per-pair loop over SoftTFIDF's own :meth:`_score`.
+
+        The parent's batch kernel computes a *plain* cosine; silently
+        inheriting it (or the old ``score_batch = SimilarityFunction.
+        score_batch`` class-attribute reassignment, which an innocent
+        parent refactor would bypass) would make batched scores
+        disagree with per-pair :meth:`similarity` calls.  The explicit
+        override pins SoftTFIDF to the generic loop; the engine's
+        sparse TF/IDF kernel likewise refuses SoftTFIDF (it overrides
+        ``_score``), so every execution path scores the fuzzy measure.
+        """
+        return SimilarityFunction.score_batch(self, pairs)
 
     def __init__(self, token_threshold: float = 0.9) -> None:
         super().__init__()

@@ -154,6 +154,73 @@ class TestShardBlocks:
                        triangle=True).pair_count() == 3
 
 
+class TestShardCosts:
+    """Shards expose raw pair-count estimates for skew rebalancing."""
+
+    @pytest.mark.parametrize("blocking", STRATEGIES, ids=IDS)
+    @pytest.mark.parametrize("self_match", [False, True])
+    def test_known_costs_bound_distinct_pairs(self, sources, blocking,
+                                              self_match):
+        """Costs are raw (pre-dedup) counts, so the sum over shards is
+        an upper bound on the distinct candidate count."""
+        domain, range_ = sources
+        range_ = domain if self_match else range_
+        shards = blocking.shards(domain, range_, n_shards=4,
+                                 domain_attribute="title",
+                                 range_attribute="title")
+        costs = [shard.cost() for shard in shards]
+        if not shards:
+            return
+        assert all(cost is not None and cost >= 0 for cost in costs)
+        distinct = len(_candidate_set(blocking, domain, range_))
+        assert sum(costs) >= distinct
+
+    def test_block_shard_cost_is_exact(self):
+        from repro.blocking.pair_generator import BlockShard
+
+        shard = BlockShard(lambda: iter([
+            IdBlock(["a", "b"], ["x", "y", "z"]),
+            IdBlock(["p", "q", "r"], ["p", "q", "r"], triangle=True),
+        ]))
+        assert shard.cost() == 6 + 3
+
+    def test_iterable_shard_cost_defaults_to_unknown(self):
+        from repro.blocking.pair_generator import IterableShard
+
+        assert IterableShard(lambda: [("a", "b")]).cost() is None
+        assert IterableShard(lambda: [("a", "b")], cost=7).cost() == 7
+
+    def test_base_protocol_default_is_unknown(self, sources):
+        class Custom(PairGenerator):
+            def candidates(self, domain, range, *, domain_attribute,
+                           range_attribute):
+                yield ("x", "y")
+
+        domain, range_ = sources
+        shards = Custom().shards(domain, range_, n_shards=2,
+                                 domain_attribute="title",
+                                 range_attribute="title")
+        assert shards[0].cost() is None
+
+
+class TestCanonicalRectBlocks:
+    """Rebalancing splits canonical triangles into rectangles; the
+    rect branch must then keep the (min id, max id) orientation."""
+
+    def test_rect_pairs_canonicalized(self):
+        from repro.blocking.pair_generator import BlockShard
+
+        shard = BlockShard(lambda: iter([IdBlock(["s2"], ["s10", "s3"])]),
+                           canonical=True)
+        assert list(shard.pairs()) == [("s10", "s2"), ("s2", "s3")]
+
+    def test_rect_pairs_keep_block_order_without_flag(self):
+        from repro.blocking.pair_generator import BlockShard
+
+        shard = BlockShard(lambda: iter([IdBlock(["s2"], ["s10", "s3"])]))
+        assert list(shard.pairs()) == [("s2", "s10"), ("s2", "s3")]
+
+
 class TestShardValidation:
     @pytest.mark.parametrize("blocking", STRATEGIES, ids=IDS)
     def test_rejects_non_positive_shard_count(self, sources, blocking):

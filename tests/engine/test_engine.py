@@ -228,12 +228,13 @@ class TestSerialShardedEquivalence:
 
     @pytest.mark.parametrize("blocking", ALL_BLOCKINGS, ids=BLOCKING_IDS)
     def test_chunk_scorer_path(self, dataset, blocking):
-        """tfidf has no bit kernel, forcing the generic scorer mode."""
+        """levenshtein has no vector kernel (tfidf gained the sparse
+        one), forcing the generic scorer mode."""
         dblp, acm = dataset.dblp.publications, dataset.acm.publications
-        serial = AttributeMatcher("title", similarity="tfidf",
+        serial = AttributeMatcher("title", similarity="levenshtein",
                                   threshold=0.3, blocking=blocking,
                                   engine=SERIAL)
-        sharded = AttributeMatcher("title", similarity="tfidf",
+        sharded = AttributeMatcher("title", similarity="levenshtein",
                                    threshold=0.3, blocking=blocking,
                                    engine=SHARDED)
         assert serial.match(dblp, acm).to_rows() == \

@@ -1,0 +1,499 @@
+"""Tests for the sparse TF/IDF kernel and skew-aware shard rebalancing.
+
+Two load-bearing guarantees ride on this module:
+
+* **kernel selection** — ``build_kernel`` must route each similarity
+  function to the right fast path (bit kernel / sparse TF/IDF kernel /
+  generic batch loop), and in particular must *never* hand SoftTFIDF's
+  fuzzy math to the plain-cosine sparse kernel;
+* **execution equivalence under skew** — serial, sharded and
+  balanced-sharded execution must produce byte-identical mappings on
+  skewed block-size distributions, where rebalancing splits oversized
+  block groups into pieces serial execution never saw.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AttributeMatcher
+from repro.blocking import (
+    CanopyBlocking,
+    FullCross,
+    IdBlock,
+    KeyBlocking,
+    SortedNeighborhood,
+    TokenBlocking,
+)
+from repro.blocking.pair_generator import BlockShard, IterableShard
+from repro.engine import BatchMatchEngine, EngineConfig, vectorized
+from repro.engine.shards import (
+    CompositeShard,
+    _explode_block,
+    rebalance_shards,
+)
+from repro.engine.sparse import (
+    TfIdfKernel,
+    build_tfidf_kernel,
+    numpy_available,
+)
+from repro.engine.vectorized import NGramBitKernel
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+from repro.sim.edit import LevenshteinSimilarity
+from repro.sim.ngram import JaccardNGram, TrigramSimilarity
+from repro.sim.tfidf import SoftTfIdfSimilarity, TfIdfCosineSimilarity
+
+SERIAL = BatchMatchEngine(EngineConfig(workers=1, chunk_size=64))
+SHARDED = BatchMatchEngine(EngineConfig(workers=4, chunk_size=64,
+                                        shard_blocking=True))
+BALANCED = BatchMatchEngine(EngineConfig(workers=4, chunk_size=64,
+                                         shard_blocking=True,
+                                         balance_shards=True))
+BALANCED_INLINE = BatchMatchEngine(EngineConfig(workers=1, chunk_size=64,
+                                                shard_blocking=True,
+                                                balance_shards=True,
+                                                n_shards=6))
+
+needs_numpy = pytest.mark.skipif(not numpy_available(),
+                                 reason="numpy unavailable")
+
+
+def _source(name: str, titles) -> LogicalSource:
+    source = LogicalSource(PhysicalSource(name), ObjectType("Publication"))
+    for index, title in enumerate(titles):
+        source.add_record(f"{name.lower()}{index}", title=title)
+    return source
+
+
+def _skewed_titles(count: int, skew_every: int = 2):
+    """Titles whose first token is dominated by one hot key.
+
+    Every ``skew_every``-th record starts with the same word, so
+    first-token key blocking produces one block holding roughly
+    ``(count / skew_every) ** 2`` of the pairs — the long-tail shape
+    rebalancing exists for.
+    """
+    words = ["alpha", "beta", "gamma", "delta", "epsilon",
+             "zeta", "eta", "theta"]
+    titles = []
+    for i in range(count):
+        first = "popular" if i % skew_every == 0 else words[i % len(words)]
+        tail = " ".join(words[(i + j) % len(words)] for j in range(1, 4))
+        titles.append(f"{first} {tail} {i % 7}x")
+    return titles
+
+
+@pytest.fixture(scope="module")
+def skewed_sources():
+    return (_source("L", _skewed_titles(90)),
+            _source("R", _skewed_titles(84)))
+
+
+# ----------------------------------------------------------------------
+# kernel selection
+# ----------------------------------------------------------------------
+
+class TweakedTfIdf(TfIdfCosineSimilarity):
+    def _score(self, a: str, b: str) -> float:
+        return min(1.0, super()._score(a, b) * 1.1)
+
+
+class TweakedVector(TfIdfCosineSimilarity):
+    def vector(self, text: str):
+        return {token: 1.0 for token in text.split()}
+
+
+class TestKernelSelection:
+    """``build_kernel`` is the registry; each similarity type must land
+    on exactly the kernel whose math it matches."""
+
+    @needs_numpy
+    @pytest.mark.parametrize("make_sim, expected", [
+        (TrigramSimilarity, NGramBitKernel),
+        (lambda: JaccardNGram(2), NGramBitKernel),
+        (TfIdfCosineSimilarity, TfIdfKernel),
+        (SoftTfIdfSimilarity, type(None)),
+        (LevenshteinSimilarity, type(None)),
+        (TweakedTfIdf, type(None)),
+        (TweakedVector, type(None)),
+    ], ids=["trigram", "jaccard-ngram", "tfidf", "softtfidf",
+            "levenshtein", "tfidf-score-override",
+            "tfidf-vector-override"])
+    def test_registry_routing(self, dataset, make_sim, expected):
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        sim = make_sim()
+        sim.prepare(dblp.attribute_values("title")
+                    + acm.attribute_values("title"))
+        kernel = vectorized.build_kernel(sim, dblp, acm, "title", "title")
+        assert type(kernel) is expected
+
+    @needs_numpy
+    def test_soft_tfidf_never_routes_into_sparse_kernel(self, dataset):
+        """Regression for the ``score_batch`` reassignment: SoftTFIDF
+        must be refused by the sparse kernel even though it *is* a
+        TfIdfCosineSimilarity."""
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        sim = SoftTfIdfSimilarity()
+        sim.prepare(dblp.attribute_values("title")
+                    + acm.attribute_values("title"))
+        assert build_tfidf_kernel(sim, dblp, acm, "title", "title") is None
+
+    def test_soft_tfidf_batch_matches_pairwise(self, dataset):
+        """The explicit ``score_batch`` override must keep producing
+        the fuzzy per-pair scores, not the parent's plain cosine."""
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        sim = SoftTfIdfSimilarity()
+        corpus = (dblp.attribute_values("title")
+                  + acm.attribute_values("title"))
+        sim.prepare(corpus)
+        pairs = [(str(a), str(b)) for a, b in
+                 zip(dblp.attribute_values("title")[:25],
+                     acm.attribute_values("title")[:25])
+                 if a is not None and b is not None]
+        # a typo pair where fuzzy token matching genuinely diverges
+        # from the plain cosine, or this regression test proves nothing
+        typo = [(str(dblp.attribute_values("title")[0]),
+                 str(dblp.attribute_values("title")[0])[:-1] + "x")]
+        pairs = typo + pairs
+        assert sim.score_batch(pairs) == \
+            [sim.similarity(a, b) for a, b in pairs]
+        hard = TfIdfCosineSimilarity()
+        hard.prepare(corpus)
+        assert sim.score_batch(pairs) != hard.score_batch(pairs)
+
+    def test_soft_tfidf_engine_run_uses_generic_path(self, dataset,
+                                                     monkeypatch):
+        """End-to-end: a SoftTFIDF match through the engine must score
+        through the generic batch loop (same rows as pairwise), with
+        the sparse kernel forbidden outright."""
+        from repro.engine import sparse as sparse_module
+
+        def exploding_kernel(*args, **kwargs):
+            raise AssertionError("SoftTFIDF reached the sparse kernel")
+
+        monkeypatch.setattr(sparse_module, "TfIdfKernel", exploding_kernel)
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        engine_rows = AttributeMatcher(
+            "title", similarity=SoftTfIdfSimilarity(), threshold=0.3,
+            engine=SERIAL).match(dblp, acm).to_rows()
+
+        sim = SoftTfIdfSimilarity()
+        sim.prepare(dblp.attribute_values("title")
+                    + acm.attribute_values("title"))
+        expected = []
+        for id_a in dblp.ids():
+            for id_b in acm.ids():
+                score = sim.similarity(dblp.get(id_a).get("title"),
+                                       acm.get(id_b).get("title"))
+                if score >= 0.3 and score > 0.0:
+                    expected.append((id_a, id_b, score))
+        assert engine_rows == sorted(expected)
+
+
+# ----------------------------------------------------------------------
+# sparse kernel bit-exactness
+# ----------------------------------------------------------------------
+
+@needs_numpy
+class TestSparseKernelBitExact:
+    def test_identical_to_python_path_two_source(self, dataset,
+                                                 monkeypatch):
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        fast = AttributeMatcher("title", similarity="tfidf", threshold=0.0,
+                                engine=SERIAL)
+        fast_rows = fast.match(dblp, acm).to_rows()
+        assert fast_rows  # non-trivial scenario
+
+        monkeypatch.setattr(vectorized, "build_kernel",
+                            lambda *args, **kwargs: None)
+        slow = AttributeMatcher("title", similarity="tfidf", threshold=0.0,
+                                engine=SERIAL)
+        assert slow.match(dblp, acm).to_rows() == fast_rows
+
+    def test_identical_to_python_path_self_matching(self, dataset,
+                                                    monkeypatch):
+        gs = dataset.gs.publications
+        fast = AttributeMatcher("title", similarity="tfidf", threshold=0.2,
+                                engine=SERIAL)
+        fast_rows = fast.match(gs, gs).to_rows()
+        monkeypatch.setattr(vectorized, "build_kernel",
+                            lambda *args, **kwargs: None)
+        slow = AttributeMatcher("title", similarity="tfidf", threshold=0.2,
+                                engine=SERIAL)
+        assert slow.match(gs, gs).to_rows() == fast_rows
+
+    def test_parallel_sparse_path_identical(self, dataset):
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        parallel = BatchMatchEngine(EngineConfig(workers=4, chunk_size=64))
+        serial_rows = AttributeMatcher(
+            "title", similarity="tfidf", threshold=0.2,
+            engine=SERIAL).match(dblp, acm).to_rows()
+        parallel_rows = AttributeMatcher(
+            "title", similarity="tfidf", threshold=0.2,
+            engine=parallel).match(dblp, acm).to_rows()
+        assert serial_rows == parallel_rows
+
+    def test_missing_and_empty_values(self, monkeypatch):
+        domain = _source("L", ["alpha beta", None, "", "gamma delta"])
+        range_ = _source("R", ["alpha beta", "gamma delta", None, ""])
+        fast = AttributeMatcher("title", similarity="tfidf", threshold=0.0,
+                                engine=SERIAL)
+        fast_rows = fast.match(domain, range_).to_rows()
+        monkeypatch.setattr(vectorized, "build_kernel",
+                            lambda *args, **kwargs: None)
+        slow = AttributeMatcher("title", similarity="tfidf", threshold=0.0,
+                                engine=SERIAL)
+        assert slow.match(domain, range_).to_rows() == fast_rows
+
+    def test_orientation_symmetric(self, dataset):
+        """The kernel may see a self-matching pair in either
+        orientation (block-vectorized triangles expand in block
+        order); scores must not depend on it."""
+        import numpy as np
+
+        gs = dataset.gs.publications
+        sim = TfIdfCosineSimilarity()
+        sim.prepare(gs.attribute_values("title"))
+        kernel = build_tfidf_kernel(sim, gs, gs, "title", "title")
+        assert kernel is not None
+        n = min(len(gs), 40)
+        rows_a, rows_b = [], []
+        for i in range(n):
+            for j in range(i + 1, n):
+                rows_a.append(i)
+                rows_b.append(j)
+        forward = kernel.score_rows(np.asarray(rows_a), np.asarray(rows_b))
+        backward = kernel.score_rows(np.asarray(rows_b), np.asarray(rows_a))
+        assert (forward == backward).all()
+
+    def test_memory_budget_refuses_oversized_index(self, dataset,
+                                                   monkeypatch):
+        from repro.engine import sparse as sparse_module
+
+        monkeypatch.setattr(sparse_module, "MAX_INDEX_BYTES", 64)
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        sim = TfIdfCosineSimilarity()
+        sim.prepare(dblp.attribute_values("title"))
+        assert build_tfidf_kernel(sim, dblp, acm, "title", "title") is None
+
+
+# ----------------------------------------------------------------------
+# serial == sharded == balanced-sharded on a skewed dataset
+# ----------------------------------------------------------------------
+
+SKEW_BLOCKINGS = [
+    KeyBlocking(),
+    TokenBlocking(max_df=0.9),
+    SortedNeighborhood(window=4),
+    CanopyBlocking(loose=0.1, tight=0.5),
+    FullCross(),
+]
+SKEW_IDS = ["KeyBlocking", "TokenBlocking", "SortedNeighborhood",
+            "CanopyBlocking", "FullCross"]
+
+
+class TestBalancedShardingEquivalence:
+    """Rebalancing splits block groups serial execution never saw;
+    results must stay byte-identical anyway — for the kernel paths
+    (trigram, tfidf) and the generic scorer path (softtfidf, whose
+    asymmetric scores also pin pair *orientation* through splits)."""
+
+    @pytest.mark.parametrize("blocking", SKEW_BLOCKINGS, ids=SKEW_IDS)
+    @pytest.mark.parametrize("similarity", ["trigram", "tfidf"])
+    def test_two_source(self, skewed_sources, blocking, similarity):
+        domain, range_ = skewed_sources
+        rows = [
+            AttributeMatcher("title", similarity=similarity, threshold=0.4,
+                             blocking=blocking, engine=engine)
+            .match(domain, range_).to_rows()
+            for engine in (SERIAL, SHARDED, BALANCED, BALANCED_INLINE)
+        ]
+        assert rows[0]  # the skewed scenario is non-trivial
+        assert rows[0] == rows[1] == rows[2] == rows[3]
+
+    @pytest.mark.parametrize("blocking", SKEW_BLOCKINGS, ids=SKEW_IDS)
+    @pytest.mark.parametrize("similarity", ["trigram", "tfidf"])
+    def test_self_matching(self, skewed_sources, blocking, similarity):
+        domain, _ = skewed_sources
+        rows = [
+            AttributeMatcher("title", similarity=similarity, threshold=0.5,
+                             blocking=blocking, engine=engine)
+            .match(domain, domain).to_rows()
+            for engine in (SERIAL, SHARDED, BALANCED, BALANCED_INLINE)
+        ]
+        assert rows[0] == rows[1] == rows[2] == rows[3]
+
+    def test_generic_scorer_path_with_balancing(self, skewed_sources):
+        """softtfidf has no kernel *and* asymmetric scores: splitting a
+        canonical triangle block must preserve serial orientation."""
+        domain, _ = skewed_sources
+        blocking = TokenBlocking(max_df=0.9)
+        serial_rows = AttributeMatcher(
+            "title", similarity="softtfidf", threshold=0.5,
+            blocking=blocking, engine=SERIAL).match(domain, domain).to_rows()
+        balanced_rows = AttributeMatcher(
+            "title", similarity="softtfidf", threshold=0.5,
+            blocking=blocking,
+            engine=BALANCED_INLINE).match(domain, domain).to_rows()
+        assert serial_rows == balanced_rows
+
+
+# ----------------------------------------------------------------------
+# rebalancing mechanics
+# ----------------------------------------------------------------------
+
+def _pair_union(shards):
+    union = set()
+    for shard in shards:
+        union |= set(shard.pairs())
+    return union
+
+
+class TestRebalanceShards:
+    def test_splits_the_long_tail(self, skewed_sources):
+        domain, range_ = skewed_sources
+        blocking = KeyBlocking()
+        shards = blocking.shards(domain, range_, n_shards=8,
+                                 domain_attribute="title",
+                                 range_attribute="title")
+        naive_costs = [shard.cost() for shard in shards]
+        balanced = rebalance_shards(shards, 8)
+        balanced_costs = [shard.cost() for shard in balanced]
+        assert len(balanced) <= 8
+        assert sum(balanced_costs) == sum(naive_costs)  # splits, exactly
+        assert max(balanced_costs) < max(naive_costs)
+        # the tail is bounded: no bin above ~2x the ideal share
+        assert max(balanced_costs) <= 2 * (sum(naive_costs) // 8 + 1)
+        assert _pair_union(balanced) == _pair_union(shards)
+
+    def test_deterministic(self, skewed_sources):
+        domain, range_ = skewed_sources
+        blocking = TokenBlocking(max_df=0.9)
+
+        def run():
+            shards = blocking.shards(domain, range_, n_shards=6,
+                                     domain_attribute="title",
+                                     range_attribute="title")
+            return [sorted(shard.pairs())
+                    for shard in rebalance_shards(shards, 6)]
+
+        assert run() == run()
+
+    def test_unsplittable_shards_pass_through(self):
+        shards = [IterableShard(lambda: [("a", "b")]),
+                  IterableShard(lambda: [("c", "d")])]
+        assert rebalance_shards(shards, 4) == shards  # all costs unknown
+
+    def test_single_bin_is_identity(self):
+        shards = [BlockShard(lambda: iter([IdBlock(["a"], ["x", "y"])]))]
+        assert rebalance_shards(shards, 1) == shards
+
+    def test_rejects_non_positive_bin_count(self):
+        with pytest.raises(ValueError):
+            rebalance_shards([], 0)
+
+    def test_giant_rectangle_splits_pair_exactly(self):
+        domain_ids = [f"d{i}" for i in range(40)]
+        range_ids = [f"r{i}" for i in range(35)]
+        shard = BlockShard(lambda: iter([IdBlock(domain_ids, range_ids)]))
+        tiny = BlockShard(lambda: iter([IdBlock(["z"], ["w"])]))
+        balanced = rebalance_shards([shard, tiny], 5)
+        assert len(balanced) == 5
+        assert _pair_union(balanced) == _pair_union([shard, tiny])
+        costs = [s.cost() for s in balanced]
+        assert max(costs) <= 2 * ((40 * 35 + 1) // 5 + 1)
+
+    def test_giant_triangle_splits_pair_exactly(self):
+        ids = [f"s{i}" for i in range(30)]
+        shard = BlockShard(lambda: iter([IdBlock(ids, ids, triangle=True)]),
+                           canonical=True)
+        balanced = rebalance_shards([shard, BlockShard(
+            lambda: iter([IdBlock(["z"], ["w"])]), canonical=True)], 4)
+        union = {tuple(sorted(pair)) for pair in _pair_union(balanced)}
+        expected = {tuple(sorted((a, b)))
+                    for i, a in enumerate(ids) for b in ids[i + 1:]}
+        expected.add(("w", "z"))
+        assert union == expected
+        # canonical orientation survives the triangle -> rect split
+        for shard in balanced:
+            for pair in shard.pairs():
+                assert pair == tuple(sorted(pair))
+
+    def test_explode_block_bounds_piece_size(self):
+        block = IdBlock([f"d{i}" for i in range(50)],
+                        [f"r{i}" for i in range(60)])
+        pieces = list(_explode_block(block, 100))
+        assert sum(piece.pair_count() for piece in pieces) == 3000
+        assert max(piece.pair_count() for piece in pieces) <= 100
+
+    def test_single_dominant_shard_still_splits(self):
+        """Regression: a workload where one key dominates *everything*
+        yields exactly one shard; balancing must still split it rather
+        than serializing the whole run onto one worker."""
+        ids = [f"s{i}" for i in range(200)]
+        shard = BlockShard(lambda: iter([IdBlock(ids, ids, triangle=True)]))
+        balanced = rebalance_shards([shard], 8)
+        assert 4 <= len(balanced) <= 8  # split into several real bins
+        costs = [s.cost() for s in balanced]
+        total = 200 * 199 // 2
+        assert sum(costs) == total
+        assert max(costs) <= 2 * (total // 8 + 1)
+        union = {tuple(sorted(pair)) for pair in _pair_union(balanced)}
+        assert union == {tuple(sorted((a, b)))
+                         for i, a in enumerate(ids) for b in ids[i + 1:]}
+
+    def test_explode_triangle_uses_row_bands_not_per_row_rects(self):
+        """Regression: triangle decomposition must stay
+        O(pair_count / target) pieces with O(ids) materialized id
+        references per band, not one sliced-tail rectangle per row."""
+        n = 400
+        ids = [f"s{i}" for i in range(n)]
+        total = n * (n - 1) // 2
+        target = total // 8
+        pieces = list(_explode_block(IdBlock(ids, ids, triangle=True),
+                                     target))
+        assert sum(piece.pair_count() for piece in pieces) == total
+        assert max(piece.pair_count() for piece in pieces) <= target
+        # ~2 pieces per band (triangle + rectangle), nowhere near n
+        assert len(pieces) <= 3 * 8 + 2
+        materialized = sum(len(piece.domain_ids) + len(piece.range_ids)
+                           for piece in pieces)
+        assert materialized <= 6 * n * 8  # O(n) per band, not O(n^2)
+
+    def test_composite_shard_chains_members(self):
+        left = BlockShard(lambda: iter([IdBlock(["a"], ["x"])]))
+        right = BlockShard(lambda: iter([IdBlock(["b"], ["y"])]))
+        composite = CompositeShard([left, right])
+        assert list(composite.pairs()) == [("a", "x"), ("b", "y")]
+        chained = [(block.domain_ids, block.range_ids)
+                   for block in composite.blocks()]
+        assert chained == [(["a"], ["x"]), (["b"], ["y"])]
+        assert composite.cost() == 2
+
+    def test_composite_shard_without_uniform_blocks_streams_pairs(self):
+        block = BlockShard(lambda: iter([IdBlock(["a"], ["x"])]))
+        stream = IterableShard(lambda: [("b", "y")], cost=1)
+        composite = CompositeShard([block, stream])
+        assert composite.blocks() is None
+        assert set(composite.pairs()) == {("a", "x"), ("b", "y")}
+
+
+class TestEngineBalanceConfig:
+    def test_config_default_off(self):
+        assert EngineConfig().balance_shards is False
+
+    def test_configure_default_engine_accepts_balance_flag(self):
+        from repro.engine import (
+            configure_default_engine,
+            get_default_engine,
+            set_default_engine,
+        )
+
+        try:
+            engine = configure_default_engine(workers=2,
+                                              shard_blocking=True,
+                                              balance_shards=True)
+            assert engine.config.balance_shards is True
+            assert get_default_engine() is engine
+        finally:
+            set_default_engine(None)

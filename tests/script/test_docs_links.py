@@ -1,0 +1,82 @@
+"""Docs link checker: every markdown link in docs/ and README resolves.
+
+Runs under tier-1 (no new CI workflow or dependency), so a renamed
+file or a typoed anchor breaks the build instead of the reader.
+Relative links must point at existing files; intra-repo anchors
+(``file.md#section``) must match a heading in the target; external
+``http(s)`` links are recorded but not fetched (CI must not depend on
+the network).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: every markdown file whose links the build guarantees
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md"] + list((REPO_ROOT / "docs").glob("*.md")),
+    key=lambda path: path.name,
+)
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug (lowercase, dashes, no punct)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _links(path: Path):
+    return _LINK_RE.findall(path.read_text(encoding="utf-8"))
+
+
+def test_docs_directory_has_the_three_pages():
+    names = {path.name for path in (REPO_ROOT / "docs").glob("*.md")}
+    assert {"architecture.md", "engine.md", "benchmarks.md"} <= names
+
+
+def test_readme_links_every_docs_page():
+    readme_links = " ".join(_links(REPO_ROOT / "README.md"))
+    for page in ("docs/architecture.md", "docs/engine.md",
+                 "docs/benchmarks.md"):
+        assert page in readme_links, f"README does not link {page}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda path: path.name)
+def test_links_resolve(doc):
+    broken = []
+    for target in _links(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            path, anchor = doc, target[1:]
+        else:
+            raw, _, anchor = target.partition("#")
+            path = (doc.parent / raw).resolve()
+        if not path.exists():
+            broken.append(f"{target}: file {path} does not exist")
+            continue
+        if anchor and path.suffix == ".md":
+            anchors = {_anchor(h) for h in
+                       _HEADING_RE.findall(path.read_text(encoding="utf-8"))}
+            if anchor not in anchors:
+                broken.append(f"{target}: no heading for anchor #{anchor}")
+    assert not broken, f"broken links in {doc.name}:\n" + "\n".join(broken)
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda path: path.name)
+def test_links_stay_inside_the_repository(doc):
+    for target in _links(doc):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (doc.parent / target.partition("#")[0]).resolve()
+        assert resolved.is_relative_to(REPO_ROOT), \
+            f"{target} escapes the repository"

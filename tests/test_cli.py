@@ -76,8 +76,27 @@ class TestEngineFlags:
         finally:
             set_default_engine(None)
 
+    def test_balance_shards_flag_configures_default_engine(self, capsys):
+        from repro.engine import get_default_engine, set_default_engine
+
+        try:
+            assert main(["--scale", "tiny", "--workers", "2",
+                         "--shard-blocking", "--balance-shards",
+                         "experiments", "table2"]) == 0
+            engine = get_default_engine()
+            assert engine.config.shard_blocking is True
+            assert engine.config.balance_shards is True
+            assert "Table 2" in capsys.readouterr().out
+        finally:
+            set_default_engine(None)
+
     def test_sharded_run_matches_streamed_run(self, capsys):
         from repro.engine import set_default_engine
+
+        def trim(text):
+            # strip the trailing wall-time line before comparing
+            return [line for line in text.splitlines()
+                    if not line.strip().startswith("[table2")]
 
         try:
             main(["--scale", "tiny", "experiments", "table2"])
@@ -85,11 +104,10 @@ class TestEngineFlags:
             main(["--scale", "tiny", "--workers", "2", "--shard-blocking",
                   "experiments", "table2"])
             sharded = capsys.readouterr().out
-            # strip the trailing wall-time line before comparing
-            def trim(text):
-                return [line for line in text.splitlines()
-                        if not line.strip().startswith("[table2")]
-
             assert trim(streamed) == trim(sharded)
+            main(["--scale", "tiny", "--workers", "2", "--shard-blocking",
+                  "--balance-shards", "experiments", "table2"])
+            balanced = capsys.readouterr().out
+            assert trim(streamed) == trim(balanced)
         finally:
             set_default_engine(None)
