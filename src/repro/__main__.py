@@ -49,6 +49,14 @@ def _build_parser() -> argparse.ArgumentParser:
                              "block-size distributions (one dominant key "
                              "or stop-word token) cannot leave one worker "
                              "with a long tail; identical results")
+    parser.add_argument("--auto", action="store_true",
+                        help="let the engine tune itself: adapt chunk "
+                             "size to observed scoring throughput, shard "
+                             "blocking work whenever the strategy "
+                             "supports it, and rebalance shards when "
+                             "their cost estimates are skewed — replaces "
+                             "hand-set --chunk-size/--shard-blocking/"
+                             "--balance-shards; identical results")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("stats", help="print dataset statistics")
@@ -178,7 +186,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.engine import configure_default_engine
     configure_default_engine(workers=args.workers, chunk_size=args.chunk_size,
                              shard_blocking=args.shard_blocking,
-                             balance_shards=args.balance_shards)
+                             balance_shards=args.balance_shards,
+                             auto=args.auto)
     if args.command == "stats":
         return _command_stats(args)
     if args.command == "experiments":

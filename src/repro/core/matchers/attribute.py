@@ -39,7 +39,9 @@ class AttributeMatcher(Matcher):
     missing:
         ``"skip"`` (default) produces no correspondence for pairs with
         a missing value; ``"zero"`` scores them 0 (only observable with
-        ``threshold == 0`` diagnostics).
+        ``threshold == 0`` diagnostics).  The policy travels on the
+        :class:`MatchRequest`, so every execution path — scalar,
+        vectorized, parallel, sharded — applies it identically.
     engine:
         Optional :class:`~repro.engine.BatchMatchEngine` executing the
         candidate scoring; defaults to the process-wide default engine
@@ -85,6 +87,7 @@ class AttributeMatcher(Matcher):
             threshold=self.threshold,
             candidates=candidates,
             blocking=self.blocking,
+            missing=self.missing,
             name=self.name,
         )
         engine = self.engine if self.engine is not None else get_default_engine()

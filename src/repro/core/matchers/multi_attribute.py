@@ -49,6 +49,13 @@ class MultiAttributeMatcher(Matcher):
     missing slot handled by the combination function's policy, so e.g.
     ``avg`` tolerates Google Scholar's optional year while ``min0``
     requires every attribute to agree.
+
+    Execution rides the same engine fast paths as the single-attribute
+    matcher: when at least one attribute pair's similarity has a
+    vectorized kernel, the engine composes per-spec kernels and a
+    column-wise combiner (:func:`repro.engine.vectorized.
+    build_multi_kernel`) — bit-identical results, and eligible for
+    sharded/balanced execution like any other indexed request.
     """
 
     def __init__(self, pairs: Sequence[AttributePair],

@@ -32,10 +32,18 @@ tail.
 Two vectorized kernels back the hot paths (bit-identical to scalar
 scoring, numpy optional): packed q-gram bitmaps
 (:mod:`repro.engine.vectorized`) and sparse CSR TF/IDF
-(:mod:`repro.engine.sparse`).  See ``docs/engine.md``.
+(:mod:`repro.engine.sparse`).  Multi-attribute requests compose
+per-spec kernels with a vectorized combiner
+(:func:`repro.engine.vectorized.build_multi_kernel`), so both matcher
+families ride the same fast paths.  ``EngineConfig(auto=True)`` (CLI
+``--auto``) replaces the hand-set performance knobs with a
+self-tuning mode: chunk size adapts to observed scoring throughput,
+sharding engages whenever the blocking strategy supports it, and
+shard rebalancing flips on when cost estimates are skewed.  See
+``docs/engine.md``.
 """
 
-from repro.engine.chunks import iter_chunks
+from repro.engine.chunks import AdaptiveChunker, iter_chunks
 from repro.engine.engine import (
     BatchMatchEngine,
     EngineConfig,
@@ -47,6 +55,7 @@ from repro.engine.request import AttributeSpec, MatchRequest
 from repro.engine.scorer import ChunkScorer
 
 __all__ = [
+    "AdaptiveChunker",
     "AttributeSpec",
     "BatchMatchEngine",
     "ChunkScorer",

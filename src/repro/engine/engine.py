@@ -26,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import pickle
+import time
 import warnings
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
@@ -36,7 +37,7 @@ from repro.blocking.pair_generator import dedup_self_pairs
 from repro.core.mapping import Mapping, MappingKind
 from repro.engine import scorer as scorer_module
 from repro.engine import vectorized
-from repro.engine.chunks import iter_chunks
+from repro.engine.chunks import AdaptiveChunker, iter_chunks
 from repro.engine.request import MatchRequest
 from repro.engine.scorer import ChunkScorer
 from repro.engine.vectorized import IndexedScorer
@@ -88,6 +89,21 @@ class EngineConfig:
     #: because unskewed workloads pay a small cost-estimation pass for
     #: nothing.
     balance_shards: bool = False
+    #: self-tuning mode (CLI ``--auto``): the engine picks the knobs a
+    #: user would otherwise hand-set.  ``chunk_size`` becomes an
+    #: *initial guess* resized from observed per-chunk scoring
+    #: throughput (:class:`repro.engine.chunks.AdaptiveChunker`); the
+    #: sharded path is attempted whenever the blocking strategy can
+    #: shard (falling back to streaming exactly like
+    #: ``shard_blocking=True``); the rebalance bin count is derived
+    #: from worker count and shard cost estimates; and
+    #: ``balance_shards`` flips on automatically when the shard cost
+    #: distribution is skewed (:func:`repro.engine.shards.
+    #: autotune_plan`).  Explicitly set knobs win: a non-``None``
+    #: ``n_shards`` is respected and ``balance_shards=True`` forces
+    #: balancing.  Results are identical either way — every knob the
+    #: autotuner moves is a pure performance knob.
+    auto: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -144,15 +160,19 @@ class BatchMatchEngine:
         self._prepare(request)
         result = Mapping(request.domain.name, request.range.name,
                          kind=MappingKind.SAME, name=request.name)
-        if self.config.shard_blocking:
+        if self.config.shard_blocking or self.config.auto:
             from repro.engine import shards as shards_module
             if shards_module.execute_sharded(self, request, result):
                 return result
             # not shardable (explicit candidates / foreign blocking
             # object): continue on the streamed paths below
         is_self = request.is_self
-        chunks = iter_chunks(self._pair_stream(request),
-                             self.config.chunk_size)
+        if self.config.auto:
+            chunks = AdaptiveChunker(self._pair_stream(request),
+                                     self.config.chunk_size)
+        else:
+            chunks = iter_chunks(self._pair_stream(request),
+                                 self.config.chunk_size)
         indexed = self._try_indexed(request)
         if indexed is not None:
             self._run_indexed(indexed, chunks, result, is_self)
@@ -164,8 +184,13 @@ class BatchMatchEngine:
                 return result
             # fell back (pool unavailable); continue serially below with
             # whatever chunks the parallel path did not consume.
+        adaptive = chunks if isinstance(chunks, AdaptiveChunker) else None
         for chunk in chunks:
-            self._merge(result, scorer.score_chunk(chunk), is_self)
+            start = time.perf_counter() if adaptive else 0.0
+            triples = scorer.score_chunk(chunk)
+            if adaptive:
+                adaptive.observe(len(chunk), time.perf_counter() - start)
+            self._merge(result, triples, is_self)
         return result
 
     def _try_indexed(self, request: MatchRequest) -> Optional[IndexedScorer]:
@@ -173,24 +198,45 @@ class BatchMatchEngine:
 
         Single-attribute requests whose similarity has a bit-exact
         vector kernel — the q-gram bit kernel or the sparse TF/IDF
-        kernel — score through packed numpy arrays; everything else
+        kernel — score through packed numpy arrays.  Multi-attribute
+        requests compose per-spec kernels (with scalar-fallback
+        columns for kernel-less similarities) and a vectorized
+        combiner (:func:`repro.engine.vectorized.build_multi_kernel`)
+        when at least one spec has a real kernel.  Everything else
         uses the generic chunk scorer.
         Explicit candidate lists skip the kernel: they are typically
         tiny relative to the sources, and packing full source matrices
         to score a handful of pairs would cost more than it saves.
         """
-        if request.combiner is not None or len(request.specs) != 1:
-            return None
         if request.candidates is not None:
             return None
+        if request.combiner is not None or len(request.specs) != 1:
+            kernel = vectorized.build_multi_kernel(request)
+            if kernel is None:
+                return None
+            return IndexedScorer(kernel, request.domain.ids(),
+                                 request.range.ids(), request.threshold)
         spec = request.specs[0]
         kernel = vectorized.build_kernel(
             spec.similarity, request.domain, request.range,
             spec.attribute, spec.range_attribute)
         if kernel is None:
             return None
+        missing_zero = request.missing == "zero"
+        domain_missing = range_missing = None
+        if missing_zero:
+            domain_values, range_values = vectorized.source_values(
+                request.domain, request.range,
+                spec.attribute, spec.range_attribute)
+            domain_missing = vectorized.missing_mask(domain_values)
+            range_missing = (domain_missing
+                             if range_values is domain_values
+                             else vectorized.missing_mask(range_values))
         return IndexedScorer(kernel, request.domain.ids(),
-                             request.range.ids(), request.threshold)
+                             request.range.ids(), request.threshold,
+                             missing_zero=missing_zero,
+                             domain_missing=domain_missing,
+                             range_missing=range_missing)
 
     def _prepare(self, request: MatchRequest) -> None:
         """Build corpus-level indexes before any pair is scored.
@@ -280,31 +326,43 @@ class BatchMatchEngine:
         pair plus the (sparse) survivors.
         """
         workers = self.config.workers
+        adaptive = chunks if isinstance(chunks, AdaptiveChunker) else None
         if workers > 1 and "fork" in multiprocessing.get_all_start_methods():
             context = multiprocessing.get_context("fork")
+            task = (vectorized._score_rows_task_timed if adaptive
+                    else vectorized._score_rows_task)
             vectorized._install_indexed(indexed)
             pending: deque = deque()
+
+            def drain() -> None:
+                future, items = pending.popleft()
+                payload = future.result()
+                if adaptive:
+                    seconds, survivors = payload
+                    adaptive.observe(items, seconds)
+                else:
+                    survivors = payload
+                self._merge(result, indexed.triples(*survivors), is_self)
+
             try:
                 with ProcessPoolExecutor(max_workers=workers,
                                          mp_context=context) as pool:
                     for chunk in chunks:
                         rows = indexed.convert(chunk)
-                        pending.append(
-                            pool.submit(vectorized._score_rows_task, rows))
+                        pending.append((pool.submit(task, rows), len(chunk)))
                         if len(pending) >= self.config.inflight:
-                            survivors = pending.popleft().result()
-                            self._merge(result,
-                                        indexed.triples(*survivors), is_self)
+                            drain()
                     while pending:
-                        survivors = pending.popleft().result()
-                        self._merge(result, indexed.triples(*survivors),
-                                    is_self)
+                        drain()
             finally:
                 vectorized._install_indexed(None)
             return
         for chunk in chunks:
+            start = time.perf_counter() if adaptive else 0.0
             rows_a, rows_b = indexed.convert(chunk)
             survivors = indexed.score_rows(rows_a, rows_b)
+            if adaptive:
+                adaptive.observe(len(chunk), time.perf_counter() - start)
             self._merge(result, indexed.triples(*survivors), is_self)
 
     # -- parallel path -------------------------------------------------
@@ -333,20 +391,32 @@ class BatchMatchEngine:
                     RuntimeWarning, stacklevel=3)
                 return False
             initializer, initargs = scorer_module._install_scorer, (scorer,)
+        adaptive = chunks if isinstance(chunks, AdaptiveChunker) else None
+        task = (scorer_module._score_chunk_task_timed if adaptive
+                else scorer_module._score_chunk_task)
         scorer_module._install_scorer(scorer)
         pending: deque = deque()
+
+        def drain() -> None:
+            future, items = pending.popleft()
+            payload = future.result()
+            if adaptive:
+                seconds, triples = payload
+                adaptive.observe(items, seconds)
+            else:
+                triples = payload
+            self._merge(result, triples, is_self)
+
         try:
             with ProcessPoolExecutor(
                     max_workers=self.config.workers, mp_context=context,
                     initializer=initializer, initargs=initargs) as pool:
                 for chunk in chunks:
-                    pending.append(
-                        pool.submit(scorer_module._score_chunk_task, chunk))
+                    pending.append((pool.submit(task, chunk), len(chunk)))
                     if len(pending) >= self.config.inflight:
-                        self._merge(result, pending.popleft().result(),
-                                    is_self)
+                        drain()
                 while pending:
-                    self._merge(result, pending.popleft().result(), is_self)
+                    drain()
         finally:
             scorer_module._install_scorer(None)
         return True
@@ -379,11 +449,13 @@ def set_default_engine(engine: Optional[BatchMatchEngine]) -> None:
 
 def configure_default_engine(*, workers: int = 1, chunk_size: int = 2048,
                              shard_blocking: bool = False,
-                             balance_shards: bool = False) -> BatchMatchEngine:
+                             balance_shards: bool = False,
+                             auto: bool = False) -> BatchMatchEngine:
     """Build and install the process default engine; returns it."""
     engine = BatchMatchEngine(EngineConfig(workers=workers,
                                            chunk_size=chunk_size,
                                            shard_blocking=shard_blocking,
-                                           balance_shards=balance_shards))
+                                           balance_shards=balance_shards,
+                                           auto=auto))
     set_default_engine(engine)
     return engine

@@ -45,16 +45,29 @@ class MatchRequest:
     (missing values become ``None`` slots resolved by the combiner's
     missing-value policy).
 
+    ``missing`` is the single-attribute missing-value policy (mirroring
+    :class:`~repro.core.matchers.attribute.AttributeMatcher`):
+    ``"skip"`` produces no correspondence for a pair with a missing
+    value, while ``"zero"`` scores such pairs 0.0 — observable only in
+    ``threshold == 0`` diagnostics, since positive thresholds filter
+    zero scores either way.  Multi-attribute requests ignore it: there
+    a missing value becomes a ``None`` slot resolved by the combiner's
+    own missing-value policy.
+
     Candidate pairs come from, in priority order: an explicit
     ``candidates`` iterable, the ``blocking`` strategy, or the full
     cross product of the two sources.
 
-    The request also decides kernel eligibility: only single-attribute
-    requests (``combiner is None``) without an explicit candidate list
-    can take a vectorized fast path (q-gram bit kernel, sparse TF/IDF
-    kernel — see :func:`repro.engine.vectorized.build_kernel`); the
-    sharded path additionally requires a ``blocking`` object with an
-    authoritative ``shards`` protocol.
+    The request also decides kernel eligibility: requests without an
+    explicit candidate list can take a vectorized fast path — a
+    single-attribute request through one kernel
+    (:func:`repro.engine.vectorized.build_kernel`: q-gram bit kernel
+    or sparse TF/IDF kernel), a multi-attribute request through the
+    composed multi-spec kernel
+    (:func:`repro.engine.vectorized.build_multi_kernel`: one aligned
+    column per spec plus a vectorized combiner) when at least one spec
+    has a real kernel.  The sharded path additionally requires a
+    ``blocking`` object with an authoritative ``shards`` protocol.
     """
 
     domain: LogicalSource
@@ -64,6 +77,7 @@ class MatchRequest:
     combiner: Optional[CombinationFunction] = None
     candidates: Optional[Iterable[Pair]] = None
     blocking: Optional[object] = None
+    missing: str = "skip"
     name: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -76,6 +90,10 @@ class MatchRequest:
         if not 0.0 <= self.threshold <= 1.0:
             raise ValueError(
                 f"threshold must be in [0, 1], got {self.threshold!r}"
+            )
+        if self.missing not in ("skip", "zero"):
+            raise ValueError(
+                f"missing must be 'skip' or 'zero', got {self.missing!r}"
             )
 
     @property

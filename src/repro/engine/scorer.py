@@ -44,6 +44,7 @@ class ChunkScorer:
         self.specs = list(request.specs)
         self.threshold = request.threshold
         self.combiner = request.combiner
+        self.missing = request.missing
         self.cache_limit = cache_limit
         self._caches: List[dict] = [{} for _ in self.specs]
 
@@ -62,7 +63,8 @@ class ChunkScorer:
         get_a = self.domain.get
         get_b = self.range.get
         cache = self._caches[0]
-        records: List[Tuple[str, str, Pair]] = []
+        missing_zero = self.missing == "zero"
+        records: List[Tuple[str, str, Optional[Pair]]] = []
         pending: dict = {}
         for id_a, id_b in pairs:
             instance_a = get_a(id_a)
@@ -72,9 +74,12 @@ class ChunkScorer:
             value_a = instance_a.get(attribute)
             value_b = instance_b.get(range_attribute)
             if value_a is None or value_b is None:
-                # Single-attribute semantics: a missing value never
-                # produces a correspondence (both missing policies of
-                # AttributeMatcher reduce to this for the result set).
+                # Missing-value policy: "skip" produces no
+                # correspondence; "zero" scores the pair 0.0, which
+                # only a threshold-0 run can observe (the score > 0
+                # filter drops it everywhere else).
+                if missing_zero:
+                    records.append((id_a, id_b, None))
                 continue
             key = (str(value_a), str(value_b))
             records.append((id_a, id_b, key))
@@ -85,6 +90,10 @@ class ChunkScorer:
         out: List[Triple] = []
         append = out.append
         for id_a, id_b, key in records:
+            if key is None:
+                if threshold <= 0.0:
+                    append((id_a, id_b, 0.0))
+                continue
             score = fresh.get(key)
             if score is None:
                 score = cache[key]
@@ -189,3 +198,19 @@ def _score_chunk_task(pairs: Sequence[Pair]) -> List[Triple]:
     if scorer is None:  # pragma: no cover - defensive; engine installs first
         raise RuntimeError("no scorer installed in worker process")
     return scorer.score_chunk(pairs)
+
+
+def _score_chunk_task_timed(pairs: Sequence[Pair]):
+    """Like :func:`_score_chunk_task` but reporting worker-side seconds.
+
+    Used by the engine's autotuner (``EngineConfig(auto=True)``): the
+    chunk-size feedback loop wants pure scoring cost, excluding the
+    queueing and IPC latency a parent-side measurement would fold in.
+    """
+    import time
+    scorer = _ACTIVE_SCORER
+    if scorer is None:  # pragma: no cover - defensive; engine installs first
+        raise RuntimeError("no scorer installed in worker process")
+    start = time.perf_counter()
+    triples = scorer.score_chunk(pairs)
+    return time.perf_counter() - start, triples

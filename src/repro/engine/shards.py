@@ -116,11 +116,21 @@ class ShardRunner:
         Payloads are ``("rows", (rows_a, rows_b, scores))`` from the
         vectorized modes (int/float arrays — the parent maps rows back
         to ids) or ``("triples", [...])`` from the generic scorer.
+
+        Self-matching block expansion may emit a pair in either
+        orientation, so the block-vectorized mode additionally
+        requires an orientation-symmetric kernel; composed
+        multi-attribute kernels carrying a scalar-fallback column
+        (whose wrapped similarity may be asymmetric) take the
+        orientation-faithful pair stream instead.
         """
         shard = self.shards[shard_index]
         if self.indexed is not None:
             blocks = shard.blocks()
-            if blocks is not None and _np is not None:
+            symmetric = getattr(self.indexed.kernel,
+                                "orientation_symmetric", False)
+            if blocks is not None and _np is not None \
+                    and (symmetric or not self.is_self):
                 return "rows", self._run_blocks(blocks)
             return "rows", self._run_pairs_indexed(shard)
         return "triples", self._run_pairs_scorer(shard)
@@ -410,6 +420,58 @@ def rebalance_shards(shards: Sequence[PairShard],
 
 
 # ----------------------------------------------------------------------
+# autotuning: cost-model-driven shard-plan decisions
+# ----------------------------------------------------------------------
+
+#: rebalance automatically when the costliest shard's estimate exceeds
+#: this multiple of the ideal per-worker share ``total / workers`` —
+#: beyond it the naive schedule's makespan is bound by that one shard
+#: (the dominant-key / stop-word-token signature), below it the naive
+#: list already spreads within noise of optimal and balancing would
+#: only pay the splitting pass for nothing
+AUTO_SKEW_FACTOR = 1.25
+#: preferred pair-cost per rebalanced bin; with worker-count clamps
+#: this sizes bins to amortize per-shard dispatch without recreating a
+#: long tail
+AUTO_TARGET_SHARD_COST = 1 << 18
+
+
+def autotune_plan(costs: Sequence[Optional[int]], workers: int,
+                  n_shards: Optional[int] = None):
+    """Decide ``(balance, n_bins)`` from shard cost estimates.
+
+    The pure decision kernel behind ``EngineConfig(auto=True)``
+    (Peukert-style rule/cost-driven tuning instead of hand-set
+    flags).  Balancing turns on when the costliest shard exceeds
+    :data:`AUTO_SKEW_FACTOR` times the ideal per-worker share
+    ``total / workers`` — the quantity that actually bounds the naive
+    schedule's makespan; a single oversized shard (``len(costs) ==
+    1`` included) is the worst case and always trips it on a
+    multi-worker run.  The bin count derives from the total estimated
+    cost (one bin per :data:`AUTO_TARGET_SHARD_COST` pairs) clamped
+    to between 4 and 16 bins per worker.  Shards with unknown cost
+    are assumed average, exactly as :func:`rebalance_shards` treats
+    them; all-unknown cost lists disable balancing (no evidence of
+    skew).  An explicit ``n_shards`` is honored as the bin count.
+    """
+    known = [cost for cost in costs if cost is not None]
+    if not known:
+        return False, n_shards if n_shards is not None \
+            else max(4, workers * 4)
+    assumed = max(1, sum(known) // len(known))
+    filled = [assumed if cost is None else cost for cost in costs]
+    total = sum(filled)
+    balance = total > 0 and \
+        max(filled) * workers >= AUTO_SKEW_FACTOR * total
+    if n_shards is not None:
+        bins = n_shards
+    else:
+        bins = -(-total // AUTO_TARGET_SHARD_COST)
+        bins = max(4 * workers, min(16 * workers, bins))
+    return balance, bins
+
+
+# ----------------------------------------------------------------------
 # worker-side plumbing (same pattern as scorer.py / vectorized.py)
 # ----------------------------------------------------------------------
 
@@ -465,7 +527,8 @@ def build_shard_runner(engine: "BatchMatchEngine", request: MatchRequest):
     """Resolve the shard list and runner the sharded path would execute.
 
     The single source of truth for the sharded plan — shard count
-    default, skew rebalancing, kernel-vs-scorer choice — shared by
+    default, skew rebalancing (hand-set via ``balance_shards`` or
+    cost-model-driven via ``auto``), kernel-vs-scorer choice — shared by
     :func:`execute_sharded` and by benchmarks/diagnostics that need to
     time individual shards without duplicating the engine's wiring.
     Returns ``None`` when the request cannot shard (explicit candidate
@@ -492,6 +555,11 @@ def build_shard_runner(engine: "BatchMatchEngine", request: MatchRequest):
         return [], None
     if config.balance_shards:
         shards = rebalance_shards(shards, n_shards)
+    elif config.auto:
+        balance, bins = autotune_plan([shard.cost() for shard in shards],
+                                      config.workers, config.n_shards)
+        if balance:
+            shards = rebalance_shards(shards, bins)
     indexed = engine._try_indexed(request)
     scorer = None if indexed is not None else ChunkScorer(request)
     return shards, ShardRunner(shards, request, config.chunk_size, indexed,

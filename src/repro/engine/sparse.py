@@ -122,6 +122,10 @@ class TfIdfKernel:
     block-vectorized mode drive it unchanged.
     """
 
+    #: the expanded-side tie-break canonicalizes on the smaller text,
+    #: so scores are independent of pair orientation by construction
+    orientation_symmetric = True
+
     def __init__(self, sim: TfIdfCosineSimilarity,
                  domain_values: Sequence[object],
                  range_values: Sequence[object]) -> None:

@@ -17,9 +17,21 @@ Two kernels exist today:
   arrays over the shared vocabulary, chunks scored as sparse dot
   products.
 
-Both expose ``score_rows(domain_rows, range_rows) -> float64 scores``
-over row indices aligned with ``source.ids()`` order, which is the
-whole kernel contract: :class:`IndexedScorer` (and the sharded
+A third, *composed* kernel serves multi-attribute requests:
+:func:`build_multi_kernel` builds one column per attribute spec — a
+real kernel where one exists, a :class:`ScalarColumn` fallback
+otherwise — over the shared ``source.ids()`` row order, evaluates all
+columns on the same candidate row arrays, masks missing values as
+``None`` slots, and applies the request's
+:class:`~repro.core.operators.functions.CombinationFunction`
+column-wise (vectorized for the exact avg/min/max/weighted classes,
+including their ``-0`` missing-as-zero policies; per-row for custom
+combiners) — bit-identical to
+:meth:`~repro.engine.scorer.ChunkScorer._score_multi`.
+
+All kernels expose ``score_rows(domain_rows, range_rows) -> float64
+scores`` over row indices aligned with ``source.ids()`` order, which
+is the whole kernel contract: :class:`IndexedScorer` (and the sharded
 block-vectorized mode) is kernel-agnostic.  Candidate pairs cross
 process boundaries as int index arrays (~8 bytes/pair) instead of
 string tuples, so the parallel path's IPC cost collapses as well; on
@@ -48,6 +60,13 @@ try:  # numpy is an optional accelerator, never a hard dependency
 except ImportError:  # pragma: no cover - image always has numpy
     _np = None
 
+from repro.core.operators.functions import (
+    AvgFunction,
+    CombinationFunction,
+    MaxFunction,
+    MinFunction,
+    WeightedFunction,
+)
 from repro.model.source import LogicalSource
 from repro.sim.base import SimilarityFunction
 from repro.sim.ngram import NGramSimilarity
@@ -69,6 +88,11 @@ class NGramBitKernel:
     and is therefore dropped by the engine's ``score > 0`` filter —
     the same outcome as the scalar path's missing-value skip.
     """
+
+    #: dice/jaccard/overlap are symmetric in their operands, so the
+    #: block-vectorized sharded mode may expand a self-matching pair
+    #: in either orientation
+    orientation_symmetric = True
 
     def __init__(self, sim: NGramSimilarity,
                  domain_values: Sequence[object],
@@ -168,6 +192,253 @@ def build_kernel(sim: SimilarityFunction,
                                      attribute, range_attribute)
 
 
+# ----------------------------------------------------------------------
+# multi-attribute composed kernel
+# ----------------------------------------------------------------------
+
+def source_values(domain: LogicalSource, range_: LogicalSource,
+                  attribute: str, range_attribute: str):
+    """Attribute values of both sides in ``source.ids()`` row order.
+
+    Self-matching on the same attribute shares one list, mirroring the
+    aliasing the kernel builders use.
+    """
+    domain_values = [instance.get(attribute) for instance in domain]
+    if range_ is domain and range_attribute == attribute:
+        return domain_values, domain_values
+    return domain_values, [instance.get(range_attribute)
+                           for instance in range_]
+
+
+def missing_mask(values: Sequence[object]):
+    """Boolean row array marking ``None`` attribute values."""
+    return _np.fromiter((value is None for value in values),
+                        dtype=_np.bool_, count=len(values))
+
+
+class ScalarColumn:
+    """Generic ``score_rows`` column for one spec without a vector kernel.
+
+    Looks the candidate rows' values up in ``source.ids()``-aligned
+    text lists and scores the distinct unseen value pairs through the
+    similarity function's ``score_batch`` — exactly the evaluation
+    (and the bounded per-attribute memo) the generic
+    :class:`~repro.engine.scorer.ChunkScorer` performs, so scores are
+    bit-identical to the scalar multi-attribute path.  Missing values
+    score 0.0 like the real kernels; the composed kernel masks them
+    out before the combiner ever sees the column.
+
+    Not orientation-symmetric in general (the wrapped similarity may
+    not be), so a composed kernel containing a scalar column keeps the
+    sharded self-matching path on the orientation-faithful pair
+    stream instead of the block-vectorized expansion.
+    """
+
+    orientation_symmetric = False
+
+    def __init__(self, sim: SimilarityFunction,
+                 domain_values: Sequence[object],
+                 range_values: Sequence[object], *,
+                 cache_limit: int = 1 << 20) -> None:
+        self.sim = sim
+        self.domain_texts = [None if value is None else str(value)
+                             for value in domain_values]
+        if range_values is domain_values:
+            self.range_texts = self.domain_texts
+        else:
+            self.range_texts = [None if value is None else str(value)
+                                for value in range_values]
+        self.cache_limit = cache_limit
+        self._cache: dict = {}
+
+    def score_rows(self, domain_rows, range_rows):
+        texts_a = self.domain_texts
+        texts_b = self.range_texts
+        cache = self._cache
+        keys: List[Optional[tuple]] = []
+        pending: dict = {}
+        for row_a, row_b in zip(_np.asarray(domain_rows).tolist(),
+                                _np.asarray(range_rows).tolist()):
+            value_a = texts_a[row_a]
+            value_b = texts_b[row_b]
+            if value_a is None or value_b is None:
+                keys.append(None)
+                continue
+            key = (value_a, value_b)
+            keys.append(key)
+            if key not in cache and key not in pending:
+                pending[key] = None
+        if pending:
+            work = list(pending)
+            fresh = dict(zip(work, self.sim.score_batch(work)))
+        else:
+            fresh = {}
+        out = _np.zeros(len(keys), dtype=_np.float64)
+        for index, key in enumerate(keys):
+            if key is None:
+                continue
+            score = fresh.get(key)
+            if score is None:
+                score = cache[key]
+            out[index] = score
+        if fresh:
+            if len(cache) + len(fresh) > self.cache_limit:
+                cache.clear()
+            if len(fresh) <= self.cache_limit:
+                cache.update(fresh)
+        return out
+
+
+def _combine_columns(combiner: CombinationFunction, columns, present):
+    """Apply ``combiner`` column-wise; dropped slots become 0.0.
+
+    Vectorized implementations exist for the exact avg/min/max/
+    weighted classes (covering their missing-as-zero ``-0`` variants);
+    any subclass falls back to per-row ``combine`` calls.  Either way
+    the result is bit-identical to the scalar loop: sums accumulate
+    left to right with missing slots contributing an exact ``+0.0``
+    (which IEEE addition cannot observe on the engine's non-negative
+    scores), min/max perform no arithmetic, and divisions divide the
+    same two float64 values.  A combined result of ``None`` maps to
+    0.0, which the engine's ``score > 0`` filter removes — the same
+    outcome as the scalar path dropping the pair.
+    """
+    count = len(columns[0])
+    cls = type(combiner)
+    if cls is AvgFunction:
+        acc = _np.zeros(count, dtype=_np.float64)
+        available = _np.zeros(count, dtype=_np.int64)
+        for column, mask in zip(columns, present):
+            acc = acc + _np.where(mask, column, 0.0)
+            available += mask
+        if combiner.missing_as_zero:
+            return acc / len(columns)
+        valid = available > 0
+        return _np.where(valid, acc / _np.maximum(available, 1), 0.0)
+    if cls is MinFunction:
+        acc = _np.full(count, _np.inf, dtype=_np.float64)
+        available = _np.zeros(count, dtype=_np.int64)
+        for column, mask in zip(columns, present):
+            acc = _np.minimum(acc, _np.where(mask, column, _np.inf))
+            available += mask
+        if combiner.missing_as_zero:
+            valid = available == len(columns)
+        else:
+            valid = available > 0
+        return _np.where(valid, acc, 0.0)
+    if cls is MaxFunction:
+        acc = _np.full(count, -_np.inf, dtype=_np.float64)
+        available = _np.zeros(count, dtype=_np.int64)
+        for column, mask in zip(columns, present):
+            acc = _np.maximum(acc, _np.where(mask, column, -_np.inf))
+            available += mask
+        return _np.where(available > 0, acc, 0.0)
+    if cls is WeightedFunction and len(combiner.weights) == len(columns):
+        if combiner.missing_as_zero:
+            total = _np.zeros(count, dtype=_np.float64)
+            for weight, column, mask in zip(combiner.weights, columns,
+                                            present):
+                total = total + _np.where(mask, weight * column, 0.0)
+            return total / sum(combiner.weights)
+        total = _np.zeros(count, dtype=_np.float64)
+        weight_sum = _np.zeros(count, dtype=_np.float64)
+        for weight, column, mask in zip(combiner.weights, columns, present):
+            total = total + _np.where(mask, weight * column, 0.0)
+            weight_sum = weight_sum + _np.where(mask, weight, 0.0)
+        valid = weight_sum > 0.0
+        return _np.where(valid, total / _np.where(valid, weight_sum, 1.0),
+                         0.0)
+    # custom combiner subclass: per-row fallback through the scalar API
+    combine = combiner.combine
+    out = _np.zeros(count, dtype=_np.float64)
+    column_lists = [column.tolist() for column in columns]
+    mask_lists = [mask.tolist() for mask in present]
+    for row in range(count):
+        values = [column[row] if mask[row] else None
+                  for column, mask in zip(column_lists, mask_lists)]
+        score = combine(values)
+        if score is not None:
+            out[row] = score
+    return out
+
+
+class MultiSpecKernel:
+    """Composed kernel for multi-attribute requests.
+
+    One ``score_rows`` column per attribute spec — a real vectorized
+    kernel where one exists, a :class:`ScalarColumn` otherwise — all
+    aligned on the same ``source.ids()`` row order and evaluated on
+    the same candidate row arrays.  Missing values are masked into
+    ``None`` slots and the :class:`CombinationFunction` is applied
+    column-wise (:func:`_combine_columns`), so the combined scores are
+    bit-identical to :meth:`ChunkScorer._score_multi`; pairs the
+    combiner drops surface as 0.0 and fall to the engine's
+    ``score > 0`` filter.
+    """
+
+    def __init__(self, columns, domain_missing, range_missing,
+                 combiner: CombinationFunction) -> None:
+        self.columns = list(columns)
+        self.domain_missing = list(domain_missing)
+        self.range_missing = list(range_missing)
+        self.combiner = combiner
+        # self-matching block expansion may flip pair orientation; only
+        # safe when every column is (all real kernels are, by contract)
+        self.orientation_symmetric = all(
+            getattr(column, "orientation_symmetric", False)
+            for column in self.columns)
+
+    def score_rows(self, domain_rows, range_rows):
+        """Combined float64 scores; dropped (``None``) combos are 0.0."""
+        scores = [column.score_rows(domain_rows, range_rows)
+                  for column in self.columns]
+        present = [
+            ~(domain_miss[domain_rows] | range_miss[range_rows])
+            for domain_miss, range_miss in zip(self.domain_missing,
+                                               self.range_missing)
+        ]
+        return _combine_columns(self.combiner, scores, present)
+
+
+def build_multi_kernel(request) -> Optional[MultiSpecKernel]:
+    """Build the composed kernel for a multi-attribute request, or ``None``.
+
+    Eligible when numpy is available and at least one spec has a real
+    vectorized kernel (otherwise the generic chunk scorer — with its
+    own per-attribute memo — is just as good and skips the packing
+    cost).  Specs without a kernel become :class:`ScalarColumn`
+    fallbacks, so one slow similarity no longer forces the whole
+    request off the fast path.
+    """
+    if _np is None or request.combiner is None:
+        return None
+    kernels = [build_kernel(spec.similarity, request.domain, request.range,
+                            spec.attribute, spec.range_attribute)
+               for spec in request.specs]
+    if not any(kernel is not None for kernel in kernels):
+        # bail before the fallback columns and masks are built: an
+        # all-fallback composition would just be the generic scorer
+        # with extra packing cost
+        return None
+    columns = []
+    domain_missing = []
+    range_missing = []
+    for spec, kernel in zip(request.specs, kernels):
+        domain_values, range_values = source_values(
+            request.domain, request.range,
+            spec.attribute, spec.range_attribute)
+        if kernel is None:
+            kernel = ScalarColumn(spec.similarity, domain_values,
+                                  range_values)
+        columns.append(kernel)
+        domain_missing.append(missing_mask(domain_values))
+        range_missing.append(missing_mask(range_values)
+                             if range_values is not domain_values
+                             else domain_missing[-1])
+    return MultiSpecKernel(columns, domain_missing, range_missing,
+                           request.combiner)
+
+
 class IndexedScorer:
     """Bridges id-pair chunks onto a vectorized kernel.
 
@@ -183,13 +454,22 @@ class IndexedScorer:
     """
 
     def __init__(self, kernel, domain_ids: List[str],
-                 range_ids: List[str], threshold: float) -> None:
+                 range_ids: List[str], threshold: float, *,
+                 missing_zero: bool = False,
+                 domain_missing=None, range_missing=None) -> None:
         self.kernel = kernel
         self.threshold = threshold
         self.domain_ids = domain_ids
         self.range_ids = range_ids
         self._domain_rows = {id: row for row, id in enumerate(domain_ids)}
         self._range_rows = {id: row for row, id in enumerate(range_ids)}
+        # single-attribute missing="zero" policy: pairs with a missing
+        # value (which every kernel scores exactly 0.0) survive the
+        # filter at threshold 0 instead of being dropped with the
+        # ordinary zero scores
+        self.missing_zero = missing_zero
+        self.domain_missing = domain_missing
+        self.range_missing = range_missing
 
     def convert(self, chunk):
         """Map a chunk of id pairs to row arrays (unknown ids dropped)."""
@@ -213,6 +493,10 @@ class IndexedScorer:
         """Score row arrays; return only rows surviving the threshold."""
         scores = self.kernel.score_rows(rows_a, rows_b)
         mask = (scores >= self.threshold) & (scores > 0.0)
+        if self.missing_zero and self.threshold <= 0.0 and len(rows_a):
+            missing = (self.domain_missing[rows_a]
+                       | self.range_missing[rows_b])
+            mask = mask | missing
         return rows_a[mask], rows_b[mask], scores[mask]
 
     def triples(self, rows_a, rows_b, scores):
@@ -241,3 +525,18 @@ def _score_rows_task(rows):
     if scorer is None:  # pragma: no cover - defensive; engine installs first
         raise RuntimeError("no indexed scorer installed in worker process")
     return scorer.score_rows(*rows)
+
+
+def _score_rows_task_timed(rows):
+    """Like :func:`_score_rows_task` but reporting worker-side seconds.
+
+    The autotuner's chunk-size feedback needs the scoring cost alone,
+    not queueing or IPC latency the parent would otherwise fold in.
+    """
+    import time
+    scorer = _ACTIVE_INDEXED
+    if scorer is None:  # pragma: no cover - defensive; engine installs first
+        raise RuntimeError("no indexed scorer installed in worker process")
+    start = time.perf_counter()
+    survivors = scorer.score_rows(*rows)
+    return time.perf_counter() - start, survivors

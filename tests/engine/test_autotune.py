@@ -1,0 +1,254 @@
+"""Tests for the engine autotuner (``EngineConfig(auto=True)``).
+
+The autotuner replaces three hand-set knobs — ``chunk_size``,
+``n_shards``, ``balance_shards`` — with observed-throughput chunk
+sizing, cost-derived bin counts, and dispersion-driven rebalancing.
+Every decision it makes is a pure performance knob, so the load-bearing
+property is unchanged results; the decision logic itself is pinned
+through the pure :func:`repro.engine.shards.autotune_plan` kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AttributeMatcher
+from repro.blocking import KeyBlocking, TokenBlocking
+from repro.engine import AdaptiveChunker, BatchMatchEngine, EngineConfig
+from repro.engine.chunks import ADAPTIVE_MAX_CHUNK, ADAPTIVE_MIN_CHUNK
+from repro.engine.request import AttributeSpec, MatchRequest
+from repro.engine.shards import (
+    AUTO_SKEW_FACTOR,
+    autotune_plan,
+    build_shard_runner,
+)
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+from repro.sim.ngram import TrigramSimilarity
+
+SERIAL = BatchMatchEngine(EngineConfig(workers=1, chunk_size=64))
+AUTO = BatchMatchEngine(EngineConfig(workers=4, auto=True))
+AUTO_INLINE = BatchMatchEngine(EngineConfig(workers=1, auto=True))
+
+
+def _skewed_source(name: str, count: int):
+    words = ["adaptive", "stream", "schema", "query", "index",
+             "cache", "graph", "join", "view", "cube"]
+    source = LogicalSource(PhysicalSource(name), ObjectType("Publication"))
+    for i in range(count):
+        first = "popular" if i % 2 == 0 else words[i % len(words)]
+        tail = " ".join(words[(i * 7 + j) % len(words)]
+                        for j in range(1, 5))
+        source.add_record(f"{name.lower()}{i}",
+                          title=f"{first} {tail} {i % 97}q")
+    return source
+
+
+class TestAutotunePlan:
+    def test_dominant_shard_triggers_balancing(self):
+        balance, _ = autotune_plan([525_000, 105_000], workers=4)
+        assert balance
+
+    def test_flat_distribution_stays_naive(self):
+        balance, _ = autotune_plan([100] * 16, workers=4)
+        assert not balance
+
+    def test_single_oversized_shard_is_worst_skew(self):
+        balance, _ = autotune_plan([1_000_000], workers=4)
+        assert balance
+
+    def test_serial_run_never_balances(self):
+        # with one worker there is no makespan to cut
+        balance, _ = autotune_plan([1_000_000, 10], workers=1)
+        assert not balance
+
+    def test_unknown_costs_disable_balancing(self):
+        balance, bins = autotune_plan([None, None, None], workers=4)
+        assert not balance
+        assert bins == 16
+
+    def test_unknown_costs_assumed_average(self):
+        # unknowns fill in at the known mean, so a shard dominating
+        # the known costs still reads as skew
+        balance, _ = autotune_plan([1_000_000, 10, 10, None], workers=4)
+        assert balance
+        # ...while a lone known cost among unknowns reads as flat
+        balance, _ = autotune_plan([1_000_000, None, None, None],
+                                   workers=4)
+        assert not balance
+
+    def test_explicit_n_shards_is_honored(self):
+        _, bins = autotune_plan([1_000_000, 10], workers=4, n_shards=6)
+        assert bins == 6
+
+    def test_bin_count_scales_with_total_cost(self):
+        _, small = autotune_plan([1_000] * 8, workers=4)
+        _, large = autotune_plan([10_000_000] * 8, workers=4)
+        assert small == 16          # floor: 4 per worker
+        assert large == 64          # ceiling: 16 per worker
+
+    def test_threshold_boundary(self):
+        # exactly at the factor: max * workers == factor * total
+        total = 1000
+        hot = int(AUTO_SKEW_FACTOR * total / 4)
+        balance, _ = autotune_plan([hot, total - hot], workers=4)
+        assert balance
+
+
+class TestAdaptiveChunker:
+    def test_chunks_partition_the_stream(self):
+        chunker = AdaptiveChunker(range(1000), 128)
+        items = [item for chunk in chunker for item in chunk]
+        assert items == list(range(1000))
+
+    def test_fast_chunks_grow_toward_the_ceiling(self):
+        chunker = AdaptiveChunker(range(10**6), 512)
+        for chunk in chunker:
+            chunker.observe(len(chunk), 1e-6)
+            if chunker.size == ADAPTIVE_MAX_CHUNK:
+                break
+        assert chunker.size == ADAPTIVE_MAX_CHUNK
+
+    def test_slow_chunks_shrink_toward_the_floor(self):
+        chunker = AdaptiveChunker(range(10**6), 8192)
+        for chunk in chunker:
+            chunker.observe(len(chunk), 30.0)
+            if chunker.size == ADAPTIVE_MIN_CHUNK:
+                break
+        assert chunker.size == ADAPTIVE_MIN_CHUNK
+
+    def test_on_target_chunks_hold_steady(self):
+        chunker = AdaptiveChunker(range(10**5), 2048)
+        iterator = iter(chunker)
+        next(iterator)
+        chunker.observe(2048, chunker.target_seconds)
+        assert chunker.size == 2048
+
+    def test_rejects_bad_initial_size(self):
+        with pytest.raises(ValueError):
+            AdaptiveChunker([], 0)
+
+    def test_resuming_iteration_continues_the_stream(self):
+        # the engine resumes the same chunker after a parallel fallback
+        chunker = AdaptiveChunker(range(100), 30)
+        first = next(iter(chunker))
+        rest = [item for chunk in chunker for item in chunk]
+        assert first + rest == list(range(100))
+
+
+class TestAutoExecution:
+    @pytest.mark.parametrize("blocking", [None, KeyBlocking(),
+                                          TokenBlocking(max_df=0.8)],
+                             ids=["cross", "key", "token"])
+    def test_auto_matches_serial_results(self, dataset, blocking):
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        serial = AttributeMatcher("title", similarity="trigram",
+                                  threshold=0.4, blocking=blocking,
+                                  engine=SERIAL)
+        auto = AttributeMatcher("title", similarity="trigram",
+                                threshold=0.4, blocking=blocking,
+                                engine=AUTO)
+        rows = serial.match(dblp, acm).to_rows()
+        assert rows == auto.match(dblp, acm).to_rows()
+        assert rows
+
+    def test_auto_inline_matches_serial_results(self, dataset):
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        serial = AttributeMatcher("title", similarity="levenshtein",
+                                  threshold=0.3, engine=SERIAL)
+        auto = AttributeMatcher("title", similarity="levenshtein",
+                                threshold=0.3, engine=AUTO_INLINE)
+        assert serial.match(dblp, acm).to_rows() \
+            == auto.match(dblp, acm).to_rows()
+
+    def test_auto_rebalances_the_skewed_plan(self):
+        """On a dominant-key workload the auto plan must match the
+        hand-tuned balance_shards=True plan: same shard count, no
+        dominant shard left."""
+        domain = _skewed_source("SKL", 700)
+        range_ = _skewed_source("SKR", 660)
+        sim = TrigramSimilarity()
+        request = MatchRequest(
+            domain=domain, range=range_,
+            specs=[AttributeSpec("title", "title", sim)],
+            threshold=0.7, blocking=KeyBlocking())
+        hand = BatchMatchEngine(EngineConfig(workers=4,
+                                             shard_blocking=True,
+                                             balance_shards=True))
+        hand._prepare(request)
+        hand_shards, _ = build_shard_runner(hand, request)
+        auto_shards, _ = build_shard_runner(AUTO, request)
+        naive_shards, _ = build_shard_runner(
+            BatchMatchEngine(EngineConfig(workers=4, shard_blocking=True)),
+            request)
+        hand_max = max(shard.cost() for shard in hand_shards)
+        auto_max = max(shard.cost() for shard in auto_shards)
+        naive_max = max(shard.cost() for shard in naive_shards)
+        assert auto_max <= hand_max * 1.2
+        assert auto_max < naive_max
+
+    def test_auto_leaves_flat_plans_naive(self, dataset):
+        """An unskewed token-blocked plan must not pay the splitting
+        pass: the auto shard list is the naive shard list."""
+        dblp, acm = dataset.dblp.publications, dataset.acm.publications
+        sim = TrigramSimilarity()
+        request = MatchRequest(
+            domain=dblp, range=acm,
+            specs=[AttributeSpec("title", "title", sim)],
+            threshold=0.4, blocking=TokenBlocking(max_df=0.5))
+        naive = BatchMatchEngine(EngineConfig(workers=4,
+                                              shard_blocking=True))
+        naive._prepare(request)
+        naive_shards, _ = build_shard_runner(naive, request)
+        auto_shards, _ = build_shard_runner(AUTO, request)
+        naive_costs = [shard.cost() for shard in naive_shards]
+        if max(naive_costs) * 4 < AUTO_SKEW_FACTOR * sum(naive_costs):
+            assert [shard.cost() for shard in auto_shards] == naive_costs
+
+    def test_explicit_balance_wins_over_auto(self):
+        """balance_shards=True + auto=True always balances, skew or
+        not — explicit knobs win."""
+        domain = _skewed_source("SKL", 100)
+        sim = TrigramSimilarity()
+        request = MatchRequest(
+            domain=domain, range=domain,
+            specs=[AttributeSpec("title", "title", sim)],
+            threshold=0.7, blocking=KeyBlocking())
+        both = BatchMatchEngine(EngineConfig(workers=2, auto=True,
+                                             balance_shards=True,
+                                             shard_blocking=True))
+        both._prepare(request)
+        plan = build_shard_runner(both, request)
+        assert plan is not None
+
+    def test_config_round_trip(self):
+        config = EngineConfig(workers=2, auto=True)
+        assert config.auto
+        assert not EngineConfig().auto
+
+    def test_configure_default_engine_accepts_auto(self):
+        from repro.engine import (
+            configure_default_engine,
+            get_default_engine,
+            set_default_engine,
+        )
+        try:
+            engine = configure_default_engine(workers=2, auto=True)
+            assert engine.config.auto
+            assert get_default_engine() is engine
+        finally:
+            set_default_engine(None)
+
+
+class TestCliAutoFlag:
+    def test_cli_wires_auto_into_default_engine(self, monkeypatch):
+        from repro import __main__ as cli
+        from repro.engine import get_default_engine, set_default_engine
+
+        monkeypatch.setattr(cli, "_command_stats", lambda args: 0)
+        try:
+            assert cli.main(["--auto", "stats"]) == 0
+            assert get_default_engine().config.auto
+            assert cli.main(["stats"]) == 0
+            assert not get_default_engine().config.auto
+        finally:
+            set_default_engine(None)
