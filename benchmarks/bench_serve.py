@@ -1,0 +1,301 @@
+"""Serving benchmark: the kernel-batched match service vs the scalar
+online loop.
+
+One mixed query/ingest/delete workload (noisy GS titles matched
+against the DBLP reference, with ACM-derived records ingested and
+reference rows deleted along the way), executed twice:
+
+* **scalar online loop** — the pre-serve :class:`OnlineMatcher`
+  execution model, reimplemented here verbatim so the baseline
+  survives refactors: per query record, candidates from the token
+  index, then one ``similarity()`` call per candidate pair;
+* **match service** — :class:`repro.serve.MatchService` over the same
+  mutable reference: each query batch becomes one bound-kernel
+  ``score_rows`` call over the union of its candidate pairs.
+
+Both runs share candidate generation (the same
+:class:`~repro.serve.index.IncrementalIndex` logic) and must produce
+identical correspondences; the result cache is disabled so the gate
+measures scoring, not reuse.  Alongside the wall times the benchmark
+reports sustained match throughput and p50/p99 per-batch latency for
+the service.
+
+Run standalone with ``PYTHONPATH=src python benchmarks/bench_serve.py``
+or via pytest.  ``REPRO_SERVE_BENCH=small`` runs a quick smoke at
+reduced scale (all correctness gates, no perf gate — sub-second runs
+are noise-bound).  ``REPRO_SERVE_BENCH_JSON=/path/to/BENCH_serve.json``
+writes the measurements as JSON (archived by CI next to
+``BENCH_engine.json``); see ``docs/benchmarks.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from typing import List, Tuple
+
+from repro.datagen import build_dataset
+from repro.datagen.world import WorldConfig
+from repro.model.entity import ObjectInstance
+from repro.serve import MatchService
+from repro.serve.index import IncrementalIndex
+from repro.sim.ngram import TrigramSimilarity
+
+THRESHOLD = 0.6
+MAX_CANDIDATES = 100
+MATCH_BATCH = 48
+#: the kernel-batched service must beat the scalar per-pair loop by at
+#: least this factor on the full-scale mixed workload
+SERVE_SPEEDUP_FLOOR = 3.0
+
+SCALAR_LABEL = "scalar online loop"
+SERVICE_LABEL = "match service (kernel-batched)"
+
+
+def _small_mode() -> bool:
+    return os.environ.get("REPRO_SERVE_BENCH") == "small"
+
+
+def _build_workload():
+    """Reference + query/ingest pools from the synthetic world."""
+    if _small_mode():
+        dataset = build_dataset("small", seed=7)
+    else:
+        dataset = build_dataset(
+            world_config=WorldConfig(seed=7, scale=3.5, clusters=300))
+    reference = dataset.dblp.publications
+    queries = [instance for instance in dataset.gs.publications
+               if instance.get("title") is not None]
+    ingest_pool = [
+        ObjectInstance(f"ingest-{instance.id}", dict(instance.attributes))
+        for instance in dataset.acm.publications
+    ]
+    return reference, queries, ingest_pool
+
+
+def _build_ops(reference, queries, ingest_pool):
+    """The deterministic mixed op sequence both runs execute."""
+    rng = random.Random(7)
+    if _small_mode():
+        n_match, ingest_every, ingest_size, delete_size = 10, 4, 8, 4
+    else:
+        n_match, ingest_every, ingest_size, delete_size = 60, 5, 24, 12
+    deletable = list(reference.ids())
+    rng.shuffle(deletable)
+    ops = []
+    query_cursor = ingest_cursor = 0
+    for step in range(n_match):
+        batch = [queries[(query_cursor + i) % len(queries)]
+                 for i in range(MATCH_BATCH)]
+        query_cursor += MATCH_BATCH
+        ops.append(("match", batch))
+        if (step + 1) % ingest_every == 0:
+            records = ingest_pool[ingest_cursor:ingest_cursor + ingest_size]
+            ingest_cursor += ingest_size
+            ops.append(("ingest", records))
+            ops.append(("delete", [deletable.pop()
+                                   for _ in range(delete_size)]))
+    return ops
+
+
+class ScalarOnlineLoop:
+    """The pre-serve ``OnlineMatcher`` execution model, reimplemented
+    verbatim so the baseline survives refactors: per query record,
+    candidate ranking by per-id dict accumulation over the token
+    postings, then one scalar ``similarity()`` call per candidate
+    pair.  Mutation bookkeeping (postings, tombstones) reuses the
+    :class:`IncrementalIndex` with kernels disabled; the ranking
+    weights match the index's, so both runs score identical pairs and
+    must produce identical correspondences.
+    """
+
+    def __init__(self, reference) -> None:
+        self.index = IncrementalIndex(reference, "title",
+                                      TrigramSimilarity(),
+                                      build_kernels=False)
+        self.similarity = self.index.specs[0].similarity
+
+    def _candidates(self, value: str) -> List[str]:
+        # the old OnlineMatcher._candidates shape: one dict update per
+        # (token, posting entry), then a full ranking sort
+        scores = {}
+        for _, posting, weight in self.index._posting_weights(value):
+            for slot in posting:
+                scores[slot] = scores.get(slot, 0.0) + weight
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        slot_ids = self.index._slot_ids
+        return [slot_ids[slot] for slot, _ in ranked[:MAX_CANDIDATES]]
+
+    def match_record(self, record) -> List[Tuple[str, float]]:
+        value = record.get("title")
+        if value is None:
+            return []
+        value = str(value)
+        results = []
+        for reference_id in self._candidates(value):
+            reference_value = self.index.get(reference_id).get("title")
+            score = self.similarity.similarity(value, reference_value)
+            if score >= THRESHOLD and score > 0.0:
+                results.append((reference_id, score))
+        results.sort(key=lambda item: (-item[1], item[0]))
+        return results
+
+
+def _run_scalar(reference, ops):
+    loop = ScalarOnlineLoop(reference)
+    rows = []
+    match_seconds = mutation_seconds = 0.0
+    for kind, payload in ops:
+        start = time.perf_counter()
+        if kind == "match":
+            for record in payload:
+                for reference_id, score in loop.match_record(record):
+                    rows.append((record.id, reference_id, score))
+            match_seconds += time.perf_counter() - start
+        elif kind == "ingest":
+            for record in payload:
+                if record.id in loop.index:
+                    loop.index.update(record)
+                else:
+                    loop.index.add(record)
+            mutation_seconds += time.perf_counter() - start
+        else:
+            for id in payload:
+                loop.index.delete(id)
+            mutation_seconds += time.perf_counter() - start
+    return rows, match_seconds, mutation_seconds
+
+
+def _run_service(reference, ops):
+    service = MatchService(reference, "title", TrigramSimilarity(),
+                           threshold=THRESHOLD,
+                           max_candidates=MAX_CANDIDATES,
+                           cache_size=0)
+    rows = []
+    latencies = []
+    match_seconds = mutation_seconds = 0.0
+    matched_records = 0
+    for kind, payload in ops:
+        start = time.perf_counter()
+        if kind == "match":
+            mapping = service.match_batch(payload)
+            elapsed = time.perf_counter() - start
+            match_seconds += elapsed
+            latencies.append(elapsed)
+            matched_records += len(payload)
+            for domain_id, range_id, score in mapping.to_rows():
+                rows.append((domain_id, range_id, score))
+        elif kind == "ingest":
+            service.ingest(payload)
+            mutation_seconds += time.perf_counter() - start
+        else:
+            for id in payload:
+                service.delete(id)
+            mutation_seconds += time.perf_counter() - start
+    return (rows, match_seconds, mutation_seconds, latencies,
+            matched_records, service)
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    ranked = sorted(values)
+    index = min(len(ranked) - 1, int(round(fraction * (len(ranked) - 1))))
+    return ranked[index]
+
+
+def run_serve_benchmark():
+    """Execute the mixed workload both ways; return render + results."""
+    reference, queries, ingest_pool = _build_workload()
+    ops = _build_ops(reference, queries, ingest_pool)
+    n_matches = sum(len(payload) for kind, payload in ops
+                    if kind == "match")
+
+    scalar_rows, scalar_match, scalar_mutation = _run_scalar(reference, ops)
+    (service_rows, service_match, service_mutation, latencies,
+     matched_records, service) = _run_service(reference, ops)
+
+    identical = sorted(scalar_rows) == sorted(service_rows)
+    speedup = scalar_match / max(service_match, 1e-9)
+    throughput = matched_records / max(service_match, 1e-9)
+    p50 = _percentile(latencies, 0.50) * 1000.0
+    p99 = _percentile(latencies, 0.99) * 1000.0
+
+    lines = [
+        "serve benchmark: "
+        f"{len(reference)} reference records, {n_matches} query records "
+        f"in batches of {MATCH_BATCH}, mixed with ingest/delete ops "
+        f"@ threshold {THRESHOLD}, {MAX_CANDIDATES} candidates",
+        f"  {SCALAR_LABEL:<34} {scalar_match:8.2f}s match "
+        f"(+{scalar_mutation:.2f}s mutations)",
+        f"  {SERVICE_LABEL:<34} {service_match:8.2f}s match "
+        f"(+{service_mutation:.2f}s mutations)",
+        f"  service vs scalar loop: {speedup:.2f}x",
+        f"  sustained throughput: {throughput:,.0f} records/s, "
+        f"batch latency p50 {p50:.1f}ms / p99 {p99:.1f}ms",
+        f"  identical correspondences: {identical}",
+    ]
+    measurements = {
+        "benchmark": "serve",
+        "mode": "small" if _small_mode() else "full",
+        "workload": {
+            "reference_size": len(reference),
+            "query_records": n_matches,
+            "match_batch": MATCH_BATCH,
+            "threshold": THRESHOLD,
+            "max_candidates": MAX_CANDIDATES,
+            "ops": len(ops),
+        },
+        "timings_seconds": {
+            SCALAR_LABEL: scalar_match,
+            SERVICE_LABEL: service_match,
+            "scalar mutations": scalar_mutation,
+            "service mutations": service_mutation,
+        },
+        "service_vs_scalar": speedup,
+        "throughput_records_per_second": throughput,
+        "latency_ms": {"p50": p50, "p99": p99},
+        "service_stats": service.stats(),
+        "identical_correspondences": identical,
+    }
+    json_path = os.environ.get("REPRO_SERVE_BENCH_JSON")
+    if json_path:
+        with open(json_path, "w") as handle:
+            json.dump(measurements, handle, indent=2)
+            handle.write("\n")
+        lines.append(f"  measurements written to {json_path}")
+    return "\n".join(lines), measurements
+
+
+# ----------------------------------------------------------------------
+# pytest entry point
+# ----------------------------------------------------------------------
+
+def test_service_beats_scalar_online_loop(report):
+    rendered, results = run_serve_benchmark()
+    report("serve", rendered)
+    print(rendered)
+    assert results["identical_correspondences"], \
+        "service correspondences disagree with the scalar online loop"
+    if not _small_mode():
+        # perf gate only at full scale: smoke runs are noise-bound
+        speedup = results["service_vs_scalar"]
+        assert speedup >= SERVE_SPEEDUP_FLOOR, (
+            f"kernel-batched service only {speedup:.2f}x faster than the "
+            f"scalar online loop; expected >= {SERVE_SPEEDUP_FLOOR}x")
+
+
+if __name__ == "__main__":
+    rendered, results = run_serve_benchmark()
+    print(rendered)
+    if not results["identical_correspondences"]:
+        raise SystemExit(
+            "FAIL: service and scalar loop disagree on correspondences")
+    if not _small_mode() \
+            and results["service_vs_scalar"] < SERVE_SPEEDUP_FLOOR:
+        raise SystemExit(
+            f"FAIL: service only {results['service_vs_scalar']:.2f}x "
+            f"faster than the scalar online loop")
+    print(f"OK: kernel-batched service beats the scalar online loop "
+          f"{results['service_vs_scalar']:.2f}x on the mixed workload, "
+          "identical correspondences")

@@ -1,39 +1,53 @@
 """Online matching of web query results (§2.1's second use case).
 
 Web sources cannot be downloaded, only queried; object matching then
-runs on query results as they arrive.  This example queries the
-simulated Google Scholar source title-by-title (the paper's harvest
-procedure) and matches each result batch against DBLP with the
-incremental :class:`OnlineMatcher`, whose per-record cache plays the
-role of the mapping cache.
+runs on query results as they arrive.  This example runs the serving
+subsystem programmatically: a :class:`~repro.serve.MatchService` holds
+DBLP behind an incrementally indexed, kernel-packed reference, query
+batches from the simulated Google Scholar source score through single
+kernel calls, repeated results reuse the cache (the paper's mapping
+reuse), matched same-mappings persist into a
+:class:`~repro.model.repository.MappingRepository`, and a late
+"publication feed" ingest shows reference mutation with precise cache
+invalidation.
 
 Run with::
 
     python examples/online_matching.py
 """
 
-from repro.core.online import OnlineMatcher
 from repro.datagen import build_dataset
 from repro.datagen.query import QueryClient
+from repro.model.entity import ObjectInstance
+from repro.model.repository import MappingRepository
+from repro.serve import MatchService
 
 
 def main():
     dataset = build_dataset("tiny")
     gs_client = QueryClient(dataset.gs.publications, attribute="title")
-    matcher = OnlineMatcher(dataset.dblp.publications, "title",
-                            threshold=0.75)
+    repository = MappingRepository(":memory:")
+    service = MatchService(dataset.dblp.publications, "title", "trigram",
+                           threshold=0.75,
+                           repository=repository,
+                           mapping_name="gs-vs-dblp",
+                           source_name="GS.Publication")
     gold = dataset.gold.publications("GS.Publication", "DBLP.Publication")
 
     print("Simulating query-time integration: query GS per DBLP title,")
-    print("match results online against the local DBLP store.\n")
+    print("match each result batch online against the DBLP service.\n")
 
     shown = 0
     correct = total = 0
     for pub_id in dataset.dblp.publications.ids():
         title = dataset.dblp.publications.require(pub_id).get("title")
         results = gs_client.search(title, max_results=3)
+        if not results:
+            continue
+        mapping = service.match_batch(results)
         for result in results:
-            matches = matcher.match_record(result)
+            matches = sorted(mapping.range_ids_of(result.id).items(),
+                             key=lambda item: (-item[1], item[0]))
             if not matches:
                 continue
             total += 1
@@ -47,12 +61,26 @@ def main():
                       f"{str(result.get('title'))[:46]:46s} "
                       f"-> {best_id} (sim={score:.2f})")
 
-    stats = matcher.cache_stats()
+    stats = service.stats()
     print(f"\nmatched {total} query results online, "
           f"{correct / total:.1%} of top-1 matches correct")
-    print(f"online matcher cache: {stats['hits']} hits / "
-          f"{stats['misses']} misses "
+    print(f"reuse cache: {stats['cache']['hits']} hits / "
+          f"{stats['cache']['misses']} misses "
           "(duplicate GS entries returned by several queries are free)")
+    print(f"kernel micro-batches: {stats['batches']} calls for "
+          f"{stats['batched_records']} records")
+    print(f"repository: {repository.info('gs-vs-dblp')['correspondences']} "
+          "correspondences materialized in 'gs-vs-dblp'")
+
+    # the reference is live: ingest a fresh record and match against it
+    fresh = ObjectInstance("dblp-fresh-1", {
+        "title": "Mapping-based Object Matching as a Service"})
+    service.ingest([fresh])
+    probe = ObjectInstance("gs-probe", {
+        "title": "mapping based object matching as a service"})
+    best = service.match_record(probe)
+    print(f"\nafter ingest, new record matches immediately: "
+          f"{best[0][0]} (sim={best[0][1]:.2f})")
 
 
 if __name__ == "__main__":

@@ -63,10 +63,12 @@ from repro.model import (
 from repro.engine import (
     BatchMatchEngine,
     EngineConfig,
+    autotune_workers,
     configure_default_engine,
     get_default_engine,
     set_default_engine,
 )
+from repro.serve import IncrementalIndex, MatchService
 from repro.sim import SimilarityFunction, get_similarity
 
 __version__ = "1.1.0"
@@ -82,6 +84,7 @@ __all__ = [
     "ConstraintSelection",
     "Correspondence",
     "GridSearchTuner",
+    "IncrementalIndex",
     "LogicalSource",
     "Mapping",
     "MappingCache",
@@ -89,6 +92,7 @@ __all__ = [
     "MappingRepository",
     "MappingType",
     "MatchContext",
+    "MatchService",
     "MatchWorkflow",
     "Matcher",
     "MatcherLibrary",
@@ -103,6 +107,7 @@ __all__ = [
     "SimilarityFunction",
     "SourceMappingModel",
     "ThresholdSelection",
+    "autotune_workers",
     "compose",
     "configure_default_engine",
     "default_library",

@@ -6,7 +6,9 @@ Commands:
 * ``experiments`` — run paper experiments and print their tables;
 * ``figures``     — reproduce the worked figures (1, 4, 6, 9);
 * ``export``      — write the generated sources' association mappings
-  and gold standards as CSV mapping tables for external tools.
+  and gold standards as CSV mapping tables for external tools;
+* ``serve``       — run the incremental match service as a JSON HTTP
+  server over a generated reference source.
 """
 
 from __future__ import annotations
@@ -32,9 +34,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="dataset scale preset (default: tiny)")
     parser.add_argument("--seed", type=int, default=7,
                         help="world generator seed (default: 7)")
-    parser.add_argument("--workers", type=int, default=1,
+    parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for the batch match engine "
-                             "(default: 1 = serial)")
+                             "(default: serial, or CPU-derived with "
+                             "--auto)")
     parser.add_argument("--chunk-size", type=int, default=2048,
                         help="candidate pairs per engine chunk "
                              "(default: 2048)")
@@ -73,6 +76,33 @@ def _build_parser() -> argparse.ArgumentParser:
         "export", help="export mappings and gold standards as CSV")
     export.add_argument("--out", required=True,
                         help="target directory for the CSV mapping tables")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the incremental match service over HTTP")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port, 0 for ephemeral (default: 8765)")
+    serve.add_argument("--reference", default="dblp",
+                       choices=["dblp", "acm", "gs"],
+                       help="generated source to serve as the reference "
+                            "(default: dblp)")
+    serve.add_argument("--attribute", default="title",
+                       help="match attribute (default: title)")
+    serve.add_argument("--similarity", default="trigram",
+                       help="similarity function registry name "
+                            "(default: trigram)")
+    serve.add_argument("--threshold", type=float, default=0.7,
+                       help="similarity threshold (default: 0.7)")
+    serve.add_argument("--max-candidates", type=int, default=50,
+                       help="candidates scored per query record, 0 for "
+                            "exhaustive scoring (default: 50)")
+    serve.add_argument("--repository", default=None, metavar="PATH",
+                       help="SQLite file persisting matched "
+                            "same-mappings (default: no persistence)")
+    serve.add_argument("--mapping-name", default="serve.same",
+                       help="repository mapping name for persisted "
+                            "correspondences (default: serve.same)")
     return parser
 
 
@@ -175,9 +205,50 @@ def _command_export(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    if not 0.0 <= args.threshold <= 1.0:
+        print("--threshold must be in [0, 1]", file=sys.stderr)
+        return 2
+    if args.max_candidates < 0:
+        print("--max-candidates must be >= 0 (0 = exhaustive)",
+              file=sys.stderr)
+        return 2
+    from repro.datagen import build_dataset
+    from repro.model.repository import MappingRepository
+    from repro.serve import MatchService
+    from repro.serve.http import serve
+
+    dataset = build_dataset(args.scale, seed=args.seed)
+    reference = getattr(dataset, args.reference).publications
+    repository = (MappingRepository(args.repository)
+                  if args.repository else None)
+    service = MatchService(
+        reference, args.attribute, args.similarity,
+        threshold=args.threshold,
+        max_candidates=(None if args.max_candidates == 0
+                        else args.max_candidates),
+        repository=repository,
+        # NB: an empty repository is falsy (len 0) — test identity
+        mapping_name=args.mapping_name if repository is not None else None,
+    )
+
+    def ready(server) -> None:
+        host, port = server.server_address[:2]
+        print(f"serving {reference.name} ({len(reference)} records, "
+              f"{args.similarity} @ {args.threshold}) "
+              f"on http://{host}:{port}")
+        print("endpoints: POST /match /ingest /delete · "
+              "GET /stats /healthz · Ctrl-C to stop")
+
+    serve(service, args.host, args.port, ready=ready)
+    if repository is not None:
+        repository.close()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.workers < 1:
+    if args.workers is not None and args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
     if args.chunk_size < 1:
@@ -196,6 +267,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_figures(args)
     if args.command == "export":
         return _command_export(args)
+    if args.command == "serve":
+        return _command_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -3,39 +3,50 @@
 The paper targets "both extensive offline matching of large data sets
 ... and small-sized online matching (e.g. during query processing in
 virtual data integration scenarios)" (§2.1).  Offline matching is the
-workflow engine's job; this module covers the online side:
+workflow engine's job; the online side now lives in
+:mod:`repro.serve`: a standing :class:`~repro.serve.service.
+MatchService` over an incrementally maintained, kernel-packed
+reference index.
 
-* :class:`OnlineMatcher` holds a *reference* logical source behind a
-  token index and matches small query-result batches against it with
-  bounded candidate lists and an LRU-cached per-record result — the
-  access pattern of matching web query results as they arrive;
-* :func:`match_query_results` is the convenience wrapper for matching
+This module keeps the original entry points as thin wrappers:
+
+* :class:`OnlineMatcher` — the historical per-record API, now backed
+  by the service.  Two latent defects of the old implementation are
+  gone: the per-record result cache is invalidated when the reference
+  changes (mutations flow through :meth:`OnlineMatcher.add` /
+  :meth:`OnlineMatcher.update` / :meth:`OnlineMatcher.delete` and
+  drop exactly the affected entries), and candidate ranking weights
+  token rarity with plain inverse document frequency ``1 / df``
+  instead of the old hard-coded ``1000 // len(posting)`` magic
+  constant, which collapsed to weight 1 for any posting longer than
+  500 ids regardless of reference size (and, being integer-floored,
+  conflated distinct rarities);
+* :func:`match_query_results` — the convenience wrapper for matching
   the output of a :class:`repro.datagen.query.QueryClient` search.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
-from repro.core.mapping import Mapping, MappingKind
+from repro.core.mapping import Mapping
 from repro.model.entity import ObjectInstance
 from repro.model.source import LogicalSource
-from repro.sim.base import SimilarityFunction
-from repro.sim.registry import get_similarity
-from repro.sim.tokenize import word_tokens
+from repro.serve.service import MatchService, match_query_results
+
+__all__ = ["OnlineMatcher", "match_query_results"]
 
 
 class OnlineMatcher:
     """Incrementally match incoming records against a reference source.
 
-    The reference source is indexed once (inverted token index over the
-    match attribute).  Each :meth:`match_record` call scores the record
-    against at most ``max_candidates`` reference instances that share
-    an informative token, returning the correspondences above the
-    threshold.  Results are cached per (record id, attribute value) so
-    repeated query results cost nothing — the online analogue of the
-    mapping cache.
+    Compatibility façade over :class:`~repro.serve.service.
+    MatchService`: same constructor, same :meth:`match_record` /
+    :meth:`match_batch` / :meth:`cache_stats` surface.  The reference
+    is snapshotted at construction; change it through :meth:`add`,
+    :meth:`update` and :meth:`delete`, which keep the result cache
+    consistent (the old implementation silently served stale results
+    after any reference change).
     """
 
     def __init__(self, reference: LogicalSource, attribute: str = "title",
@@ -43,80 +54,22 @@ class OnlineMatcher:
                  threshold: float = 0.7,
                  max_candidates: int = 50,
                  cache_size: int = 1024) -> None:
-        if not 0.0 <= threshold <= 1.0:
-            raise ValueError(f"threshold must be in [0, 1], got {threshold!r}")
-        if max_candidates < 1:
-            raise ValueError("max_candidates must be >= 1")
+        self.service = MatchService(reference, attribute, similarity,
+                                    threshold=threshold,
+                                    max_candidates=max_candidates,
+                                    cache_size=cache_size)
         self.reference = reference
         self.attribute = attribute
-        self.similarity: SimilarityFunction = (
-            get_similarity(similarity) if isinstance(similarity, str)
-            else similarity
-        )
+        self.similarity = self.service.index.specs[0].similarity
         self.threshold = threshold
         self.max_candidates = max_candidates
-        self._cache: "OrderedDict[Tuple[str, str], List[Tuple[str, float]]]" = \
-            OrderedDict()
-        self._cache_size = cache_size
-        self.hits = 0
-        self.misses = 0
-
-        self._index: Dict[str, List[str]] = {}
-        corpus = []
-        for instance in reference:
-            value = instance.get(attribute)
-            if value is None:
-                continue
-            corpus.append(value)
-            for token in set(word_tokens(str(value))):
-                self._index.setdefault(token, []).append(instance.id)
-        self.similarity.prepare(corpus)
-
-    # -- candidate generation ------------------------------------------------
-
-    def _candidates(self, value: str) -> List[str]:
-        scores: Dict[str, int] = {}
-        for token in set(word_tokens(value)):
-            posting = self._index.get(token)
-            if not posting:
-                continue
-            # frequent tokens contribute less: weight by rarity rank
-            weight = max(1, 1000 // len(posting))
-            for reference_id in posting:
-                scores[reference_id] = scores.get(reference_id, 0) + weight
-        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
-        return [reference_id for reference_id, _ in
-                ranked[:self.max_candidates]]
 
     # -- matching ------------------------------------------------------------
 
     def match_record(self, record: ObjectInstance) -> List[Tuple[str, float]]:
         """Match one record; returns ``[(reference id, similarity), ...]``
         sorted by descending similarity."""
-        value = record.get(self.attribute)
-        if value is None:
-            return []
-        key = (record.id, str(value))
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            self.hits += 1
-            return list(cached)
-        self.misses += 1
-
-        results: List[Tuple[str, float]] = []
-        for reference_id in self._candidates(str(value)):
-            reference_value = self.reference.require(reference_id).get(
-                self.attribute)
-            score = self.similarity.similarity(value, reference_value)
-            if score >= self.threshold:
-                results.append((reference_id, score))
-        results.sort(key=lambda item: (-item[1], item[0]))
-
-        self._cache[key] = results
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
-        return list(results)
+        return self.service.match_record(record)
 
     def match_batch(self, records: Iterable[ObjectInstance],
                     *, source_name: Optional[str] = None) -> Mapping:
@@ -125,28 +78,31 @@ class OnlineMatcher:
         ``source_name`` names the mapping's domain LDS (defaults to an
         anonymous query source).
         """
-        domain = source_name if source_name else "query.Results"
-        mapping = Mapping(domain, self.reference.name,
-                          kind=MappingKind.SAME)
-        for record in records:
-            for reference_id, score in self.match_record(record):
-                mapping.add(record.id, reference_id, score)
-        return mapping
+        return self.service.match_batch(records, source_name=source_name)
+
+    # -- reference mutation --------------------------------------------------
+
+    def add(self, instance: ObjectInstance) -> None:
+        """Add a reference record; affected cached results are dropped."""
+        self.service.add(instance)
+
+    def update(self, instance: ObjectInstance) -> None:
+        """Replace a reference record; affected cached results are dropped."""
+        self.service.update(instance)
+
+    def delete(self, id: str) -> bool:
+        """Remove a reference record; affected cached results are dropped."""
+        return self.service.delete(id)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.service.hits
+
+    @property
+    def misses(self) -> int:
+        return self.service.misses
 
     def cache_stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses,
-                "size": len(self._cache)}
-
-
-def match_query_results(results: Iterable[ObjectInstance],
-                        reference: LogicalSource,
-                        attribute: str = "title",
-                        *, threshold: float = 0.7,
-                        source_name: Optional[str] = None) -> Mapping:
-    """One-shot online matching of query results against a reference.
-
-    Builds a transient :class:`OnlineMatcher`; for repeated batches
-    against the same reference, construct the matcher once instead.
-    """
-    matcher = OnlineMatcher(reference, attribute, threshold=threshold)
-    return matcher.match_batch(results, source_name=source_name)
+        return self.service.cache_stats()

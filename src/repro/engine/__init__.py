@@ -38,15 +38,17 @@ per-spec kernels with a vectorized combiner
 families ride the same fast paths.  ``EngineConfig(auto=True)`` (CLI
 ``--auto``) replaces the hand-set performance knobs with a
 self-tuning mode: chunk size adapts to observed scoring throughput,
-sharding engages whenever the blocking strategy supports it, and
-shard rebalancing flips on when cost estimates are skewed.  See
-``docs/engine.md``.
+sharding engages whenever the blocking strategy supports it, shard
+rebalancing flips on when cost estimates are skewed, and — with
+``workers`` unset — the pool size derives from the CPU count
+(:func:`autotune_workers`).  See ``docs/engine.md``.
 """
 
 from repro.engine.chunks import AdaptiveChunker, iter_chunks
 from repro.engine.engine import (
     BatchMatchEngine,
     EngineConfig,
+    autotune_workers,
     configure_default_engine,
     get_default_engine,
     set_default_engine,
@@ -61,6 +63,7 @@ __all__ = [
     "ChunkScorer",
     "EngineConfig",
     "MatchRequest",
+    "autotune_workers",
     "configure_default_engine",
     "get_default_engine",
     "iter_chunks",

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import os
 import pickle
 import time
 import warnings
@@ -45,20 +46,42 @@ from repro.engine.vectorized import IndexedScorer
 Pair = Tuple[str, str]
 Triple = Tuple[str, str, float]
 
+#: the workers autotuner never goes beyond this: past ~8 workers the
+#: parent-side merge cursor and fork/IPC overhead eat the gains on the
+#: engine's typical workloads
+AUTO_MAX_WORKERS = 8
+
+
+def autotune_workers(cpu_count: Optional[int] = None) -> int:
+    """Derive a worker count from the machine's CPU count.
+
+    One core is left for the parent process (candidate streaming and
+    the merge cursor run there), the result is capped at
+    :data:`AUTO_MAX_WORKERS`, and single-core machines stay serial.
+    ``cpu_count`` defaults to ``os.cpu_count()``; pass it explicitly
+    to test the decision.
+    """
+    if cpu_count is None:
+        cpu_count = os.cpu_count() or 1
+    return max(1, min(AUTO_MAX_WORKERS, cpu_count - 1))
+
 
 @dataclass(frozen=True)
 class EngineConfig:
     """Tuning knobs for batch execution.
 
-    ``workers=1`` is the serial fallback (no processes, no IPC).
-    ``chunk_size`` trades scheduling overhead against pipelining; the
-    default suits pure-Python similarity kernels.  ``max_inflight``
-    bounds how many chunks may be queued on the pool ahead of the
-    merge cursor (default ``2 * workers``), which caps memory while
-    keeping every worker busy.
+    ``workers=1`` is the serial fallback (no processes, no IPC); the
+    default ``workers=None`` means *unset* — it resolves to 1, or to
+    :func:`autotune_workers` when ``auto=True`` (an explicit
+    ``workers=`` always wins over the autotuner).  ``chunk_size``
+    trades scheduling overhead against pipelining; the default suits
+    pure-Python similarity kernels.  ``max_inflight`` bounds how many
+    chunks may be queued on the pool ahead of the merge cursor
+    (default ``2 * workers``), which caps memory while keeping every
+    worker busy.
     """
 
-    workers: int = 1
+    workers: Optional[int] = None
     chunk_size: int = 2048
     max_inflight: Optional[int] = None
     #: opt-in best-effort duplicate-pair filter for two-source matching
@@ -106,6 +129,11 @@ class EngineConfig:
     auto: bool = False
 
     def __post_init__(self) -> None:
+        if self.workers is None:
+            # unset: serial by default, CPU-derived under auto=True
+            object.__setattr__(
+                self, "workers",
+                autotune_workers() if self.auto else 1)
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers!r}")
         if self.chunk_size < 1:
@@ -447,11 +475,16 @@ def set_default_engine(engine: Optional[BatchMatchEngine]) -> None:
     _default_engine = engine
 
 
-def configure_default_engine(*, workers: int = 1, chunk_size: int = 2048,
+def configure_default_engine(*, workers: Optional[int] = None,
+                             chunk_size: int = 2048,
                              shard_blocking: bool = False,
                              balance_shards: bool = False,
                              auto: bool = False) -> BatchMatchEngine:
-    """Build and install the process default engine; returns it."""
+    """Build and install the process default engine; returns it.
+
+    ``workers=None`` leaves the pool size to :class:`EngineConfig`:
+    serial normally, CPU-derived under ``auto=True``.
+    """
     engine = BatchMatchEngine(EngineConfig(workers=workers,
                                            chunk_size=chunk_size,
                                            shard_blocking=shard_blocking,

@@ -239,7 +239,8 @@ class ScalarColumn:
     def __init__(self, sim: SimilarityFunction,
                  domain_values: Sequence[object],
                  range_values: Sequence[object], *,
-                 cache_limit: int = 1 << 20) -> None:
+                 cache_limit: int = 1 << 20,
+                 cache: Optional[dict] = None) -> None:
         self.sim = sim
         self.domain_texts = [None if value is None else str(value)
                              for value in domain_values]
@@ -249,7 +250,9 @@ class ScalarColumn:
             self.range_texts = [None if value is None else str(value)
                                 for value in range_values]
         self.cache_limit = cache_limit
-        self._cache: dict = {}
+        # ``cache`` lets a long-lived caller (the serving subsystem's
+        # per-batch rebinding) share one memo across instances
+        self._cache: dict = {} if cache is None else cache
 
     def score_rows(self, domain_rows, range_rows):
         texts_a = self.domain_texts

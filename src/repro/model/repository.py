@@ -7,13 +7,33 @@ that literally: mappings persist into SQLite as three-column
 correspondence tables plus a catalog of mapping metadata.  The
 repository works equally on disk (shareable between processes) or
 in memory (``":memory:"``, the default).
+
+Concurrency model (the serving subsystem runs repository writes from
+HTTP handler threads):
+
+* **file-backed** stores open one connection *per thread*
+  (``threading.local``) in WAL journal mode, so readers never block
+  the writer and short write bursts queue on SQLite's own busy
+  handler instead of erroring;
+* **in-memory** stores cannot share one database across connections,
+  so a single connection is shared and every operation serializes on
+  an internal lock.
+
+Besides the wholesale :meth:`MappingRepository.save` (which still
+replaces a mapping atomically), :meth:`MappingRepository.append`
+upserts correspondences incrementally — the standing service appends
+each scored micro-batch without rewriting the mapping table.
 """
 
 from __future__ import annotations
 
 import sqlite3
-from typing import Iterator, List, Optional
+import threading
+import weakref
+from contextlib import nullcontext
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro.core.correspondence import validate_similarity
 from repro.core.mapping import Mapping, MappingKind
 
 _SCHEMA = """
@@ -35,22 +55,108 @@ CREATE INDEX IF NOT EXISTS idx_corr_mapping
     ON correspondences(mapping);
 """
 
+_UPSERT = """
+INSERT INTO correspondences (mapping, domain_id, range_id, similarity)
+VALUES (?, ?, ?, ?)
+ON CONFLICT (mapping, domain_id, range_id)
+DO UPDATE SET similarity = excluded.similarity
+WHERE excluded.similarity > correspondences.similarity
+"""
+
+Triples = Iterable[Tuple[str, str, float]]
+
+
+class _ThreadAnchor:
+    """Weakref-able thread-local marker; dies with its owner thread."""
+
+    __slots__ = ("__weakref__",)
+
 
 class MappingRepository:
-    """SQLite-backed store of named mappings."""
+    """SQLite-backed store of named mappings, usable from many threads."""
 
     def __init__(self, path: str = ":memory:") -> None:
         self._path = path
-        self._connection = sqlite3.connect(path)
-        self._connection.execute("PRAGMA foreign_keys = ON")
-        self._connection.executescript(_SCHEMA)
-        self._connection.commit()
+        self._memory = path == ":memory:"
+        self._lock = threading.RLock()
+        self._local = threading.local()
+        self._connections: List[sqlite3.Connection] = []
+        self._closed = False
+        if self._memory:
+            # one :memory: database per connection — share a single
+            # connection and serialize on the lock instead
+            self._shared: Optional[sqlite3.Connection] = sqlite3.connect(
+                path, check_same_thread=False)
+            self._shared.execute("PRAGMA foreign_keys = ON")
+            self._shared.executescript(_SCHEMA)
+            self._shared.commit()
+            self._connections.append(self._shared)
+        else:
+            self._shared = None
+            self._connection()  # create eagerly so schema errors surface here
+
+    # -- connections ---------------------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        """The calling thread's connection (shared one for ``:memory:``)."""
+        if self._closed:
+            raise RuntimeError("repository is closed")
+        if self._memory:
+            return self._shared
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            # each connection serves exactly one thread (thread-local),
+            # but close() must be able to reach it from any thread
+            connection = sqlite3.connect(self._path,
+                                         check_same_thread=False)
+            connection.execute("PRAGMA foreign_keys = ON")
+            connection.execute("PRAGMA journal_mode = WAL")
+            connection.execute("PRAGMA busy_timeout = 5000")
+            connection.executescript(_SCHEMA)
+            connection.commit()
+            self._local.connection = connection
+            # the anchor lives in the thread's local storage: when the
+            # thread dies its locals are dropped, the finalizer fires
+            # and the connection is closed — handler threads (one per
+            # HTTP client) must not leak one descriptor each
+            anchor = _ThreadAnchor()
+            self._local.anchor = anchor
+            weakref.finalize(anchor, self._release, connection)
+            with self._lock:
+                self._connections.append(connection)
+        return connection
+
+    def _release(self, connection: sqlite3.Connection) -> None:
+        """Close a per-thread connection whose owner thread died."""
+        with self._lock:
+            if connection in self._connections:
+                self._connections.remove(connection)
+        try:
+            connection.close()
+        except sqlite3.Error:  # pragma: no cover - already closed
+            pass
+
+    def _guard(self):
+        """Serialize operations only where connections are shared."""
+        return self._lock if self._memory else nullcontext()
+
+    def journal_mode(self) -> str:
+        """The active journal mode (``wal`` for file-backed stores)."""
+        with self._guard():
+            row = self._connection().execute(
+                "PRAGMA journal_mode").fetchone()
+        return str(row[0]).lower()
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Close the underlying connection."""
-        self._connection.close()
+        """Close every connection this repository opened."""
+        with self._lock:
+            self._closed = True
+            for connection in self._connections:
+                connection.close()
+            self._connections.clear()
+            self._local = threading.local()
 
     def __enter__(self) -> "MappingRepository":
         return self
@@ -61,51 +167,116 @@ class MappingRepository:
     # -- write -------------------------------------------------------------
 
     def save(self, name: str, mapping: Mapping, *, replace: bool = True) -> None:
-        """Persist ``mapping`` under ``name``.
+        """Persist ``mapping`` under ``name``, replacing it wholesale.
 
         With ``replace=False`` an existing name raises ``ValueError``
-        instead of being overwritten.
+        instead of being overwritten.  For incremental writes use
+        :meth:`append`.
         """
         if not name:
             raise ValueError("mapping name must be non-empty")
-        cursor = self._connection.cursor()
-        exists = cursor.execute(
-            "SELECT 1 FROM mappings WHERE name = ?", (name,)
-        ).fetchone()
-        if exists:
-            if not replace:
-                raise ValueError(f"mapping {name!r} already stored")
-            cursor.execute("DELETE FROM correspondences WHERE mapping = ?", (name,))
-            cursor.execute("DELETE FROM mappings WHERE name = ?", (name,))
-        cursor.execute(
-            "INSERT INTO mappings (name, domain, range, kind, cardinality) "
-            "VALUES (?, ?, ?, ?, ?)",
-            (name, mapping.domain, mapping.range, mapping.kind.value,
-             len(mapping)),
-        )
-        cursor.executemany(
-            "INSERT INTO correspondences (mapping, domain_id, range_id, similarity) "
-            "VALUES (?, ?, ?, ?)",
-            ((name, corr.domain, corr.range, corr.similarity)
-             for corr in mapping),
-        )
-        self._connection.commit()
+        with self._guard():
+            connection = self._connection()
+            cursor = connection.cursor()
+            exists = cursor.execute(
+                "SELECT 1 FROM mappings WHERE name = ?", (name,)
+            ).fetchone()
+            if exists:
+                if not replace:
+                    raise ValueError(f"mapping {name!r} already stored")
+                cursor.execute(
+                    "DELETE FROM correspondences WHERE mapping = ?", (name,))
+                cursor.execute("DELETE FROM mappings WHERE name = ?", (name,))
+            cursor.execute(
+                "INSERT INTO mappings (name, domain, range, kind, cardinality) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (name, mapping.domain, mapping.range, mapping.kind.value,
+                 len(mapping)),
+            )
+            cursor.executemany(
+                "INSERT INTO correspondences "
+                "(mapping, domain_id, range_id, similarity) "
+                "VALUES (?, ?, ?, ?)",
+                ((name, corr.domain, corr.range, corr.similarity)
+                 for corr in mapping),
+            )
+            connection.commit()
+
+    def append(self, name: str,
+               correspondences: Union[Mapping, Triples]) -> int:
+        """Upsert correspondences into ``name`` without a rewrite.
+
+        ``correspondences`` is a :class:`Mapping` (whose header
+        creates the catalog row when ``name`` is new) or an iterable
+        of ``(domain id, range id, similarity)`` triples (``name``
+        must then already exist — KeyError otherwise).  Conflicting
+        pairs keep the larger similarity, mirroring
+        :meth:`Mapping.add`'s default policy.  Returns the mapping's
+        new cardinality.
+        """
+        if not name:
+            raise ValueError("mapping name must be non-empty")
+        if isinstance(correspondences, Mapping):
+            header = correspondences
+            triples = [(corr.domain, corr.range, corr.similarity)
+                       for corr in correspondences]
+        else:
+            header = None
+            triples = [
+                (domain_id, range_id, validate_similarity(similarity))
+                for domain_id, range_id, similarity in correspondences
+            ]
+        with self._guard():
+            connection = self._connection()
+            cursor = connection.cursor()
+            exists = cursor.execute(
+                "SELECT 1 FROM mappings WHERE name = ?", (name,)
+            ).fetchone()
+            if not exists:
+                if header is None:
+                    raise KeyError(
+                        f"no mapping {name!r} in repository; append a "
+                        f"Mapping (not bare triples) to create it")
+                cursor.execute(
+                    "INSERT INTO mappings "
+                    "(name, domain, range, kind, cardinality) "
+                    "VALUES (?, ?, ?, ?, 0)",
+                    (name, header.domain, header.range, header.kind.value),
+                )
+            cursor.executemany(
+                _UPSERT, ((name, domain_id, range_id, similarity)
+                          for domain_id, range_id, similarity in triples))
+            cursor.execute(
+                "UPDATE mappings SET cardinality = "
+                "(SELECT COUNT(*) FROM correspondences WHERE mapping = ?) "
+                "WHERE name = ?",
+                (name, name),
+            )
+            cardinality = cursor.execute(
+                "SELECT cardinality FROM mappings WHERE name = ?", (name,)
+            ).fetchone()[0]
+            connection.commit()
+        return int(cardinality)
 
     def delete(self, name: str) -> bool:
         """Remove a stored mapping; returns whether it existed."""
-        cursor = self._connection.cursor()
-        cursor.execute("DELETE FROM correspondences WHERE mapping = ?", (name,))
-        cursor.execute("DELETE FROM mappings WHERE name = ?", (name,))
-        removed = cursor.rowcount > 0
-        self._connection.commit()
+        with self._guard():
+            connection = self._connection()
+            cursor = connection.cursor()
+            cursor.execute(
+                "DELETE FROM correspondences WHERE mapping = ?", (name,))
+            cursor.execute("DELETE FROM mappings WHERE name = ?", (name,))
+            removed = cursor.rowcount > 0
+            connection.commit()
         return removed
 
     # -- read ----------------------------------------------------------------
 
     def contains(self, name: str) -> bool:
-        row = self._connection.execute(
-            "SELECT 1 FROM mappings WHERE name = ?", (name,)
-        ).fetchone()
+        with self._guard():
+            row = self._connection().execute(
+                "SELECT 1 FROM mappings WHERE name = ?", (name,)
+            ).fetchone()
         return row is not None
 
     def __contains__(self, name: str) -> bool:
@@ -113,43 +284,51 @@ class MappingRepository:
 
     def load(self, name: str) -> Mapping:
         """Load the mapping stored under ``name`` (KeyError on miss)."""
-        header = self._connection.execute(
-            "SELECT domain, range, kind FROM mappings WHERE name = ?", (name,)
-        ).fetchone()
-        if header is None:
-            raise KeyError(f"no mapping {name!r} in repository")
-        domain, range_, kind = header
-        mapping = Mapping(domain, range_, kind=MappingKind(kind), name=name)
-        rows = self._connection.execute(
-            "SELECT domain_id, range_id, similarity FROM correspondences "
-            "WHERE mapping = ?",
-            (name,),
-        )
+        with self._guard():
+            connection = self._connection()
+            header = connection.execute(
+                "SELECT domain, range, kind FROM mappings WHERE name = ?",
+                (name,),
+            ).fetchone()
+            if header is None:
+                raise KeyError(f"no mapping {name!r} in repository")
+            domain, range_, kind = header
+            mapping = Mapping(domain, range_, kind=MappingKind(kind),
+                              name=name)
+            rows = connection.execute(
+                "SELECT domain_id, range_id, similarity FROM correspondences "
+                "WHERE mapping = ?",
+                (name,),
+            ).fetchall()
         for domain_id, range_id, similarity in rows:
             mapping.add(domain_id, range_id, similarity)
         return mapping
 
     def names(self) -> List[str]:
         """Sorted names of all stored mappings."""
-        rows = self._connection.execute(
-            "SELECT name FROM mappings ORDER BY name"
-        ).fetchall()
+        with self._guard():
+            rows = self._connection().execute(
+                "SELECT name FROM mappings ORDER BY name"
+            ).fetchall()
         return [row[0] for row in rows]
 
     def __iter__(self) -> Iterator[str]:
         return iter(self.names())
 
     def __len__(self) -> int:
-        row = self._connection.execute("SELECT COUNT(*) FROM mappings").fetchone()
+        with self._guard():
+            row = self._connection().execute(
+                "SELECT COUNT(*) FROM mappings").fetchone()
         return int(row[0])
 
     def info(self, name: str) -> Optional[dict]:
         """Metadata of a stored mapping without loading its rows."""
-        row = self._connection.execute(
-            "SELECT domain, range, kind, cardinality FROM mappings "
-            "WHERE name = ?",
-            (name,),
-        ).fetchone()
+        with self._guard():
+            row = self._connection().execute(
+                "SELECT domain, range, kind, cardinality FROM mappings "
+                "WHERE name = ?",
+                (name,),
+            ).fetchone()
         if row is None:
             return None
         return {
@@ -177,7 +356,9 @@ class MappingRepository:
             JOIN correspondences AS r ON l.range_id = r.domain_id
             WHERE l.mapping = ? AND r.mapping = ?
         """
-        return list(self._connection.execute(query, (left_name, right_name)))
+        with self._guard():
+            return list(self._connection().execute(
+                query, (left_name, right_name)))
 
     def __repr__(self) -> str:
         return f"MappingRepository({self._path!r}, {len(self)} mappings)"

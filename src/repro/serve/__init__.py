@@ -1,0 +1,34 @@
+"""The serving subsystem: query-time matching as a standing service.
+
+PRs 1–4 built an offline batch engine — chunked streaming, vectorized
+kernels, sharded multi-process execution.  This package turns that
+machinery into the paper's *other* use case, "small-sized online
+matching (e.g. during query processing in virtual data integration
+scenarios)" (§2.1), as a long-lived service:
+
+* :class:`~repro.serve.index.IncrementalIndex` — a mutable reference
+  source whose packed kernel state (q-gram bitmaps, CSR TF/IDF,
+  composed multi-attribute columns) persists across queries; adds,
+  updates and deletes cost O(record) via an append buffer and
+  tombstones, with threshold-triggered compaction rebuilding the
+  packed base and refreshing corpus statistics;
+* :class:`~repro.serve.service.MatchService` — micro-batches
+  concurrent match requests into single kernel calls, reuses results
+  through a mutation-aware cache and persists same-mappings through
+  the :class:`~repro.model.repository.MappingRepository`;
+* :mod:`repro.serve.http` — a stdlib ``ThreadingHTTPServer`` JSON API
+  (``/match``, ``/ingest``, ``/delete``, ``/stats``, ``/healthz``),
+  exposed as the ``repro serve`` CLI subcommand.
+
+See ``docs/serving.md`` for architecture, mutation/compaction
+semantics and the reuse guarantees.
+"""
+
+from repro.serve.index import IncrementalIndex
+from repro.serve.service import MatchService, match_query_results
+
+__all__ = [
+    "IncrementalIndex",
+    "MatchService",
+    "match_query_results",
+]

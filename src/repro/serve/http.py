@@ -1,0 +1,189 @@
+"""JSON-over-HTTP front end for :class:`~repro.serve.service.MatchService`.
+
+Stdlib only (``http.server``), threaded so concurrent clients exercise
+the service's micro-batcher.  Endpoints:
+
+========  ======  ====================================================
+path      method  body / response
+========  ======  ====================================================
+/match    POST    ``{"records": [{"id": ..., "attributes": {...}}],``
+                  ``"source": optional}`` → per-record matches plus
+                  the flat correspondence triples
+/ingest   POST    ``{"records": [...]}`` → ``{"added", "updated"}``
+/delete   POST    ``{"ids": [...]}`` → ``{"deleted", "missing"}``
+/stats    GET     full service statistics
+/healthz  GET     liveness probe with the live record count
+========  ======  ====================================================
+
+Records travel as ``{"id": str, "attributes": {name: value}}``;
+a single record may be passed as ``{"record": {...}}``.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Optional, Tuple
+
+from repro.model.entity import ObjectInstance
+from repro.serve.service import MatchService
+
+
+class ServiceError(ValueError):
+    """A client error with an HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _parse_record(payload: object) -> ObjectInstance:
+    if not isinstance(payload, dict):
+        raise ServiceError(400, "record must be an object")
+    id = payload.get("id")
+    if not isinstance(id, str) or not id:
+        raise ServiceError(400, "record needs a non-empty string 'id'")
+    attributes = payload.get("attributes", {})
+    if not isinstance(attributes, dict):
+        raise ServiceError(400, "'attributes' must be an object")
+    return ObjectInstance(id, attributes)
+
+
+def _parse_records(body: dict) -> List[ObjectInstance]:
+    if "record" in body:
+        return [_parse_record(body["record"])]
+    records = body.get("records")
+    if not isinstance(records, list) or not records:
+        raise ServiceError(400, "body needs 'records' (non-empty list) "
+                                "or 'record'")
+    return [_parse_record(entry) for entry in records]
+
+
+class MatchServiceHandler(BaseHTTPRequestHandler):
+    """One request handler class per server (see :func:`build_server`)."""
+
+    service: MatchService = None  # injected by build_server
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence the default stderr chatter (tests and CLI both)."""
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServiceError(400, "empty request body")
+        try:
+            body = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ServiceError(400, f"invalid JSON: {error}") from error
+        if not isinstance(body, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        return body
+
+    # -- endpoints -----------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.service
+        if self.path == "/healthz":
+            self._respond(200, {"status": "ok",
+                                "records": len(service.index)})
+        elif self.path == "/stats":
+            self._respond(200, service.stats())
+        else:
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == "/match":
+                self._respond(200, self._handle_match(self._read_body()))
+            elif self.path == "/ingest":
+                self._respond(200, self._handle_ingest(self._read_body()))
+            elif self.path == "/delete":
+                self._respond(200, self._handle_delete(self._read_body()))
+            else:
+                self._respond(404, {"error": f"unknown path {self.path!r}"})
+        except ServiceError as error:
+            self._respond(error.status, {"error": str(error)})
+        except (ValueError, KeyError) as error:
+            self._respond(409, {"error": str(error)})
+
+    def _handle_match(self, body: dict) -> dict:
+        records = _parse_records(body)
+        source = body.get("source")
+        if source is not None and not isinstance(source, str):
+            raise ServiceError(400, "'source' must be a string")
+        mapping = self.service.match_batch(records, source_name=source)
+        matches = {
+            record.id: [
+                [reference_id, score] for reference_id, score
+                in sorted(mapping.range_ids_of(record.id).items(),
+                          key=lambda item: (-item[1], item[0]))
+            ]
+            for record in records
+        }
+        return {
+            "domain": mapping.domain,
+            "range": mapping.range,
+            "matches": matches,
+            "correspondences": mapping.to_rows(),
+        }
+
+    def _handle_ingest(self, body: dict) -> dict:
+        return self.service.ingest(_parse_records(body))
+
+    def _handle_delete(self, body: dict) -> dict:
+        ids = body.get("ids")
+        if ids is None and isinstance(body.get("id"), str):
+            ids = [body["id"]]
+        if not isinstance(ids, list) or not ids \
+                or not all(isinstance(id, str) for id in ids):
+            raise ServiceError(400, "body needs 'ids' (list of strings)")
+        deleted, missing = [], []
+        for id in ids:
+            (deleted if self.service.delete(id) else missing).append(id)
+        return {"deleted": deleted, "missing": missing}
+
+
+def build_server(service: MatchService, host: str = "127.0.0.1",
+                 port: int = 8765) -> ThreadingHTTPServer:
+    """Build a threaded HTTP server bound to ``host:port`` (0 = ephemeral)."""
+
+    class _Handler(MatchServiceHandler):
+        pass
+
+    _Handler.service = service
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve(service: MatchService, host: str = "127.0.0.1",
+          port: int = 8765,
+          ready: Optional[callable] = None) -> Tuple[str, int]:
+    """Serve until interrupted; returns the bound address afterwards.
+
+    ``ready`` (if given) is called with the server once it is bound —
+    the CLI uses it to print the address before blocking.
+    """
+    server = build_server(service, host, port)
+    address = server.server_address[:2]
+    if ready is not None:
+        ready(server)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return address

@@ -1,0 +1,915 @@
+"""Incremental indexed reference store for the match service.
+
+The offline engine packs both sources into vectorized kernels *per
+request* — fine for batch jobs, wasteful for a standing service whose
+reference barely changes between queries.  :class:`IncrementalIndex`
+keeps the reference side of that packing **persistent**:
+
+* each attribute spec owns a *packed column* — q-gram bitmaps
+  (:class:`~repro.engine.vectorized.NGramBitKernel` math), CSR TF/IDF
+  (:class:`~repro.engine.sparse.TfIdfKernel` math) or a memoized
+  scalar fallback — whose reference side is built once and whose
+  query side is bound per micro-batch in O(batch);
+* mutations (``add`` / ``update`` / ``delete``) cost O(record): new
+  records land in an append buffer scored through the scalar batch
+  path, deletions become tombstones filtered at query time;
+* when the buffer + tombstones outgrow a threshold the index
+  *compacts*: live records become the new packed base, corpus
+  statistics (TF/IDF document frequencies) are re-prepared, and the
+  buffer drains.
+
+Bit-exactness.  Base rows score through the very kernel expressions
+the engine uses; buffer rows score through ``score_batch``, which is
+bit-identical to the kernels by the engine's equivalence contract.
+Query-side packing is exact as well: q-grams absent from the
+reference vocabulary can never overlap a reference row, so they are
+counted in the row's gram-set *size* but not its bits; TF/IDF query
+entries for unseen tokens contribute exact ``+0.0`` terms to the dot
+product (all weights are non-negative, so skipping them cannot flip a
+``-0.0``) while the expansion tie-break still compares the *logical*
+vector sizes and full lexicographic text order.  A frozen index
+therefore answers exactly like the offline engine on the same pairs.
+
+Corpus statistics are deliberately *frozen between compactions*: a
+standing service must score deterministically regardless of which
+queries or ingests arrived before, so document frequencies refresh
+only when the base is rebuilt (``compact()`` forces one).  Scores of
+corpus-independent similarities (the q-gram family, edit distances)
+never depend on this; TF/IDF scores match a freshly built index after
+the next compaction.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+try:  # numpy is an optional accelerator, never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - image always has numpy
+    _np = None
+
+from repro.engine import sparse
+from repro.engine import vectorized
+from repro.engine.request import AttributeSpec
+from repro.model.entity import ObjectInstance
+from repro.model.source import LogicalSource
+from repro.sim.base import SimilarityFunction
+from repro.sim.ngram import NGramSimilarity
+from repro.sim.registry import get_similarity
+from repro.sim.tfidf import TfIdfCosineSimilarity
+from repro.sim.tokenize import word_tokens
+
+Triple = Tuple[int, str, float]
+
+
+# ----------------------------------------------------------------------
+# packed columns: persistent reference side, per-batch query binding
+# ----------------------------------------------------------------------
+
+class _BoundNGramKernel(vectorized.NGramBitKernel):
+    """An :class:`NGramBitKernel` assembled from pre-packed halves.
+
+    Inherits ``score_rows`` unchanged — the scoring math is literally
+    the engine kernel's.
+    """
+
+    def __init__(self, method, domain_bits, domain_sizes,
+                 range_bits, range_sizes) -> None:
+        self.method = method
+        self.domain_bits = domain_bits
+        self.domain_sizes = domain_sizes
+        self.range_bits = range_bits
+        self.range_sizes = range_sizes
+
+
+class _NGramColumn:
+    """Persistent reference side of the packed q-gram bit kernel."""
+
+    vectorized = True
+    orientation_symmetric = True
+
+    #: clear the similarity's per-string gram cache once query traffic
+    #: has grown it beyond this many entries past the reference size
+    QUERY_CACHE_SLACK = 65536
+
+    def __init__(self, sim: NGramSimilarity,
+                 reference_values: Sequence[object]) -> None:
+        self.sim = sim
+        self._reference_size = len(reference_values)
+        vocabulary: Dict[str, int] = {}
+        gram_sets = [self._grams(value) for value in reference_values]
+        for grams in gram_sets:
+            for gram in grams:
+                if gram not in vocabulary:
+                    vocabulary[gram] = len(vocabulary)
+        self._vocabulary = vocabulary
+        self._width = max(1, (len(vocabulary) + 63) // 64)
+        self.range_bits, self.range_sizes = self._pack(gram_sets)
+
+    def _grams(self, value: object):
+        if value is None:
+            return frozenset()
+        return self.sim.grams(str(value))
+
+    def _pack(self, gram_sets):
+        """Pack gram sets over the *reference* vocabulary.
+
+        Grams outside the vocabulary (possible only on the query side)
+        set no bit but still count toward the row size — they can
+        never overlap a reference row, so overlap stays exact while
+        dice/jaccard denominators see the full set size.  The bit
+        scatter itself is vectorized (one ``bitwise_or.at`` over all
+        (row, gram) entries): this packs every query micro-batch, so
+        a per-gram Python loop would eat the batching gain.
+        """
+        vocabulary = self._vocabulary
+        width = self._width
+        bits = _np.zeros((len(gram_sets), width), dtype=_np.uint64)
+        sizes = _np.zeros(len(gram_sets), dtype=_np.int64)
+        rows: List[int] = []
+        positions: List[int] = []
+        lookup = vocabulary.get
+        for row, grams in enumerate(gram_sets):
+            sizes[row] = len(grams)
+            for gram in grams:
+                position = lookup(gram)
+                if position is not None:
+                    rows.append(row)
+                    positions.append(position)
+        if rows:
+            row_array = _np.asarray(rows, dtype=_np.int64)
+            position_array = _np.asarray(positions, dtype=_np.int64)
+            flat = bits.reshape(-1)
+            cells = row_array * width + (position_array >> 6)
+            masks = _np.left_shift(
+                _np.uint64(1),
+                (position_array & 63).astype(_np.uint64))
+            _np.bitwise_or.at(flat, cells, masks)
+        return bits, sizes
+
+    def bind(self, query_values: Sequence[object]):
+        """Return an engine-kernel scorer for ``query_values`` rows."""
+        query_bits, query_sizes = self._pack(
+            [self._grams(value) for value in query_values])
+        cache = self.sim._gram_cache
+        if len(cache) > self._reference_size + self.QUERY_CACHE_SLACK:
+            # unbounded distinct-query traffic must not leak through
+            # the similarity's per-string gram cache
+            cache.clear()
+        return _BoundNGramKernel(self.sim.method, query_bits, query_sizes,
+                                 self.range_bits, self.range_sizes)
+
+
+class _BoundTfIdfKernel(sparse.TfIdfKernel):
+    """A :class:`TfIdfKernel` assembled from pre-packed halves.
+
+    ``_dot`` is inherited — the summation is the engine kernel's.
+    ``score_rows`` is re-stated here because the expansion-side
+    decision must use the query rows' *logical* vector sizes (unseen
+    tokens are dropped from the packed arrays but the scalar
+    tie-break counts them).
+    """
+
+    def __init__(self, domain_side, domain_logical_lengths,
+                 range_side, vocab_size) -> None:
+        self.domain = domain_side
+        self.range = range_side
+        self._domain_logical = domain_logical_lengths
+        self._vocab_size = vocab_size
+
+    def score_rows(self, domain_rows, range_rows):
+        rows_a = _np.asarray(domain_rows, dtype=_np.int64)
+        rows_b = _np.asarray(range_rows, dtype=_np.int64)
+        length_a = self._domain_logical[rows_a]
+        length_b = self.range.lengths[rows_b]
+        expand_domain = (length_a < length_b) | (
+            (length_a == length_b)
+            & (self.domain.rank[rows_a] <= self.range.rank[rows_b]))
+        scores = _np.zeros(len(rows_a), dtype=_np.float64)
+        subset = _np.nonzero(expand_domain)[0]
+        if len(subset):
+            scores[subset] = self._dot(self.domain, rows_a[subset],
+                                       self.range, rows_b[subset])
+        subset = _np.nonzero(~expand_domain)[0]
+        if len(subset):
+            scores[subset] = self._dot(self.range, rows_b[subset],
+                                       self.domain, rows_a[subset])
+        _np.clip(scores, 0.0, 1.0, out=scores)
+        return scores
+
+
+class _TfIdfColumn:
+    """Persistent reference side of the sparse CSR TF/IDF kernel."""
+
+    vectorized = True
+    orientation_symmetric = True
+
+    #: clear the similarity's per-text vector cache once query traffic
+    #: has grown it beyond this many entries past the reference size
+    QUERY_CACHE_SLACK = 65536
+
+    def __init__(self, sim: TfIdfCosineSimilarity,
+                 reference_values: Sequence[object]) -> None:
+        self.sim = sim
+        vectors = [sim.value_vector(value) for value in reference_values]
+        vocabulary: Dict[str, int] = {}
+        for vector in vectors:
+            for token in vector:
+                if token not in vocabulary:
+                    vocabulary[token] = len(vocabulary)
+        self._vocabulary = vocabulary
+        self._vocab_size = max(1, len(vocabulary))
+        self._reference_size = len(reference_values)
+        texts = ["" if value is None else str(value)
+                 for value in reference_values]
+        self._sorted_texts = sorted(set(texts))
+        ranks = [2 * bisect_left(self._sorted_texts, text) for text in texts]
+        self._side = sparse._Side(vectors, vocabulary, self._vocab_size,
+                                  ranks)
+
+    def _rank(self, text: str) -> int:
+        """Rank of a query text in the cross-side lexicographic order.
+
+        Reference texts sit at even ranks; a query text absent from
+        the reference slots between its neighbours at an odd rank, so
+        rank comparison agrees with text comparison for every
+        (query, reference) pair — including the equal-text tie, where
+        the shared even rank makes the kernel's ``<=`` expand the
+        query side exactly like the scalar tie-break.
+        """
+        position = bisect_left(self._sorted_texts, text)
+        if position < len(self._sorted_texts) \
+                and self._sorted_texts[position] == text:
+            return 2 * position
+        return 2 * position - 1
+
+    def bind(self, query_values: Sequence[object]):
+        sim = self.sim
+        vectors = [sim.value_vector(value) for value in query_values]
+        vocabulary = self._vocabulary
+        packed = [{token: weight for token, weight in vector.items()
+                   if token in vocabulary}
+                  for vector in vectors]
+        texts = ["" if value is None else str(value)
+                 for value in query_values]
+        side = sparse._Side(packed, vocabulary, self._vocab_size,
+                            [self._rank(text) for text in texts])
+        logical = _np.asarray([len(vector) for vector in vectors],
+                              dtype=_np.int64)
+        cache = sim._vector_cache
+        if len(cache) > self._reference_size + self.QUERY_CACHE_SLACK:
+            cache.clear()
+        return _BoundTfIdfKernel(side, logical, self._side,
+                                 self._vocab_size)
+
+
+class _ScalarColumn:
+    """Fallback column: memoized ``score_batch`` over reference texts.
+
+    The memo persists across binds (and is shared with the composed
+    multi-attribute route), so repeated query values keep their
+    engine-grade caching.
+    """
+
+    vectorized = False
+    orientation_symmetric = False
+
+    def __init__(self, sim: SimilarityFunction,
+                 reference_values: Sequence[object], *,
+                 cache_limit: int = 1 << 20) -> None:
+        self.sim = sim
+        self.range_texts = [None if value is None else str(value)
+                            for value in reference_values]
+        self.cache_limit = cache_limit
+        self.cache: dict = {}
+
+    def bind(self, query_values: Sequence[object]):
+        # range_texts are already strings, so the constructor's
+        # coercion pass is identity work; the shared ``cache`` keeps
+        # the memo warm across binds
+        return vectorized.ScalarColumn(self.sim, query_values,
+                                       self.range_texts,
+                                       cache_limit=self.cache_limit,
+                                       cache=self.cache)
+
+
+def _build_column(sim: SimilarityFunction, values: Sequence[object]):
+    """Column registry: mirrors :func:`repro.engine.vectorized.build_kernel`."""
+    if vectorized.numpy_available() and isinstance(sim, NGramSimilarity) \
+            and type(sim)._score is NGramSimilarity._score:
+        try:
+            return _NGramColumn(sim, values)
+        except MemoryError:  # pragma: no cover - budget-sized references
+            return _ScalarColumn(sim, values)
+    if sparse.numpy_available() and isinstance(sim, TfIdfCosineSimilarity) \
+            and type(sim)._score is TfIdfCosineSimilarity._score \
+            and type(sim).vector is TfIdfCosineSimilarity.vector:
+        try:
+            return _TfIdfColumn(sim, values)
+        except MemoryError:  # pragma: no cover - budget-sized references
+            return _ScalarColumn(sim, values)
+    return _ScalarColumn(sim, values)
+
+
+# ----------------------------------------------------------------------
+# the incremental index
+# ----------------------------------------------------------------------
+
+class IncrementalIndex:
+    """A mutable reference source behind persistent packed kernel state.
+
+    ``reference`` is snapshotted at construction; afterwards the index
+    owns the data — mutate through :meth:`add` / :meth:`update` /
+    :meth:`delete`, each O(record).  ``specs`` (or the simple
+    ``attribute`` + ``similarity`` pair) define the scored columns;
+    multiple specs require a ``combiner`` exactly like a
+    :class:`~repro.engine.request.MatchRequest`.  Candidate generation
+    runs over an inverted word-token index of the *first* spec's
+    reference attribute.
+    """
+
+    def __init__(self, reference: LogicalSource,
+                 attribute: str = "title",
+                 similarity: object = "trigram", *,
+                 specs: Optional[List[AttributeSpec]] = None,
+                 combiner=None,
+                 missing: str = "skip",
+                 compact_ratio: float = 0.25,
+                 compact_min: int = 64,
+                 build_kernels: bool = True) -> None:
+        if specs is None:
+            sim = (get_similarity(similarity)
+                   if isinstance(similarity, str) else similarity)
+            specs = [AttributeSpec(attribute, attribute, sim)]
+        if not specs:
+            raise ValueError("index needs at least one attribute spec")
+        if combiner is None and len(specs) != 1:
+            raise ValueError("multiple attribute specs require a combiner")
+        if missing not in ("skip", "zero"):
+            raise ValueError(f"missing must be 'skip' or 'zero', got {missing!r}")
+        if compact_ratio <= 0:
+            raise ValueError("compact_ratio must be positive")
+        if compact_min < 1:
+            raise ValueError("compact_min must be >= 1")
+        self.specs = list(specs)
+        self.combiner = combiner
+        self.missing = missing
+        self.compact_ratio = compact_ratio
+        self.compact_min = compact_min
+        self.build_kernels = build_kernels
+        self._physical = reference.physical
+        self._object_type = reference.object_type
+        self.name = reference.name
+
+        self._buffer: Dict[str, ObjectInstance] = {}
+        self._tombstones: set = set()
+        self._scalar_caches: List[dict] = [{} for _ in self.specs]
+        self._compaction_listeners: List[Callable[[], None]] = []
+        self.version = 0
+        self.compactions = 0
+        self._rebuild(list(reference))
+
+    # -- construction / compaction -------------------------------------
+
+    def _rebuild(self, instances: List[ObjectInstance]) -> None:
+        base = LogicalSource(self._physical, self._object_type)
+        for instance in instances:
+            base.add(instance)
+        self._base = base
+        self._base_rows = {id: row for row, id in enumerate(base.ids())}
+        # slot space: every record gets an integer slot; base rows own
+        # slots [0, len(base)) aligned with the packed kernel rows,
+        # buffer records append after.  The hot paths (candidate
+        # generation, kernel scoring) work entirely in slots and only
+        # materialize id strings for surviving correspondences.
+        self._slot_ids: List[str] = list(base.ids())
+        self._id_slots: Dict[str, int] = {
+            id: slot for slot, id in enumerate(self._slot_ids)}
+        # corpus statistics (gram caches, TF/IDF document frequencies)
+        # refresh here and freeze until the next rebuild
+        for spec in self.specs:
+            spec.similarity.prepare(
+                base.attribute_values(spec.range_attribute))
+        self._base_values = [
+            [instance.get(spec.range_attribute) for instance in base]
+            for spec in self.specs
+        ]
+        use_kernels = self.build_kernels and _np is not None
+        self._columns = [
+            _build_column(spec.similarity, values) if use_kernels else None
+            for spec, values in zip(self.specs, self._base_values)
+        ]
+        if use_kernels and not any(
+                column is not None and column.vectorized
+                for column in self._columns):
+            # all-scalar compositions gain nothing over the plain
+            # scalar route; skip the per-batch binding machinery
+            self._columns = [None for _ in self.specs]
+        if _np is not None:
+            self._base_missing = [vectorized.missing_mask(values)
+                                  for values in self._base_values]
+        else:  # pragma: no cover - numpy always present in the image
+            self._base_missing = None
+        self._token_index: Dict[str, List[int]] = {}
+        self._posting_arrays: Dict[str, object] = {}
+        first = self.specs[0].range_attribute
+        for slot, instance in enumerate(base):
+            self._index_tokens(slot, instance.get(first))
+
+    def compact(self) -> None:
+        """Rebuild packed columns and corpus statistics from live records."""
+        self._rebuild(self.instances())
+        self._buffer.clear()
+        self._tombstones.clear()
+        self.compactions += 1
+        for listener in self._compaction_listeners:
+            listener()
+
+    def _maybe_compact(self) -> None:
+        pending = len(self._buffer) + len(self._tombstones)
+        if pending >= max(self.compact_min,
+                          int(self.compact_ratio * len(self._base))):
+            self.compact()
+
+    def on_compact(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired after every compaction."""
+        self._compaction_listeners.append(listener)
+
+    # -- token index ---------------------------------------------------
+
+    @staticmethod
+    def _tokens(value: object):
+        if value is None:
+            return ()
+        return set(word_tokens(str(value)))
+
+    def _index_tokens(self, slot: int, value: object) -> None:
+        for token in self._tokens(value):
+            self._token_index.setdefault(token, []).append(slot)
+            self._posting_arrays.pop(token, None)
+
+    def _unindex_tokens(self, slot: int, value: object) -> None:
+        for token in self._tokens(value):
+            posting = self._token_index.get(token)
+            if posting is None:
+                continue
+            try:
+                posting.remove(slot)
+            except ValueError:  # pragma: no cover - defensive
+                continue
+            self._posting_arrays.pop(token, None)
+            if not posting:
+                del self._token_index[token]
+
+    # -- mutation ------------------------------------------------------
+
+    def add(self, instance: ObjectInstance) -> None:
+        """Add a new record; a live duplicate id is rejected."""
+        if instance.id in self:
+            raise ValueError(
+                f"duplicate instance id {instance.id!r} in {self.name}")
+        slot = len(self._slot_ids)
+        self._slot_ids.append(instance.id)
+        self._id_slots[instance.id] = slot
+        self._buffer[instance.id] = instance
+        self._index_tokens(slot,
+                           instance.get(self.specs[0].range_attribute))
+        self.version += 1
+        self._maybe_compact()
+
+    def add_record(self, id: str, **attributes) -> ObjectInstance:
+        """Convenience: build and add an instance from keyword attributes."""
+        instance = ObjectInstance(id, attributes)
+        self.add(instance)
+        return instance
+
+    def update(self, instance: ObjectInstance) -> None:
+        """Replace a live record (KeyError when the id is not live)."""
+        old = self.get(instance.id)
+        if old is None:
+            raise KeyError(f"no instance {instance.id!r} in {self.name}")
+        first = self.specs[0].range_attribute
+        old_slot = self._id_slots[instance.id]
+        self._unindex_tokens(old_slot, old.get(first))
+        if instance.id in self._buffer:
+            # in-place buffer replacement keeps the record's position
+            # (and therefore its slot: insertion order is the ranking
+            # tie-break and must match a rebuilt index)
+            slot = old_slot
+        else:
+            self._tombstones.add(instance.id)
+            slot = len(self._slot_ids)
+            self._slot_ids.append(instance.id)
+            self._id_slots[instance.id] = slot
+        self._buffer[instance.id] = instance
+        self._index_tokens(slot, instance.get(first))
+        self.version += 1
+        self._maybe_compact()
+
+    def delete(self, id: str) -> bool:
+        """Remove a live record; returns whether it existed."""
+        old = self.get(id)
+        if old is None:
+            return False
+        slot = self._id_slots.pop(id)
+        self._unindex_tokens(slot, old.get(self.specs[0].range_attribute))
+        if id in self._buffer:
+            del self._buffer[id]
+        if id in self._base_rows:
+            self._tombstones.add(id)
+        self.version += 1
+        self._maybe_compact()
+        return True
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, id: str) -> Optional[ObjectInstance]:
+        instance = self._buffer.get(id)
+        if instance is not None:
+            return instance
+        if id in self._tombstones:
+            return None
+        return self._base.get(id)
+
+    def __contains__(self, id: str) -> bool:
+        return self.get(id) is not None
+
+    def __len__(self) -> int:
+        return len(self._base) - len(self._tombstones) + len(self._buffer)
+
+    def ids(self) -> List[str]:
+        """Live ids: base order (minus tombstones) then buffer order."""
+        live = [id for id in self._base.ids() if id not in self._tombstones]
+        live.extend(self._buffer)
+        return live
+
+    def instances(self) -> List[ObjectInstance]:
+        return [self.get(id) for id in self.ids()]
+
+    def snapshot(self) -> LogicalSource:
+        """The live records as a plain :class:`LogicalSource`."""
+        source = LogicalSource(self._physical, self._object_type)
+        for instance in self.instances():
+            source.add(instance)
+        return source
+
+    def stats(self) -> dict:
+        return {
+            "records": len(self),
+            "base": len(self._base),
+            "buffer": len(self._buffer),
+            "tombstones": len(self._tombstones),
+            "tokens": len(self._token_index),
+            "version": self.version,
+            "compactions": self.compactions,
+            "vectorized_columns": sum(
+                1 for column in self._columns
+                if column is not None and column.vectorized),
+        }
+
+    # -- candidate generation ------------------------------------------
+
+    def candidate_ids(self, value: object,
+                      max_candidates: Optional[int] = 50) -> List[str]:
+        """Reference ids worth scoring against ``value``.
+
+        ``None`` disables pruning (every live id, deterministic
+        order).  Otherwise candidates sharing a word token are ranked
+        by summed inverse document frequency, ``1 / df`` — the
+        continuous form of the old online matcher's ``1000 // df``
+        rarity rank — with ties broken by insertion order (which a
+        rebuilt index reproduces).  The weight deliberately depends on
+        *nothing but the query's own postings*: mutations that share
+        no token with a query can then never change its candidate set
+        or ranking, which is what makes the service's token-keyed
+        cache invalidation exact.
+        """
+        if max_candidates is None:
+            return self.ids()
+        slot_ids = self._slot_ids
+        return [slot_ids[slot]
+                for slot in self._candidate_slots(value, max_candidates)]
+
+    def _posting_weights(self, value: object):
+        """Live posting (token → slots) arrays and rarity weights."""
+        postings = []
+        for token in self._tokens(value):
+            posting = self._token_index.get(token)
+            if not posting:
+                continue
+            postings.append((token, posting, 1.0 / len(posting)))
+        return postings
+
+    def _candidate_slots(self, value: object, max_candidates: int):
+        """Candidate slots ranked by summed token rarity.
+
+        One ``bincount`` over the concatenated posting arrays replaces
+        the per-id dict accumulation — this runs once per query record
+        and dominated the old online loop.  Weight sums accumulate in
+        token order on both the numpy and the fallback path, so the
+        ranking is identical (bit-for-bit) across them and across an
+        index rebuild.
+        """
+        if value is None:
+            return []
+        postings = self._posting_weights(value)
+        if not postings:
+            return []
+        if _np is None:
+            scores: Dict[int, float] = {}
+            for _, posting, weight in postings:
+                for slot in posting:
+                    scores[slot] = scores.get(slot, 0.0) + weight
+            ranked = sorted(scores.items(),
+                            key=lambda item: (-item[1], item[0]))
+            return [slot for slot, _ in ranked[:max_candidates]]
+        arrays = []
+        weights = []
+        for token, posting, weight in postings:
+            array = self._posting_arrays.get(token)
+            if array is None:
+                array = _np.asarray(posting, dtype=_np.int64)
+                self._posting_arrays[token] = array
+            arrays.append(array)
+            weights.append(_np.full(len(array), weight, dtype=_np.float64))
+        slots = _np.concatenate(arrays)
+        totals = _np.bincount(slots, weights=_np.concatenate(weights),
+                              minlength=len(self._slot_ids))
+        candidates = _np.nonzero(totals)[0]
+        scores = totals[candidates]
+        if len(candidates) > max_candidates:
+            # partial selection first: ranking every token-sharing
+            # record just to keep the top k dominated the query cost
+            # on large references.  Boundary ties resolve to the
+            # smallest slots, matching the full sort's tie-break.
+            top = _np.argpartition(-scores, max_candidates - 1)
+            boundary = scores[top[:max_candidates]].min()
+            above = candidates[scores > boundary]
+            ties = _np.sort(candidates[scores == boundary])
+            candidates = _np.concatenate(
+                [above, ties[:max_candidates - len(above)]])
+            scores = totals[candidates]
+        order = _np.lexsort((candidates, -scores))
+        return candidates[order[:max_candidates]]
+
+    # -- scoring -------------------------------------------------------
+
+    def score_pairs(self, records: Sequence[ObjectInstance],
+                    pairs: Iterable[Tuple[int, str]], *,
+                    threshold: float) -> List[Triple]:
+        """Score ``(record index, reference id)`` pairs in one batch.
+
+        Returns surviving ``(record index, reference id, score)``
+        triples under the engine's filter (``score >= threshold`` and
+        ``score > 0``; single-attribute ``missing='zero'`` pairs
+        surface as 0.0 at threshold 0).  Base rows go through one
+        bound-kernel ``score_rows`` call; buffer rows go through the
+        scalar batch path — both bit-identical to the offline engine.
+        """
+        base_queries: List[int] = []
+        base_rows: List[int] = []
+        base_ids: List[str] = []
+        scalar_pairs: List[Tuple[int, str]] = []
+        kernelized = any(column is not None for column in self._columns)
+        for query, reference_id in pairs:
+            row = self._base_rows.get(reference_id)
+            if kernelized and row is not None \
+                    and reference_id not in self._tombstones:
+                base_queries.append(query)
+                base_rows.append(row)
+                base_ids.append(reference_id)
+            else:
+                scalar_pairs.append((query, reference_id))
+        out: List[Triple] = []
+        if base_queries:
+            rows_a, rows_b, scores = self._score_kernel_rows(
+                records, _np.asarray(base_queries, dtype=_np.int64),
+                _np.asarray(base_rows, dtype=_np.int64), threshold)
+            lookup = {row: id for row, id in zip(base_rows, base_ids)}
+            out.extend(
+                (query, lookup[row], score)
+                for query, row, score in zip(rows_a.tolist(),
+                                             rows_b.tolist(),
+                                             scores.tolist()))
+        if scalar_pairs:
+            out.extend(self._score_scalar(records, scalar_pairs, threshold))
+        return out
+
+    def _score_kernel_rows(self, records, rows_a, rows_b, threshold: float):
+        """One bound-kernel call; returns surviving row/score arrays.
+
+        ``rows_a`` index into ``records``, ``rows_b`` into the packed
+        base.  Mirrors :meth:`IndexedScorer.score_rows` exactly: the
+        ``score >= threshold and score > 0`` filter plus the
+        single-attribute ``missing='zero'`` surfacing at threshold 0.
+        """
+        query_values = [
+            [record.get(spec.attribute) for record in records]
+            for spec in self.specs
+        ]
+        if self.combiner is None:
+            kernel = self._columns[0].bind(query_values[0])
+            query_missing = vectorized.missing_mask(query_values[0])
+        else:
+            columns = [column.bind(values) for column, values
+                       in zip(self._columns, query_values)]
+            query_masks = [vectorized.missing_mask(values)
+                           for values in query_values]
+            kernel = vectorized.MultiSpecKernel(
+                columns, query_masks, self._base_missing, self.combiner)
+            query_missing = None
+        scores = kernel.score_rows(rows_a, rows_b)
+        mask = (scores >= threshold) & (scores > 0.0)
+        if self.combiner is None and self.missing == "zero" \
+                and threshold <= 0.0 and len(rows_a):
+            mask = mask | (query_missing[rows_a]
+                           | self._base_missing[0][rows_b])
+        return rows_a[mask], rows_b[mask], scores[mask]
+
+    def match_records(self, records: Sequence[ObjectInstance], *,
+                      threshold: float,
+                      max_candidates: Optional[int] = 50) \
+            -> List[List[Tuple[str, float]]]:
+        """Candidate generation + scoring for a query micro-batch.
+
+        Returns one ``[(reference id, score), ...]`` list per record,
+        each sorted by descending score (ties by id).  This is the
+        service's hot path: candidate slots, kernel rows and the
+        threshold filter all stay in integer arrays; id strings are
+        materialized only for surviving correspondences.
+        """
+        attribute = self.specs[0].attribute
+        results: List[List[Tuple[str, float]]] = [[] for _ in records]
+        kernelized = _np is not None and any(
+            column is not None for column in self._columns)
+        if not kernelized:
+            pairs: List[Tuple[int, str]] = []
+            for position, record in enumerate(records):
+                value = record.get(attribute)
+                if value is None:
+                    continue
+                for id in self.candidate_ids(str(value), max_candidates):
+                    pairs.append((position, id))
+            triples = self.score_pairs(records, pairs, threshold=threshold)
+        else:
+            triples = self._match_records_kernel(records, threshold,
+                                                 max_candidates)
+        for position, reference_id, score in triples:
+            results[position].append((reference_id, score))
+        for result in results:
+            result.sort(key=lambda item: (-item[1], item[0]))
+        return results
+
+    def _match_records_kernel(self, records, threshold: float,
+                              max_candidates: Optional[int]) -> List[Triple]:
+        attribute = self.specs[0].attribute
+        n_base = len(self._base)
+        query_arrays = []
+        slot_arrays = []
+        scalar_pairs: List[Tuple[int, str]] = []
+        slot_ids = self._slot_ids
+        all_slots = None
+        if max_candidates is None:
+            # one shared live-slot array: identical for every record
+            all_slots = _np.asarray(
+                [self._id_slots[id] for id in self.ids()],
+                dtype=_np.int64)
+        for position, record in enumerate(records):
+            value = record.get(attribute)
+            if value is None:
+                continue
+            if all_slots is not None:
+                slots = all_slots
+            else:
+                slots = self._candidate_slots(str(value), max_candidates)
+            if not len(slots):
+                continue
+            slots = _np.asarray(slots, dtype=_np.int64)
+            base_slots = slots[slots < n_base]
+            if len(base_slots):
+                slot_arrays.append(base_slots)
+                query_arrays.append(_np.full(len(base_slots), position,
+                                             dtype=_np.int64))
+            for slot in slots[slots >= n_base].tolist():
+                scalar_pairs.append((position, slot_ids[slot]))
+        out: List[Triple] = []
+        if slot_arrays:
+            rows_a, rows_b, scores = self._score_kernel_rows(
+                records, _np.concatenate(query_arrays),
+                _np.concatenate(slot_arrays), threshold)
+            out.extend(zip(rows_a.tolist(),
+                           (slot_ids[row] for row in rows_b.tolist()),
+                           scores.tolist()))
+        if scalar_pairs:
+            out.extend(self._score_scalar(records, scalar_pairs, threshold))
+        return out
+
+    def _score_scalar(self, records, pairs, threshold: float) -> List[Triple]:
+        if self.combiner is None:
+            return self._score_scalar_single(records, pairs, threshold)
+        return self._score_scalar_multi(records, pairs, threshold)
+
+    def _score_scalar_single(self, records, pairs,
+                             threshold: float) -> List[Triple]:
+        """Replicates :meth:`ChunkScorer._score_single` semantics."""
+        spec = self.specs[0]
+        cache = self._scalar_caches[0]
+        missing_zero = self.missing == "zero"
+        keyed: List[Tuple[int, str, Optional[Tuple[str, str]]]] = []
+        pending: dict = {}
+        for query, reference_id in pairs:
+            instance = self.get(reference_id)
+            if instance is None:
+                continue
+            value_a = records[query].get(spec.attribute)
+            value_b = instance.get(spec.range_attribute)
+            if value_a is None or value_b is None:
+                if missing_zero:
+                    keyed.append((query, reference_id, None))
+                continue
+            key = (str(value_a), str(value_b))
+            keyed.append((query, reference_id, key))
+            if key not in cache and key not in pending:
+                pending[key] = None
+        fresh = self._score_pending(0, list(pending))
+        out: List[Triple] = []
+        for query, reference_id, key in keyed:
+            if key is None:
+                if threshold <= 0.0:
+                    out.append((query, reference_id, 0.0))
+                continue
+            score = fresh.get(key)
+            if score is None:
+                score = cache[key]
+            if score >= threshold and score > 0.0:
+                out.append((query, reference_id, score))
+        self._merge_cache(0, fresh)
+        return out
+
+    def _score_scalar_multi(self, records, pairs,
+                            threshold: float) -> List[Triple]:
+        """Replicates :meth:`ChunkScorer._score_multi` semantics."""
+        specs = self.specs
+        caches = self._scalar_caches
+        keyed = []
+        pending: List[dict] = [{} for _ in specs]
+        for query, reference_id in pairs:
+            instance = self.get(reference_id)
+            if instance is None:
+                continue
+            keys: List[Optional[Tuple[str, str]]] = []
+            for index, spec in enumerate(specs):
+                value_a = records[query].get(spec.attribute)
+                value_b = instance.get(spec.range_attribute)
+                if value_a is None or value_b is None:
+                    keys.append(None)
+                else:
+                    key = (str(value_a), str(value_b))
+                    keys.append(key)
+                    if key not in caches[index] and key not in pending[index]:
+                        pending[index][key] = None
+            keyed.append((query, reference_id, keys))
+        fresh = [self._score_pending(index, list(pending[index]))
+                 for index in range(len(specs))]
+        combine = self.combiner.combine
+        out: List[Triple] = []
+        for query, reference_id, keys in keyed:
+            values: List[Optional[float]] = []
+            for index, key in enumerate(keys):
+                if key is None:
+                    values.append(None)
+                    continue
+                score = fresh[index].get(key)
+                if score is None:
+                    score = caches[index][key]
+                values.append(score)
+            score = combine(values)
+            if score is not None and score >= threshold and score > 0.0:
+                out.append((query, reference_id, score))
+        for index, chunk_fresh in enumerate(fresh):
+            self._merge_cache(index, chunk_fresh)
+        return out
+
+    #: bound on each spec's scalar memo (entries, mirroring ChunkScorer)
+    CACHE_LIMIT = 1 << 20
+
+    def _score_pending(self, index: int, work: List[Tuple[str, str]]) -> dict:
+        if not work:
+            return {}
+        scores = self.specs[index].similarity.score_batch(work)
+        return dict(zip(work, scores))
+
+    def _merge_cache(self, index: int, fresh: dict) -> None:
+        if not fresh:
+            return
+        cache = self._scalar_caches[index]
+        if len(cache) + len(fresh) > self.CACHE_LIMIT:
+            cache.clear()
+        if len(fresh) <= self.CACHE_LIMIT:
+            cache.update(fresh)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"IncrementalIndex({self.name!r}, {len(self)} live, "
+                f"{len(self._buffer)} buffered, "
+                f"{len(self._tombstones)} tombstoned)")

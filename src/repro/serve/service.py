@@ -1,0 +1,416 @@
+"""The standing match service: MOMA's online use case as a subsystem.
+
+The paper targets "small-sized online matching (e.g. during query
+processing in virtual data integration scenarios)" (§2.1) and builds
+its whole architecture around *reusing* materialized mappings (§2.2).
+:class:`MatchService` is that combination as a long-lived object:
+
+* queries — single records or batches — are matched against an
+  :class:`~repro.serve.index.IncrementalIndex`, whose packed kernel
+  state scores each micro-batch in one vectorized call instead of the
+  old per-pair ``similarity()`` loop;
+* concurrent :meth:`match_record` callers (e.g. the HTTP threads in
+  :mod:`repro.serve.http`) are **micro-batched**: while one thread
+  drives a kernel call, arriving requests queue up and the next free
+  thread scores them all together — batch aggregation instead of
+  per-request scoring;
+* results are reused MOMA-style: a bounded LRU keyed by the query's
+  attribute values answers repeats without rescoring, and when a
+  :class:`~repro.model.repository.MappingRepository` is attached every
+  freshly scored correspondence is appended to a named same-mapping;
+* reference mutations invalidate exactly the affected cache entries:
+  a record can only enter or leave a query's candidate set when it
+  shares a word token with it, so the token-keyed reverse map drops
+  precisely those queries (exhaustive mode and compactions, which
+  refresh corpus statistics, clear the whole cache).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.mapping import Mapping, MappingKind
+from repro.model.entity import ObjectInstance
+from repro.model.repository import MappingRepository
+from repro.model.source import LogicalSource
+from repro.serve.index import IncrementalIndex
+
+Result = List[Tuple[str, float]]
+
+
+class _PendingRequest:
+    __slots__ = ("record", "event", "result", "error")
+
+    def __init__(self, record: ObjectInstance) -> None:
+        self.record = record
+        self.event = threading.Event()
+        self.result: Optional[Result] = None
+        self.error: Optional[BaseException] = None
+
+
+class MatchService:
+    """Match incoming records against a mutable, indexed reference.
+
+    Construct from a reference source (plus the single-attribute
+    ``attribute`` / ``similarity`` configuration the old
+    :class:`~repro.core.online.OnlineMatcher` used, or ``specs`` +
+    ``combiner`` for multi-attribute scoring), or inject a prebuilt
+    ``index``.  ``max_candidates=None`` disables candidate pruning —
+    every query scores against the full reference, which is the
+    configuration whose results are bit-identical to the offline
+    engine's cross-product run on the same snapshot.
+    """
+
+    def __init__(self, reference: Optional[LogicalSource] = None,
+                 attribute: str = "title",
+                 similarity: object = "trigram", *,
+                 index: Optional[IncrementalIndex] = None,
+                 specs=None, combiner=None, missing: str = "skip",
+                 threshold: float = 0.7,
+                 max_candidates: Optional[int] = 50,
+                 cache_size: int = 1024,
+                 repository: Optional[MappingRepository] = None,
+                 mapping_name: Optional[str] = None,
+                 source_name: str = "query.Results",
+                 compact_ratio: float = 0.25,
+                 compact_min: int = 64) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold!r}")
+        if max_candidates is not None and max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1")
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        if repository is not None and not mapping_name:
+            raise ValueError("repository persistence needs a mapping_name")
+        if index is None:
+            if reference is None:
+                raise ValueError("pass a reference source or an index")
+            index = IncrementalIndex(reference, attribute, similarity,
+                                     specs=specs, combiner=combiner,
+                                     missing=missing,
+                                     compact_ratio=compact_ratio,
+                                     compact_min=compact_min)
+        self.index = index
+        self.threshold = threshold
+        self.max_candidates = max_candidates
+        self.source_name = source_name
+        self.repository = repository
+        self.mapping_name = mapping_name
+
+        #: serializes index access (scoring and mutation)
+        self._lock = threading.RLock()
+        self._queue_lock = threading.Lock()
+        self._queue: List[_PendingRequest] = []
+        self._cache_lock = threading.Lock()
+        self._cache: "OrderedDict[tuple, Result]" = OrderedDict()
+        self._cache_size = cache_size
+        self._cache_tokens: Dict[str, Set[tuple]] = {}
+        self._key_tokens: Dict[tuple, frozenset] = {}
+        self.hits = 0
+        self.misses = 0
+        self.queries = 0
+        self.batches = 0
+        self.batched_records = 0
+        self.max_batch = 0
+        self.persisted = 0
+        self.index.on_compact(self._clear_cache)
+        if self.repository is not None:
+            # materialize the mapping header so incremental appends of
+            # raw triples always have a home
+            header = Mapping(self.source_name, self.index.name,
+                             kind=MappingKind.SAME)
+            self.repository.append(self.mapping_name, header)
+
+    # -- cache ---------------------------------------------------------
+
+    @property
+    def _primary_attribute(self) -> str:
+        return self.index.specs[0].attribute
+
+    def _cache_key(self, record: ObjectInstance) -> Optional[tuple]:
+        values = tuple(
+            None if record.get(spec.attribute) is None
+            else str(record.get(spec.attribute))
+            for spec in self.index.specs
+        )
+        if values[0] is None:
+            return None
+        return values
+
+    def _cache_get(self, key: tuple) -> Optional[Result]:
+        """Caller holds ``_cache_lock``."""
+        cached = self._cache.get(key)
+        if cached is None:
+            return None
+        self._cache.move_to_end(key)
+        return cached
+
+    def _cache_put(self, key: tuple, result: Result) -> None:
+        """Caller holds ``_cache_lock``."""
+        if self._cache_size == 0:
+            return
+        if key not in self._cache:
+            tokens = frozenset(self.index._tokens(key[0]))
+            self._key_tokens[key] = tokens
+            for token in tokens:
+                self._cache_tokens.setdefault(token, set()).add(key)
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_size:
+            evicted, _ = self._cache.popitem(last=False)
+            self._drop_key_tokens(evicted)
+
+    def _drop_key_tokens(self, key: tuple) -> None:
+        for token in self._key_tokens.pop(key, ()):
+            keys = self._cache_tokens.get(token)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._cache_tokens[token]
+
+    def _clear_cache(self) -> None:
+        with self._cache_lock:
+            self._cache.clear()
+            self._cache_tokens.clear()
+            self._key_tokens.clear()
+
+    def _invalidate(self, *values: object) -> None:
+        """Drop cache entries a mutation of ``values`` could affect.
+
+        With candidate pruning, a reference record only influences
+        queries sharing a word token with its (old or new) match
+        attribute value; without pruning every query is exposed.
+        """
+        if self.max_candidates is None:
+            self._clear_cache()
+            return
+        tokens: Set[str] = set()
+        for value in values:
+            tokens.update(self.index._tokens(value))
+        if not tokens:
+            return
+        with self._cache_lock:
+            stale: Set[tuple] = set()
+            for token in tokens:
+                stale.update(self._cache_tokens.get(token, ()))
+            for key in stale:
+                self._cache.pop(key, None)
+                self._drop_key_tokens(key)
+
+    # -- mutation ------------------------------------------------------
+
+    def add(self, instance: ObjectInstance) -> None:
+        """Add a reference record (ValueError on a live duplicate id)."""
+        attribute = self.index.specs[0].range_attribute
+        with self._lock:
+            self.index.add(instance)
+            self._invalidate(instance.get(attribute))
+
+    def update(self, instance: ObjectInstance) -> None:
+        """Replace a live reference record (KeyError when absent)."""
+        attribute = self.index.specs[0].range_attribute
+        with self._lock:
+            old = self.index.get(instance.id)
+            old_value = None if old is None else old.get(attribute)
+            self.index.update(instance)
+            self._invalidate(old_value, instance.get(attribute))
+
+    def delete(self, id: str) -> bool:
+        """Remove a live reference record; returns whether it existed."""
+        attribute = self.index.specs[0].range_attribute
+        with self._lock:
+            old = self.index.get(id)
+            removed = self.index.delete(id)
+            if removed:
+                self._invalidate(old.get(attribute))
+            return removed
+
+    def ingest(self, records: Iterable[ObjectInstance]) -> dict:
+        """Upsert a batch of reference records; returns counts."""
+        added = updated = 0
+        for record in records:
+            with self._lock:
+                if record.id in self.index:
+                    self.update(record)
+                    updated += 1
+                else:
+                    self.add(record)
+                    added += 1
+        return {"added": added, "updated": updated}
+
+    # -- matching ------------------------------------------------------
+
+    def match_record(self, record: ObjectInstance) -> Result:
+        """Match one record; ``[(reference id, similarity), ...]``
+        sorted by descending similarity.
+
+        Concurrent callers are micro-batched: requests arriving while
+        another thread drives the kernel are scored together in the
+        next call.
+        """
+        key = self._cache_key(record)
+        if key is None:
+            self.queries += 1
+            return []
+        with self._cache_lock:
+            cached = self._cache_get(key)
+        if cached is not None:
+            self.hits += 1
+            self.queries += 1
+            return list(cached)
+        request = _PendingRequest(record)
+        with self._queue_lock:
+            self._queue.append(request)
+        while not request.event.is_set():
+            if not self._lock.acquire(timeout=0.01):
+                request.event.wait(0.01)
+                continue
+            try:
+                if request.event.is_set():
+                    break
+                with self._queue_lock:
+                    batch, self._queue = self._queue, []
+                if batch:
+                    self._run_batch(batch)
+            finally:
+                self._lock.release()
+        if request.error is not None:
+            raise request.error
+        return list(request.result)
+
+    def _run_batch(self, batch: List[_PendingRequest]) -> None:
+        """Score queued requests in one kernel call (holding ``_lock``).
+
+        Every request's event is set no matter what fails — a batch
+        drained from the queue is never re-queued, so an unwoken
+        follower would spin in :meth:`match_record` forever.
+        """
+        try:
+            records = [request.record for request in batch]
+            results = self._score_records(records)
+            self.batches += 1
+            self.batched_records += len(batch)
+            self.max_batch = max(self.max_batch, len(batch))
+            triples = []
+            with self._cache_lock:
+                for request, result in zip(batch, results):
+                    key = self._cache_key(request.record)
+                    if key is not None:
+                        self._cache_put(key, result)
+                    self.misses += 1
+                    self.queries += 1
+                    for reference_id, score in result:
+                        triples.append(
+                            (request.record.id, reference_id, score))
+            self._persist(triples)
+            for request, result in zip(batch, results):
+                request.result = result
+        except BaseException as error:  # propagate to every waiter
+            for request in batch:
+                if request.result is None:
+                    request.error = error
+            raise
+        finally:
+            for request in batch:
+                request.event.set()
+
+    def match_batch(self, records: Iterable[ObjectInstance], *,
+                    source_name: Optional[str] = None) -> Mapping:
+        """Match a batch of records into a same-mapping.
+
+        Cache misses are scored in one kernel call; hits are served
+        from the reuse cache.
+        """
+        records = list(records)
+        domain = source_name if source_name else self.source_name
+        mapping = Mapping(domain, self.index.name, kind=MappingKind.SAME)
+        misses: List[Tuple[int, ObjectInstance]] = []
+        results: List[Optional[Result]] = [None] * len(records)
+        for position, record in enumerate(records):
+            key = self._cache_key(record)
+            self.queries += 1
+            if key is None:
+                results[position] = []
+                continue
+            with self._cache_lock:
+                cached = self._cache_get(key)
+            if cached is not None:
+                self.hits += 1
+                results[position] = list(cached)
+            else:
+                self.misses += 1
+                misses.append((position, record))
+        if misses:
+            with self._lock:
+                fresh = self._score_records(
+                    [record for _, record in misses])
+                self.batches += 1
+                self.batched_records += len(misses)
+                self.max_batch = max(self.max_batch, len(misses))
+                triples = []
+                with self._cache_lock:
+                    for (position, record), result in zip(misses, fresh):
+                        results[position] = result
+                        key = self._cache_key(record)
+                        if key is not None:
+                            self._cache_put(key, result)
+                        for reference_id, score in result:
+                            triples.append((record.id, reference_id, score))
+                self._persist(triples)
+        for record, result in zip(records, results):
+            for reference_id, score in result:
+                mapping.add(record.id, reference_id, score)
+        return mapping
+
+    def _score_records(self, records: Sequence[ObjectInstance]) \
+            -> List[Result]:
+        """Score records in one index batch (caller holds ``_lock``)."""
+        return self.index.match_records(records, threshold=self.threshold,
+                                        max_candidates=self.max_candidates)
+
+    def _persist(self, triples: List[Tuple[str, str, float]]) -> None:
+        if self.repository is None or not triples:
+            return
+        self.repository.append(self.mapping_name, triples)
+        self.persisted += len(triples)
+
+    # -- introspection -------------------------------------------------
+
+    def cache_stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._cache)}
+
+    def stats(self) -> dict:
+        return {
+            "records": len(self.index),
+            "queries": self.queries,
+            "batches": self.batches,
+            "batched_records": self.batched_records,
+            "max_batch": self.max_batch,
+            "persisted": self.persisted,
+            "threshold": self.threshold,
+            "max_candidates": self.max_candidates,
+            "cache": self.cache_stats(),
+            "index": self.index.stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MatchService({self.index.name!r}, "
+                f"{len(self.index)} reference records, "
+                f"threshold={self.threshold})")
+
+
+def match_query_results(results: Iterable[ObjectInstance],
+                        reference: LogicalSource,
+                        attribute: str = "title",
+                        *, threshold: float = 0.7,
+                        source_name: Optional[str] = None) -> Mapping:
+    """One-shot online matching of query results against a reference.
+
+    Builds a transient :class:`MatchService`; for repeated batches
+    against the same reference, construct the service once instead.
+    """
+    service = MatchService(reference, attribute, threshold=threshold)
+    return service.match_batch(results, source_name=source_name)

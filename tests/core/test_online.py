@@ -82,6 +82,52 @@ class TestOnlineMatcher:
             OnlineMatcher(reference, max_candidates=0)
 
 
+class TestReferenceMutation:
+    """The wrapper fixes the old matcher's stale-cache defect: reference
+    changes invalidate exactly the affected cached results."""
+
+    def test_add_invalidates_affected_cache_entry(self, reference):
+        matcher = OnlineMatcher(reference, "title", threshold=0.6)
+        record = ObjectInstance("q1", {"title": "schema matching"})
+        before = matcher.match_record(record)
+        matcher.add(ObjectInstance("p9", {"title": "Schema Matching Redux"}))
+        after = matcher.match_record(record)
+        assert matcher.cache_stats()["hits"] == 0
+        assert before != after
+        assert any(id == "p9" for id, _ in after)
+
+    def test_delete_removes_reference_from_results(self, reference):
+        matcher = OnlineMatcher(reference, "title", threshold=0.6)
+        record = ObjectInstance("q1", {"title": "schema matching"})
+        assert matcher.match_record(record)[0][0] == "p2"
+        assert matcher.delete("p2")
+        assert matcher.match_record(record) == []
+
+    def test_update_changes_results(self, reference):
+        matcher = OnlineMatcher(reference, "title", threshold=0.8)
+        matcher.update(ObjectInstance(
+            "p3", {"title": "Adaptive Query Processing for Streams"}))
+        record = ObjectInstance("q1", {
+            "title": "Adaptive Query Processing for Streams"})
+        matched = {id for id, _ in matcher.match_record(record)}
+        assert matched == {"p1", "p3"}
+
+    def test_unrelated_mutation_keeps_cache(self, reference):
+        matcher = OnlineMatcher(reference, "title", threshold=0.6)
+        record = ObjectInstance("q1", {"title": "schema matching"})
+        matcher.match_record(record)
+        matcher.add(ObjectInstance("p9", {"title": "Zebra Migrations"}))
+        matcher.match_record(record)
+        assert matcher.cache_stats()["hits"] == 1
+
+    def test_wrapper_delegates_to_service(self, reference):
+        from repro.serve import MatchService
+
+        matcher = OnlineMatcher(reference, "title", threshold=0.6)
+        assert isinstance(matcher.service, MatchService)
+        assert matcher.similarity is matcher.service.index.specs[0].similarity
+
+
 class TestConvenienceWrapper:
     def test_match_query_results(self, reference):
         results = [ObjectInstance("q1",

@@ -15,6 +15,7 @@ import pytest
 from repro import AttributeMatcher
 from repro.blocking import KeyBlocking, TokenBlocking
 from repro.engine import AdaptiveChunker, BatchMatchEngine, EngineConfig
+from repro.engine.engine import AUTO_MAX_WORKERS, autotune_workers
 from repro.engine.chunks import ADAPTIVE_MAX_CHUNK, ADAPTIVE_MIN_CHUNK
 from repro.engine.request import AttributeSpec, MatchRequest
 from repro.engine.shards import (
@@ -92,6 +93,56 @@ class TestAutotunePlan:
         hot = int(AUTO_SKEW_FACTOR * total / 4)
         balance, _ = autotune_plan([hot, total - hot], workers=4)
         assert balance
+
+
+class TestWorkersAutotune:
+    """``EngineConfig(auto=True)`` derives the pool size from the CPU
+    count when ``workers`` is left unset; explicit values always win."""
+
+    @pytest.mark.parametrize("cpus,expected", [
+        (1, 1),          # single core: stay serial
+        (2, 1),          # leave one core for the parent
+        (4, 3),
+        (8, 7),
+        (9, 8),          # capped at AUTO_MAX_WORKERS
+        (64, AUTO_MAX_WORKERS),
+    ])
+    def test_decision(self, cpus, expected):
+        assert autotune_workers(cpus) == expected
+
+    def test_defaults_to_machine_cpu_count(self):
+        import os
+        assert autotune_workers() \
+            == autotune_workers(os.cpu_count() or 1)
+
+    def test_auto_config_autotunes_workers(self):
+        assert EngineConfig(auto=True).workers == autotune_workers()
+
+    def test_unset_workers_without_auto_stay_serial(self):
+        assert EngineConfig().workers == 1
+
+    def test_explicit_workers_beat_the_autotuner(self):
+        assert EngineConfig(workers=2, auto=True).workers == 2
+        assert EngineConfig(workers=1, auto=True).workers == 1
+
+    def test_invalid_workers_still_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(workers=0, auto=True)
+
+    def test_configure_default_engine_autotunes(self):
+        from repro.engine import (
+            configure_default_engine,
+            set_default_engine,
+        )
+        try:
+            engine = configure_default_engine(auto=True)
+            assert engine.config.workers == autotune_workers()
+            engine = configure_default_engine(workers=2, auto=True)
+            assert engine.config.workers == 2
+            engine = configure_default_engine()
+            assert engine.config.workers == 1
+        finally:
+            set_default_engine(None)
 
 
 class TestAdaptiveChunker:

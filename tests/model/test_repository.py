@@ -116,3 +116,123 @@ class TestPersistence:
             repo.save("pubs", sample)
         with MappingRepository(path) as repo:
             assert repo.load("pubs").to_rows() == sample.to_rows()
+
+    def test_file_backed_store_uses_wal(self, tmp_path):
+        with MappingRepository(str(tmp_path / "wal.db")) as repo:
+            assert repo.journal_mode() == "wal"
+
+    def test_memory_store_has_no_wal(self, repository):
+        # WAL is meaningless for :memory:; the shared-connection +
+        # lock path serves it instead
+        assert repository.journal_mode() != "wal"
+
+
+class TestAppend:
+    def test_mapping_creates_header_and_rows(self, repository, sample):
+        cardinality = repository.append("pubs", sample)
+        assert cardinality == 3
+        assert repository.load("pubs").to_rows() == sample.to_rows()
+
+    def test_bare_triples_need_an_existing_mapping(self, repository):
+        with pytest.raises(KeyError):
+            repository.append("ghost", [("a", "b", 0.5)])
+
+    def test_incremental_append_accumulates(self, repository, sample):
+        repository.append("pubs", sample)
+        cardinality = repository.append("pubs", [("p9", "q9", 0.4)])
+        assert cardinality == 4
+        loaded = repository.load("pubs")
+        assert loaded.get("p9", "q9") == pytest.approx(0.4)
+        assert loaded.get("p1", "q1") == pytest.approx(1.0)
+        assert repository.info("pubs")["correspondences"] == 4
+
+    def test_conflicts_keep_the_larger_similarity(self, repository, sample):
+        repository.append("pubs", sample)
+        repository.append("pubs", [("p2", "q2", 0.3)])   # lower: ignored
+        repository.append("pubs", [("p3", "q3", 0.9)])   # higher: wins
+        loaded = repository.load("pubs")
+        assert loaded.get("p2", "q2") == pytest.approx(0.8)
+        assert loaded.get("p3", "q3") == pytest.approx(0.9)
+        assert len(loaded) == 3
+
+    def test_invalid_similarity_rejected(self, repository, sample):
+        repository.append("pubs", sample)
+        with pytest.raises(ValueError):
+            repository.append("pubs", [("x", "y", 1.5)])
+
+    def test_empty_name_rejected(self, repository, sample):
+        with pytest.raises(ValueError):
+            repository.append("", sample)
+
+
+class TestThreading:
+    @pytest.mark.parametrize("backing", ["memory", "file"])
+    def test_concurrent_appends(self, tmp_path, backing, sample):
+        import threading
+
+        path = ":memory:" if backing == "memory" \
+            else str(tmp_path / "threads.db")
+        with MappingRepository(path) as repo:
+            repo.append("pubs", sample)
+            errors = []
+
+            def worker(start):
+                try:
+                    for i in range(start, start + 25):
+                        repo.append("pubs", [(f"d{i}", f"r{i}", 0.5)])
+                except BaseException as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [threading.Thread(target=worker, args=(i * 100,))
+                       for i in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            assert repo.info("pubs")["correspondences"] == 3 + 4 * 25
+
+    def test_reads_from_other_threads(self, tmp_path, sample):
+        import threading
+
+        with MappingRepository(str(tmp_path / "reads.db")) as repo:
+            repo.save("pubs", sample)
+            seen = []
+
+            def reader():
+                seen.append(repo.load("pubs").to_rows())
+
+            thread = threading.Thread(target=reader)
+            thread.start()
+            thread.join()
+            assert seen == [sample.to_rows()]
+
+    def test_closed_repository_rejects_use(self, sample):
+        repo = MappingRepository(":memory:")
+        repo.close()
+        with pytest.raises(RuntimeError):
+            repo.append("pubs", sample)
+
+    def test_dead_threads_release_their_connections(self, tmp_path, sample):
+        """One connection per HTTP handler thread must not outlive the
+        thread — a busy server would otherwise leak descriptors."""
+        import gc
+        import threading
+
+        with MappingRepository(str(tmp_path / "release.db")) as repo:
+            repo.save("pubs", sample)
+
+            def worker(i):
+                repo.append("pubs", [(f"t{i}", f"r{i}", 0.5)])
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            del threads
+            gc.collect()
+            # only the creating thread's connection remains tracked
+            assert len(repo._connections) == 1
+            assert repo.info("pubs")["correspondences"] == 3 + 8

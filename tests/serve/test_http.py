@@ -1,0 +1,187 @@
+"""HTTP endpoint round-trip tests for the serving subsystem."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+from repro.serve import MatchService
+from repro.serve.http import build_server
+
+
+@pytest.fixture
+def server():
+    source = LogicalSource(PhysicalSource("DBLP"), ObjectType("Publication"))
+    source.add_record("p1", title="Adaptive Query Processing for Streams")
+    source.add_record("p2", title="Schema Matching with Cupid")
+    source.add_record("p3", title="Data Cleaning in Warehouses")
+    service = MatchService(source, "title", threshold=0.6)
+    server = build_server(service, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def _url(server, path):
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}{path}"
+
+
+def _get(server, path):
+    with urllib.request.urlopen(_url(server, path), timeout=5) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(server, path, payload):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        _url(server, path), data=body,
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(request, timeout=5) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post_raw(server, path, body: bytes):
+    request = urllib.request.Request(
+        _url(server, path), data=body,
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=5) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, payload = _get(server, "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok", "records": 3}
+
+    def test_match_round_trip(self, server):
+        status, payload = _post(server, "/match", {
+            "record": {"id": "q1", "attributes": {
+                "title": "adaptive query processng for streams"}},
+        })
+        assert status == 200
+        assert payload["domain"] == "query.Results"
+        assert payload["range"] == "DBLP.Publication"
+        (reference_id, score), = payload["matches"]["q1"]
+        assert reference_id == "p1" and score > 0.6
+        assert payload["correspondences"] == [["q1", "p1", score]]
+
+    def test_match_batch_with_source(self, server):
+        status, payload = _post(server, "/match", {
+            "records": [
+                {"id": "a", "attributes": {"title": "Schema Matching with Cupid"}},
+                {"id": "b", "attributes": {"title": "unrelated zebra talk"}},
+            ],
+            "source": "GS.Publication",
+        })
+        assert status == 200
+        assert payload["domain"] == "GS.Publication"
+        assert payload["matches"]["a"][0][0] == "p2"
+        assert payload["matches"]["b"] == []
+
+    def test_ingest_then_match_then_delete(self, server):
+        status, payload = _post(server, "/ingest", {
+            "records": [{"id": "p9", "attributes": {
+                "title": "Streaming Entity Resolution"}}],
+        })
+        assert status == 200
+        assert payload == {"added": 1, "updated": 0}
+
+        status, payload = _post(server, "/match", {
+            "record": {"id": "q", "attributes": {
+                "title": "streaming entity resolution"}},
+        })
+        assert payload["matches"]["q"][0][0] == "p9"
+
+        status, payload = _post(server, "/delete", {"ids": ["p9", "ghost"]})
+        assert status == 200
+        assert payload == {"deleted": ["p9"], "missing": ["ghost"]}
+
+        status, payload = _post(server, "/match", {
+            "record": {"id": "q2", "attributes": {
+                "title": "streaming entity resolution"}},
+        })
+        assert payload["matches"]["q2"] == []
+
+    def test_upsert_counts_updates(self, server):
+        status, payload = _post(server, "/ingest", {
+            "records": [{"id": "p1", "attributes": {"title": "Renamed"}}],
+        })
+        assert status == 200
+        assert payload == {"added": 0, "updated": 1}
+
+    def test_stats(self, server):
+        _post(server, "/match", {
+            "record": {"id": "q", "attributes": {"title": "schema matching"}}})
+        status, payload = _get(server, "/stats")
+        assert status == 200
+        assert payload["records"] == 3
+        assert payload["queries"] >= 1
+        assert payload["index"]["vectorized_columns"] == 1
+
+
+class TestErrors:
+    def test_unknown_path(self, server):
+        status, payload = _post_raw(server, "/nope", b"{}")
+        assert status == 404
+        assert "unknown path" in payload["error"]
+
+    def test_invalid_json(self, server):
+        status, payload = _post_raw(server, "/match", b"not json")
+        assert status == 400
+        assert "invalid JSON" in payload["error"]
+
+    def test_missing_records(self, server):
+        status, payload = _post_raw(server, "/match", b"{}")
+        assert status == 400
+        assert "records" in payload["error"]
+
+    def test_bad_record_shape(self, server):
+        status, payload = _post_raw(
+            server, "/ingest", json.dumps(
+                {"records": [{"attributes": {}}]}).encode())
+        assert status == 400
+        assert "id" in payload["error"]
+
+    def test_delete_needs_ids(self, server):
+        status, payload = _post_raw(server, "/delete", b"{}")
+        assert status == 400
+
+
+class TestConcurrentClients:
+    def test_parallel_match_requests(self, server):
+        results = {}
+        errors = []
+
+        def client(i):
+            try:
+                _, payload = _post(server, "/match", {
+                    "record": {"id": f"q{i}", "attributes": {
+                        "title": f"schema matching with cupid {i}"}},
+                })
+                results[i] = payload["matches"][f"q{i}"]
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not errors
+        assert len(results) == 12
+        for matches in results.values():
+            assert matches and matches[0][0] == "p2"

@@ -1,0 +1,341 @@
+"""Tests for the standing match service: equivalence, reuse, batching."""
+
+import threading
+
+import pytest
+
+from repro.core.operators.functions import AvgFunction
+from repro.engine import BatchMatchEngine, EngineConfig
+from repro.engine.request import AttributeSpec, MatchRequest
+from repro.model.entity import ObjectInstance
+from repro.model.repository import MappingRepository
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+from repro.serve import MatchService
+from repro.sim.ngram import TrigramSimilarity
+from repro.sim.tfidf import TfIdfCosineSimilarity
+
+ENGINE = BatchMatchEngine(EngineConfig(workers=1))
+
+
+def _reference(n=24, name="DBLP"):
+    words = ["adaptive", "stream", "schema", "query", "index", "cache",
+             "graph", "join", "view", "cube", "match", "entity"]
+    source = LogicalSource(PhysicalSource(name), ObjectType("Publication"))
+    for i in range(n):
+        title = " ".join(words[(i * 5 + j) % len(words)] for j in range(4))
+        source.add_record(f"p{i}", title=f"{title} {i}",
+                          venue=f"venue {i % 3}")
+    return source
+
+
+def _query_source(values, name="query"):
+    source = LogicalSource(PhysicalSource(name), ObjectType("Results"))
+    for i, value in enumerate(values):
+        source.add_record(f"q{i}", title=value)
+    return source
+
+
+QUERY_TITLES = [
+    "adaptive stream schema query",
+    "stream schema query index",
+    "cache graph join view 5",
+    "entity matching surveys",
+    "cube match entity adaptive 11",
+]
+
+
+class TestOfflineEquivalence:
+    """Frozen reference + exhaustive candidates == the offline engine."""
+
+    def test_trigram_bit_identical_to_engine(self):
+        reference = _reference()
+        service = MatchService(reference, "title", "trigram",
+                               threshold=0.3, max_candidates=None)
+        queries = _query_source(QUERY_TITLES)
+        served = service.match_batch(list(queries))
+        request = MatchRequest(
+            domain=queries, range=service.index.snapshot(),
+            specs=[AttributeSpec("title", "title", TrigramSimilarity())],
+            threshold=0.3)
+        offline = ENGINE.execute(request)
+        assert served.to_rows() == offline.to_rows()
+        assert served.to_rows()
+
+    def test_equivalence_survives_mutations(self):
+        service = MatchService(_reference(), "title", "trigram",
+                               threshold=0.2, max_candidates=None,
+                               compact_min=6)
+        service.ingest([
+            ObjectInstance(f"x{i}", {"title": f"stream query engine {i}"})
+            for i in range(8)
+        ])
+        service.delete("p3")
+        service.update(ObjectInstance("p4", {"title": "renamed entity row"}))
+        queries = _query_source(QUERY_TITLES + ["stream query engine 3"])
+        served = service.match_batch(list(queries))
+        request = MatchRequest(
+            domain=queries, range=service.index.snapshot(),
+            specs=[AttributeSpec("title", "title", TrigramSimilarity())],
+            threshold=0.2)
+        assert served.to_rows() == ENGINE.execute(request).to_rows()
+
+    def test_tfidf_bit_identical_with_frozen_statistics(self):
+        """With document frequencies pinned to the service's reference
+        corpus, the sparse serving kernel reproduces the engine's CSR
+        kernel bit-for-bit."""
+        sim = TfIdfCosineSimilarity()
+        service = MatchService(_reference(), "title", sim,
+                               threshold=0.1, max_candidates=None)
+        queries = _query_source(QUERY_TITLES)
+        served = service.match_batch(list(queries))
+        # freeze the service's reference-corpus IDF for the engine run
+        # (the engine would otherwise re-prepare over both corpora)
+        sim.prepare = lambda values: None
+        request = MatchRequest(
+            domain=queries, range=service.index.snapshot(),
+            specs=[AttributeSpec("title", "title", sim)],
+            threshold=0.1)
+        offline = ENGINE.execute(request)
+        assert served.to_rows() == offline.to_rows()
+        assert served.to_rows()
+
+    def test_multi_attribute_equivalence(self):
+        specs = [AttributeSpec("title", "title", TrigramSimilarity()),
+                 AttributeSpec("venue", "venue", TrigramSimilarity())]
+        service = MatchService(_reference(),
+                               specs=specs, combiner=AvgFunction(),
+                               threshold=0.2, max_candidates=None)
+        queries = LogicalSource(PhysicalSource("query"), ObjectType("R"))
+        queries.add_record("q0", title="adaptive stream schema query 0",
+                           venue="venue 0")
+        queries.add_record("q1", title="cache graph join view", venue=None)
+        served = service.match_batch(list(queries))
+        request = MatchRequest(
+            domain=queries, range=service.index.snapshot(),
+            specs=[AttributeSpec("title", "title", TrigramSimilarity()),
+                   AttributeSpec("venue", "venue", TrigramSimilarity())],
+            combiner=AvgFunction(), threshold=0.2)
+        assert served.to_rows() == ENGINE.execute(request).to_rows()
+        assert served.to_rows()
+
+
+class TestReuseCache:
+    def test_repeated_query_hits_cache(self):
+        service = MatchService(_reference(), "title", threshold=0.3)
+        record = ObjectInstance("q", {"title": "adaptive stream schema"})
+        first = service.match_record(record)
+        second = service.match_record(
+            ObjectInstance("other-id", {"title": "adaptive stream schema"}))
+        assert first == second
+        assert service.cache_stats() == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_mutation_invalidates_affected_entries(self):
+        service = MatchService(_reference(), "title", threshold=0.3)
+        record = ObjectInstance("q", {"title": "adaptive stream schema"})
+        before = service.match_record(record)
+        service.add(ObjectInstance("new", {"title": "adaptive stream schema"}))
+        after = service.match_record(record)
+        assert service.cache_stats()["hits"] == 0  # entry was dropped
+        assert ("new", pytest.approx(1.0)) in [
+            (id, score) for id, score in after]
+        assert before != after
+
+    def test_unrelated_mutation_keeps_entries(self):
+        service = MatchService(_reference(), "title", threshold=0.3)
+        record = ObjectInstance("q", {"title": "adaptive stream schema"})
+        service.match_record(record)
+        service.add(ObjectInstance("new", {"title": "zebra crossings"}))
+        service.match_record(record)
+        assert service.cache_stats()["hits"] == 1
+
+    def test_delete_invalidates_stale_results(self):
+        service = MatchService(_reference(), "title", threshold=0.3)
+        record = ObjectInstance("q", {"title": "adaptive stream schema"})
+        before = service.match_record(record)
+        assert before
+        top_id = before[0][0]
+        service.delete(top_id)
+        after = service.match_record(record)
+        assert all(id != top_id for id, _ in after)
+
+    def test_exhaustive_mode_clears_on_mutation(self):
+        service = MatchService(_reference(), "title", threshold=0.3,
+                               max_candidates=None)
+        record = ObjectInstance("q", {"title": "adaptive stream schema"})
+        service.match_record(record)
+        service.add(ObjectInstance("new", {"title": "zebra"}))
+        service.match_record(record)
+        assert service.cache_stats()["hits"] == 0
+
+    def test_compaction_clears_cache(self):
+        service = MatchService(_reference(), "title", threshold=0.3,
+                               compact_min=1, compact_ratio=0.01)
+        record = ObjectInstance("q", {"title": "adaptive stream schema"})
+        service.match_record(record)
+        # compact_min=1, tiny ratio: the next mutation compacts
+        service.add(ObjectInstance("new", {"title": "zebra"}))
+        assert service.index.compactions >= 1
+        assert service.cache_stats()["size"] == 0
+
+    def test_missing_value_matches_nothing(self):
+        service = MatchService(_reference(), "title")
+        assert service.match_record(ObjectInstance("q", {})) == []
+
+
+class TestMicroBatching:
+    def test_concurrent_requests_are_batched(self):
+        service = MatchService(_reference(64), "title", threshold=0.2,
+                               cache_size=0)
+        records = [
+            ObjectInstance(f"q{i}", {"title": QUERY_TITLES[i % len(QUERY_TITLES)]
+                                     + f" tail {i}"})
+            for i in range(32)
+        ]
+        serial_expected = {
+            record.id: MatchService(_reference(64), "title",
+                                    threshold=0.2).match_record(record)
+            for record in records[:4]
+        }
+        results = {}
+        errors = []
+
+        def worker(record):
+            try:
+                results[record.id] = service.match_record(record)
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(record,))
+                   for record in records]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == len(records)
+        for id, expected in serial_expected.items():
+            assert results[id] == expected
+        stats = service.stats()
+        assert stats["queries"] == len(records)
+        assert stats["batched_records"] == len(records)
+        assert 1 <= stats["batches"] <= len(records)
+
+    def test_concurrent_queries_and_mutations(self):
+        service = MatchService(_reference(48), "title", threshold=0.2,
+                               compact_min=8)
+        errors = []
+
+        def query_worker(i):
+            try:
+                for j in range(10):
+                    service.match_record(ObjectInstance(
+                        f"q{i}-{j}", {"title": f"adaptive stream {i} {j}"}))
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        def mutate_worker(i):
+            try:
+                for j in range(10):
+                    id = f"m{i}-{j}"
+                    service.add(ObjectInstance(id, {"title": f"fresh {i} {j}"}))
+                    if j % 3 == 0:
+                        service.delete(id)
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=query_worker, args=(i,))
+                   for i in range(4)]
+        threads += [threading.Thread(target=mutate_worker, args=(i,))
+                    for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # 48 seed + 20 adds - 8 deletes
+        assert len(service.index) == 48 + 20 - 8
+
+
+class TestBatchFailurePropagation:
+    def test_followers_wake_on_persist_failure(self):
+        """A failing batch must raise in *every* waiter — a follower
+        whose request was drained from the queue but never signalled
+        would spin in match_record forever."""
+
+        class BrokenRepository:
+            def append(self, name, correspondences):
+                raise RuntimeError("disk full")
+
+        service = MatchService(_reference(), "title", threshold=0.2,
+                               cache_size=0)
+        service.repository = BrokenRepository()
+        service.mapping_name = "broken"
+        outcomes = {}
+
+        def worker(i):
+            record = ObjectInstance(f"q{i}", {"title": f"adaptive stream {i}"})
+            try:
+                outcomes[i] = ("ok", service.match_record(record))
+            except RuntimeError as error:
+                outcomes[i] = ("error", str(error))
+
+        threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+                   for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not any(thread.is_alive() for thread in threads), \
+            "a waiter hung after the batch failed"
+        assert len(outcomes) == 6
+        assert all(kind == "error" and "disk full" in detail
+                   for kind, detail in outcomes.values())
+
+
+class TestRepositoryPersistence:
+    def test_scored_batches_are_appended(self):
+        repository = MappingRepository(":memory:")
+        service = MatchService(_reference(), "title", threshold=0.3,
+                               repository=repository,
+                               mapping_name="served")
+        queries = _query_source(QUERY_TITLES)
+        mapping = service.match_batch(list(queries))
+        stored = repository.load("served")
+        assert stored.to_rows() == mapping.to_rows()
+        assert stored.domain == "query.Results"
+        assert stored.range == service.index.name
+
+    def test_repeated_queries_do_not_duplicate_rows(self):
+        repository = MappingRepository(":memory:")
+        service = MatchService(_reference(), "title", threshold=0.3,
+                               repository=repository,
+                               mapping_name="served")
+        queries = list(_query_source(QUERY_TITLES))
+        first = service.match_batch(queries)
+        persisted = service.persisted
+        service.match_batch(queries)  # cache hits: nothing rescored
+        assert service.persisted == persisted
+        assert repository.load("served").to_rows() == first.to_rows()
+
+    def test_repository_requires_mapping_name(self):
+        with pytest.raises(ValueError):
+            MatchService(_reference(), "title",
+                         repository=MappingRepository(":memory:"))
+
+
+class TestValidation:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MatchService(_reference(), threshold=1.5)
+        with pytest.raises(ValueError):
+            MatchService(_reference(), max_candidates=0)
+        with pytest.raises(ValueError):
+            MatchService(_reference(), cache_size=-1)
+        with pytest.raises(ValueError):
+            MatchService()
+
+    def test_stats_shape(self):
+        service = MatchService(_reference(), "title")
+        stats = service.stats()
+        assert {"records", "queries", "batches", "cache", "index"} \
+            <= set(stats)

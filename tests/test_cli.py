@@ -1,6 +1,10 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
 
+import json
+import threading
+import urllib.request
+
 from repro.__main__ import main
 
 
@@ -60,6 +64,53 @@ class TestSeedScale:
         main(["--scale", "tiny", "--seed", "2", "stats"])
         second = capsys.readouterr().out
         assert first != second
+
+
+class TestServe:
+    def test_serve_command_answers_requests(self, capsys, monkeypatch):
+        """``repro serve`` binds the HTTP service over the generated
+        reference; drive one /match round trip, then shut down."""
+        from repro.serve import http as serve_http
+
+        answers = {}
+        real_build_server = serve_http.build_server
+
+        def build_and_probe(service, host, port):
+            server = real_build_server(service, host, port)
+
+            def probe():
+                bound_host, bound_port = server.server_address[:2]
+                title = service.index.get(
+                    service.index.ids()[0]).get("title")
+                body = json.dumps({"record": {
+                    "id": "probe", "attributes": {"title": title}}})
+                request = urllib.request.Request(
+                    f"http://{bound_host}:{bound_port}/match",
+                    data=body.encode(),
+                    headers={"Content-Type": "application/json"})
+                with urllib.request.urlopen(request, timeout=10) as response:
+                    answers["match"] = json.loads(response.read())
+                server.shutdown()
+
+            threading.Thread(target=probe, daemon=True).start()
+            return server
+
+        monkeypatch.setattr(serve_http, "build_server", build_and_probe)
+        assert main(["--scale", "tiny", "serve", "--port", "0",
+                     "--threshold", "0.9"]) == 0
+        output = capsys.readouterr().out
+        assert "serving DBLP.Publication" in output
+        matches = answers["match"]["matches"]["probe"]
+        assert matches and matches[0][1] == 1.0
+
+    def test_serve_flag_validation(self, capsys):
+        assert main(["--workers", "0", "stats"]) == 2
+        assert "--workers" in capsys.readouterr().err
+        assert main(["--scale", "tiny", "serve", "--threshold", "1.5"]) == 2
+        assert "--threshold" in capsys.readouterr().err
+        assert main(["--scale", "tiny", "serve",
+                     "--max-candidates", "-1"]) == 2
+        assert "--max-candidates" in capsys.readouterr().err
 
 
 class TestEngineFlags:
