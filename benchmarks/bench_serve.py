@@ -20,12 +20,22 @@ measures scoring, not reuse.  Alongside the wall times the benchmark
 reports sustained match throughput and p50/p99 per-batch latency for
 the service.
 
+A second section exercises the partitioned serving tier
+(:class:`~repro.serve.cluster.ClusterIndex`): a shard-count sweep over
+a frozen-reference query workload (every shard count must answer
+bit-identically to the single in-heap index), plus
+snapshot → cold-restart → first-answer timing for the mmap/WAL
+persistence path.  The >= 2.5x four-shard scaling gate applies only at
+full scale on a machine with at least four cores; bit-identity and the
+sub-second restart budget are enforced everywhere.
+
 Run standalone with ``PYTHONPATH=src python benchmarks/bench_serve.py``
 or via pytest.  ``REPRO_SERVE_BENCH=small`` runs a quick smoke at
 reduced scale (all correctness gates, no perf gate — sub-second runs
-are noise-bound).  ``REPRO_SERVE_BENCH_JSON=/path/to/BENCH_serve.json``
-writes the measurements as JSON (archived by CI next to
-``BENCH_engine.json``); see ``docs/benchmarks.md``.
+are noise-bound; the cluster sweep shrinks to {1, 2} shards).
+``REPRO_SERVE_BENCH_JSON=/path/to/BENCH_serve.json`` writes the
+measurements as JSON (archived by CI next to ``BENCH_engine.json``);
+see ``docs/benchmarks.md``.
 """
 
 from __future__ import annotations
@@ -33,13 +43,16 @@ from __future__ import annotations
 import json
 import os
 import random
+import tempfile
 import time
 from typing import List, Tuple
 
 from repro.datagen import build_dataset
 from repro.datagen.world import WorldConfig
+from repro.engine.request import AttributeSpec
 from repro.model.entity import ObjectInstance
-from repro.serve import MatchService
+from repro.serve import ClusterIndex, MatchService, ServeConfig
+from repro.serve.cluster import _fork_available
 from repro.serve.index import IncrementalIndex
 from repro.sim.ngram import TrigramSimilarity
 
@@ -49,6 +62,11 @@ MATCH_BATCH = 48
 #: the kernel-batched service must beat the scalar per-pair loop by at
 #: least this factor on the full-scale mixed workload
 SERVE_SPEEDUP_FLOOR = 3.0
+#: four shard workers must scale match throughput by at least this
+#: factor over one shard (full scale, >= 4 cores only)
+CLUSTER_SCALING_FLOOR = 2.5
+#: snapshot -> cold restart -> first answered batch must fit in this
+RESTART_BUDGET_SECONDS = 1.0
 
 SCALAR_LABEL = "scalar online loop"
 SERVICE_LABEL = "match service (kernel-batched)"
@@ -56,6 +74,10 @@ SERVICE_LABEL = "match service (kernel-batched)"
 
 def _small_mode() -> bool:
     return os.environ.get("REPRO_SERVE_BENCH") == "small"
+
+
+def _cluster_shard_counts() -> List[int]:
+    return [1, 2] if _small_mode() else [1, 2, 4]
 
 
 def _build_workload():
@@ -169,10 +191,10 @@ def _run_scalar(reference, ops):
 
 
 def _run_service(reference, ops):
-    service = MatchService(reference, "title", TrigramSimilarity(),
-                           threshold=THRESHOLD,
-                           max_candidates=MAX_CANDIDATES,
-                           cache_size=0)
+    service = MatchService(reference, config=ServeConfig(
+        attribute="title", similarity=TrigramSimilarity(),
+        threshold=THRESHOLD, max_candidates=MAX_CANDIDATES,
+        cache_size=0))
     rows = []
     latencies = []
     match_seconds = mutation_seconds = 0.0
@@ -202,6 +224,100 @@ def _percentile(values: List[float], fraction: float) -> float:
     ranked = sorted(values)
     index = min(len(ranked) - 1, int(round(fraction * (len(ranked) - 1))))
     return ranked[index]
+
+
+def run_cluster_benchmark():
+    """Shard-scaling sweep + snapshot/restore timing for the
+    partitioned serving tier; returns (render lines, measurements)."""
+    reference, queries, _ = _build_workload()
+    n_batches = 6 if _small_mode() else 24
+    batches = [
+        [queries[(b * MATCH_BATCH + i) % len(queries)]
+         for i in range(MATCH_BATCH)]
+        for b in range(n_batches)
+    ]
+    specs = [AttributeSpec("title", "title", TrigramSimilarity())]
+
+    single = IncrementalIndex(reference, specs=specs)
+    start = time.perf_counter()
+    expected = [single.match_records(batch, threshold=THRESHOLD,
+                                     max_candidates=MAX_CANDIDATES)
+                for batch in batches]
+    single_seconds = time.perf_counter() - start
+
+    processes = _fork_available()
+    throughput = {}
+    seconds = {}
+    bit_identical = True
+    for shards in _cluster_shard_counts():
+        cluster = ClusterIndex.build(reference, specs=specs, shards=shards,
+                                     processes=processes)
+        try:
+            cluster.match_records(batches[0], threshold=THRESHOLD,
+                                  max_candidates=MAX_CANDIDATES)  # warm-up
+            start = time.perf_counter()
+            results = [cluster.match_records(batch, threshold=THRESHOLD,
+                                             max_candidates=MAX_CANDIDATES)
+                       for batch in batches]
+            elapsed = time.perf_counter() - start
+        finally:
+            cluster.close()
+        seconds[shards] = elapsed
+        throughput[shards] = n_batches * MATCH_BATCH / max(elapsed, 1e-9)
+        bit_identical = bit_identical and results == expected
+
+    counts = _cluster_shard_counts()
+    scaling = throughput[counts[-1]] / max(throughput[1], 1e-9)
+
+    # snapshot -> cold restart -> first answered batch
+    with tempfile.TemporaryDirectory() as data_dir:
+        cluster = ClusterIndex.build(reference, specs=specs, shards=2,
+                                     processes=processes, data_dir=data_dir)
+        try:
+            cluster.checkpoint()
+        finally:
+            cluster.close()
+        start = time.perf_counter()
+        restored = ClusterIndex.restore(data_dir, processes=processes)
+        try:
+            first = restored.match_records(batches[0], threshold=THRESHOLD,
+                                           max_candidates=MAX_CANDIDATES)
+            restart_seconds = time.perf_counter() - start
+        finally:
+            restored.close()
+        bit_identical = bit_identical and first == expected[0]
+
+    lines = [
+        f"cluster scatter-gather: {len(reference)} reference records "
+        f"across {{{', '.join(map(str, counts))}}} "
+        f"{'process' if processes else 'in-process'} shard(s), "
+        f"{n_batches * MATCH_BATCH} query records "
+        f"(single in-heap index: {single_seconds:.2f}s)",
+    ]
+    for shards in counts:
+        lines.append(
+            f"  {shards} shard(s): {seconds[shards]:8.2f}s match, "
+            f"{throughput[shards]:,.0f} records/s")
+    lines += [
+        f"  scaling {counts[-1]} vs 1 shard: {scaling:.2f}x "
+        f"({os.cpu_count()} cores visible)",
+        f"  snapshot restore -> first answer: "
+        f"{restart_seconds * 1000.0:.1f}ms (2 shards)",
+        f"  bit-identical to the single index: {bit_identical}",
+    ]
+    measurements = {
+        "shard_counts": counts,
+        "processes": processes,
+        "cpu_count": os.cpu_count(),
+        "single_index_seconds": single_seconds,
+        "seconds_by_shards": {str(n): seconds[n] for n in counts},
+        "throughput_records_per_second": {
+            str(n): throughput[n] for n in counts},
+        "scaling_vs_one_shard": scaling,
+        "restart_seconds": restart_seconds,
+        "bit_identical": bit_identical,
+    }
+    return lines, measurements
 
 
 def run_serve_benchmark():
@@ -258,6 +374,11 @@ def run_serve_benchmark():
         "service_stats": service.stats(),
         "identical_correspondences": identical,
     }
+
+    cluster_lines, cluster_measurements = run_cluster_benchmark()
+    lines += cluster_lines
+    measurements["cluster"] = cluster_measurements
+
     json_path = os.environ.get("REPRO_SERVE_BENCH_JSON")
     if json_path:
         with open(json_path, "w") as handle:
@@ -268,11 +389,30 @@ def run_serve_benchmark():
 
 
 # ----------------------------------------------------------------------
-# pytest entry point
+# pytest entry points
 # ----------------------------------------------------------------------
 
+_CACHED = None
+
+
+def _benchmark_results():
+    """Run the benchmark once per process; both tests read the result."""
+    global _CACHED
+    if _CACHED is None:
+        _CACHED = run_serve_benchmark()
+    return _CACHED
+
+
+def _scaling_gate_applies() -> bool:
+    """The >= 2.5x shard-scaling gate needs full scale (smoke timings
+    are noise-bound), real worker processes and enough cores to run
+    four shards in parallel."""
+    return (not _small_mode() and _fork_available()
+            and (os.cpu_count() or 1) >= 4)
+
+
 def test_service_beats_scalar_online_loop(report):
-    rendered, results = run_serve_benchmark()
+    rendered, results = _benchmark_results()
     report("serve", rendered)
     print(rendered)
     assert results["identical_correspondences"], \
@@ -283,6 +423,22 @@ def test_service_beats_scalar_online_loop(report):
         assert speedup >= SERVE_SPEEDUP_FLOOR, (
             f"kernel-batched service only {speedup:.2f}x faster than the "
             f"scalar online loop; expected >= {SERVE_SPEEDUP_FLOOR}x")
+
+
+def test_cluster_tier_scales_and_restores(report):
+    _, results = _benchmark_results()
+    cluster = results["cluster"]
+    assert cluster["bit_identical"], \
+        "cluster scatter-gather disagrees with the single in-heap index"
+    assert cluster["restart_seconds"] < RESTART_BUDGET_SECONDS, (
+        f"snapshot restore to first answer took "
+        f"{cluster['restart_seconds']:.2f}s; "
+        f"budget {RESTART_BUDGET_SECONDS}s")
+    if _scaling_gate_applies():
+        scaling = cluster["scaling_vs_one_shard"]
+        assert scaling >= CLUSTER_SCALING_FLOOR, (
+            f"4 shard workers only {scaling:.2f}x over 1 shard; "
+            f"expected >= {CLUSTER_SCALING_FLOOR}x")
 
 
 if __name__ == "__main__":
@@ -296,6 +452,21 @@ if __name__ == "__main__":
         raise SystemExit(
             f"FAIL: service only {results['service_vs_scalar']:.2f}x "
             f"faster than the scalar online loop")
+    cluster = results["cluster"]
+    if not cluster["bit_identical"]:
+        raise SystemExit(
+            "FAIL: cluster scatter-gather disagrees with the single index")
+    if cluster["restart_seconds"] >= RESTART_BUDGET_SECONDS:
+        raise SystemExit(
+            f"FAIL: snapshot restore took {cluster['restart_seconds']:.2f}s")
+    if _scaling_gate_applies() \
+            and cluster["scaling_vs_one_shard"] < CLUSTER_SCALING_FLOOR:
+        raise SystemExit(
+            f"FAIL: shard scaling only "
+            f"{cluster['scaling_vs_one_shard']:.2f}x")
     print(f"OK: kernel-batched service beats the scalar online loop "
           f"{results['service_vs_scalar']:.2f}x on the mixed workload, "
-          "identical correspondences")
+          f"identical correspondences; cluster bit-identical across "
+          f"{{{', '.join(map(str, cluster['shard_counts']))}}} shards, "
+          f"restore to first answer "
+          f"{cluster['restart_seconds'] * 1000.0:.0f}ms")

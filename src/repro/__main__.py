@@ -103,6 +103,15 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--mapping-name", default="serve.same",
                        help="repository mapping name for persisted "
                             "correspondences (default: serve.same)")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="partition the reference across N shard "
+                            "worker processes behind a scatter-gather "
+                            "router (default: 0 = single in-heap index)")
+    serve.add_argument("--data-dir", default=None, metavar="PATH",
+                       help="back shards with on-disk packed columns + "
+                            "mutation WALs; restores warm from an "
+                            "existing snapshot, enables POST "
+                            "/v1/snapshot (implies at least 1 shard)")
     return parser
 
 
@@ -213,36 +222,57 @@ def _command_serve(args) -> int:
         print("--max-candidates must be >= 0 (0 = exhaustive)",
               file=sys.stderr)
         return 2
+    if args.shards < 0:
+        print("--shards must be >= 0 (0 = single index)", file=sys.stderr)
+        return 2
     from repro.datagen import build_dataset
     from repro.model.repository import MappingRepository
-    from repro.serve import MatchService
+    from repro.serve import MatchService, ServeConfig
+    from repro.serve import partition as partition_layout
     from repro.serve.http import serve
 
-    dataset = build_dataset(args.scale, seed=args.seed)
-    reference = getattr(dataset, args.reference).publications
     repository = (MappingRepository(args.repository)
                   if args.repository else None)
-    service = MatchService(
-        reference, args.attribute, args.similarity,
+    config = ServeConfig(
+        attribute=args.attribute, similarity=args.similarity,
         threshold=args.threshold,
         max_candidates=(None if args.max_candidates == 0
                         else args.max_candidates),
-        repository=repository,
         # NB: an empty repository is falsy (len 0) — test identity
         mapping_name=args.mapping_name if repository is not None else None,
-    )
+        shards=args.shards, data_dir=args.data_dir,
+        host=args.host, port=args.port)
+
+    restoring = (args.data_dir is not None and
+                 partition_layout.read_manifest(args.data_dir) is not None)
+    if restoring:
+        # an existing snapshot wins over regenerating the reference:
+        # shard workers restart warm from their packed bases + WALs
+        reference = None
+    else:
+        dataset = build_dataset(args.scale, seed=args.seed)
+        reference = getattr(dataset, args.reference).publications
+    service = MatchService(reference, config=config,
+                           repository=repository)
 
     def ready(server) -> None:
         host, port = server.server_address[:2]
-        print(f"serving {reference.name} ({len(reference)} records, "
-              f"{args.similarity} @ {args.threshold}) "
+        origin = ("restored from " + args.data_dir if restoring
+                  else f"{reference.name}")
+        topology = (f"{config.validate().shards} shard worker(s)"
+                    if config.validate().clustered else "single index")
+        print(f"serving {origin} ({len(service.index)} records, "
+              f"{args.similarity} @ {args.threshold}, {topology}) "
               f"on http://{host}:{port}")
-        print("endpoints: POST /match /ingest /delete · "
-              "GET /stats /healthz · Ctrl-C to stop")
+        print("endpoints: POST /v1/match /v1/ingest /v1/delete "
+              "/v1/snapshot · GET /v1/stats /v1/healthz · Ctrl-C to stop")
 
-    serve(service, args.host, args.port, ready=ready)
-    if repository is not None:
-        repository.close()
+    try:
+        serve(service, config.host, config.port, ready=ready)
+    finally:
+        service.close()
+        if repository is not None:
+            repository.close()
     return 0
 
 

@@ -32,6 +32,7 @@ from typing import Iterable, List, Optional, Tuple
 from repro.core.mapping import Mapping
 from repro.model.entity import ObjectInstance
 from repro.model.source import LogicalSource
+from repro.serve.config import ServeConfig
 from repro.serve.service import MatchService, match_query_results
 
 __all__ = ["OnlineMatcher", "match_query_results"]
@@ -54,10 +55,10 @@ class OnlineMatcher:
                  threshold: float = 0.7,
                  max_candidates: int = 50,
                  cache_size: int = 1024) -> None:
-        self.service = MatchService(reference, attribute, similarity,
-                                    threshold=threshold,
-                                    max_candidates=max_candidates,
-                                    cache_size=cache_size)
+        self.service = MatchService(reference, config=ServeConfig(
+            attribute=attribute, similarity=similarity,
+            threshold=threshold, max_candidates=max_candidates,
+            cache_size=cache_size))
         self.reference = reference
         self.attribute = attribute
         self.similarity = self.service.index.specs[0].similarity

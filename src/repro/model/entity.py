@@ -49,6 +49,12 @@ class ObjectInstance:
         merged.update(updates)
         return ObjectInstance(self.id, merged)
 
+    def __reduce__(self):
+        # the mappingproxy view defeats default pickling; rebuild from
+        # a plain dict so instances can cross process boundaries (the
+        # serve cluster ships query batches to shard workers)
+        return (ObjectInstance, (self.id, dict(self._attributes)))
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ObjectInstance):
             return NotImplemented

@@ -12,23 +12,45 @@ scenarios)" (§2.1), as a long-lived service:
   updates and deletes cost O(record) via an append buffer and
   tombstones, with threshold-triggered compaction rebuilding the
   packed base and refreshing corpus statistics;
+* :class:`~repro.serve.cluster.ClusterIndex` — the same surface
+  partitioned across shard workers (one process per shard) behind a
+  scatter-gather router whose top-k merge is bit-identical to the
+  single index; with a data dir every shard persists memmapped packed
+  columns plus a mutation WAL, so snapshots are fsync-and-manifest
+  writes and restarts are warm;
 * :class:`~repro.serve.service.MatchService` — micro-batches
   concurrent match requests into single kernel calls, reuses results
   through a mutation-aware cache and persists same-mappings through
-  the :class:`~repro.model.repository.MappingRepository`;
-* :mod:`repro.serve.http` — a stdlib ``ThreadingHTTPServer`` JSON API
-  (``/match``, ``/ingest``, ``/delete``, ``/stats``, ``/healthz``),
-  exposed as the ``repro serve`` CLI subcommand.
+  the :class:`~repro.model.repository.MappingRepository`; configured
+  by one :class:`~repro.serve.config.ServeConfig`;
+* :mod:`repro.serve.http` + :class:`~repro.serve.client.Client` — the
+  versioned v1 JSON API (``/v1/match``, ``/v1/ingest``,
+  ``/v1/delete``, ``/v1/stats``, ``/v1/snapshot``, ``/v1/healthz``)
+  with a typed error envelope (:mod:`repro.serve.errors`), exposed as
+  the ``repro serve`` CLI subcommand.
 
-See ``docs/serving.md`` for architecture, mutation/compaction
-semantics and the reuse guarantees.
+See ``docs/serving.md`` for architecture, cluster topology,
+snapshot/restore semantics and the v1 API reference.
 """
 
+from repro.serve.client import Client
+from repro.serve.cluster import ClusterIndex
+from repro.serve.config import ServeConfig
+from repro.serve.errors import (ConflictError, InvalidRequest, ServeError,
+                                ShardUnavailable, SnapshotUnavailable)
 from repro.serve.index import IncrementalIndex
 from repro.serve.service import MatchService, match_query_results
 
 __all__ = [
+    "Client",
+    "ClusterIndex",
+    "ConflictError",
     "IncrementalIndex",
+    "InvalidRequest",
     "MatchService",
+    "ServeConfig",
+    "ServeError",
+    "ShardUnavailable",
+    "SnapshotUnavailable",
     "match_query_results",
 ]

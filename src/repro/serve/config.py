@@ -1,0 +1,124 @@
+"""One configuration object for the whole serving tier.
+
+PR 5 grew its knobs organically: :class:`MatchService` took nine
+keyword arguments, :class:`IncrementalIndex` another four, and the
+CLI duplicated both lists.  :class:`ServeConfig` is the single place
+those knobs live now — the service, the cluster router and ``repro
+serve`` all build from one validated instance, and the old scattered
+keyword arguments survive only as a deprecated compatibility layer
+(:meth:`MatchService.__init__` converts them into a config and warns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import List, Optional
+
+from repro.engine.request import AttributeSpec
+from repro.serve.errors import InvalidRequest
+
+
+@dataclass
+class ServeConfig:
+    """Every tunable of the serving tier in one validated dataclass.
+
+    Matching
+        ``attribute`` / ``similarity`` configure the simple
+        single-attribute case (``similarity`` is a registry name or a
+        :class:`~repro.sim.base.SimilarityFunction` instance);
+        ``specs`` + ``combiner`` override them for multi-attribute
+        scoring; ``missing`` is the single-attribute missing-value
+        policy; ``threshold`` filters correspondences and
+        ``max_candidates`` bounds candidate generation (``None`` =
+        exhaustive scoring, the engine-bit-identical mode).
+
+    Service
+        ``cache_size`` bounds the reuse cache; ``source_name`` and
+        ``mapping_name`` name persisted same-mappings.
+
+    Index
+        ``compact_ratio`` / ``compact_min`` trigger compaction.
+
+    Cluster
+        ``shards`` > 0 partitions the reference across that many shard
+        workers behind a scatter-gather router (0 = classic in-heap
+        single index); ``shard_processes`` runs each shard in its own
+        worker process (``False`` keeps them in-process — same
+        partitioned code paths, no parallelism); ``data_dir`` backs
+        every shard with on-disk packed columns + a mutation WAL and
+        enables ``snapshot()`` / restore (implies at least 1 shard).
+
+    HTTP
+        ``host`` / ``port`` for ``repro serve``.
+    """
+
+    attribute: str = "title"
+    similarity: object = "trigram"
+    specs: Optional[List[AttributeSpec]] = None
+    combiner: object = None
+    missing: str = "skip"
+    threshold: float = 0.7
+    max_candidates: Optional[int] = 50
+    cache_size: int = 1024
+    source_name: str = "query.Results"
+    mapping_name: Optional[str] = None
+    compact_ratio: float = 0.25
+    compact_min: int = 64
+    shards: int = 0
+    shard_processes: bool = True
+    data_dir: Optional[str] = None
+    host: str = "127.0.0.1"
+    port: int = 8765
+    #: metadata, not a knob: set by validate() so downstream code can
+    #: tell an explicit shards=0 from "data_dir implied one shard"
+    _implied_shard: bool = field(default=False, repr=False, compare=False)
+
+    def validate(self) -> "ServeConfig":
+        """Return a validated (possibly adjusted) copy of this config.
+
+        Raises :class:`InvalidRequest` (a ``ValueError``) on bad
+        values.  ``data_dir`` without ``shards`` implies a one-shard
+        cluster, since persistence lives in the partition stores.
+        """
+        if not 0.0 <= self.threshold <= 1.0:
+            raise InvalidRequest(
+                f"threshold must be in [0, 1], got {self.threshold!r}")
+        if self.max_candidates is not None and self.max_candidates < 1:
+            raise InvalidRequest("max_candidates must be >= 1 (or None "
+                                 "for exhaustive scoring)")
+        if self.cache_size < 0:
+            raise InvalidRequest("cache_size must be >= 0")
+        if self.missing not in ("skip", "zero"):
+            raise InvalidRequest(
+                f"missing must be 'skip' or 'zero', got {self.missing!r}")
+        if self.compact_ratio <= 0:
+            raise InvalidRequest("compact_ratio must be positive")
+        if self.compact_min < 1:
+            raise InvalidRequest("compact_min must be >= 1")
+        if self.shards < 0:
+            raise InvalidRequest("shards must be >= 0")
+        if self.specs is not None and not self.specs:
+            raise InvalidRequest("specs must be a non-empty list")
+        if self.specs is not None and len(self.specs) > 1 \
+                and self.combiner is None:
+            raise InvalidRequest("multiple attribute specs require a "
+                                 "combiner")
+        config = self
+        if config.data_dir is not None and config.shards == 0:
+            config = replace(config, shards=1, _implied_shard=True)
+        return config
+
+    @property
+    def clustered(self) -> bool:
+        """Whether this config runs the partitioned serving tier."""
+        return self.shards > 0
+
+    def merged(self, **overrides: object) -> "ServeConfig":
+        """A copy with the given non-``None`` fields replaced."""
+        known = {f.name for f in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise InvalidRequest(f"unknown config fields: {sorted(unknown)}")
+        changes = {key: value for key, value in overrides.items()
+                   if value is not None}
+        return replace(self, **changes) if changes else self

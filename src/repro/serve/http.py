@@ -1,22 +1,35 @@
-"""JSON-over-HTTP front end for :class:`~repro.serve.service.MatchService`.
+"""Versioned JSON-over-HTTP front end for the match service.
 
 Stdlib only (``http.server``), threaded so concurrent clients exercise
-the service's micro-batcher.  Endpoints:
+the service's micro-batcher.  All endpoints live under ``/v1/``:
 
-========  ======  ====================================================
-path      method  body / response
-========  ======  ====================================================
-/match    POST    ``{"records": [{"id": ..., "attributes": {...}}],``
-                  ``"source": optional}`` → per-record matches plus
-                  the flat correspondence triples
-/ingest   POST    ``{"records": [...]}`` → ``{"added", "updated"}``
-/delete   POST    ``{"ids": [...]}`` → ``{"deleted", "missing"}``
-/stats    GET     full service statistics
-/healthz  GET     liveness probe with the live record count
-========  ======  ====================================================
+============  ======  ================================================
+path          method  body / response
+============  ======  ================================================
+/v1/match     POST    ``{"records": [{"id": ..., "attributes":
+                      {...}}], "source": optional}`` → per-record
+                      matches plus the flat correspondence triples
+/v1/ingest    POST    ``{"records": [...]}`` → ``{"added",
+                      "updated"}``
+/v1/delete    POST    ``{"ids": [...]}`` → ``{"deleted", "missing"}``
+/v1/snapshot  POST    persist a point-in-time image (clustered
+                      backends with a data dir) → the manifest
+/v1/stats     GET     full service statistics
+/v1/healthz   GET     liveness probe with the live record count
+============  ======  ================================================
 
-Records travel as ``{"id": str, "attributes": {name: value}}``;
-a single record may be passed as ``{"record": {...}}``.
+Records travel as ``{"id": str, "attributes": {name: value}}``; a
+single record may be passed as ``{"record": {...}}``.
+
+Every failure returns the v1 error envelope
+``{"error": {"code": ..., "message": ...}}``; status and code come
+from :func:`repro.serve.errors.error_code_for`, so the typed
+exception hierarchy (:class:`~repro.serve.errors.InvalidRequest`,
+:class:`~repro.serve.errors.ShardUnavailable`, ...) maps onto the
+wire the same way everywhere.  The unversioned pre-v1 paths
+(``/match``, ``/stats``, ...) answer ``301 Moved Permanently`` with a
+``Location`` header pointing at their ``/v1/`` successor for one
+release.
 """
 
 from __future__ import annotations
@@ -26,26 +39,24 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import List, Optional, Tuple
 
 from repro.model.entity import ObjectInstance
+from repro.serve.errors import InvalidRequest, error_code_for
 from repro.serve.service import MatchService
 
+API_PREFIX = "/v1"
 
-class ServiceError(ValueError):
-    """A client error with an HTTP status code."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
+#: pre-v1 paths that 301 to their versioned successor for one release
+_LEGACY_PATHS = {"/match", "/ingest", "/delete", "/stats", "/healthz"}
 
 
 def _parse_record(payload: object) -> ObjectInstance:
     if not isinstance(payload, dict):
-        raise ServiceError(400, "record must be an object")
+        raise InvalidRequest("record must be an object")
     id = payload.get("id")
     if not isinstance(id, str) or not id:
-        raise ServiceError(400, "record needs a non-empty string 'id'")
+        raise InvalidRequest("record needs a non-empty string 'id'")
     attributes = payload.get("attributes", {})
     if not isinstance(attributes, dict):
-        raise ServiceError(400, "'attributes' must be an object")
+        raise InvalidRequest("'attributes' must be an object")
     return ObjectInstance(id, attributes)
 
 
@@ -54,8 +65,8 @@ def _parse_records(body: dict) -> List[ObjectInstance]:
         return [_parse_record(body["record"])]
     records = body.get("records")
     if not isinstance(records, list) or not records:
-        raise ServiceError(400, "body needs 'records' (non-empty list) "
-                                "or 'record'")
+        raise InvalidRequest("body needs 'records' (non-empty list) "
+                             "or 'record'")
     return [_parse_record(entry) for entry in records]
 
 
@@ -78,51 +89,86 @@ class MatchServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _respond_error(self, error: BaseException) -> None:
+        status, code = error_code_for(error)
+        message = str(error)
+        if isinstance(error, KeyError) and message.startswith("'"):
+            # KeyError reprs its argument; unwrap for the envelope
+            message = message.strip("'")
+        self._respond(status, {"error": {"code": code,
+                                         "message": message}})
+
+    def _redirect_legacy(self, path: str) -> None:
+        target = API_PREFIX + path
+        body = json.dumps({"error": {
+            "code": "moved_permanently",
+            "message": f"unversioned paths moved; use {target}"}}) \
+            .encode("utf-8")
+        self.send_response(301)
+        self.send_header("Location", target)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
         raw = self.rfile.read(length) if length else b""
         if not raw:
-            raise ServiceError(400, "empty request body")
+            raise InvalidRequest("empty request body")
         try:
             body = json.loads(raw)
         except json.JSONDecodeError as error:
-            raise ServiceError(400, f"invalid JSON: {error}") from error
+            raise InvalidRequest(f"invalid JSON: {error}") from error
         if not isinstance(body, dict):
-            raise ServiceError(400, "request body must be a JSON object")
+            raise InvalidRequest("request body must be a JSON object")
         return body
+
+    def _not_found(self) -> None:
+        self._respond(404, {"error": {
+            "code": "not_found",
+            "message": f"unknown path {self.path!r}"}})
 
     # -- endpoints -----------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        service = self.service
-        if self.path == "/healthz":
-            self._respond(200, {"status": "ok",
-                                "records": len(service.index)})
-        elif self.path == "/stats":
-            self._respond(200, service.stats())
-        else:
-            self._respond(404, {"error": f"unknown path {self.path!r}"})
+        if self.path in _LEGACY_PATHS:
+            self._redirect_legacy(self.path)
+            return
+        try:
+            if self.path == f"{API_PREFIX}/healthz":
+                self._respond(200, {"status": "ok",
+                                    "records": len(self.service.index)})
+            elif self.path == f"{API_PREFIX}/stats":
+                self._respond(200, self.service.stats())
+            else:
+                self._not_found()
+        except Exception as error:  # envelope every failure
+            self._respond_error(error)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path in _LEGACY_PATHS:
+            self._redirect_legacy(self.path)
+            return
         try:
-            if self.path == "/match":
+            if self.path == f"{API_PREFIX}/match":
                 self._respond(200, self._handle_match(self._read_body()))
-            elif self.path == "/ingest":
+            elif self.path == f"{API_PREFIX}/ingest":
                 self._respond(200, self._handle_ingest(self._read_body()))
-            elif self.path == "/delete":
+            elif self.path == f"{API_PREFIX}/delete":
                 self._respond(200, self._handle_delete(self._read_body()))
+            elif self.path == f"{API_PREFIX}/snapshot":
+                self._respond(200, self.service.snapshot())
             else:
-                self._respond(404, {"error": f"unknown path {self.path!r}"})
-        except ServiceError as error:
-            self._respond(error.status, {"error": str(error)})
-        except (ValueError, KeyError) as error:
-            self._respond(409, {"error": str(error)})
+                self._not_found()
+        except Exception as error:
+            self._respond_error(error)
 
     def _handle_match(self, body: dict) -> dict:
         records = _parse_records(body)
         source = body.get("source")
         if source is not None and not isinstance(source, str):
-            raise ServiceError(400, "'source' must be a string")
+            raise InvalidRequest("'source' must be a string")
         mapping = self.service.match_batch(records, source_name=source)
         matches = {
             record.id: [
@@ -148,7 +194,7 @@ class MatchServiceHandler(BaseHTTPRequestHandler):
             ids = [body["id"]]
         if not isinstance(ids, list) or not ids \
                 or not all(isinstance(id, str) for id in ids):
-            raise ServiceError(400, "body needs 'ids' (list of strings)")
+            raise InvalidRequest("body needs 'ids' (list of strings)")
         deleted, missing = [], []
         for id in ids:
             (deleted if self.service.delete(id) else missing).append(id)

@@ -63,6 +63,18 @@ from repro.sim.tokenize import word_tokens
 Triple = Tuple[int, str, float]
 
 
+def resolve_specs(attribute: str, similarity: object,
+                  specs: Optional[List[AttributeSpec]]) \
+        -> List[AttributeSpec]:
+    """Normalize the simple ``attribute`` + ``similarity`` pair (or an
+    explicit spec list) into the spec list every index flavor takes."""
+    if specs is not None:
+        return list(specs)
+    sim = (get_similarity(similarity)
+           if isinstance(similarity, str) else similarity)
+    return [AttributeSpec(attribute, attribute, sim)]
+
+
 # ----------------------------------------------------------------------
 # packed columns: persistent reference side, per-batch query binding
 # ----------------------------------------------------------------------
@@ -313,6 +325,97 @@ def _build_column(sim: SimilarityFunction, values: Sequence[object]):
 
 
 # ----------------------------------------------------------------------
+# packed-column export / import: the on-disk memmap layout
+# ----------------------------------------------------------------------
+#
+# A column's packed reference side is a handful of flat numpy arrays
+# plus a little JSON-serializable metadata (vocabulary order, sizes).
+# ``export_column`` splits a built column into exactly that; restoring
+# re-assembles the column objects around the arrays *as given* —
+# including ``np.memmap`` views of the snapshot files — so a cold
+# shard worker skips the entire packing pass (vocabulary construction,
+# gram extraction, bit scatter, CSR packing) and starts scoring
+# straight off the page cache.
+
+def export_column(column) -> Tuple[dict, Dict[str, object]]:
+    """Split a packed column into ``(JSON meta, named arrays)``."""
+    if column is None:
+        return {"kind": "none"}, {}
+    if isinstance(column, _NGramColumn):
+        vocabulary = [None] * len(column._vocabulary)
+        for token, position in column._vocabulary.items():
+            vocabulary[position] = token
+        meta = {"kind": "ngram",
+                "vocabulary": vocabulary,
+                "reference_size": column._reference_size}
+        return meta, {"range_bits": column.range_bits,
+                      "range_sizes": column.range_sizes}
+    if isinstance(column, _TfIdfColumn):
+        vocabulary = [None] * len(column._vocabulary)
+        for token, position in column._vocabulary.items():
+            vocabulary[position] = token
+        side = column._side
+        meta = {"kind": "tfidf",
+                "vocabulary": vocabulary,
+                "reference_size": column._reference_size,
+                "sorted_texts": column._sorted_texts}
+        return meta, {"indptr": side.indptr, "indices": side.indices,
+                      "data": side.data, "keys": side.keys,
+                      "sorted_data": side.sorted_data,
+                      "lengths": side.lengths, "rank": side.rank}
+    if isinstance(column, _ScalarColumn):
+        return {"kind": "scalar"}, {}
+    raise TypeError(f"unknown column type {type(column)!r}")
+
+
+def import_column(sim: SimilarityFunction, meta: dict,
+                  arrays: Dict[str, object],
+                  reference_values: Sequence[object]):
+    """Re-assemble a packed column from :func:`export_column` output.
+
+    ``arrays`` may hold plain ndarrays or read-only ``np.memmap``
+    views — scoring only ever reads the reference side, so mapped
+    snapshot files work unchanged.  Scalar (and ``None``) columns
+    carry no arrays; they rebuild from ``reference_values``, which is
+    O(n) string coercion.
+    """
+    kind = meta["kind"]
+    if kind == "none":
+        return None
+    if kind == "scalar":
+        return _ScalarColumn(sim, reference_values)
+    if kind == "ngram":
+        column = _NGramColumn.__new__(_NGramColumn)
+        column.sim = sim
+        column._reference_size = meta["reference_size"]
+        column._vocabulary = {token: position for position, token
+                              in enumerate(meta["vocabulary"])}
+        column._width = max(1, (len(column._vocabulary) + 63) // 64)
+        column.range_bits = arrays["range_bits"]
+        column.range_sizes = arrays["range_sizes"]
+        return column
+    if kind == "tfidf":
+        column = _TfIdfColumn.__new__(_TfIdfColumn)
+        column.sim = sim
+        column._vocabulary = {token: position for position, token
+                              in enumerate(meta["vocabulary"])}
+        column._vocab_size = max(1, len(column._vocabulary))
+        column._reference_size = meta["reference_size"]
+        column._sorted_texts = list(meta["sorted_texts"])
+        side = object.__new__(sparse._Side)
+        side.indptr = arrays["indptr"]
+        side.indices = arrays["indices"]
+        side.data = arrays["data"]
+        side.keys = arrays["keys"]
+        side.sorted_data = arrays["sorted_data"]
+        side.lengths = arrays["lengths"]
+        side.rank = arrays["rank"]
+        column._side = side
+        return column
+    raise ValueError(f"unknown packed column kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
 # the incremental index
 # ----------------------------------------------------------------------
 
@@ -337,11 +440,9 @@ class IncrementalIndex:
                  missing: str = "skip",
                  compact_ratio: float = 0.25,
                  compact_min: int = 64,
-                 build_kernels: bool = True) -> None:
-        if specs is None:
-            sim = (get_similarity(similarity)
-                   if isinstance(similarity, str) else similarity)
-            specs = [AttributeSpec(attribute, attribute, sim)]
+                 build_kernels: bool = True,
+                 _column_states=None) -> None:
+        specs = resolve_specs(attribute, similarity, specs)
         if not specs:
             raise ValueError("index needs at least one attribute spec")
         if combiner is None and len(specs) != 1:
@@ -368,6 +469,7 @@ class IncrementalIndex:
         self._compaction_listeners: List[Callable[[], None]] = []
         self.version = 0
         self.compactions = 0
+        self._pending_column_states = _column_states
         self._rebuild(list(reference))
 
     # -- construction / compaction -------------------------------------
@@ -386,26 +488,42 @@ class IncrementalIndex:
         self._slot_ids: List[str] = list(base.ids())
         self._id_slots: Dict[str, int] = {
             id: slot for slot, id in enumerate(self._slot_ids)}
+        restored = getattr(self, "_pending_column_states", None)
+        self._pending_column_states = None
         # corpus statistics (gram caches, TF/IDF document frequencies)
         # refresh here and freeze until the next rebuild
         for spec in self.specs:
+            if restored is not None and isinstance(spec.similarity,
+                                                   NGramSimilarity):
+                # gram caches refill lazily; skipping the warm-up keeps
+                # restore O(mmap) for the q-gram family
+                continue
             spec.similarity.prepare(
                 base.attribute_values(spec.range_attribute))
         self._base_values = [
             [instance.get(spec.range_attribute) for instance in base]
             for spec in self.specs
         ]
-        use_kernels = self.build_kernels and _np is not None
-        self._columns = [
-            _build_column(spec.similarity, values) if use_kernels else None
-            for spec, values in zip(self.specs, self._base_values)
-        ]
-        if use_kernels and not any(
-                column is not None and column.vectorized
-                for column in self._columns):
-            # all-scalar compositions gain nothing over the plain
-            # scalar route; skip the per-batch binding machinery
-            self._columns = [None for _ in self.specs]
+        if restored is not None:
+            # snapshot restore: re-assemble packed columns around the
+            # exported (possibly memmapped) arrays instead of repacking
+            self._columns = [
+                import_column(spec.similarity, meta, arrays, values)
+                for spec, (meta, arrays), values
+                in zip(self.specs, restored, self._base_values)
+            ]
+        else:
+            use_kernels = self.build_kernels and _np is not None
+            self._columns = [
+                _build_column(spec.similarity, values) if use_kernels else None
+                for spec, values in zip(self.specs, self._base_values)
+            ]
+            if use_kernels and not any(
+                    column is not None and column.vectorized
+                    for column in self._columns):
+                # all-scalar compositions gain nothing over the plain
+                # scalar route; skip the per-batch binding machinery
+                self._columns = [None for _ in self.specs]
         if _np is not None:
             self._base_missing = [vectorized.missing_mask(values)
                                   for values in self._base_values]
@@ -440,9 +558,18 @@ class IncrementalIndex:
 
     @staticmethod
     def _tokens(value: object):
+        """Distinct word tokens of a value in *sorted* order.
+
+        Sorted, not set, order: candidate weights accumulate one
+        float per token, and the partitioned serving tier recomputes
+        the same sums inside shard worker processes whose string hash
+        seeds differ from the router's — set iteration order would
+        make the accumulation order (and thus the last bits of tied
+        sums) process-dependent.
+        """
         if value is None:
             return ()
-        return set(word_tokens(str(value)))
+        return tuple(sorted(set(word_tokens(str(value)))))
 
     def _index_tokens(self, slot: int, value: object) -> None:
         for token in self._tokens(value):
@@ -492,16 +619,19 @@ class IncrementalIndex:
         first = self.specs[0].range_attribute
         old_slot = self._id_slots[instance.id]
         self._unindex_tokens(old_slot, old.get(first))
-        if instance.id in self._buffer:
-            # in-place buffer replacement keeps the record's position
-            # (and therefore its slot: insertion order is the ranking
-            # tie-break and must match a rebuilt index)
-            slot = old_slot
-        else:
+        # an update always reslots the record to the end, whether the
+        # old version lived in the base or the buffer.  Insertion
+        # order is the candidate-ranking tie-break, and "where does
+        # this record rank after an update" must not depend on
+        # compaction timing — the partitioned cluster's shards compact
+        # on their own schedules and still have to order records
+        # exactly like the single index (and a rebuilt one) would.
+        if instance.id in self._base_rows:
             self._tombstones.add(instance.id)
-            slot = len(self._slot_ids)
-            self._slot_ids.append(instance.id)
-            self._id_slots[instance.id] = slot
+        slot = len(self._slot_ids)
+        self._slot_ids.append(instance.id)
+        self._id_slots[instance.id] = slot
+        self._buffer.pop(instance.id, None)
         self._buffer[instance.id] = instance
         self._index_tokens(slot, instance.get(first))
         self.version += 1
@@ -568,6 +698,50 @@ class IncrementalIndex:
                 if column is not None and column.vectorized),
         }
 
+    # -- snapshot export / import --------------------------------------
+
+    def export_columns(self) -> List[Tuple[dict, Dict[str, object]]]:
+        """Packed-column states of the current base, one per spec.
+
+        Each entry is ``(meta, arrays)`` as produced by
+        :func:`export_column`; the partition store writes the arrays as
+        raw files a restoring worker memory-maps straight back in.
+        """
+        return [export_column(column) for column in self._columns]
+
+    def base_instances(self) -> List[ObjectInstance]:
+        """The packed base's records in slot order (excludes buffer)."""
+        return list(self._base)
+
+    @classmethod
+    def from_snapshot(cls, reference: LogicalSource, *,
+                      specs: List[AttributeSpec],
+                      combiner=None,
+                      missing: str = "skip",
+                      compact_ratio: float = 0.25,
+                      compact_min: int = 64,
+                      column_states: List[Tuple[dict, Dict[str, object]]],
+                      version: int = 0,
+                      compactions: int = 0) -> "IncrementalIndex":
+        """Rebuild an index around previously exported column state.
+
+        ``reference`` must hold exactly the base records the columns
+        were exported from, in the same order.  Packed columns are
+        re-assembled from ``column_states`` (memmap arrays welcome)
+        instead of repacked, and corpus-independent similarities skip
+        ``prepare`` — so the heavy O(n · tokens) work left is only the
+        inverted token index.  ``version`` / ``compactions`` restore
+        the counters the index carried when the base was written; WAL
+        replay on top reproduces the exact state trajectory.
+        """
+        index = cls(reference, specs=specs, combiner=combiner,
+                    missing=missing, compact_ratio=compact_ratio,
+                    compact_min=compact_min,
+                    _column_states=column_states)
+        index.version = version
+        index.compactions = compactions
+        return index
+
     # -- candidate generation ------------------------------------------
 
     def candidate_ids(self, value: object,
@@ -591,17 +765,54 @@ class IncrementalIndex:
         return [slot_ids[slot]
                 for slot in self._candidate_slots(value, max_candidates)]
 
-    def _posting_weights(self, value: object):
-        """Live posting (token → slots) arrays and rarity weights."""
+    def _posting_weights(self, value: object, weights=None):
+        """Live posting (token → slots) arrays and rarity weights.
+
+        ``weights`` (token → weight) overrides the local ``1/df``
+        rarity: the cluster router passes *global* document
+        frequencies so every shard ranks its local postings with the
+        same weights the single-index service would use.  Tokens
+        absent from ``weights`` are skipped — they have no live
+        posting anywhere, so they could never contribute.
+        """
         postings = []
         for token in self._tokens(value):
             posting = self._token_index.get(token)
             if not posting:
                 continue
-            postings.append((token, posting, 1.0 / len(posting)))
+            if weights is None:
+                weight = 1.0 / len(posting)
+            else:
+                weight = weights.get(token)
+                if weight is None:
+                    continue
+            postings.append((token, posting, weight))
         return postings
 
-    def _candidate_slots(self, value: object, max_candidates: int):
+    def token_frequencies(self) -> Dict[str, int]:
+        """Live document frequency of every indexed token."""
+        return {token: len(posting)
+                for token, posting in self._token_index.items()}
+
+    def ranked_candidates(self, value: object, max_candidates: int, *,
+                          weights=None) -> List[Tuple[int, float]]:
+        """Ranked ``(slot, summed weight)`` candidates for ``value``.
+
+        Same ranking as :meth:`_candidate_slots` (which callers that
+        only need the slots keep using), but the weight sums travel
+        with the slots — the cluster router merges per-shard rankings
+        into a global top-k on exactly these ``(weight, insertion
+        order)`` keys.
+        """
+        slots, scores = self._candidate_slots(value, max_candidates,
+                                              weights=weights,
+                                              return_scores=True)
+        return list(zip(
+            slots if isinstance(slots, list) else slots.tolist(),
+            scores if isinstance(scores, list) else scores.tolist()))
+
+    def _candidate_slots(self, value: object, max_candidates: int, *,
+                         weights=None, return_scores: bool = False):
         """Candidate slots ranked by summed token rarity.
 
         One ``bincount`` over the concatenated posting arrays replaces
@@ -612,10 +823,10 @@ class IncrementalIndex:
         index rebuild.
         """
         if value is None:
-            return []
-        postings = self._posting_weights(value)
+            return ([], []) if return_scores else []
+        postings = self._posting_weights(value, weights)
         if not postings:
-            return []
+            return ([], []) if return_scores else []
         if _np is None:
             scores: Dict[int, float] = {}
             for _, posting, weight in postings:
@@ -623,18 +834,23 @@ class IncrementalIndex:
                     scores[slot] = scores.get(slot, 0.0) + weight
             ranked = sorted(scores.items(),
                             key=lambda item: (-item[1], item[0]))
-            return [slot for slot, _ in ranked[:max_candidates]]
+            ranked = ranked[:max_candidates]
+            if return_scores:
+                return ([slot for slot, _ in ranked],
+                        [score for _, score in ranked])
+            return [slot for slot, _ in ranked]
         arrays = []
-        weights = []
+        weight_arrays = []
         for token, posting, weight in postings:
             array = self._posting_arrays.get(token)
             if array is None:
                 array = _np.asarray(posting, dtype=_np.int64)
                 self._posting_arrays[token] = array
             arrays.append(array)
-            weights.append(_np.full(len(array), weight, dtype=_np.float64))
+            weight_arrays.append(
+                _np.full(len(array), weight, dtype=_np.float64))
         slots = _np.concatenate(arrays)
-        totals = _np.bincount(slots, weights=_np.concatenate(weights),
+        totals = _np.bincount(slots, weights=_np.concatenate(weight_arrays),
                               minlength=len(self._slot_ids))
         candidates = _np.nonzero(totals)[0]
         scores = totals[candidates]
@@ -651,7 +867,10 @@ class IncrementalIndex:
                 [above, ties[:max_candidates - len(above)]])
             scores = totals[candidates]
         order = _np.lexsort((candidates, -scores))
-        return candidates[order[:max_candidates]]
+        selected = candidates[order[:max_candidates]]
+        if return_scores:
+            return selected, totals[selected]
+        return selected
 
     # -- scoring -------------------------------------------------------
 

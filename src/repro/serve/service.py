@@ -28,6 +28,7 @@ its whole architecture around *reusing* materialized mappings (§2.2).
 from __future__ import annotations
 
 import threading
+import warnings
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -35,9 +36,16 @@ from repro.core.mapping import Mapping, MappingKind
 from repro.model.entity import ObjectInstance
 from repro.model.repository import MappingRepository
 from repro.model.source import LogicalSource
-from repro.serve.index import IncrementalIndex
+from repro.serve.cluster import ClusterIndex
+from repro.serve.config import ServeConfig
+from repro.serve.errors import InvalidRequest, SnapshotUnavailable
+from repro.serve.index import IncrementalIndex, resolve_specs
 
 Result = List[Tuple[str, float]]
+
+#: sentinel distinguishing "not passed" from any real value in the
+#: deprecated keyword-argument compatibility layer
+_UNSET = object()
 
 
 class _PendingRequest:
@@ -64,40 +72,54 @@ class MatchService:
     """
 
     def __init__(self, reference: Optional[LogicalSource] = None,
-                 attribute: str = "title",
-                 similarity: object = "trigram", *,
+                 attribute: object = _UNSET,
+                 similarity: object = _UNSET, *,
+                 config: Optional[ServeConfig] = None,
                  index: Optional[IncrementalIndex] = None,
-                 specs=None, combiner=None, missing: str = "skip",
-                 threshold: float = 0.7,
-                 max_candidates: Optional[int] = 50,
-                 cache_size: int = 1024,
+                 specs=_UNSET, combiner=_UNSET, missing=_UNSET,
+                 threshold=_UNSET,
+                 max_candidates=_UNSET,
+                 cache_size=_UNSET,
                  repository: Optional[MappingRepository] = None,
-                 mapping_name: Optional[str] = None,
-                 source_name: str = "query.Results",
-                 compact_ratio: float = 0.25,
-                 compact_min: int = 64) -> None:
-        if not 0.0 <= threshold <= 1.0:
-            raise ValueError(f"threshold must be in [0, 1], got {threshold!r}")
-        if max_candidates is not None and max_candidates < 1:
-            raise ValueError("max_candidates must be >= 1")
-        if cache_size < 0:
-            raise ValueError("cache_size must be >= 0")
-        if repository is not None and not mapping_name:
-            raise ValueError("repository persistence needs a mapping_name")
+                 mapping_name=_UNSET,
+                 source_name=_UNSET,
+                 compact_ratio=_UNSET,
+                 compact_min=_UNSET) -> None:
+        legacy = {name: value for name, value in (
+            ("attribute", attribute), ("similarity", similarity),
+            ("specs", specs), ("combiner", combiner),
+            ("missing", missing), ("threshold", threshold),
+            ("max_candidates", max_candidates),
+            ("cache_size", cache_size), ("mapping_name", mapping_name),
+            ("source_name", source_name),
+            ("compact_ratio", compact_ratio),
+            ("compact_min", compact_min),
+        ) if value is not _UNSET}
+        if legacy:
+            if config is not None:
+                raise InvalidRequest(
+                    "pass config= or individual keyword arguments, "
+                    f"not both (got {sorted(legacy)})")
+            warnings.warn(
+                "MatchService's scattered keyword arguments are "
+                "deprecated; build a repro.serve.ServeConfig and pass "
+                "config= instead", DeprecationWarning, stacklevel=2)
+            config = ServeConfig(**legacy)
+        elif config is None:
+            config = ServeConfig()
+        config = config.validate()
+        if repository is not None and not config.mapping_name:
+            raise InvalidRequest(
+                "repository persistence needs a mapping_name")
         if index is None:
-            if reference is None:
-                raise ValueError("pass a reference source or an index")
-            index = IncrementalIndex(reference, attribute, similarity,
-                                     specs=specs, combiner=combiner,
-                                     missing=missing,
-                                     compact_ratio=compact_ratio,
-                                     compact_min=compact_min)
+            index = self._build_index(reference, config)
+        self.config = config
         self.index = index
-        self.threshold = threshold
-        self.max_candidates = max_candidates
-        self.source_name = source_name
+        self.threshold = config.threshold
+        self.max_candidates = config.max_candidates
+        self.source_name = config.source_name
         self.repository = repository
-        self.mapping_name = mapping_name
+        self.mapping_name = config.mapping_name
 
         #: serializes index access (scoring and mutation)
         self._lock = threading.RLock()
@@ -105,7 +127,7 @@ class MatchService:
         self._queue: List[_PendingRequest] = []
         self._cache_lock = threading.Lock()
         self._cache: "OrderedDict[tuple, Result]" = OrderedDict()
-        self._cache_size = cache_size
+        self._cache_size = config.cache_size
         self._cache_tokens: Dict[str, Set[tuple]] = {}
         self._key_tokens: Dict[tuple, frozenset] = {}
         self.hits = 0
@@ -122,6 +144,60 @@ class MatchService:
             header = Mapping(self.source_name, self.index.name,
                              kind=MappingKind.SAME)
             self.repository.append(self.mapping_name, header)
+
+    @staticmethod
+    def _build_index(reference: Optional[LogicalSource],
+                     config: ServeConfig):
+        """Pick the backend the config describes.
+
+        ``shards > 0`` (or a data dir) builds the partitioned
+        :class:`~repro.serve.cluster.ClusterIndex`; with a data dir
+        and *no* reference, the cluster restores warm from its last
+        checkpoint instead of building fresh.
+        """
+        if config.clustered:
+            if reference is None:
+                if config.data_dir is None:
+                    raise InvalidRequest(
+                        "pass a reference source or an index")
+                return ClusterIndex.restore(
+                    config.data_dir, processes=config.shard_processes)
+            return ClusterIndex.build(
+                reference,
+                specs=resolve_specs(config.attribute, config.similarity,
+                                    config.specs),
+                combiner=config.combiner, missing=config.missing,
+                compact_ratio=config.compact_ratio,
+                compact_min=config.compact_min, shards=config.shards,
+                processes=config.shard_processes,
+                data_dir=config.data_dir)
+        if reference is None:
+            raise InvalidRequest("pass a reference source or an index")
+        return IncrementalIndex(reference, config.attribute,
+                                config.similarity, specs=config.specs,
+                                combiner=config.combiner,
+                                missing=config.missing,
+                                compact_ratio=config.compact_ratio,
+                                compact_min=config.compact_min)
+
+    # -- persistence ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Persist a point-in-time image of the reference (cluster
+        backends with a data dir only); returns the written manifest."""
+        checkpoint = getattr(self.index, "checkpoint", None)
+        if checkpoint is None:
+            raise SnapshotUnavailable(
+                "snapshotting needs a clustered backend with a data "
+                "dir (ServeConfig.data_dir)")
+        with self._lock:
+            return checkpoint()
+
+    def close(self) -> None:
+        """Release backend resources (cluster shard workers, WALs)."""
+        close = getattr(self.index, "close", None)
+        if close is not None:
+            close()
 
     # -- cache ---------------------------------------------------------
 
@@ -412,5 +488,6 @@ def match_query_results(results: Iterable[ObjectInstance],
     Builds a transient :class:`MatchService`; for repeated batches
     against the same reference, construct the service once instead.
     """
-    service = MatchService(reference, attribute, threshold=threshold)
+    service = MatchService(reference, config=ServeConfig(
+        attribute=attribute, threshold=threshold))
     return service.match_batch(results, source_name=source_name)

@@ -1,0 +1,98 @@
+"""ServeConfig validation/merging and the typed error vocabulary."""
+
+import pytest
+
+from repro.engine.request import AttributeSpec
+from repro.serve import (ConflictError, InvalidRequest, ServeConfig,
+                         ServeError, ShardUnavailable, SnapshotUnavailable)
+from repro.serve.errors import error_code_for
+from repro.sim.ngram import TrigramSimilarity
+
+
+class TestValidation:
+    def test_defaults_validate(self):
+        config = ServeConfig().validate()
+        assert config.attribute == "title"
+        assert config.shards == 0
+        assert not config.clustered
+
+    @pytest.mark.parametrize("kwargs", [
+        {"threshold": 1.5},
+        {"threshold": -0.1},
+        {"max_candidates": 0},
+        {"cache_size": -1},
+        {"missing": "explode"},
+        {"compact_ratio": 0.0},
+        {"compact_min": 0},
+        {"shards": -1},
+        {"specs": []},
+    ])
+    def test_bad_values_raise_invalid_request(self, kwargs):
+        with pytest.raises(InvalidRequest):
+            ServeConfig(**kwargs).validate()
+
+    def test_invalid_request_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            ServeConfig(threshold=2.0).validate()
+
+    def test_multiple_specs_need_combiner(self):
+        specs = [AttributeSpec("title", "title", TrigramSimilarity()),
+                 AttributeSpec("venue", "venue", TrigramSimilarity())]
+        with pytest.raises(InvalidRequest):
+            ServeConfig(specs=specs).validate()
+
+    def test_data_dir_implies_one_shard(self, tmp_path):
+        config = ServeConfig(data_dir=str(tmp_path)).validate()
+        assert config.shards == 1
+        assert config.clustered
+        assert config._implied_shard
+
+    def test_explicit_shards_kept_with_data_dir(self, tmp_path):
+        config = ServeConfig(shards=3, data_dir=str(tmp_path)).validate()
+        assert config.shards == 3
+        assert not config._implied_shard
+
+
+class TestMerged:
+    def test_merged_overrides_non_none(self):
+        config = ServeConfig(threshold=0.5).merged(
+            threshold=0.9, max_candidates=None)
+        assert config.threshold == 0.9
+        assert config.max_candidates == 50  # None means "keep"
+
+    def test_merged_rejects_unknown_fields(self):
+        with pytest.raises(InvalidRequest):
+            ServeConfig().merged(throughput=9000)
+
+    def test_merged_returns_self_when_empty(self):
+        config = ServeConfig()
+        assert config.merged(threshold=None) is config
+
+
+class TestErrorVocabulary:
+    def test_hierarchy(self):
+        assert issubclass(InvalidRequest, (ServeError, ValueError))
+        assert issubclass(ConflictError, ServeError)
+        assert issubclass(ShardUnavailable, ServeError)
+        assert issubclass(SnapshotUnavailable, ServeError)
+
+    def test_shard_unavailable_names_the_shard(self):
+        error = ShardUnavailable(2, "pipe closed")
+        assert error.shard == 2
+        assert "shard 2" in str(error)
+
+    def test_to_payload_is_the_envelope(self):
+        assert InvalidRequest("bad body").to_payload() == {
+            "error": {"code": "invalid_request", "message": "bad body"}}
+
+    @pytest.mark.parametrize("error,expected", [
+        (InvalidRequest("x"), (400, "invalid_request")),
+        (ConflictError("x"), (409, "conflict")),
+        (ShardUnavailable(0, "x"), (503, "shard_unavailable")),
+        (SnapshotUnavailable("x"), (409, "snapshot_unavailable")),
+        (ValueError("duplicate id"), (409, "conflict")),
+        (KeyError("missing"), (409, "conflict")),
+        (RuntimeError("boom"), (500, "serve_error")),
+    ])
+    def test_error_code_for(self, error, expected):
+        assert error_code_for(error) == expected

@@ -10,7 +10,7 @@ from repro.engine.request import AttributeSpec, MatchRequest
 from repro.model.entity import ObjectInstance
 from repro.model.repository import MappingRepository
 from repro.model.source import LogicalSource, ObjectType, PhysicalSource
-from repro.serve import MatchService
+from repro.serve import MatchService, ServeConfig
 from repro.sim.ngram import TrigramSimilarity
 from repro.sim.tfidf import TfIdfCosineSimilarity
 
@@ -26,6 +26,12 @@ def _reference(n=24, name="DBLP"):
         source.add_record(f"p{i}", title=f"{title} {i}",
                           venue=f"venue {i % 3}")
     return source
+
+
+def _service(reference, repository=None, **config_kwargs):
+    """A MatchService built the config way (the non-deprecated path)."""
+    return MatchService(reference, config=ServeConfig(**config_kwargs),
+                        repository=repository)
 
 
 def _query_source(values, name="query"):
@@ -49,8 +55,9 @@ class TestOfflineEquivalence:
 
     def test_trigram_bit_identical_to_engine(self):
         reference = _reference()
-        service = MatchService(reference, "title", "trigram",
-                               threshold=0.3, max_candidates=None)
+        service = _service(reference, attribute="title",
+                           similarity="trigram",
+                           threshold=0.3, max_candidates=None)
         queries = _query_source(QUERY_TITLES)
         served = service.match_batch(list(queries))
         request = MatchRequest(
@@ -62,9 +69,10 @@ class TestOfflineEquivalence:
         assert served.to_rows()
 
     def test_equivalence_survives_mutations(self):
-        service = MatchService(_reference(), "title", "trigram",
-                               threshold=0.2, max_candidates=None,
-                               compact_min=6)
+        service = _service(_reference(), attribute="title",
+                           similarity="trigram",
+                           threshold=0.2, max_candidates=None,
+                           compact_min=6)
         service.ingest([
             ObjectInstance(f"x{i}", {"title": f"stream query engine {i}"})
             for i in range(8)
@@ -84,8 +92,8 @@ class TestOfflineEquivalence:
         corpus, the sparse serving kernel reproduces the engine's CSR
         kernel bit-for-bit."""
         sim = TfIdfCosineSimilarity()
-        service = MatchService(_reference(), "title", sim,
-                               threshold=0.1, max_candidates=None)
+        service = _service(_reference(), attribute="title", similarity=sim,
+                           threshold=0.1, max_candidates=None)
         queries = _query_source(QUERY_TITLES)
         served = service.match_batch(list(queries))
         # freeze the service's reference-corpus IDF for the engine run
@@ -102,9 +110,9 @@ class TestOfflineEquivalence:
     def test_multi_attribute_equivalence(self):
         specs = [AttributeSpec("title", "title", TrigramSimilarity()),
                  AttributeSpec("venue", "venue", TrigramSimilarity())]
-        service = MatchService(_reference(),
-                               specs=specs, combiner=AvgFunction(),
-                               threshold=0.2, max_candidates=None)
+        service = _service(_reference(),
+                           specs=specs, combiner=AvgFunction(),
+                           threshold=0.2, max_candidates=None)
         queries = LogicalSource(PhysicalSource("query"), ObjectType("R"))
         queries.add_record("q0", title="adaptive stream schema query 0",
                            venue="venue 0")
@@ -121,7 +129,7 @@ class TestOfflineEquivalence:
 
 class TestReuseCache:
     def test_repeated_query_hits_cache(self):
-        service = MatchService(_reference(), "title", threshold=0.3)
+        service = _service(_reference(), threshold=0.3)
         record = ObjectInstance("q", {"title": "adaptive stream schema"})
         first = service.match_record(record)
         second = service.match_record(
@@ -130,7 +138,7 @@ class TestReuseCache:
         assert service.cache_stats() == {"hits": 1, "misses": 1, "size": 1}
 
     def test_mutation_invalidates_affected_entries(self):
-        service = MatchService(_reference(), "title", threshold=0.3)
+        service = _service(_reference(), threshold=0.3)
         record = ObjectInstance("q", {"title": "adaptive stream schema"})
         before = service.match_record(record)
         service.add(ObjectInstance("new", {"title": "adaptive stream schema"}))
@@ -141,7 +149,7 @@ class TestReuseCache:
         assert before != after
 
     def test_unrelated_mutation_keeps_entries(self):
-        service = MatchService(_reference(), "title", threshold=0.3)
+        service = _service(_reference(), threshold=0.3)
         record = ObjectInstance("q", {"title": "adaptive stream schema"})
         service.match_record(record)
         service.add(ObjectInstance("new", {"title": "zebra crossings"}))
@@ -149,7 +157,7 @@ class TestReuseCache:
         assert service.cache_stats()["hits"] == 1
 
     def test_delete_invalidates_stale_results(self):
-        service = MatchService(_reference(), "title", threshold=0.3)
+        service = _service(_reference(), threshold=0.3)
         record = ObjectInstance("q", {"title": "adaptive stream schema"})
         before = service.match_record(record)
         assert before
@@ -159,8 +167,8 @@ class TestReuseCache:
         assert all(id != top_id for id, _ in after)
 
     def test_exhaustive_mode_clears_on_mutation(self):
-        service = MatchService(_reference(), "title", threshold=0.3,
-                               max_candidates=None)
+        service = _service(_reference(), threshold=0.3,
+                           max_candidates=None)
         record = ObjectInstance("q", {"title": "adaptive stream schema"})
         service.match_record(record)
         service.add(ObjectInstance("new", {"title": "zebra"}))
@@ -168,8 +176,8 @@ class TestReuseCache:
         assert service.cache_stats()["hits"] == 0
 
     def test_compaction_clears_cache(self):
-        service = MatchService(_reference(), "title", threshold=0.3,
-                               compact_min=1, compact_ratio=0.01)
+        service = _service(_reference(), threshold=0.3,
+                           compact_min=1, compact_ratio=0.01)
         record = ObjectInstance("q", {"title": "adaptive stream schema"})
         service.match_record(record)
         # compact_min=1, tiny ratio: the next mutation compacts
@@ -178,22 +186,21 @@ class TestReuseCache:
         assert service.cache_stats()["size"] == 0
 
     def test_missing_value_matches_nothing(self):
-        service = MatchService(_reference(), "title")
+        service = _service(_reference())
         assert service.match_record(ObjectInstance("q", {})) == []
 
 
 class TestMicroBatching:
     def test_concurrent_requests_are_batched(self):
-        service = MatchService(_reference(64), "title", threshold=0.2,
-                               cache_size=0)
+        service = _service(_reference(64), threshold=0.2, cache_size=0)
         records = [
             ObjectInstance(f"q{i}", {"title": QUERY_TITLES[i % len(QUERY_TITLES)]
                                      + f" tail {i}"})
             for i in range(32)
         ]
         serial_expected = {
-            record.id: MatchService(_reference(64), "title",
-                                    threshold=0.2).match_record(record)
+            record.id: _service(_reference(64),
+                                threshold=0.2).match_record(record)
             for record in records[:4]
         }
         results = {}
@@ -221,8 +228,7 @@ class TestMicroBatching:
         assert 1 <= stats["batches"] <= len(records)
 
     def test_concurrent_queries_and_mutations(self):
-        service = MatchService(_reference(48), "title", threshold=0.2,
-                               compact_min=8)
+        service = _service(_reference(48), threshold=0.2, compact_min=8)
         errors = []
 
         def query_worker(i):
@@ -266,8 +272,7 @@ class TestBatchFailurePropagation:
             def append(self, name, correspondences):
                 raise RuntimeError("disk full")
 
-        service = MatchService(_reference(), "title", threshold=0.2,
-                               cache_size=0)
+        service = _service(_reference(), threshold=0.2, cache_size=0)
         service.repository = BrokenRepository()
         service.mapping_name = "broken"
         outcomes = {}
@@ -295,9 +300,9 @@ class TestBatchFailurePropagation:
 class TestRepositoryPersistence:
     def test_scored_batches_are_appended(self):
         repository = MappingRepository(":memory:")
-        service = MatchService(_reference(), "title", threshold=0.3,
-                               repository=repository,
-                               mapping_name="served")
+        service = _service(_reference(), threshold=0.3,
+                           repository=repository,
+                           mapping_name="served")
         queries = _query_source(QUERY_TITLES)
         mapping = service.match_batch(list(queries))
         stored = repository.load("served")
@@ -307,9 +312,9 @@ class TestRepositoryPersistence:
 
     def test_repeated_queries_do_not_duplicate_rows(self):
         repository = MappingRepository(":memory:")
-        service = MatchService(_reference(), "title", threshold=0.3,
-                               repository=repository,
-                               mapping_name="served")
+        service = _service(_reference(), threshold=0.3,
+                           repository=repository,
+                           mapping_name="served")
         queries = list(_query_source(QUERY_TITLES))
         first = service.match_batch(queries)
         persisted = service.persisted
@@ -319,23 +324,42 @@ class TestRepositoryPersistence:
 
     def test_repository_requires_mapping_name(self):
         with pytest.raises(ValueError):
+            _service(_reference(),
+                     repository=MappingRepository(":memory:"))
+
+
+class TestLegacyKeywordArguments:
+    """The pre-config keyword surface still works, but warns."""
+
+    def test_legacy_kwargs_warn_and_behave_like_config(self):
+        reference = _reference()
+        with pytest.warns(DeprecationWarning):
+            legacy = MatchService(reference, "title", threshold=0.3)
+        config_style = _service(_reference(), threshold=0.3)
+        record = ObjectInstance("q", {"title": "adaptive stream schema"})
+        assert legacy.match_record(record) \
+            == config_style.match_record(record)
+        assert legacy.config.threshold == 0.3
+
+    def test_config_plus_legacy_kwargs_is_rejected(self):
+        with pytest.raises(ValueError):
             MatchService(_reference(), "title",
-                         repository=MappingRepository(":memory:"))
+                         config=ServeConfig(attribute="title"))
 
 
 class TestValidation:
     def test_constructor_validation(self):
         with pytest.raises(ValueError):
-            MatchService(_reference(), threshold=1.5)
+            _service(_reference(), threshold=1.5)
         with pytest.raises(ValueError):
-            MatchService(_reference(), max_candidates=0)
+            _service(_reference(), max_candidates=0)
         with pytest.raises(ValueError):
-            MatchService(_reference(), cache_size=-1)
+            _service(_reference(), cache_size=-1)
         with pytest.raises(ValueError):
             MatchService()
 
     def test_stats_shape(self):
-        service = MatchService(_reference(), "title")
+        service = _service(_reference())
         stats = service.stats()
         assert {"records", "queries", "batches", "cache", "index"} \
             <= set(stats)

@@ -79,18 +79,21 @@ class TestServe:
             server = real_build_server(service, host, port)
 
             def probe():
-                bound_host, bound_port = server.server_address[:2]
-                title = service.index.get(
-                    service.index.ids()[0]).get("title")
-                body = json.dumps({"record": {
-                    "id": "probe", "attributes": {"title": title}}})
-                request = urllib.request.Request(
-                    f"http://{bound_host}:{bound_port}/match",
-                    data=body.encode(),
-                    headers={"Content-Type": "application/json"})
-                with urllib.request.urlopen(request, timeout=10) as response:
-                    answers["match"] = json.loads(response.read())
-                server.shutdown()
+                try:
+                    bound_host, bound_port = server.server_address[:2]
+                    title = service.index.get(
+                        service.index.ids()[0]).get("title")
+                    body = json.dumps({"record": {
+                        "id": "probe", "attributes": {"title": title}}})
+                    request = urllib.request.Request(
+                        f"http://{bound_host}:{bound_port}/v1/match",
+                        data=body.encode(),
+                        headers={"Content-Type": "application/json"})
+                    with urllib.request.urlopen(
+                            request, timeout=10) as response:
+                        answers["match"] = json.loads(response.read())
+                finally:
+                    server.shutdown()  # a dead probe must not hang serve
 
             threading.Thread(target=probe, daemon=True).start()
             return server
