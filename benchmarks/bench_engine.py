@@ -81,8 +81,7 @@ from repro.core.matchers.multi_attribute import (
 )
 from repro.datagen import build_dataset
 from repro.datagen.world import WorldConfig
-from repro.engine import BatchMatchEngine, EngineConfig
-from repro.engine import vectorized
+from repro.engine import BatchMatchEngine, EngineConfig, vectorized
 from repro.model.source import LogicalSource, ObjectType, PhysicalSource
 from repro.sim.ngram import TrigramSimilarity
 from repro.sim.tfidf import TfIdfCosineSimilarity

@@ -47,7 +47,7 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
     if not _RESULTS:
         return
     terminalreporter.write_sep("=", "MOMA reproduction: paper vs measured")
-    for experiment_id, rendered in sorted(_RESULTS):
+    for _experiment_id, rendered in sorted(_RESULTS):
         terminalreporter.write_line("")
         terminalreporter.write_line(rendered)
     terminalreporter.write_line("")

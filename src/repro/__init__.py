@@ -28,9 +28,9 @@ from repro.core import (
     Mapping,
     MappingKind,
     MatchContext,
-    MatchWorkflow,
     Matcher,
     MatcherLibrary,
+    MatchWorkflow,
     MaxAttributeDifference,
     MultiAttributeMatcher,
     NeighborhoodMatcher,

@@ -8,7 +8,9 @@ Commands:
 * ``export``      — write the generated sources' association mappings
   and gold standards as CSV mapping tables for external tools;
 * ``serve``       — run the incremental match service as a JSON HTTP
-  server over a generated reference source.
+  server over a generated reference source;
+* ``lint``        — run the invariant-aware static analysis pass
+  (DET/LCK/PKL/DUR/API rule families) over the source tree.
 """
 
 from __future__ import annotations
@@ -112,6 +114,23 @@ def _build_parser() -> argparse.ArgumentParser:
                             "mutation WALs; restores warm from an "
                             "existing snapshot, enables POST "
                             "/v1/snapshot (implies at least 1 shard)")
+
+    lint = subparsers.add_parser(
+        "lint", help="run the repo-specific static analysis checkers")
+    lint.add_argument("lint_paths", nargs="*", metavar="PATH",
+                      help="files or directories to check "
+                           "(default: src/repro)")
+    lint.add_argument("--root", dest="lint_root", default=None,
+                      help="repo root (default: nearest pyproject.toml)")
+    lint.add_argument("--baseline", dest="lint_baseline", default=None,
+                      help="baseline file relative to the root "
+                           "(default: lint-baseline.json)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore the baseline; report every finding")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="rewrite the baseline from current findings")
+    lint.add_argument("--json", action="store_true", dest="lint_json",
+                      help="emit a JSON report instead of text")
     return parser
 
 
@@ -135,6 +154,7 @@ def _command_experiments(args) -> int:
     from repro.eval.experiments import (
         run_self_mapping_extension,
         run_table1,
+        run_table10,
         run_table2,
         run_table3,
         run_table4,
@@ -143,7 +163,6 @@ def _command_experiments(args) -> int:
         run_table7,
         run_table8,
         run_table9,
-        run_table10,
     )
 
     runners = {
@@ -276,8 +295,27 @@ def _command_serve(args) -> int:
     return 0
 
 
+def _command_lint(args) -> int:
+    from repro.analysis.cli import main as lint_main
+
+    forwarded: List[str] = list(args.lint_paths)
+    if args.lint_root is not None:
+        forwarded += ["--root", args.lint_root]
+    if args.lint_baseline is not None:
+        forwarded += ["--baseline", args.lint_baseline]
+    if args.no_baseline:
+        forwarded.append("--no-baseline")
+    if args.write_baseline:
+        forwarded.append("--write-baseline")
+    if args.lint_json:
+        forwarded.append("--json")
+    return lint_main(forwarded)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "lint":
+        return _command_lint(args)
     if args.workers is not None and args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2

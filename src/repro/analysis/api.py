@@ -1,0 +1,80 @@
+"""API — HTTP handlers raise only ``repro.serve.errors`` types.
+
+The HTTP front-end maps service exceptions onto status codes via the
+``repro.serve.errors`` hierarchy; a handler that raises a bare
+``ValueError`` escapes that mapping and turns into an opaque 500 (or a
+dropped connection mid-response).  This checker pins the contract:
+inside ``repro/serve/http.py``, every ``raise`` must name a type
+imported from ``repro.serve.errors``.
+
+Rules:
+
+=======  ============================================================
+API001   ``raise`` of a type not imported from ``repro.serve.errors``
+         inside an HTTP handler module
+=======  ============================================================
+
+Bare ``raise`` (re-raise) and re-raising a caught exception variable
+are always allowed.  Suppress with ``# repro: allow-api-error`` for
+deliberate protocol-level aborts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.analysis.core import Checker, Finding, ModuleContext
+
+_ERRORS_MODULE = "repro.serve.errors"
+
+
+def _imported_error_names(tree: ast.Module) -> Set[str]:
+    """Names bound by ``from repro.serve.errors import ...``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == _ERRORS_MODULE:
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def _caught_names(tree: ast.Module) -> Set[str]:
+    """Names bound by ``except ... as name`` anywhere in the module."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+    return names
+
+
+class ApiErrorChecker(Checker):
+    """API001 over the HTTP handler module."""
+
+    CODE = "API"
+    SCOPES = ("repro/serve/http",)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        allowed = _imported_error_names(context.tree)
+        caught = _caught_names(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            raised = node.exc
+            if isinstance(raised, ast.Call):
+                raised = raised.func
+            if isinstance(raised, ast.Name):
+                if raised.id in allowed or raised.id in caught:
+                    continue
+                name = raised.id
+            elif isinstance(raised, ast.Attribute):
+                name = raised.attr
+                if name in allowed:
+                    continue
+            else:
+                continue
+            yield Finding(
+                context.path, node.lineno, "API001",
+                f"handler raises {name}, which is not a "
+                f"{_ERRORS_MODULE} type; the HTTP status mapping will "
+                "treat it as an opaque 500")

@@ -1,0 +1,80 @@
+"""``repro lint`` / ``python -m repro.analysis`` entry point."""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.runner import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    run_paths,
+    write_baseline,
+)
+
+
+def _find_root(start: str) -> str:
+    """Nearest ancestor holding ``pyproject.toml`` (else ``start``)."""
+    current = os.path.abspath(start)
+    while True:
+        if os.path.exists(os.path.join(current, "pyproject.toml")):
+            return current
+        parent = os.path.dirname(current)
+        if parent == current:
+            return os.path.abspath(start)
+        current = parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="invariant-aware static analysis "
+                    "(DET/LCK/PKL/DUR/API rule families)")
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to check (default: src/repro)")
+    parser.add_argument(
+        "--root", default=None,
+        help="repo root for relative paths and the baseline "
+             "(default: nearest ancestor with pyproject.toml)")
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"baseline file relative to the root "
+             f"(default: {DEFAULT_BASELINE})")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline; report every finding")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from current findings, keeping "
+             "existing reasons (new entries get an empty reason you "
+             "must fill in)")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a JSON report instead of text")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    options = build_parser().parse_args(argv)
+    root = os.path.abspath(options.root) if options.root \
+        else _find_root(os.getcwd())
+    paths: List[str] = list(options.paths) if options.paths \
+        else [os.path.join("src", "repro")]
+    baseline_path = os.path.join(root, options.baseline)
+    baseline = [] if options.no_baseline else load_baseline(baseline_path)
+    report = run_paths(paths, root, baseline)
+    if options.write_baseline:
+        write_baseline(baseline_path, report.findings, baseline)
+        print(f"wrote {len(set(report.findings))} finding(s) to "
+              f"{baseline_path}")
+        return 0
+    output = report.render_json() if options.as_json else report.render_text()
+    print(output)
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,215 @@
+"""Framework primitives: findings, module contexts, suppressions.
+
+A checker is a class with a ``CODE`` family prefix (``DET``, ``LCK``,
+...), a ``SCOPES`` tuple of repo-relative path prefixes it applies to,
+and a ``check(context)`` generator yielding :class:`Finding` objects.
+The runner (:mod:`repro.analysis.runner`) parses each file once into a
+:class:`ModuleContext` and feeds it to every interested checker; the
+context also carries the file's parsed suppression comments, which the
+runner applies *after* checking so a suppression with a missing reason
+can itself be reported (``SUP001``).
+
+Suppression syntax, one comment per line::
+
+    risky_call()  # repro: allow-unordered -- cache eviction is order-independent
+
+``allow-<token>`` accepts either a family alias (``unordered`` for
+DET, ``unlocked`` for LCK, ``unpicklable`` for PKL, ``durability`` for
+DUR, ``api-error`` for API) or an exact lower-cased finding code
+(``allow-det004``).  Everything after ``--`` is the mandatory reason.
+A suppression covers findings on its own line; a comment-only line
+covers the first following line that holds code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+#: family alias -> checker code prefix, mirrored in docs/static-analysis.md
+FAMILY_ALIASES: Dict[str, str] = {
+    "unordered": "DET",
+    "unlocked": "LCK",
+    "unpicklable": "PKL",
+    "durability": "DUR",
+    "api-error": "API",
+}
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro:\s*allow-(?P<token>[A-Za-z0-9_-]+)"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured finding: ``file:line CODE message``."""
+
+    file: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line} {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro: allow-...`` comment."""
+
+    line: int
+    token: str
+    reason: Optional[str]
+    #: the line of code this suppression covers (its own line, or the
+    #: next code-bearing line for a comment-only line)
+    target_line: int
+
+    def covers(self, finding: Finding) -> bool:
+        if finding.line != self.target_line:
+            return False
+        token = self.token.lower()
+        prefix = FAMILY_ALIASES.get(token)
+        if prefix is not None:
+            return finding.code.startswith(prefix)
+        return finding.code.lower() == token
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file plus everything checkers need to see."""
+
+    path: str
+    tree: ast.Module
+    source_lines: Sequence[str]
+    suppressions: List[Suppression] = field(default_factory=list)
+
+    def in_scope(self, prefixes: Iterable[str]) -> bool:
+        """Whether this file falls under any of the path prefixes."""
+        normalized = self.path.replace("\\", "/")
+        return any(normalized.startswith(prefix) or f"/{prefix}" in normalized
+                   for prefix in prefixes)
+
+
+class Checker:
+    """Base class: subclasses define ``CODE``, ``SCOPES`` and ``check``."""
+
+    #: finding-code family prefix, e.g. ``"DET"``
+    CODE: str = ""
+    #: repo-relative path prefixes the checker applies to; empty = all
+    SCOPES: Tuple[str, ...] = ()
+
+    def interested(self, context: ModuleContext) -> bool:
+        return not self.SCOPES or context.in_scope(self.SCOPES)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def _code_bearing_lines(source: str) -> List[int]:
+    """Line numbers that carry actual code tokens (not comments/blank)."""
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return []
+    seen: set[int] = set()
+    skip = {tokenize.COMMENT, tokenize.NL, tokenize.NEWLINE,
+            tokenize.INDENT, tokenize.DEDENT, tokenize.ENCODING,
+            tokenize.ENDMARKER}
+    for token in tokens:
+        if token.type in skip:
+            continue
+        seen.update(range(token.start[0], token.end[0] + 1))
+    return sorted(seen)
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract every ``# repro: allow-...`` comment with its target line."""
+    code_lines = _code_bearing_lines(source)
+    suppressions: List[Suppression] = []
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(text)
+        if match is None:
+            continue
+        if number in code_lines:
+            target = number
+        else:
+            following = [line for line in code_lines if line > number]
+            target = following[0] if following else number
+        suppressions.append(Suppression(
+            line=number, token=match.group("token"),
+            reason=match.group("reason"), target_line=target))
+    return suppressions
+
+
+def parse_module(path: str, source: str,
+                 display_path: Optional[str] = None) -> ModuleContext:
+    """Parse one file into a :class:`ModuleContext` (raises SyntaxError)."""
+    tree = ast.parse(source, filename=path)
+    return ModuleContext(
+        path=display_path if display_path is not None else path,
+        tree=tree,
+        source_lines=source.splitlines(),
+        suppressions=parse_suppressions(source))
+
+
+def all_checkers() -> List[Checker]:
+    """One fresh instance of every registered checker, in code order."""
+    from repro.analysis.api import ApiErrorChecker
+    from repro.analysis.det import DeterminismChecker
+    from repro.analysis.dur import DurabilityChecker
+    from repro.analysis.lck import LockDisciplineChecker
+    from repro.analysis.pkl import PickleSafetyChecker
+
+    classes: List[Type[Checker]] = [
+        ApiErrorChecker, DeterminismChecker, DurabilityChecker,
+        LockDisciplineChecker, PickleSafetyChecker,
+    ]
+    return [cls() for cls in sorted(classes, key=lambda cls: cls.CODE)]
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+
+def call_name(node: ast.expr) -> Optional[str]:
+    """Dotted name of a call target: ``os.replace`` -> ``"os.replace"``."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def tail_name(node: ast.expr) -> Optional[str]:
+    """Last attribute segment of a call target (``a.b.fsync`` -> ``fsync``)."""
+    dotted = call_name(node)
+    if dotted is None:
+        return None
+    return dotted.rsplit(".", 1)[-1]
+
+
+def walk_functions(tree: ast.Module) -> Iterator[Tuple[ast.AST, List[str]]]:
+    """Yield ``(function node, enclosing-class names)`` for every def."""
+
+    def visit(node: ast.AST, stack: List[str]) -> Iterator[Tuple[ast.AST, List[str]]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, list(stack)
+                yield from visit(child, stack)
+            elif isinstance(child, ast.ClassDef):
+                stack.append(child.name)
+                yield from visit(child, stack)
+                stack.pop()
+            else:
+                yield from visit(child, stack)
+
+    return visit(tree, [])

@@ -1,0 +1,72 @@
+"""DUR — durability ordering around atomic renames.
+
+The snapshot/restore path (``repro.serve.partition``) relies on the
+classic atomic-publish sequence: write a temp file, ``fsync`` it,
+``os.replace`` it into place, then ``fsync`` the directory.  A rename
+without a preceding fsync can surface a zero-length or stale manifest
+after a crash, silently un-publishing a snapshot.
+
+Rules:
+
+=======  ============================================================
+DUR001   ``os.replace`` in a function with no ``fsync`` (``os.fsync``
+         or a ``*fsync*``-named helper such as ``_fsync_dir``) call
+         earlier in the same function
+DUR002   bare ``os.rename`` — use ``os.replace`` (atomic, overwrites)
+         plus the fsync protocol
+=======  ============================================================
+
+Suppress with ``# repro: allow-durability -- <reason>`` for renames of
+genuinely disposable files (temp scratch, caches).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ModuleContext,
+    call_name,
+    tail_name,
+    walk_functions,
+)
+
+
+def _is_fsync_call(node: ast.Call) -> bool:
+    tail = tail_name(node.func)
+    return tail is not None and "fsync" in tail
+
+
+class DurabilityChecker(Checker):
+    """DUR001/DUR002 over the persistence-bearing serve modules."""
+
+    CODE = "DUR"
+    SCOPES = ("repro/serve/",)
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        for function, _classes in walk_functions(context.tree):
+            yield from self._check_function(context, function)
+
+    def _check_function(self, context: ModuleContext,
+                        function: ast.AST) -> Iterator[Finding]:
+        calls: List[ast.Call] = [node for node in ast.walk(function)
+                                 if isinstance(node, ast.Call)]
+        fsync_lines = sorted(node.lineno for node in calls
+                             if _is_fsync_call(node))
+        for node in calls:
+            name = call_name(node.func)
+            if name == "os.rename":
+                yield Finding(
+                    context.path, node.lineno, "DUR002",
+                    "os.rename is not part of the durability protocol; "
+                    "use os.replace after fsync-ing the source")
+            elif name == "os.replace":
+                if not any(line < node.lineno for line in fsync_lines):
+                    yield Finding(
+                        context.path, node.lineno, "DUR001",
+                        "os.replace without a preceding fsync in the "
+                        "same function; fsync the temp file (and "
+                        "_fsync_dir the parent) before publishing")

@@ -1,0 +1,245 @@
+"""File discovery, suppression/baseline application, and reporting.
+
+The runner walks the target tree in sorted order (the linter obeys its
+own DET rules), parses each ``.py`` file once, feeds it to every
+interested checker, then applies two acceptance layers:
+
+1. inline suppressions (``# repro: allow-... -- reason``) — a
+   suppression that matches a finding removes it; a suppression with
+   no reason yields a ``SUP001`` finding of its own;
+2. the committed baseline (``lint-baseline.json``) — findings listed
+   there with a non-empty ``reason`` are accepted; entries with an
+   empty reason are configuration errors.
+
+Anything left is an *unbaselined* finding and fails the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    all_checkers,
+    parse_module,
+)
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_BaselineKey = Tuple[str, str, str]
+
+
+@dataclass
+class BaselineEntry:
+    """One accepted finding with its justification."""
+
+    code: str
+    file: str
+    message: str
+    reason: str
+
+    def key(self) -> _BaselineKey:
+        return (self.code, self.file, self.message)
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one run produced, split by acceptance layer."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    unbaselined: List[Finding] = field(default_factory=list)
+    baseline_errors: List[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.unbaselined and not self.baseline_errors
+
+    def exit_code(self) -> int:
+        if self.baseline_errors:
+            return 2
+        return 0 if not self.unbaselined else 1
+
+    def render_text(self) -> str:
+        lines: List[str] = []
+        for finding in self.unbaselined:
+            lines.append(finding.render())
+        for error in self.baseline_errors:
+            lines.append(f"baseline error: {error}")
+        lines.append(
+            f"{self.files_checked} files checked: "
+            f"{len(self.unbaselined)} finding(s), "
+            f"{len(self.baselined)} baselined, "
+            f"{len(self.suppressed)} suppressed")
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        def encode(finding: Finding) -> Dict[str, object]:
+            return {"file": finding.file, "line": finding.line,
+                    "code": finding.code, "message": finding.message}
+
+        return json.dumps({
+            "files_checked": self.files_checked,
+            "unbaselined": [encode(finding) for finding in self.unbaselined],
+            "baselined": [encode(finding) for finding in self.baselined],
+            "suppressed": [encode(finding) for finding in self.suppressed],
+            "baseline_errors": list(self.baseline_errors),
+        }, indent=2, sort_keys=True)
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    """Read ``lint-baseline.json``; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return []
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) \
+            or payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: expected a baseline object with version "
+            f"{BASELINE_VERSION}")
+    entries: List[BaselineEntry] = []
+    for raw in payload.get("findings", []):
+        entries.append(BaselineEntry(
+            code=str(raw.get("code", "")),
+            file=str(raw.get("file", "")),
+            message=str(raw.get("message", "")),
+            reason=str(raw.get("reason", ""))))
+    return entries
+
+
+def write_baseline(path: str, findings: Sequence[Finding],
+                   previous: Sequence[BaselineEntry]) -> None:
+    """Serialise ``findings`` as a baseline, keeping known reasons."""
+    reasons: Dict[_BaselineKey, str] = {
+        entry.key(): entry.reason for entry in previous}
+    serialised = []
+    for finding in sorted(set(findings),
+                          key=lambda f: (f.file, f.code, f.line)):
+        key = (finding.code, finding.file, finding.message)
+        serialised.append({
+            "code": finding.code,
+            "file": finding.file,
+            "message": finding.message,
+            "reason": reasons.get(key, ""),
+        })
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": BASELINE_VERSION, "findings": serialised},
+                  handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def discover_files(paths: Sequence[str], root: str) -> List[str]:
+    """Absolute paths of every ``.py`` file under ``paths``, sorted."""
+    found: List[str] = []
+    for path in paths:
+        absolute = path if os.path.isabs(path) else os.path.join(root, path)
+        if os.path.isfile(absolute):
+            found.append(absolute)
+            continue
+        for directory, directories, names in os.walk(absolute):
+            directories.sort()
+            directories[:] = [name for name in directories
+                              if name != "__pycache__"]
+            for name in sorted(names):
+                if name.endswith(".py"):
+                    found.append(os.path.join(directory, name))
+    return sorted(set(found))
+
+
+def _display_path(path: str, root: str) -> str:
+    relative = os.path.relpath(path, root)
+    return relative.replace(os.sep, "/")
+
+
+def check_file(path: str, root: str,
+               checkers: Optional[Sequence[Checker]] = None
+               ) -> Tuple[List[Finding], List[Finding]]:
+    """Run checkers on one file; returns ``(active, suppressed)``.
+
+    Suppressions are applied here; a suppression with no reason
+    contributes a ``SUP001`` finding to the active list.
+    """
+    if checkers is None:
+        checkers = all_checkers()
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    display = _display_path(path, root)
+    try:
+        context = parse_module(path, source, display_path=display)
+    except (SyntaxError, ValueError) as error:
+        line = getattr(error, "lineno", 1) or 1
+        return [Finding(display, line, "SYN001",
+                        f"file does not parse: {error}")], []
+    raw: List[Finding] = []
+    for checker in checkers:
+        if checker.interested(context):
+            raw.extend(checker.check(context))
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    used: set[int] = set()
+    for finding in raw:
+        covering = next((suppression for suppression in context.suppressions
+                         if suppression.covers(finding)), None)
+        if covering is not None:
+            suppressed.append(finding)
+            used.add(covering.line)
+        else:
+            active.append(finding)
+    for suppression in context.suppressions:
+        if not suppression.reason or not suppression.reason.strip():
+            active.append(Finding(
+                display, suppression.line, "SUP001",
+                f"suppression allow-{suppression.token} has no reason; "
+                "write '# repro: allow-... -- <why this is safe>'"))
+    active.sort(key=lambda finding: (finding.line, finding.code))
+    return active, suppressed
+
+
+def run_paths(paths: Sequence[str], root: str,
+              baseline: Optional[Iterable[BaselineEntry]] = None
+              ) -> AnalysisReport:
+    """Check every file under ``paths`` and fold in the baseline."""
+    report = AnalysisReport()
+    checkers = all_checkers()
+    for path in discover_files(paths, root):
+        active, suppressed = check_file(path, root, checkers)
+        report.findings.extend(active)
+        report.suppressed.extend(suppressed)
+        report.files_checked += 1
+    entries = list(baseline) if baseline is not None else []
+    accepted: Dict[_BaselineKey, BaselineEntry] = {}
+    for entry in entries:
+        if not entry.reason.strip():
+            report.baseline_errors.append(
+                f"{entry.file}: {entry.code} entry has an empty reason")
+            continue
+        accepted[entry.key()] = entry
+    matched: set[_BaselineKey] = set()
+    for finding in report.findings:
+        key = (finding.code, finding.file, finding.message)
+        if key in accepted:
+            report.baselined.append(finding)
+            matched.add(key)
+        else:
+            report.unbaselined.append(finding)
+    for key, entry in sorted(accepted.items()):
+        if key not in matched:
+            report.baseline_errors.append(
+                f"{entry.file}: stale baseline entry {entry.code} "
+                f"({entry.message[:60]}...) no longer matches any finding")
+    return report
+
+
+def parse_tree(path: str) -> ast.Module:
+    """Parse one file to an AST — convenience for tests and tooling."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return ast.parse(handle.read(), filename=path)

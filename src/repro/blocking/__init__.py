@@ -13,6 +13,7 @@ pairs surviving blocking) and :func:`reduction_ratio` (fraction of the
 cross product avoided) — the standard blocking metrics.
 """
 
+from repro.blocking.canopy import CanopyBlocking
 from repro.blocking.pair_generator import (
     BlockShard,
     FullCross,
@@ -26,10 +27,9 @@ from repro.blocking.pair_generator import (
     reduction_ratio,
     unique_pairs,
 )
+from repro.blocking.sorted_neighborhood import SortedNeighborhood
 from repro.blocking.standard import KeyBlocking
 from repro.blocking.token_blocking import TokenBlocking
-from repro.blocking.sorted_neighborhood import SortedNeighborhood
-from repro.blocking.canopy import CanopyBlocking
 
 __all__ = [
     "BlockShard",

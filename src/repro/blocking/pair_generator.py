@@ -399,7 +399,7 @@ def pair_completeness(candidate_pairs: Iterable[Pair], gold: Mapping) -> float:
     gold_pairs = gold.pairs()
     if not gold_pairs:
         return 1.0
-    surviving = sum(1 for pair in set(candidate_pairs) if pair in gold_pairs)
+    surviving = sum(1 for pair in set(candidate_pairs) if pair in gold_pairs)  # repro: allow-unordered -- commutative integer count over a deduplicated set
     return surviving / len(gold_pairs)
 
 

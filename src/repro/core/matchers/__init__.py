@@ -8,11 +8,11 @@ neighborhood matcher of §4.2 and the registry through which workflows
 (and the script language) resolve matchers by name.
 """
 
-from repro.core.matchers.base import Matcher, MatcherError
 from repro.core.matchers.attribute import AttributeMatcher
+from repro.core.matchers.base import Matcher, MatcherError
+from repro.core.matchers.library import MatcherLibrary, default_library
 from repro.core.matchers.multi_attribute import AttributePair, MultiAttributeMatcher
 from repro.core.matchers.neighborhood import NeighborhoodMatcher, neighborhood_match
-from repro.core.matchers.library import MatcherLibrary, default_library
 
 __all__ = [
     "AttributeMatcher",

@@ -14,8 +14,8 @@ from repro.core.operators.functions import (
     WeightedFunction,
     get_combination,
 )
-from repro.core.operators.merge import merge
 from repro.core.operators.compose import compose
+from repro.core.operators.merge import merge
 from repro.core.operators.selection import (
     Best1DeltaSelection,
     BestNSelection,

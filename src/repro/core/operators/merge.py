@@ -103,7 +103,8 @@ def merge(mappings: Sequence[Mapping],
                     if mapping is prefer
                 )
             except StopIteration:
-                raise ValueError("preferred mapping is not among the inputs")
+                raise ValueError(
+                    "preferred mapping is not among the inputs") from None
         elif isinstance(prefer, int):
             preferred_index = prefer
         elif prefer is None:

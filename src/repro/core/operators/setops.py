@@ -81,9 +81,9 @@ def transitive_closure(mapping: Mapping, name: Optional[str] = None) -> Mapping:
             parent[root_b] = root_a
 
     cluster_min: dict[str, float] = {}
-    for domain_id, range_id, similarity in mapping:
+    for domain_id, range_id, _similarity in mapping:
         union(domain_id, range_id)
-    for domain_id, range_id, similarity in mapping:
+    for domain_id, _range_id, similarity in mapping:
         root = find(domain_id)
         cluster_min[root] = min(cluster_min.get(root, 1.0), similarity)
 

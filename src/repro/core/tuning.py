@@ -260,7 +260,8 @@ class DecisionTree:
         best: Optional[Tuple[int, float, float]] = None
         n_features = len(rows[0][0])
         for feature in range(n_features):
-            ordered = sorted(rows, key=lambda row: row[0][feature])
+            ordered = sorted(rows,
+                             key=lambda row, feature=feature: row[0][feature])
             left_pos = 0
             for i in range(1, total):
                 left_pos += ordered[i - 1][1]

@@ -524,7 +524,7 @@ def build_gold(world: World, dblp: SourceBundle, acm: SourceBundle,
 def _dblp_duplicate_gold(dblp: SourceBundle) -> Mapping:
     """Self-mapping of injected DBLP duplicate author pairs."""
     mapping = Mapping(dblp.authors.name, dblp.authors.name, MappingKind.SAME)
-    for true_id, source_ids in dblp.authors_of_true.items():
+    for source_ids in dblp.authors_of_true.values():
         if len(source_ids) < 2:
             continue
         for i, id_a in enumerate(source_ids):

@@ -7,14 +7,6 @@ driver in :mod:`repro.eval.experiments`; benchmarks and examples call
 those drivers and render the results with :mod:`repro.eval.report`.
 """
 
-from repro.eval.metrics import (
-    MatchQuality,
-    evaluate,
-    evaluate_pairs,
-    f_measure,
-    precision_recall_f1,
-)
-from repro.eval.report import Table, format_percent, render_table
 from repro.eval.diagnostics import (
     AgreementReport,
     CardinalityProfile,
@@ -23,6 +15,14 @@ from repro.eval.diagnostics import (
     describe,
     similarity_histogram,
 )
+from repro.eval.metrics import (
+    MatchQuality,
+    evaluate,
+    evaluate_pairs,
+    f_measure,
+    precision_recall_f1,
+)
+from repro.eval.report import Table, format_percent, render_table
 
 __all__ = [
     "AgreementReport",

@@ -8,7 +8,18 @@ examples and integration tests all call them.
 """
 
 from repro.eval.experiments.common import ExperimentResult, Workbench
+from repro.eval.experiments.extension_self_mapping import (
+    gs_self_mapping,
+    run_self_mapping_extension,
+)
+from repro.eval.experiments.figures import (
+    run_figure1,
+    run_figure4,
+    run_figure6,
+    run_figure9,
+)
 from repro.eval.experiments.table1 import run_table1
+from repro.eval.experiments.table10 import run_table10
 from repro.eval.experiments.table2 import run_table2
 from repro.eval.experiments.table3 import run_table3
 from repro.eval.experiments.table4 import run_table4
@@ -17,17 +28,6 @@ from repro.eval.experiments.table6 import run_table6
 from repro.eval.experiments.table7 import run_table7
 from repro.eval.experiments.table8 import run_table8
 from repro.eval.experiments.table9 import run_table9
-from repro.eval.experiments.table10 import run_table10
-from repro.eval.experiments.figures import (
-    run_figure1,
-    run_figure4,
-    run_figure6,
-    run_figure9,
-)
-from repro.eval.experiments.extension_self_mapping import (
-    gs_self_mapping,
-    run_self_mapping_extension,
-)
 
 __all__ = [
     "ExperimentResult",

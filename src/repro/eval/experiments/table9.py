@@ -18,9 +18,9 @@ candidates the same way plus recall of the injected duplicate pairs.
 from __future__ import annotations
 
 from repro.blocking import TokenBlocking
+from repro.core.mapping import Mapping
 from repro.core.matchers.attribute import AttributeMatcher
 from repro.core.matchers.neighborhood import neighborhood_match
-from repro.core.mapping import Mapping
 from repro.core.operators.merge import merge
 from repro.eval.experiments.common import (
     ExperimentResult,

@@ -14,13 +14,13 @@ three consumers here:
   Google Scholar / ACM citation counts and aggregate per venue/author.
 """
 
-from repro.fusion.cluster import EntityCluster, clusters_from_mappings
 from repro.fusion.aggregate import (
     FusedObject,
     FusionPolicy,
     fuse_clusters,
 )
 from repro.fusion.citation import CitationReport, citation_analysis
+from repro.fusion.cluster import EntityCluster, clusters_from_mappings
 
 __all__ = [
     "CitationReport",

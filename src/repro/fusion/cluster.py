@@ -103,5 +103,8 @@ def clusters_from_mappings(mappings: Iterable[Mapping], *,
         if cluster is None:
             cluster = grouped[root] = EntityCluster()
         cluster.add(*node)
-    return sorted(grouped.values(),
-                  key=lambda cluster: -cluster.size())
+    # equal-size clusters tie-break on their union-find root, not on
+    # dict insertion order (which follows union call order)
+    return [cluster for _root, cluster in
+            sorted(grouped.items(),
+                   key=lambda item: (-item[1].size(), item[0]))]

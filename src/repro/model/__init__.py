@@ -9,11 +9,11 @@ This package implements that substrate plus the mapping repository and
 mapping cache of the MOMA architecture (Fig. 3).
 """
 
-from repro.model.entity import ObjectInstance
-from repro.model.source import LogicalSource, ObjectType, PhysicalSource
-from repro.model.smm import MappingType, SourceMappingModel
-from repro.model.repository import MappingRepository
 from repro.model.cache import MappingCache
+from repro.model.entity import ObjectInstance
+from repro.model.repository import MappingRepository
+from repro.model.smm import MappingType, SourceMappingModel
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
 from repro.model.io import (
     mapping_to_csv_text,
     read_mapping_csv,

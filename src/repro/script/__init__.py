@@ -19,11 +19,11 @@ language, plus the builtin operator bindings and the constraint
 expression evaluator used by ``select``.
 """
 
+from repro.script.constraints import ConstraintExpression
 from repro.script.errors import ScriptError, ScriptRuntimeError, ScriptSyntaxError
+from repro.script.interpreter import ScriptEngine
 from repro.script.lexer import Token, TokenType, tokenize
 from repro.script.parser import parse
-from repro.script.interpreter import ScriptEngine
-from repro.script.constraints import ConstraintExpression
 
 __all__ = [
     "ConstraintExpression",

@@ -399,7 +399,8 @@ class ShardBackend:
 
     def state(self) -> dict:
         """Router bootstrap payload: live ids + local token df."""
-        return {"ids": sorted(self.gseq.items(), key=lambda kv: kv[1]),
+        return {"ids": sorted(self.gseq.items(),
+                              key=lambda kv: (kv[1], kv[0])),
                 "token_df": self.index.token_frequencies()}
 
     def records(self) -> List[Tuple[ObjectInstance, int]]:

@@ -21,10 +21,10 @@ class ServeError(Exception):
     front end responds with.
     """
 
-    code = "serve_error"
-    http_status = 500
+    code: str = "serve_error"
+    http_status: int = 500
 
-    def to_payload(self) -> dict:
+    def to_payload(self) -> dict[str, dict[str, str]]:
         """The v1 error envelope body for this error."""
         return {"error": {"code": self.code, "message": str(self)}}
 
@@ -32,33 +32,41 @@ class ServeError(Exception):
 class InvalidRequest(ServeError, ValueError):
     """A client-supplied request or configuration value is malformed."""
 
-    code = "invalid_request"
-    http_status = 400
+    code: str = "invalid_request"
+    http_status: int = 400
 
 
 class ConflictError(ServeError):
     """A mutation conflicts with live state (duplicate or missing id)."""
 
-    code = "conflict"
-    http_status = 409
+    code: str = "conflict"
+    http_status: int = 409
 
 
 class ShardUnavailable(ServeError):
     """A shard worker died, hung or returned a corrupt response."""
 
-    code = "shard_unavailable"
-    http_status = 503
+    code: str = "shard_unavailable"
+    http_status: int = 503
 
     def __init__(self, shard: int, message: str) -> None:
         super().__init__(f"shard {shard}: {message}")
         self.shard = shard
+        self.message = message
+
+    def __reduce__(self) -> tuple[type, tuple[int, str]]:
+        # Exception.__reduce__ would replay self.args (the single
+        # formatted string) into the two-argument __init__ and make
+        # unpickling raise TypeError — and this error crosses the
+        # shard FrameChannel inside ("error", exc) frames
+        return (type(self), (self.shard, self.message))
 
 
 class SnapshotUnavailable(ServeError):
     """Snapshotting was requested on a service without a data dir."""
 
-    code = "snapshot_unavailable"
-    http_status = 409
+    code: str = "snapshot_unavailable"
+    http_status: int = 409
 
 
 def error_code_for(error: BaseException) -> tuple[int, str]:

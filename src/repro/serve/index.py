@@ -49,8 +49,8 @@ try:  # numpy is an optional accelerator, never a hard dependency
 except ImportError:  # pragma: no cover - image always has numpy
     _np = None
 
-from repro.engine import sparse
-from repro.engine import vectorized
+from repro.concurrency import requires_lock
+from repro.engine import sparse, vectorized
 from repro.engine.request import AttributeSpec
 from repro.model.entity import ObjectInstance
 from repro.model.source import LogicalSource
@@ -535,8 +535,15 @@ class IncrementalIndex:
         for slot, instance in enumerate(base):
             self._index_tokens(slot, instance.get(first))
 
+    @requires_lock("_lock")
     def compact(self) -> None:
-        """Rebuild packed columns and corpus statistics from live records."""
+        """Rebuild packed columns and corpus statistics from live records.
+
+        The index itself holds no lock; the ``requires_lock`` marker
+        documents that a concurrently-shared index must be mutated
+        under its owner's ``_lock`` (``MatchService`` wraps every
+        mutation that way).  The runtime assert is a no-op here.
+        """
         self._rebuild(self.instances())
         self._buffer.clear()
         self._tombstones.clear()
@@ -544,6 +551,7 @@ class IncrementalIndex:
         for listener in self._compaction_listeners:
             listener()
 
+    @requires_lock("_lock")
     def _maybe_compact(self) -> None:
         pending = len(self._buffer) + len(self._tombstones)
         if pending >= max(self.compact_min,
@@ -591,6 +599,7 @@ class IncrementalIndex:
 
     # -- mutation ------------------------------------------------------
 
+    @requires_lock("_lock")
     def add(self, instance: ObjectInstance) -> None:
         """Add a new record; a live duplicate id is rejected."""
         if instance.id in self:
@@ -605,12 +614,14 @@ class IncrementalIndex:
         self.version += 1
         self._maybe_compact()
 
+    @requires_lock("_lock")
     def add_record(self, id: str, **attributes) -> ObjectInstance:
         """Convenience: build and add an instance from keyword attributes."""
         instance = ObjectInstance(id, attributes)
         self.add(instance)
         return instance
 
+    @requires_lock("_lock")
     def update(self, instance: ObjectInstance) -> None:
         """Replace a live record (KeyError when the id is not live)."""
         old = self.get(instance.id)
@@ -637,6 +648,7 @@ class IncrementalIndex:
         self.version += 1
         self._maybe_compact()
 
+    @requires_lock("_lock")
     def delete(self, id: str) -> bool:
         """Remove a live record; returns whether it existed."""
         old = self.get(id)

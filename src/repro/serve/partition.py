@@ -110,7 +110,7 @@ class PartitionStore:
 
     def _base_versions(self) -> List[int]:
         versions = []
-        for entry in os.listdir(self.path):
+        for entry in sorted(os.listdir(self.path)):
             if entry.startswith("base-"):
                 try:
                     versions.append(int(entry[5:]))

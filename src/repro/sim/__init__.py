@@ -14,14 +14,8 @@ registry :func:`~repro.sim.registry.get_similarity`, which is what the
 script language and the matcher configuration layer use.
 """
 
+from repro.sim.affix import AffixSimilarity, common_prefix_length, common_suffix_length
 from repro.sim.base import CachedSimilarity, SimilarityFunction
-from repro.sim.tokenize import (
-    normalize,
-    qgrams,
-    strip_punctuation,
-    word_tokens,
-)
-from repro.sim.ngram import DiceNGram, JaccardNGram, NGramSimilarity, TrigramSimilarity
 from repro.sim.edit import (
     JaroSimilarity,
     JaroWinklerSimilarity,
@@ -31,16 +25,22 @@ from repro.sim.edit import (
     jaro_winkler_similarity,
     levenshtein_distance,
 )
-from repro.sim.tfidf import SoftTfIdfSimilarity, TfIdfCosineSimilarity
-from repro.sim.affix import AffixSimilarity, common_prefix_length, common_suffix_length
 from repro.sim.hybrid import (
     ExactSimilarity,
     MongeElkanSimilarity,
     PersonNameSimilarity,
     TokenJaccardSimilarity,
 )
+from repro.sim.ngram import DiceNGram, JaccardNGram, NGramSimilarity, TrigramSimilarity
 from repro.sim.numeric import NumericSimilarity, YearSimilarity
 from repro.sim.registry import available_similarities, get_similarity, register_similarity
+from repro.sim.tfidf import SoftTfIdfSimilarity, TfIdfCosineSimilarity
+from repro.sim.tokenize import (
+    normalize,
+    qgrams,
+    strip_punctuation,
+    word_tokens,
+)
 
 __all__ = [
     "AffixSimilarity",

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from repro.sim.base import SimilarityFunction
 from repro.sim.affix import AffixSimilarity
+from repro.sim.base import SimilarityFunction
 from repro.sim.edit import JaroSimilarity, JaroWinklerSimilarity, LevenshteinSimilarity
 from repro.sim.hybrid import (
     ExactSimilarity,

@@ -40,7 +40,9 @@ class TfIdfCosineSimilarity(SimilarityFunction):
             if value is None:
                 continue
             size += 1
-            for token in set(word_tokens(str(value))):
+            # sorted: keeps the document-frequency (and derived _idf)
+            # dict order independent of the string hash seed
+            for token in sorted(set(word_tokens(str(value)))):
                 document_frequency[token] = document_frequency.get(token, 0) + 1
         self._corpus_size = size
         self._idf = {

@@ -1,0 +1,44 @@
+"""Shared helpers for the static-analysis test suite.
+
+Fixture snippets live in ``tests/analysis/fixtures/`` as plain ``.py``
+files (deliberately not named ``test_*`` so pytest never collects
+them).  They are parsed — never imported — with a ``display_path``
+inside the checker's scope, so a fixture sitting under ``tests/`` can
+exercise rules that only apply to ``repro/serve/`` and friends.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import parse_module
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def load_fixture():
+    """Parse a fixture file under the given in-scope display path."""
+
+    def _load(name, display_path):
+        source = (FIXTURES / name).read_text(encoding="utf-8")
+        context = parse_module(
+            str(FIXTURES / name), source, display_path=display_path)
+        return context, source
+
+    return _load
+
+
+@pytest.fixture
+def line_of():
+    """1-based line number of the unique line containing ``needle``."""
+
+    def _line_of(source, needle):
+        hits = [number for number, text
+                in enumerate(source.splitlines(), start=1)
+                if needle in text]
+        assert len(hits) == 1, \
+            f"needle {needle!r} matched lines {hits}, expected exactly one"
+        return hits[0]
+
+    return _line_of

@@ -1,0 +1,14 @@
+"""Known-bad API-error fixture: an HTTP handler raising a type that is
+not part of ``repro.serve.errors``.  Parsed with the
+``repro/serve/http.py`` display path; never imported or executed.
+"""
+
+from repro.serve.errors import InvalidRequest
+
+
+def handle_match(payload):
+    if "record" not in payload:
+        raise KeyError("record")
+    if not isinstance(payload["record"], dict):
+        raise InvalidRequest("record must be an object")
+    return payload["record"]

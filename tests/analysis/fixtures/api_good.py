@@ -1,0 +1,24 @@
+"""Known-good API-error fixture: every raise is a
+``repro.serve.errors`` type, a bare re-raise, or a caught variable.
+"""
+
+from repro.serve.errors import InvalidRequest, ServeError
+
+
+def handle_match(payload):
+    try:
+        record = payload["record"]
+    except KeyError as error:
+        raise InvalidRequest("record is required") from error
+    if not isinstance(record, dict):
+        raise InvalidRequest("record must be an object")
+    return record
+
+
+def passthrough(service, request):
+    try:
+        return service.dispatch(request)
+    except ServeError:
+        raise
+    except RuntimeError as error:
+        raise error from None

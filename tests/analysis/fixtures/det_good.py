@@ -1,0 +1,46 @@
+"""Known-good determinism fixture: the deterministic twin of det_bad.
+
+Every function mirrors a det_bad pattern with the fix applied; the
+checker must yield nothing here.
+"""
+
+import math
+import os
+
+
+def iterate_sorted_set():
+    collected = []
+    for item in sorted({"b", "a"}):
+        collected.append(item)
+    return collected
+
+
+def iterate_sorted_local():
+    names = {"x", "y"}
+    collected = []
+    for name in sorted(names):
+        collected.append(name)
+    return collected
+
+
+def comprehension_over_sorted_set(tokens):
+    return [token.upper() for token in sorted(set(tokens))]
+
+
+def listdir_sorted(path):
+    collected = []
+    for entry in sorted(os.listdir(path)):
+        collected.append(entry)
+    return collected
+
+
+def fsum_over_sorted(values):
+    return math.fsum(sorted({float(value) for value in values}))
+
+
+def sort_items_with_tiebreak(scores):
+    return sorted(scores.items(), key=lambda kv: (kv[1], kv[0]))
+
+
+def membership_test(token, vocabulary):
+    return token in set(vocabulary)

@@ -1,0 +1,14 @@
+"""Known-bad durability fixture: a rename published without fsync
+(DUR001) and a bare ``os.rename`` (DUR002).  Parsed with a
+``repro/serve/`` display path; never imported or executed.
+"""
+
+import os
+
+
+def publish_without_fsync(tmp_path, final_path):
+    os.replace(tmp_path, final_path)
+
+
+def shuffle_files(source, destination):
+    os.rename(source, destination)

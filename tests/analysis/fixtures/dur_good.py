@@ -1,0 +1,24 @@
+"""Known-good durability fixture: ``os.replace`` dominated by an
+``os.fsync`` (or ``*fsync*`` helper) earlier in the same function.
+"""
+
+import os
+
+
+def _fsync_dir(path):
+    handle = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(handle)
+    finally:
+        os.close(handle)
+
+
+def publish_with_fsync(handle, tmp_path, final_path):
+    handle.flush()
+    os.fsync(handle.fileno())
+    os.replace(tmp_path, final_path)
+
+
+def publish_with_helper(directory, tmp_path, final_path):
+    _fsync_dir(directory)
+    os.replace(tmp_path, final_path)

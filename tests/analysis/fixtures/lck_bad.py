@@ -1,0 +1,21 @@
+"""Known-bad lock-discipline fixture: an annotated method is reachable
+without the lock.  Parsed with a ``repro/serve/`` display path; never
+imported or executed.
+"""
+
+import threading
+
+from repro.concurrency import requires_lock
+
+
+class Service:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.entries = {}
+
+    @requires_lock("_lock")
+    def _evict(self):
+        self.entries.clear()
+
+    def request(self):
+        self._evict()

@@ -1,0 +1,26 @@
+"""Known-good lock-discipline fixture: every call to an annotated
+method statically holds the lock (with-block, ``.acquire()`` context,
+or a caller annotated for the same lock).
+"""
+
+import threading
+
+from repro.concurrency import requires_lock
+
+
+class Service:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.entries = {}
+
+    @requires_lock("_lock")
+    def _evict(self):
+        self.entries.clear()
+
+    def request(self):
+        with self._lock:
+            self._evict()
+
+    @requires_lock("_lock")
+    def compact(self):
+        self._evict()

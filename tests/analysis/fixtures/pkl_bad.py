@@ -1,0 +1,21 @@
+"""Known-bad pickle-safety fixture.
+
+``Holder`` stores a lock on ``self`` with no reduce hook (PKL001);
+``ShardFault`` is the ``super().__init__`` arity-mismatch exception
+shape that unpickles with a TypeError (PKL002).  Parsed with a
+``repro/serve/`` display path; never imported or executed.
+"""
+
+import threading
+
+
+class Holder:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []
+
+
+class ShardFault(RuntimeError):
+    def __init__(self, shard, message):
+        super().__init__(f"shard {shard}: {message}")
+        self.shard = shard

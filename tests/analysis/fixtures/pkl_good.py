@@ -1,0 +1,32 @@
+"""Known-good pickle-safety fixture: the same shapes as pkl_bad with
+the escape hatches the checker accepts (``__getstate__``, a matching
+``super().__init__`` arity, an explicit ``__reduce__``).
+"""
+
+import threading
+
+
+class SafeHolder:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+
+class SafeFault(RuntimeError):
+    def __init__(self, shard, message):
+        super().__init__(f"shard {shard}: {message}")
+        self.shard = shard
+        self.message = message
+
+    def __reduce__(self):
+        return (type(self), (self.shard, self.message))
+
+
+class PlainFault(RuntimeError):
+    def __init__(self, message):
+        super().__init__(message)

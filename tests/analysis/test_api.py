@@ -1,0 +1,26 @@
+"""API checker: http.py raises only repro.serve.errors types."""
+
+from repro.analysis.api import ApiErrorChecker
+
+
+def test_api_bad_fixture_flags_foreign_raise(load_fixture, line_of):
+    context, source = load_fixture("api_bad.py", "repro/serve/http.py")
+    findings = list(ApiErrorChecker().check(context))
+    assert [(finding.code, finding.line) for finding in findings] == [
+        ("API001", line_of(source, 'raise KeyError("record")')),
+    ]
+    assert "KeyError" in findings[0].message
+    assert "repro.serve.errors" in findings[0].message
+
+
+def test_api_good_fixture_is_clean(load_fixture):
+    context, _source = load_fixture("api_good.py", "repro/serve/http.py")
+    assert list(ApiErrorChecker().check(context)) == []
+
+
+def test_api_checker_scope_is_http_only(load_fixture):
+    checker = ApiErrorChecker()
+    http, _ = load_fixture("api_bad.py", "repro/serve/http.py")
+    service, _ = load_fixture("api_bad.py", "repro/serve/service.py")
+    assert checker.interested(http)
+    assert not checker.interested(service)

@@ -1,0 +1,26 @@
+"""DUR checker: os.replace must be fsync-dominated; os.rename banned."""
+
+from repro.analysis.dur import DurabilityChecker
+
+
+def test_dur_bad_fixture_exact_codes_and_lines(load_fixture, line_of):
+    context, source = load_fixture("dur_bad.py", "repro/serve/dur_bad.py")
+    findings = list(DurabilityChecker().check(context))
+    expected = {
+        ("DUR001", line_of(source, "os.replace(tmp_path, final_path)")),
+        ("DUR002", line_of(source, "os.rename(source, destination)")),
+    }
+    assert {(finding.code, finding.line) for finding in findings} == expected
+
+
+def test_dur_good_fixture_is_clean(load_fixture):
+    context, _source = load_fixture("dur_good.py", "repro/serve/dur_good.py")
+    assert list(DurabilityChecker().check(context)) == []
+
+
+def test_dur_checker_scope(load_fixture):
+    checker = DurabilityChecker()
+    in_scope, _ = load_fixture("dur_bad.py", "repro/serve/dur_bad.py")
+    out_of_scope, _ = load_fixture("dur_bad.py", "repro/engine/dur_bad.py")
+    assert checker.interested(in_scope)
+    assert not checker.interested(out_of_scope)

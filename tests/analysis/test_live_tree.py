@@ -1,0 +1,58 @@
+"""The committed tree must lint clean modulo the committed baseline.
+
+This is the tier-1 mirror of the CI ``repro lint`` job: a new finding
+in ``src/repro`` fails the test suite with the same rendered output
+the CLI would print.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import load_baseline, run_paths
+from repro.analysis.cli import main
+from repro.analysis.runner import DEFAULT_BASELINE
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_live_tree_clean_modulo_baseline():
+    entries = load_baseline(str(REPO_ROOT / DEFAULT_BASELINE))
+    report = run_paths(["src/repro"], str(REPO_ROOT), baseline=entries)
+    assert report.files_checked > 50
+    assert report.baseline_errors == [], report.render_text()
+    assert [finding.render() for finding in report.unbaselined] == []
+    assert report.exit_code() == 0
+
+
+def test_every_baseline_entry_has_a_reason():
+    entries = load_baseline(str(REPO_ROOT / DEFAULT_BASELINE))
+    for entry in entries:
+        assert entry.reason.strip(), \
+            f"baseline entry {entry.code} for {entry.file} lacks a reason"
+
+
+def test_cli_main_exits_zero_on_live_tree(capsys):
+    assert main(["src/repro", "--root", str(REPO_ROOT)]) == 0
+    out = capsys.readouterr().out
+    assert "files checked" in out
+
+
+def test_cli_json_output_parses(capsys):
+    assert main(["src/repro", "--root", str(REPO_ROOT), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["unbaselined"] == []
+    assert payload["baseline_errors"] == []
+
+
+def test_repro_lint_subcommand_end_to_end():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "lint"],
+        cwd=str(REPO_ROOT), env=env, capture_output=True, text=True,
+        timeout=120)
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert "0 finding(s)" in completed.stdout

@@ -1,0 +1,30 @@
+"""PKL checker: unpicklable attributes and exception-arity mismatches."""
+
+from repro.analysis.pkl import PickleSafetyChecker
+
+
+def test_pkl_bad_fixture_exact_codes_and_lines(load_fixture, line_of):
+    context, source = load_fixture("pkl_bad.py", "repro/serve/pkl_bad.py")
+    findings = list(PickleSafetyChecker().check(context))
+    expected = {
+        ("PKL001", line_of(source, "self._lock = threading.Lock()")),
+        ("PKL002", line_of(source, "def __init__(self, shard, message):")),
+    }
+    assert {(finding.code, finding.line) for finding in findings} == expected
+    by_code = {finding.code: finding for finding in findings}
+    assert "Holder._lock" in by_code["PKL001"].message
+    assert "ShardFault" in by_code["PKL002"].message
+    assert "__reduce__" in by_code["PKL002"].message
+
+
+def test_pkl_good_fixture_is_clean(load_fixture):
+    context, _source = load_fixture("pkl_good.py", "repro/model/pkl_good.py")
+    assert list(PickleSafetyChecker().check(context)) == []
+
+
+def test_pkl_checker_scope(load_fixture):
+    checker = PickleSafetyChecker()
+    in_scope, _ = load_fixture("pkl_bad.py", "repro/model/pkl_bad.py")
+    out_of_scope, _ = load_fixture("pkl_bad.py", "repro/eval/pkl_bad.py")
+    assert checker.interested(in_scope)
+    assert not checker.interested(out_of_scope)

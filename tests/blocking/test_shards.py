@@ -11,7 +11,8 @@ serial execution.
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.blocking import (
     CanopyBlocking,

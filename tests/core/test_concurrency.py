@@ -1,0 +1,48 @@
+"""repro.concurrency.requires_lock: marker semantics + runtime assert."""
+
+import threading
+
+import pytest
+
+from repro.concurrency import requires_lock
+
+
+class Counter:
+    def __init__(self, lock):
+        self._lock = lock
+        self.value = 0
+
+    @requires_lock("_lock")
+    def bump(self):
+        self.value += 1
+        return self.value
+
+
+def test_annotation_is_introspectable():
+    assert Counter.bump.__requires_lock__ == "_lock"
+    assert Counter.bump.__name__ == "bump"
+
+
+def test_rlock_held_passes():
+    counter = Counter(threading.RLock())
+    with counter._lock:
+        assert counter.bump() == 1
+
+
+def test_rlock_not_held_raises_assertion():
+    counter = Counter(threading.RLock())
+    with pytest.raises(AssertionError, match="_lock"):
+        counter.bump()
+
+
+def test_plain_lock_is_marker_only():
+    # threading.Lock has no _is_owned; the decorator degrades to a
+    # pure marker rather than guessing ownership
+    counter = Counter(threading.Lock())
+    assert counter.bump() == 1
+
+
+def test_missing_lock_attribute_is_marker_only():
+    counter = Counter.__new__(Counter)
+    counter.value = 0
+    assert counter.bump() == 1

@@ -8,8 +8,8 @@ from repro.core.operators.selection import NotIdentity, ThresholdSelection
 from repro.core.workflow import (
     CombineStep,
     MatchContext,
-    MatchWorkflow,
     MatcherStep,
+    MatchWorkflow,
     SelectStep,
     StoreStep,
     WorkflowError,

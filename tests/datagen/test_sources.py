@@ -25,7 +25,7 @@ class TestDblp:
             assert len(names) >= 1  # variant names may collide only rarely
 
     def test_duplicate_author_owns_pubs(self, dataset):
-        for true_id, ids in dataset.dblp.authors_of_true.items():
+        for ids in dataset.dblp.authors_of_true.values():
             if len(ids) < 2:
                 continue
             for source_id in ids:
@@ -49,7 +49,7 @@ class TestDblp:
 class TestAcm:
     def test_missing_vldb_2002_2003(self, dataset):
         years = set()
-        for venue_id, true_id in dataset.acm.true_venue.items():
+        for true_id in dataset.acm.true_venue.values():
             venue = dataset.world.venues[true_id]
             if venue.series == "VLDB":
                 years.add(venue.year)

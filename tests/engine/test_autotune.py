@@ -15,8 +15,8 @@ import pytest
 from repro import AttributeMatcher
 from repro.blocking import KeyBlocking, TokenBlocking
 from repro.engine import AdaptiveChunker, BatchMatchEngine, EngineConfig
-from repro.engine.engine import AUTO_MAX_WORKERS, autotune_workers
 from repro.engine.chunks import ADAPTIVE_MAX_CHUNK, ADAPTIVE_MIN_CHUNK
+from repro.engine.engine import AUTO_MAX_WORKERS, autotune_workers
 from repro.engine.request import AttributeSpec, MatchRequest
 from repro.engine.shards import (
     AUTO_SKEW_FACTOR,

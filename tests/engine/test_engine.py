@@ -11,7 +11,8 @@ world the rest of the suite uses.
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import AttributeMatcher, AttributePair, MultiAttributeMatcher
 from repro.blocking import (

@@ -14,7 +14,8 @@ from __future__ import annotations
 import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import AttributePair, MultiAttributeMatcher
 from repro.blocking import FullCross, KeyBlocking, TokenBlocking
@@ -22,8 +23,7 @@ from repro.core.operators.functions import (
     CombinationFunction,
     MaxFunction,
 )
-from repro.engine import BatchMatchEngine, EngineConfig
-from repro.engine import vectorized
+from repro.engine import BatchMatchEngine, EngineConfig, vectorized
 from repro.engine.request import AttributeSpec, MatchRequest
 from repro.engine.vectorized import (
     MultiSpecKernel,

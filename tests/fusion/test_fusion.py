@@ -162,3 +162,33 @@ class TestCitationAnalysis:
         assert values == sorted(values, reverse=True)
         assert len(report.top_venues(3)) <= 3
         assert len(report.top_authors(3)) <= 3
+
+
+class TestClusterDeterminism:
+    """Equal-size clusters must order by union-find root, not by the
+    insertion history of the mappings that produced them (DET regression
+    from the static-analysis pass)."""
+
+    @staticmethod
+    def _mappings(pairs):
+        return [Mapping.from_correspondences(
+            "D.P", "A.P", [(domain_id, range_id, 1.0)])
+            for domain_id, range_id in pairs]
+
+    def test_equal_size_cluster_order_is_insertion_independent(self):
+        pairs = [("d1", "a1"), ("d2", "a2"), ("d3", "a3")]
+        forward = clusters_from_mappings(self._mappings(pairs))
+        backward = clusters_from_mappings(self._mappings(pairs[::-1]))
+        assert [cluster.ids("D.P") for cluster in forward] == \
+            [cluster.ids("D.P") for cluster in backward]
+        assert [cluster.ids("D.P") for cluster in forward] == \
+            [["d1"], ["d2"], ["d3"]]
+
+    def test_larger_clusters_still_sort_first(self):
+        pairs = [("d9", "a9"), ("d1", "a1")]
+        mappings = self._mappings(pairs)
+        mappings.append(Mapping.from_correspondences(
+            "D.P", "A.P", [("d9", "a9b", 1.0)]))
+        clusters = clusters_from_mappings(mappings)
+        assert clusters[0].ids("D.P") == ["d9"]
+        assert clusters[0].size() == 3

@@ -4,9 +4,9 @@
 from repro import (
     AttributeMatcher,
     BestNSelection,
+    MappingRepository,
     MatchContext,
     MatchWorkflow,
-    MappingRepository,
     ThresholdSelection,
     neighborhood_match,
 )

@@ -61,7 +61,7 @@ def test_merge_prefer_keeps_preferred_intact(left_rows, right_rows):
     for a, b, s in left.to_rows():
         assert merged.get(a, b) == s
     # added pairs only for uncovered domain objects
-    for a, b in merged.pairs() - left.pairs():
+    for a, _b in merged.pairs() - left.pairs():
         assert a not in left.domain_ids()
 
 
