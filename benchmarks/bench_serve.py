@@ -29,6 +29,18 @@ persistence path.  The >= 2.5x four-shard scaling gate applies only at
 full scale on a machine with at least four cores; bit-identity and the
 sub-second restart budget are enforced everywhere.
 
+A third section gates the impact-ordered candidate pruning
+(``IncrementalIndex(pruning=...)``): a 10x reference-size sweep over a
+hub-token workload (one token in ~90% of the reference, rare tokens
+drawn from a vocabulary that grows with the corpus).  At every scale
+the pruned top-k answers must be bit-identical to the exhaustive
+``bincount`` ranking; the posting-mass counters must show the hub
+posting being skipped (touched fraction bounded, touched-per-query
+growth well under the reference growth) — both enforced everywhere,
+since counters are deterministic.  The wall-clock gate — pruned p99
+batch latency grows sublinearly across the 10x sweep — applies only at
+full scale, where timings rise above noise.
+
 Run standalone with ``PYTHONPATH=src python benchmarks/bench_serve.py``
 or via pytest.  ``REPRO_SERVE_BENCH=small`` runs a quick smoke at
 reduced scale (all correctness gates, no perf gate — sub-second runs
@@ -43,6 +55,7 @@ from __future__ import annotations
 import json
 import os
 import random
+import string
 import tempfile
 import time
 from typing import List, Tuple
@@ -51,6 +64,7 @@ from repro.datagen import build_dataset
 from repro.datagen.world import WorldConfig
 from repro.engine.request import AttributeSpec
 from repro.model.entity import ObjectInstance
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
 from repro.serve import ClusterIndex, MatchService, ServeConfig
 from repro.serve.cluster import _fork_available
 from repro.serve.index import IncrementalIndex
@@ -67,6 +81,18 @@ SERVE_SPEEDUP_FLOOR = 3.0
 CLUSTER_SCALING_FLOOR = 2.5
 #: snapshot -> cold restart -> first answered batch must fit in this
 RESTART_BUDGET_SECONDS = 1.0
+#: pruning sweep: threshold / top-k for the hub-token workload
+PRUNING_THRESHOLD = 0.3
+PRUNING_TOP_K = 10
+#: pruned p99 batch latency across the 10x reference sweep must grow
+#: by at most this factor (full scale only; smoke timings are noise)
+PRUNING_P99_GROWTH_CEILING = 5.0
+#: touched-postings-per-query across the 10x sweep must grow by at
+#: most this factor (counters are deterministic: enforced everywhere)
+PRUNING_COUNTER_GROWTH_CEILING = 5.0
+#: at the largest scale the pruned path must skip most of the posting
+#: mass it would otherwise scan (the hub posting dominates it)
+PRUNING_TOUCHED_FRACTION_CEILING = 0.6
 
 SCALAR_LABEL = "scalar online loop"
 SERVICE_LABEL = "match service (kernel-batched)"
@@ -320,6 +346,129 @@ def run_cluster_benchmark():
     return lines, measurements
 
 
+def _pruning_sizes() -> List[int]:
+    """1x / 3x / 10x reference sizes for the pruning sweep."""
+    return [200, 600, 2000] if _small_mode() else [2000, 6000, 20000]
+
+
+def _hub_corpus(n: int):
+    """A skewed reference + queries: one hub token in ~90% of the
+    records, rare tokens drawn from a vocabulary that grows with the
+    corpus (so rare postings stay small as the reference grows — the
+    regime impact ordering exploits).  Queries replay reference titles
+    with the hub token guaranteed, the pruned path's worst case."""
+    rng = random.Random(1000 + n)
+    vocab = ["".join(rng.choice(string.ascii_lowercase) for _ in range(7))
+             for _ in range(max(50, n // 10))]
+    source = LogicalSource(PhysicalSource("REF"), ObjectType("Publication"))
+    titles = []
+    for i in range(n):
+        tokens = rng.sample(vocab, 3)
+        if rng.random() < 0.9:
+            tokens.insert(rng.randrange(len(tokens) + 1), "ubiquitous")
+        titles.append(" ".join(tokens))
+        source.add_record(f"p{i}", title=titles[-1])
+    n_batches = 6 if _small_mode() else 16
+    batch_size = 16
+    queries = []
+    for b in range(n_batches):
+        batch = []
+        for i in range(batch_size):
+            tokens = rng.choice(titles).split()
+            if "ubiquitous" not in tokens:
+                tokens.insert(0, "ubiquitous")
+            batch.append(ObjectInstance(f"q{b}-{i}",
+                                        {"title": " ".join(tokens)}))
+        queries.append(batch)
+    return source, queries
+
+
+def _copy_source(source):
+    rebuilt = LogicalSource(source.physical, source.object_type)
+    for instance in source:
+        rebuilt.add(instance)
+    return rebuilt
+
+
+def run_pruning_benchmark():
+    """10x reference sweep for impact-ordered pruning; returns
+    (render lines, measurements).  Bit-identity and the posting-mass
+    counters are checked at every scale."""
+    sizes = _pruning_sizes()
+    sweep = []
+    bit_identical = True
+    for scale, n in zip(("1x", "3x", "10x"), sizes):
+        source, batches = _hub_corpus(n)
+        pruned = IncrementalIndex(source, "title", TrigramSimilarity(),
+                                  pruning="always")
+        exhaustive = IncrementalIndex(_copy_source(source), "title",
+                                      TrigramSimilarity(), pruning="never")
+        latencies = []
+        exhaustive_seconds = 0.0
+        for batch in batches:
+            start = time.perf_counter()
+            actual = pruned.match_records(batch,
+                                          threshold=PRUNING_THRESHOLD,
+                                          max_candidates=PRUNING_TOP_K)
+            latencies.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            expected = exhaustive.match_records(
+                batch, threshold=PRUNING_THRESHOLD,
+                max_candidates=PRUNING_TOP_K)
+            exhaustive_seconds += time.perf_counter() - start
+            bit_identical = bit_identical and actual == expected
+        counters = pruned.pruning_counters()
+        queries = counters["queries"]
+        mass = counters["postings_touched"] + counters["postings_skipped"]
+        sweep.append({
+            "scale": scale,
+            "reference_size": n,
+            "query_records": queries,
+            "p50_ms": _percentile(latencies, 0.50) * 1000.0,
+            "p99_ms": _percentile(latencies, 0.99) * 1000.0,
+            "exhaustive_seconds": exhaustive_seconds,
+            "pruned_seconds": sum(latencies),
+            "pruned_queries": counters["pruned_queries"],
+            "postings_touched": counters["postings_touched"],
+            "postings_skipped": counters["postings_skipped"],
+            "touched_fraction": counters["postings_touched"] / max(mass, 1),
+            "touched_per_query":
+                counters["postings_touched"] / max(queries, 1),
+        })
+    first, last = sweep[0], sweep[-1]
+    size_growth = last["reference_size"] / first["reference_size"]
+    p99_growth = last["p99_ms"] / max(first["p99_ms"], 1e-9)
+    counter_growth = (last["touched_per_query"]
+                      / max(first["touched_per_query"], 1e-9))
+    lines = [
+        f"pruning sweep: hub-token workload, top-{PRUNING_TOP_K} @ "
+        f"threshold {PRUNING_THRESHOLD}, "
+        f"{first['query_records']} query records per scale",
+    ]
+    for entry in sweep:
+        lines.append(
+            f"  {entry['scale']:>3} ({entry['reference_size']:>6} refs): "
+            f"p50 {entry['p50_ms']:6.1f}ms / p99 {entry['p99_ms']:6.1f}ms, "
+            f"touched {entry['touched_fraction'] * 100.0:4.1f}% of "
+            f"posting mass "
+            f"({entry['touched_per_query']:,.0f} entries/query)")
+    lines += [
+        f"  {size_growth:.0f}x reference growth -> p99 x{p99_growth:.2f}, "
+        f"touched/query x{counter_growth:.2f}",
+        f"  bit-identical to the exhaustive ranking: {bit_identical}",
+    ]
+    measurements = {
+        "threshold": PRUNING_THRESHOLD,
+        "max_candidates": PRUNING_TOP_K,
+        "sweep": sweep,
+        "reference_growth": size_growth,
+        "p99_growth": p99_growth,
+        "touched_per_query_growth": counter_growth,
+        "bit_identical": bit_identical,
+    }
+    return lines, measurements
+
+
 def run_serve_benchmark():
     """Execute the mixed workload both ways; return render + results."""
     reference, queries, ingest_pool = _build_workload()
@@ -378,6 +527,10 @@ def run_serve_benchmark():
     cluster_lines, cluster_measurements = run_cluster_benchmark()
     lines += cluster_lines
     measurements["cluster"] = cluster_measurements
+
+    pruning_lines, pruning_measurements = run_pruning_benchmark()
+    lines += pruning_lines
+    measurements["pruning"] = pruning_measurements
 
     json_path = os.environ.get("REPRO_SERVE_BENCH_JSON")
     if json_path:
@@ -441,6 +594,35 @@ def test_cluster_tier_scales_and_restores(report):
             f"expected >= {CLUSTER_SCALING_FLOOR}x")
 
 
+def test_pruning_sweep_is_sublinear(report):
+    _, results = _benchmark_results()
+    pruning = results["pruning"]
+    assert pruning["bit_identical"], \
+        "pruned top-k disagrees with the exhaustive bincount ranking"
+    largest = pruning["sweep"][-1]
+    assert largest["pruned_queries"] > 0, \
+        "pruning never engaged on the hub-token workload"
+    # deterministic counter gates apply everywhere, including smoke
+    assert largest["touched_fraction"] \
+        < PRUNING_TOUCHED_FRACTION_CEILING, (
+        f"pruned path touched "
+        f"{largest['touched_fraction'] * 100.0:.1f}% of the posting "
+        f"mass at {largest['reference_size']} references; expected < "
+        f"{PRUNING_TOUCHED_FRACTION_CEILING * 100.0:.0f}%")
+    assert pruning["touched_per_query_growth"] \
+        <= PRUNING_COUNTER_GROWTH_CEILING, (
+        f"touched postings per query grew "
+        f"x{pruning['touched_per_query_growth']:.2f} across the "
+        f"{pruning['reference_growth']:.0f}x sweep; ceiling "
+        f"x{PRUNING_COUNTER_GROWTH_CEILING}")
+    if not _small_mode():
+        # wall-clock gate only at full scale: smoke runs are noise-bound
+        assert pruning["p99_growth"] <= PRUNING_P99_GROWTH_CEILING, (
+            f"pruned p99 grew x{pruning['p99_growth']:.2f} across the "
+            f"{pruning['reference_growth']:.0f}x sweep; ceiling "
+            f"x{PRUNING_P99_GROWTH_CEILING}")
+
+
 if __name__ == "__main__":
     rendered, results = run_serve_benchmark()
     print(rendered)
@@ -464,6 +646,27 @@ if __name__ == "__main__":
         raise SystemExit(
             f"FAIL: shard scaling only "
             f"{cluster['scaling_vs_one_shard']:.2f}x")
+    pruning = results["pruning"]
+    if not pruning["bit_identical"]:
+        raise SystemExit(
+            "FAIL: pruned top-k disagrees with the exhaustive ranking")
+    if pruning["sweep"][-1]["touched_fraction"] \
+            >= PRUNING_TOUCHED_FRACTION_CEILING:
+        raise SystemExit(
+            f"FAIL: pruned path touched "
+            f"{pruning['sweep'][-1]['touched_fraction'] * 100.0:.1f}% "
+            f"of the posting mass")
+    if pruning["touched_per_query_growth"] \
+            > PRUNING_COUNTER_GROWTH_CEILING:
+        raise SystemExit(
+            f"FAIL: touched/query grew "
+            f"x{pruning['touched_per_query_growth']:.2f} across the "
+            f"10x sweep")
+    if not _small_mode() \
+            and pruning["p99_growth"] > PRUNING_P99_GROWTH_CEILING:
+        raise SystemExit(
+            f"FAIL: pruned p99 grew x{pruning['p99_growth']:.2f} "
+            f"across the 10x sweep")
     print(f"OK: kernel-batched service beats the scalar online loop "
           f"{results['service_vs_scalar']:.2f}x on the mixed workload, "
           f"identical correspondences; cluster bit-identical across "

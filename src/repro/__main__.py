@@ -114,6 +114,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "mutation WALs; restores warm from an "
                             "existing snapshot, enables POST "
                             "/v1/snapshot (implies at least 1 shard)")
+    serve.add_argument("--pruning", default="auto",
+                       choices=("auto", "always", "never"),
+                       help="impact-ordered candidate pruning: engage "
+                            "on posting skew (auto), force it, or keep "
+                            "the exhaustive bincount path; results are "
+                            "bit-identical either way (default: auto)")
 
     lint = subparsers.add_parser(
         "lint", help="run the repo-specific static analysis checkers")
@@ -260,6 +266,7 @@ def _command_serve(args) -> int:
         # NB: an empty repository is falsy (len 0) — test identity
         mapping_name=args.mapping_name if repository is not None else None,
         shards=args.shards, data_dir=args.data_dir,
+        pruning=args.pruning,
         host=args.host, port=args.port)
 
     restoring = (args.data_dir is not None and

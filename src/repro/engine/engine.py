@@ -122,7 +122,11 @@ class EngineConfig:
     #: from worker count and shard cost estimates; and
     #: ``balance_shards`` flips on automatically when the shard cost
     #: distribution is skewed (:func:`repro.engine.shards.
-    #: autotune_plan`).  Explicitly set knobs win: a non-``None``
+    #: autotune_plan`).  Sharded runs additionally feed measured
+    #: shard durations back into the next run's shard count
+    #: (:func:`repro.engine.shards.adapt_n_shards`) — slow shards
+    #: split finer, trivial shards merge coarser, per engine
+    #: instance.  Explicitly set knobs win: a non-``None``
     #: ``n_shards`` is respected and ``balance_shards=True`` forces
     #: balancing.  Results are identical either way — every knob the
     #: autotuner moves is a pure performance knob.
@@ -176,6 +180,12 @@ class BatchMatchEngine:
         if overrides:
             config = dataclasses.replace(config, **overrides)
         self.config = config
+        #: online autotuner feedback: under ``auto=True`` with no
+        #: explicit ``n_shards``, each sharded run's measured shard
+        #: durations resize the next run's shard count
+        #: (:func:`repro.engine.shards.adapt_n_shards`); a pure
+        #: performance knob, results are identical for every count
+        self._adapted_n_shards: Optional[int] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"BatchMatchEngine(workers={self.config.workers}, "

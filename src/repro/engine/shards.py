@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import heapq
 import multiprocessing
+import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
@@ -471,6 +472,37 @@ def autotune_plan(costs: Sequence[Optional[int]], workers: int,
     return balance, bins
 
 
+#: per-shard wall-clock the online adapter steers toward: long enough
+#: to amortize dispatch/IPC per task, short enough that one straggler
+#: shard cannot dominate the makespan
+SHARD_TARGET_SECONDS = 0.25
+
+
+def adapt_n_shards(current: int, durations: Sequence[float],
+                   workers: int) -> Optional[int]:
+    """Next run's shard count from this run's observed durations.
+
+    The online half of the autotuner: :func:`autotune_plan` sizes bins
+    from *estimated* pair costs, this adjusts the count from *measured*
+    wall-clock.  Shards running past :data:`SHARD_TARGET_SECONDS` on
+    average get split finer next time (better balance, bounded
+    stragglers), shards finishing far under it get merged coarser
+    (less dispatch overhead); the per-run factor is clamped to [0.5,
+    2.0] so one noisy measurement cannot whipsaw the count, and the
+    result stays within [workers, 16 * workers].  Returns ``None``
+    (no adjustment) without measurements.  ``n_shards`` is a pure
+    performance knob — the sharded result mapping is identical for
+    every count — so adapting it online never changes results.
+    """
+    if not durations or current < 1:
+        return None
+    mean = sum(durations) / len(durations)
+    if mean <= 0.0:
+        return None
+    factor = min(2.0, max(0.5, mean / SHARD_TARGET_SECONDS))
+    return max(workers, min(16 * workers, int(round(current * factor))))
+
+
 # ----------------------------------------------------------------------
 # worker-side plumbing (same pattern as scorer.py / vectorized.py)
 # ----------------------------------------------------------------------
@@ -488,6 +520,18 @@ def _run_shard_task(shard_index: int):
     if runner is None:  # pragma: no cover - defensive; engine installs first
         raise RuntimeError("no shard runner installed in worker process")
     return runner.run(shard_index)
+
+
+def _run_shard_task_timed(shard_index: int):
+    """Like :func:`_run_shard_task`, returning ``(seconds, payload)``.
+
+    Times the worker-side execution only (the same pattern as the
+    adaptive chunker's ``_score_rows_task_timed``), feeding the online
+    ``n_shards`` adapter without the parent-side queueing noise.
+    """
+    start = time.perf_counter()
+    payload = _run_shard_task(shard_index)
+    return time.perf_counter() - start, payload
 
 
 # ----------------------------------------------------------------------
@@ -545,6 +589,10 @@ def build_shard_runner(engine: "BatchMatchEngine", request: MatchRequest):
         return None
     spec = request.specs[0]
     n_shards = config.n_shards
+    if n_shards is None and config.auto:
+        # online feedback: the previous auto run's measured durations
+        # resized the count (adapt_n_shards); explicit n_shards wins
+        n_shards = engine._adapted_n_shards
     if n_shards is None:
         n_shards = max(4, config.workers * 4)
     shards = blocking.shards(
@@ -591,28 +639,46 @@ def execute_sharded(engine: "BatchMatchEngine", request: MatchRequest,
     if not shards:
         return True  # no candidates at all: the empty mapping is correct
     indexed = runner.indexed
+    adaptive = config.auto and config.n_shards is None
+    durations: List[float] = []
 
     def merge_payload(payload) -> None:
         kind, data = payload
         triples = indexed.triples(*data) if kind == "rows" else data
         engine._merge(result, triples, request.is_self)
 
+    def record_durations() -> None:
+        if adaptive:
+            adapted = adapt_n_shards(len(shards), durations, config.workers)
+            if adapted is not None:
+                engine._adapted_n_shards = adapted
+
     workers = min(config.workers, len(shards))
     if workers == 1:
         for index in range(len(shards)):
-            merge_payload(runner.run(index))
+            start = time.perf_counter()
+            payload = runner.run(index)
+            durations.append(time.perf_counter() - start)
+            merge_payload(payload)
+        record_durations()
         return True
 
     context = multiprocessing.get_context("fork")
+    task = _run_shard_task_timed if adaptive else _run_shard_task
     _install_runner(runner)
     pending: deque = deque()
     try:
         with ProcessPoolExecutor(max_workers=workers,
                                  mp_context=context) as pool:
             for index in range(len(shards)):
-                pending.append(pool.submit(_run_shard_task, index))
+                pending.append(pool.submit(task, index))
             while pending:
-                merge_payload(pending.popleft().result())
+                payload = pending.popleft().result()
+                if adaptive:
+                    seconds, payload = payload
+                    durations.append(seconds)
+                merge_payload(payload)
     finally:
         _install_runner(None)
+    record_durations()
     return True

@@ -190,6 +190,23 @@ class TfIdfKernel:
         _np.clip(scores, 0.0, 1.0, out=scores)
         return scores
 
+    def score_bound_rows(self, domain_rows, range_rows):
+        """Per-pair score upper bounds from packed vector lengths alone.
+
+        The final clamp caps every cosine at 1.0, and a pair with an
+        empty packed row on either side scores exactly 0.0 (no token
+        can match), so the cap tightens to 0.0 there.  Exists so
+        bound-driven prefilters (the serve tier's candidate-pair
+        prefilter, :class:`~repro.engine.vectorized.MultiSpecKernel`'s
+        per-combiner threshold prefilter) can treat every kernel
+        uniformly; a nontrivial sparse bound would cost a gather per
+        vector entry, not worth it when the clamp already gives an
+        exact cap.
+        """
+        empty = (self.domain.lengths[domain_rows] == 0) \
+            | (self.range.lengths[range_rows] == 0)
+        return _np.where(empty, 0.0, 1.0)
+
     def _dot(self, expand: _Side, expand_rows, lookup: _Side, lookup_rows):
         """Dot each expanded row against its partner row on the other side.
 

@@ -160,6 +160,31 @@ class NGramBitKernel:
         scores[overlap == 0] = 0.0
         return scores
 
+    def score_bound_rows(self, domain_rows, range_rows):
+        """Per-pair score upper bounds from gram counts alone.
+
+        The overlap can never exceed the smaller gram-set size (the
+        length bucket both sides share), and each scalar expression is
+        monotone in the exactly-represented integer overlap under
+        IEEE correctly-rounded division, so
+        ``score_rows(...) <= score_bound_rows(...)`` holds *exactly*,
+        float by float — a pair whose bound misses the threshold can
+        be dropped with bit-identical surviving results.  O(pairs)
+        size gathers; the packed bitmaps are never touched.
+        """
+        size_a = self.domain_sizes[domain_rows]
+        size_b = self.range_sizes[range_rows]
+        cap = _np.minimum(size_a, size_b)
+        if self.method == "dice":
+            # same denominator as score_rows, numerator capped
+            return 2.0 * cap / _np.maximum(size_a + size_b, 1)
+        if self.method == "jaccard":
+            # overlap=cap minimizes the denominator to max(a, b)
+            return cap / _np.maximum(_np.maximum(size_a, size_b), 1)
+        # overlap coefficient: 1.0 whenever overlap is possible at
+        # all, 0.0 for an empty side (which scores exactly 0.0)
+        return cap / _np.maximum(cap, 1)
+
 
 def build_kernel(sim: SimilarityFunction,
                  domain: LogicalSource, range_: LogicalSource,
@@ -377,14 +402,47 @@ class MultiSpecKernel:
     bit-identical to :meth:`ChunkScorer._score_multi`; pairs the
     combiner drops surface as 0.0 and fall to the engine's
     ``score > 0`` filter.
+
+    When a positive ``threshold`` is supplied and the combiner is one
+    of the exact built-in classes, ``score_rows`` evaluates columns
+    *progressively*: after each column, rows whose best achievable
+    combined score (a per-combiner upper bound assuming every
+    unevaluated column contributes its cheap per-pair cap — the q-gram
+    gram-count bound where a column offers ``score_bound_rows``, the
+    ``[0, 1]`` score contract otherwise) falls below the threshold by
+    the safety slack are dropped from the remaining columns'
+    evaluation.  Dropped rows return 0.0 — below the positive
+    threshold, exactly where their true combined score already was —
+    and survivors are re-combined from the full per-column scores, so
+    the output is bit-identical to the unfiltered path; custom
+    combiner subclasses disable the prefilter entirely.
     """
 
+    #: absolute slack for prefilter bound comparisons: bounds are a
+    #: few float operations over values in [0, 1], so accumulated
+    #: rounding error sits orders of magnitude below this.  The slack
+    #: can only make the filter keep extra rows (settled by the exact
+    #: combine + threshold mask), never drop a surviving one.
+    PREFILTER_SLACK = 1e-9
+
     def __init__(self, columns, domain_missing, range_missing,
-                 combiner: CombinationFunction) -> None:
+                 combiner: CombinationFunction, *,
+                 threshold: Optional[float] = None) -> None:
         self.columns = list(columns)
         self.domain_missing = list(domain_missing)
         self.range_missing = list(range_missing)
         self.combiner = combiner
+        #: rows dropped by the progressive prefilter, cumulative
+        self.prefiltered = 0
+        # prefilter only for the exact built-in classes, whose bound
+        # formulas below are proven; a subclass may combine arbitrarily
+        cls = type(combiner)
+        eligible = cls in (AvgFunction, MinFunction, MaxFunction) or (
+            cls is WeightedFunction
+            and len(combiner.weights) == len(self.columns))
+        self._prefilter = (threshold if threshold is not None
+                           and threshold > 0.0 and eligible
+                           and len(self.columns) > 1 else None)
         # self-matching block expansion may flip pair orientation; only
         # safe when every column is (all real kernels are, by contract)
         self.orientation_symmetric = all(
@@ -393,6 +451,8 @@ class MultiSpecKernel:
 
     def score_rows(self, domain_rows, range_rows):
         """Combined float64 scores; dropped (``None``) combos are 0.0."""
+        if self._prefilter is not None:
+            return self._score_rows_prefiltered(domain_rows, range_rows)
         scores = [column.score_rows(domain_rows, range_rows)
                   for column in self.columns]
         present = [
@@ -401,6 +461,167 @@ class MultiSpecKernel:
                                                self.range_missing)
         ]
         return _combine_columns(self.combiner, scores, present)
+
+    def _column_caps(self, domain_rows, range_rows):
+        """Per-row score caps per column, for the unevaluated tail.
+
+        Columns exposing ``score_bound_rows`` (the q-gram bit kernel's
+        gram-count/length bound, the sparse kernel's emptiness cap)
+        give real per-pair bounds; the rest fall back to the engine's
+        ``[0, 1]`` score contract.  Every cap is an exact float upper
+        bound on the column's ``score_rows`` output.
+        """
+        count = len(domain_rows)
+        caps = []
+        for column in self.columns:
+            bound_rows = getattr(column, "score_bound_rows", None)
+            if bound_rows is None:
+                caps.append(_np.ones(count, dtype=_np.float64))
+            else:
+                caps.append(_np.minimum(
+                    bound_rows(domain_rows, range_rows), 1.0))
+        return caps
+
+    def _score_rows_prefiltered(self, domain_rows, range_rows):
+        """Progressive column evaluation under the threshold prefilter.
+
+        Per combiner class the bound on a row's best achievable final
+        score, after evaluating columns ``0..j`` (``S``/``c`` the sum/
+        count of present scores, ``r`` the remaining-column count,
+        caps as in :meth:`_column_caps`):
+
+        * avg (skip):  ``(S + r) / (c + r)`` — monotone since every
+          score is at most 1;
+        * avg (-0):    ``(S + sum(remaining caps)) / n``;
+        * min (skip):  current min when anything is present, else the
+          largest remaining cap (one present column is the best case);
+        * min (-0):    0 once any evaluated column was missing, else
+          ``min(current min, smallest remaining cap)``;
+        * max:         ``max(current max, largest remaining cap, 0)``;
+        * weighted (skip): ``(N + Wr) / (D + Wr)`` with ``N``/``D``
+          the present weighted sum / weight mass and ``Wr`` the
+          remaining weight mass (monotone mediant, scores at most 1);
+        * weighted (-0):   ``(N + sum(remaining w*cap)) / W_total``.
+
+        A row is dropped only when its bound misses the threshold by
+        :data:`PREFILTER_SLACK`, which dwarfs every float error above,
+        so no row the exact combine would score at or over the
+        threshold is ever dropped.
+        """
+        domain_rows = _np.asarray(domain_rows)
+        range_rows = _np.asarray(range_rows)
+        count = len(domain_rows)
+        columns = self.columns
+        n = len(columns)
+        combiner = self.combiner
+        cls = type(combiner)
+        cutoff = self._prefilter - self.PREFILTER_SLACK
+        caps = self._column_caps(domain_rows, range_rows)
+        # suffix aggregates of the caps over the unevaluated tail:
+        # index j holds the aggregate of caps[j+1:]
+        cap_sum_after = [None] * n
+        cap_max_after = [None] * n
+        cap_min_after = [None] * n
+        running_sum = _np.zeros(count, dtype=_np.float64)
+        running_max = _np.zeros(count, dtype=_np.float64)
+        running_min = _np.full(count, _np.inf, dtype=_np.float64)
+        for j in range(n - 1, -1, -1):
+            cap_sum_after[j] = running_sum
+            cap_max_after[j] = running_max
+            cap_min_after[j] = running_min
+            running_sum = running_sum + caps[j]
+            running_max = _np.maximum(running_max, caps[j])
+            running_min = _np.minimum(running_min, caps[j])
+        if cls is WeightedFunction:
+            weights = combiner.weights
+            weight_total = sum(weights)
+            if combiner.missing_as_zero:
+                wcap_sum_after = [None] * n
+                running_wsum = _np.zeros(count, dtype=_np.float64)
+                for j in range(n - 1, -1, -1):
+                    wcap_sum_after[j] = running_wsum
+                    running_wsum = running_wsum + weights[j] * caps[j]
+        alive = _np.arange(count, dtype=_np.int64)
+        full_scores = []
+        full_present = []
+        acc_sum = _np.zeros(count, dtype=_np.float64)
+        acc_den = _np.zeros(count, dtype=_np.float64)
+        acc_count = _np.zeros(count, dtype=_np.int64)
+        acc_min = _np.full(count, _np.inf, dtype=_np.float64)
+        acc_max = _np.full(count, -_np.inf, dtype=_np.float64)
+        for j, column in enumerate(columns):
+            col_scores = _np.zeros(count, dtype=_np.float64)
+            col_present = _np.zeros(count, dtype=_np.bool_)
+            if len(alive):
+                rows_a = domain_rows[alive]
+                rows_b = range_rows[alive]
+                col_scores[alive] = column.score_rows(rows_a, rows_b)
+                col_present[alive] = ~(self.domain_missing[j][rows_a]
+                                       | self.range_missing[j][rows_b])
+            full_scores.append(col_scores)
+            full_present.append(col_present)
+            if not len(alive) or j == n - 1:
+                continue
+            s = col_scores[alive]
+            p = col_present[alive]
+            if cls is AvgFunction:
+                acc_sum[alive] += _np.where(p, s, 0.0)
+                acc_count[alive] += p
+                if combiner.missing_as_zero:
+                    bound = (acc_sum[alive]
+                             + cap_sum_after[j][alive]) / n
+                else:
+                    r = n - 1 - j
+                    bound = ((acc_sum[alive] + r)
+                             / (acc_count[alive] + r))
+            elif cls is MinFunction:
+                acc_min[alive] = _np.minimum(
+                    acc_min[alive], _np.where(p, s, _np.inf))
+                acc_count[alive] += p
+                if combiner.missing_as_zero:
+                    bound = _np.where(
+                        acc_count[alive] == j + 1,
+                        _np.minimum(acc_min[alive],
+                                    cap_min_after[j][alive]),
+                        0.0)
+                else:
+                    bound = _np.where(acc_count[alive] > 0,
+                                      acc_min[alive],
+                                      cap_max_after[j][alive])
+            elif cls is MaxFunction:
+                acc_max[alive] = _np.maximum(
+                    acc_max[alive], _np.where(p, s, -_np.inf))
+                bound = _np.maximum(
+                    _np.maximum(acc_max[alive],
+                                cap_max_after[j][alive]), 0.0)
+            else:  # WeightedFunction with matching weights
+                if combiner.missing_as_zero:
+                    acc_sum[alive] += _np.where(p, weights[j] * s, 0.0)
+                    bound = ((acc_sum[alive]
+                              + wcap_sum_after[j][alive])
+                             / weight_total)
+                else:
+                    acc_sum[alive] += _np.where(p, weights[j] * s, 0.0)
+                    acc_den[alive] += _np.where(p, weights[j], 0.0)
+                    wr = sum(weights[j + 1:])
+                    den = acc_den[alive] + wr
+                    positive = den > 0.0
+                    bound = _np.where(
+                        positive,
+                        (acc_sum[alive] + wr)
+                        / _np.where(positive, den, 1.0),
+                        0.0)
+            keep = bound >= cutoff
+            if not keep.all():
+                alive = alive[keep]
+        self.prefiltered += count - len(alive)
+        out = _np.zeros(count, dtype=_np.float64)
+        if len(alive):
+            out[alive] = _combine_columns(
+                combiner,
+                [scores[alive] for scores in full_scores],
+                [mask[alive] for mask in full_present])
+        return out
 
 
 def build_multi_kernel(request) -> Optional[MultiSpecKernel]:
@@ -411,7 +632,10 @@ def build_multi_kernel(request) -> Optional[MultiSpecKernel]:
     own per-attribute memo — is just as good and skips the packing
     cost).  Specs without a kernel become :class:`ScalarColumn`
     fallbacks, so one slow similarity no longer forces the whole
-    request off the fast path.
+    request off the fast path.  The request's threshold feeds the
+    per-spec progressive prefilter (see :class:`MultiSpecKernel`) —
+    rows no combiner could lift over it skip the remaining columns'
+    work, with bit-identical surviving output.
     """
     if _np is None or request.combiner is None:
         return None
@@ -439,7 +663,7 @@ def build_multi_kernel(request) -> Optional[MultiSpecKernel]:
                              if range_values is not domain_values
                              else domain_missing[-1])
     return MultiSpecKernel(columns, domain_missing, range_missing,
-                           request.combiner)
+                           request.combiner, threshold=request.threshold)
 
 
 class IndexedScorer:

@@ -31,14 +31,20 @@ and scores only those.  The router reproduces this exactly:
   order* as the single index would — each live record lives in
   exactly one shard, so no term is split or duplicated;
 * each shard returns its local top-k ranked by (weight desc, local
-  slot asc); local slot order is monotone in the router's global
-  insertion sequence (``gseq``), so merging shard rankings by
-  (weight desc, gseq asc) and cutting to k yields exactly the single
-  index's top-k — any candidate ranked out locally is outranked by k
-  records that also outrank it globally;
-* shards score their own candidates through their own packed kernels
-  (bit-identical to the engine by the index's contract) and the
-  router keeps the scores of the global top-k survivors.
+  slot asc) — computed through the index's impact-ordered pruned
+  path when posting skew warrants (bit-identical to the exhaustive
+  ranking by :mod:`repro.serve.index`'s contract); local slot order
+  is monotone in the router's global insertion sequence (``gseq``),
+  so merging shard rankings by (weight desc, gseq asc) and cutting
+  to k yields exactly the single index's top-k — any candidate
+  ranked out locally is outranked by k records that also outrank it
+  globally;
+* the cut fixes the global kth weight bound; a second ``score``
+  round ships each shard only its own surviving ``(record, id)``
+  pairs, and shards score them through their own packed kernels
+  (bit-identical to the engine by the index's contract).  Scoring is
+  elementwise per pair, so scoring the global survivors instead of
+  every local top-k changes no float.
 
 Corpus-*aware* similarities (TF/IDF) are the one relaxation: each
 shard freezes document frequencies over its own slice, so scores
@@ -156,7 +162,8 @@ class ShardBackend:
               *, specs: List[AttributeSpec], combiner, missing: str,
               compact_ratio: float, compact_min: int,
               physical: PhysicalSource, object_type: ObjectType,
-              data_dir: Optional[str] = None) -> "ShardBackend":
+              data_dir: Optional[str] = None,
+              pruning: str = "auto") -> "ShardBackend":
         """Build a fresh shard over ``(instance, gseq)`` records."""
         source = LogicalSource(physical, object_type)
         for instance, _ in records:
@@ -164,7 +171,8 @@ class ShardBackend:
         index = IncrementalIndex(source, specs=specs, combiner=combiner,
                                  missing=missing,
                                  compact_ratio=compact_ratio,
-                                 compact_min=compact_min)
+                                 compact_min=compact_min,
+                                 pruning=pruning)
         gseq = {instance.id: g for instance, g in records}
         backend = cls(shard_id, index, gseq)
         if data_dir is not None:
@@ -180,7 +188,7 @@ class ShardBackend:
                 specs: List[AttributeSpec], combiner, missing: str,
                 compact_ratio: float, compact_min: int,
                 physical: PhysicalSource, object_type: ObjectType,
-                wal_entries: int) -> "ShardBackend":
+                wal_entries: int, pruning: str = "auto") -> "ShardBackend":
         """Restart warm: memmap the packed base, replay the WAL tail.
 
         Replays exactly ``wal_entries`` frames (the manifest's
@@ -205,7 +213,8 @@ class ShardBackend:
             compact_ratio=compact_ratio, compact_min=compact_min,
             column_states=column_states,
             version=counters["version"],
-            compactions=counters["compactions"])
+            compactions=counters["compactions"],
+            pruning=pruning)
         gseq = {instance.id: g for instance, g in records}
         wal = WriteAheadLog(partition_layout.wal_path(data_dir, shard_id))
         entries = wal.replay(wal_entries)
@@ -314,24 +323,28 @@ class ShardBackend:
 
     # -- matching ------------------------------------------------------
 
-    def match(self, records: Sequence[ObjectInstance], threshold: float,
-              max_candidates: Optional[int],
-              weights: Optional[Sequence[Optional[dict]]]) -> dict:
-        """Local candidates + scores for one scattered micro-batch.
+    def match(self, records: Sequence[ObjectInstance],
+              threshold: float) -> dict:
+        """Exhaustive local scoring (the ``max_candidates=None`` mode)."""
+        return {"results": self.index.match_records(
+            records, threshold=threshold, max_candidates=None)}
 
-        Pruned mode returns, per record, the shard's top-k candidates
-        as ``(id, gseq, weight)`` — ranked with the router's *global*
-        weights — plus the kernel scores of those that survive the
-        threshold.  The router cuts the merged candidate ranking to k
-        before keeping scores, exactly like the single index scores
-        only its top-k candidates.
+    def candidates(self, records: Sequence[ObjectInstance],
+                   max_candidates: int,
+                   weights: Optional[Sequence[Optional[dict]]]) -> dict:
+        """Round 1 of the pruned scatter: local candidate rankings.
+
+        Returns, per record, the shard's top-k candidates as ``(id,
+        gseq, weight)`` — ranked with the router's *global* weights,
+        through the index's impact-ordered pruned path when skew
+        warrants.  No scoring happens here: the router merges the
+        shard rankings, cuts to the global top-k (establishing the
+        global kth weight bound), and ships only the survivors back
+        in a ``score`` round — exactly like the single index scores
+        only its own top-k candidates.
         """
-        if max_candidates is None:
-            return {"results": self.index.match_records(
-                records, threshold=threshold, max_candidates=None)}
         attribute = self.index.specs[0].attribute
         candidates: List[List[Tuple[str, int, float]]] = []
-        pairs: List[Tuple[int, str]] = []
         slot_ids = self.index._slot_ids
         for position, record in enumerate(records):
             value = record.get(attribute)
@@ -345,13 +358,21 @@ class ShardBackend:
             for slot, weight in ranked:
                 id = slot_ids[slot]
                 local.append((id, self.gseq[id], weight))
-                pairs.append((position, id))
             candidates.append(local)
-        scores: List[Dict[str, float]] = [{} for _ in records]
-        for position, reference_id, score in self.index.score_pairs(
-                records, pairs, threshold=threshold):
-            scores[position][reference_id] = score
-        return {"candidates": candidates, "scores": scores}
+        return {"candidates": candidates}
+
+    def score(self, records: Sequence[ObjectInstance],
+              pairs: Sequence[Tuple[int, str]],
+              threshold: float) -> dict:
+        """Round 2: kernel scores for the globally surviving pairs.
+
+        Every pair is local to this shard; scoring a subset of the
+        local top-k is elementwise, so each survivor's float equals
+        what the single-round protocol (and the single index) would
+        produce.
+        """
+        return {"triples": self.index.score_pairs(
+            records, list(pairs), threshold=threshold)}
 
     # -- persistence ---------------------------------------------------
 
@@ -409,9 +430,14 @@ class ShardBackend:
 
     def handle(self, op: str, payload: dict):
         if op == "match":
-            return self.match(payload["records"], payload["threshold"],
-                              payload["max_candidates"],
-                              payload.get("weights"))
+            return self.match(payload["records"], payload["threshold"])
+        if op == "candidates":
+            return self.candidates(payload["records"],
+                                   payload["max_candidates"],
+                                   payload.get("weights"))
+        if op == "score":
+            return self.score(payload["records"], payload["pairs"],
+                              payload["threshold"])
         if op == "mutate":
             kind = payload["kind"]
             if kind == "add":
@@ -612,7 +638,8 @@ class ClusterIndex:
               missing: str = "skip", compact_ratio: float = 0.25,
               compact_min: int = 64, shards: int = 1,
               processes: bool = True,
-              data_dir: Optional[str] = None) -> "ClusterIndex":
+              data_dir: Optional[str] = None,
+              pruning: str = "auto") -> "ClusterIndex":
         """Partition ``reference`` across ``shards`` fresh workers."""
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards!r}")
@@ -626,7 +653,7 @@ class ClusterIndex:
                             compact_min=compact_min,
                             physical=reference.physical,
                             object_type=reference.object_type,
-                            data_dir=data_dir)
+                            data_dir=data_dir, pruning=pruning)
         if data_dir is not None:
             os.makedirs(data_dir, exist_ok=True)
             partition_layout.write_specs(data_dir, dict(
@@ -647,8 +674,15 @@ class ClusterIndex:
 
     @classmethod
     def restore(cls, data_dir: str, *,
-                processes: bool = True) -> "ClusterIndex":
-        """Restart every shard warm from ``data_dir``'s manifest."""
+                processes: bool = True,
+                pruning: Optional[str] = None) -> "ClusterIndex":
+        """Restart every shard warm from ``data_dir``'s manifest.
+
+        ``pruning=None`` keeps the snapshot's persisted mode (older
+        snapshots without one restore as ``"auto"``); passing a mode
+        overrides it — pruning is a pure performance knob, so the
+        runtime config always wins over the persisted value.
+        """
         manifest = partition_layout.read_manifest(data_dir)
         if manifest is None:
             raise FileNotFoundError(f"no cluster manifest in {data_dir}")
@@ -659,7 +693,9 @@ class ClusterIndex:
                             compact_ratio=payload["compact_ratio"],
                             compact_min=payload["compact_min"],
                             physical=payload["physical"],
-                            object_type=payload["object_type"])
+                            object_type=payload["object_type"],
+                            pruning=pruning if pruning is not None
+                            else payload.get("pruning", "auto"))
         transports = cls._spawn(
             [("restore", dict(shard_kwargs, shard_id=shard_id,
                               data_dir=data_dir,
@@ -798,23 +834,23 @@ class ClusterIndex:
             -> List[Result]:
         """Scatter a micro-batch to every shard, gather + merge top-k.
 
-        See the module docstring for why the merge is bit-identical
-        to the single index on corpus-independent similarities.
+        Pruned mode runs two scatter rounds: a ``candidates`` round
+        collecting per-shard rankings, then — after the router merges
+        them and cuts to the global top-k, which fixes the global kth
+        weight bound — a ``score`` round shipping each shard only its
+        own surviving pairs.  Shards that rank no survivor skip round
+        two entirely.  See the module docstring for why the merge is
+        bit-identical to the single index on corpus-independent
+        similarities.
         """
         records = list(records)
         attribute = self.specs[0].attribute
-        weights = None
-        if max_candidates is not None:
-            weights = [self._weight_map(str(record.get(attribute)))
-                       if record.get(attribute) is not None else None
-                       for record in records]
-        payload = {"records": records, "threshold": threshold,
-                   "max_candidates": max_candidates, "weights": weights}
-        for shard in self._shards:
-            shard.send("match", payload)
-        responses = [shard.receive() for shard in self._shards]
         results: List[Result] = []
         if max_candidates is None:
+            payload = {"records": records, "threshold": threshold}
+            for shard in self._shards:
+                shard.send("match", payload)
+            responses = [shard.receive() for shard in self._shards]
             for position in range(len(records)):
                 merged: Result = []
                 for response in responses:
@@ -822,19 +858,38 @@ class ClusterIndex:
                 merged.sort(key=lambda item: (-item[1], item[0]))
                 results.append(merged)
             return results
+        weights = [self._weight_map(str(record.get(attribute)))
+                   if record.get(attribute) is not None else None
+                   for record in records]
+        payload = {"records": records, "max_candidates": max_candidates,
+                   "weights": weights}
+        for shard in self._shards:
+            shard.send("candidates", payload)
+        responses = [shard.receive() for shard in self._shards]
+        shard_pairs: List[List[Tuple[int, str]]] = [
+            [] for _ in self._shards]
         for position in range(len(records)):
             ranked: List[Tuple[float, int, str, int]] = []
             for shard_id, response in enumerate(responses):
                 for id, gseq, weight in response["candidates"][position]:
                     ranked.append((-weight, gseq, id, shard_id))
             ranked.sort()
-            matched: Result = []
             for _, _, id, shard_id in ranked[:max_candidates]:
-                score = responses[shard_id]["scores"][position].get(id)
-                if score is not None:
-                    matched.append((id, score))
+                shard_pairs[shard_id].append((position, id))
+        active = [shard_id for shard_id, pairs in enumerate(shard_pairs)
+                  if pairs]
+        for shard_id in active:
+            self._shards[shard_id].send(
+                "score", {"records": records,
+                          "pairs": shard_pairs[shard_id],
+                          "threshold": threshold})
+        results = [[] for _ in records]
+        for shard_id in active:
+            response = self._shards[shard_id].receive()
+            for position, reference_id, score in response["triples"]:
+                results[position].append((reference_id, score))
+        for matched in results:
             matched.sort(key=lambda item: (-item[1], item[0]))
-            results.append(matched)
         return results
 
     # -- maintenance ---------------------------------------------------
@@ -862,6 +917,11 @@ class ClusterIndex:
                   for key in ("records", "base", "buffer", "tombstones",
                               "version", "compactions",
                               "vectorized_columns")}
+        totals["pruning"] = {
+            key: sum(stats["pruning"][key] for stats in shard_stats)
+            for key in ("queries", "pruned_queries", "postings_touched",
+                        "postings_skipped", "membership_probes",
+                        "prefilter_skipped")}
         totals["tokens"] = len(self._token_df)
         totals["shards"] = len(self._shards)
         totals["shard_stats"] = shard_stats

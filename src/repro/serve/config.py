@@ -37,7 +37,12 @@ class ServeConfig:
         ``mapping_name`` name persisted same-mappings.
 
     Index
-        ``compact_ratio`` / ``compact_min`` trigger compaction.
+        ``compact_ratio`` / ``compact_min`` trigger compaction;
+        ``pruning`` gates the impact-ordered candidate pruning
+        (``"auto"`` engages it when posting skew warrants, ``"always"``
+        forces it, ``"never"`` keeps the exhaustive ``bincount`` path
+        — results are bit-identical either way, this is a pure
+        performance knob).
 
     Cluster
         ``shards`` > 0 partitions the reference across that many shard
@@ -64,6 +69,7 @@ class ServeConfig:
     mapping_name: Optional[str] = None
     compact_ratio: float = 0.25
     compact_min: int = 64
+    pruning: str = "auto"
     shards: int = 0
     shard_processes: bool = True
     data_dir: Optional[str] = None
@@ -95,6 +101,10 @@ class ServeConfig:
             raise InvalidRequest("compact_ratio must be positive")
         if self.compact_min < 1:
             raise InvalidRequest("compact_min must be >= 1")
+        if self.pruning not in ("auto", "always", "never"):
+            raise InvalidRequest(
+                f"pruning must be 'auto', 'always' or 'never', "
+                f"got {self.pruning!r}")
         if self.shards < 0:
             raise InvalidRequest("shards must be >= 0")
         if self.specs is not None and not self.specs:

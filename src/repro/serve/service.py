@@ -162,7 +162,8 @@ class MatchService:
                     raise InvalidRequest(
                         "pass a reference source or an index")
                 return ClusterIndex.restore(
-                    config.data_dir, processes=config.shard_processes)
+                    config.data_dir, processes=config.shard_processes,
+                    pruning=config.pruning)
             return ClusterIndex.build(
                 reference,
                 specs=resolve_specs(config.attribute, config.similarity,
@@ -171,7 +172,7 @@ class MatchService:
                 compact_ratio=config.compact_ratio,
                 compact_min=config.compact_min, shards=config.shards,
                 processes=config.shard_processes,
-                data_dir=config.data_dir)
+                data_dir=config.data_dir, pruning=config.pruning)
         if reference is None:
             raise InvalidRequest("pass a reference source or an index")
         return IncrementalIndex(reference, config.attribute,
@@ -179,7 +180,8 @@ class MatchService:
                                 combiner=config.combiner,
                                 missing=config.missing,
                                 compact_ratio=config.compact_ratio,
-                                compact_min=config.compact_min)
+                                compact_min=config.compact_min,
+                                pruning=config.pruning)
 
     # -- persistence ---------------------------------------------------
 

@@ -20,6 +20,8 @@ from repro.engine.engine import AUTO_MAX_WORKERS, autotune_workers
 from repro.engine.request import AttributeSpec, MatchRequest
 from repro.engine.shards import (
     AUTO_SKEW_FACTOR,
+    SHARD_TARGET_SECONDS,
+    adapt_n_shards,
     autotune_plan,
     build_shard_runner,
 )
@@ -288,6 +290,67 @@ class TestAutoExecution:
             assert get_default_engine() is engine
         finally:
             set_default_engine(None)
+
+
+class TestAdaptNShards:
+    """Online n_shards adaptation from measured shard durations."""
+
+    def test_slow_shards_split_finer(self):
+        assert adapt_n_shards(8, [1.0, 1.2], workers=2) == 16
+
+    def test_fast_shards_merge_coarser(self):
+        assert adapt_n_shards(8, [0.001] * 8, workers=2) == 4
+
+    def test_on_target_unchanged(self):
+        assert adapt_n_shards(8, [SHARD_TARGET_SECONDS], workers=2) == 8
+
+    def test_clamped_to_worker_multiples(self):
+        assert adapt_n_shards(40, [10.0], workers=2) == 32  # 16x cap
+        assert adapt_n_shards(2, [0.0001], workers=2) == 2  # floor
+
+    def test_factor_clamped_per_run(self):
+        # a single pathological measurement moves the count at most 2x
+        assert adapt_n_shards(8, [3600.0], workers=1) == 16
+
+    def test_no_measurements_no_adjustment(self):
+        assert adapt_n_shards(8, [], workers=2) is None
+        assert adapt_n_shards(0, [1.0], workers=2) is None
+        assert adapt_n_shards(8, [0.0], workers=2) is None
+
+    def test_engine_feeds_back_and_results_identical(self):
+        domain = _skewed_source("ADP", 120)
+        sim = TrigramSimilarity()
+
+        def request():
+            return MatchRequest(
+                domain=domain, range=domain,
+                specs=[AttributeSpec("title", "title", sim)],
+                threshold=0.5, blocking=TokenBlocking())
+
+        auto = BatchMatchEngine(EngineConfig(workers=1, auto=True))
+        assert auto._adapted_n_shards is None
+        first = auto.execute(request())
+        # tiny shards on a tiny corpus: the adapter recorded a count
+        adapted = auto._adapted_n_shards
+        assert adapted is not None and adapted >= 1
+        second = auto.execute(request())  # runs with the adapted count
+        reference = SERIAL.execute(request())
+        assert sorted(first.to_rows()) == sorted(reference.to_rows())
+        assert sorted(second.to_rows()) == sorted(reference.to_rows())
+
+    def test_explicit_n_shards_wins_over_adaptation(self):
+        domain = _skewed_source("ADX", 80)
+        sim = TrigramSimilarity()
+        request = MatchRequest(
+            domain=domain, range=domain,
+            specs=[AttributeSpec("title", "title", sim)],
+            threshold=0.5, blocking=TokenBlocking())
+        pinned = BatchMatchEngine(EngineConfig(workers=1, auto=True,
+                                               n_shards=3))
+        pinned._adapted_n_shards = 11  # must be ignored
+        pinned._prepare(request)
+        shards, _ = build_shard_runner(pinned, request)
+        assert len(shards) <= 3
 
 
 class TestCliAutoFlag:

@@ -15,6 +15,11 @@ class TestValidation:
         assert config.attribute == "title"
         assert config.shards == 0
         assert not config.clustered
+        assert config.pruning == "auto"
+
+    @pytest.mark.parametrize("pruning", ["auto", "always", "never"])
+    def test_pruning_modes_validate(self, pruning):
+        assert ServeConfig(pruning=pruning).validate().pruning == pruning
 
     @pytest.mark.parametrize("kwargs", [
         {"threshold": 1.5},
@@ -26,6 +31,8 @@ class TestValidation:
         {"compact_min": 0},
         {"shards": -1},
         {"specs": []},
+        {"pruning": "sometimes"},
+        {"pruning": ""},
     ])
     def test_bad_values_raise_invalid_request(self, kwargs):
         with pytest.raises(InvalidRequest):
