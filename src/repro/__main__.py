@@ -48,6 +48,10 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(sharded blocking) instead of streaming them "
                              "from the parent; identical results, faster "
                              "blocked multi-worker runs")
+    parser.add_argument("--n-shards", type=int, default=None,
+                        help="shard count for --shard-blocking runs "
+                             "(default: engine-derived, 4 per worker; "
+                             "adapted online under --auto)")
     parser.add_argument("--balance-shards", action="store_true",
                         help="with --shard-blocking: split oversized "
                              "blocking shards and bin-pack them so skewed "
@@ -94,8 +98,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--similarity", default="trigram",
                        help="similarity function registry name "
                             "(default: trigram)")
+    serve.add_argument("--missing", default="skip",
+                       choices=("skip", "zero"),
+                       help="missing-value policy for the match "
+                            "attribute: drop the pair or score it zero "
+                            "(default: skip)")
     serve.add_argument("--threshold", type=float, default=0.7,
                        help="similarity threshold (default: 0.7)")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="result-reuse cache entries, 0 disables "
+                            "(default: 1024)")
     serve.add_argument("--max-candidates", type=int, default=50,
                        help="candidates scored per query record, 0 for "
                             "exhaustive scoring (default: 50)")
@@ -114,6 +126,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "mutation WALs; restores warm from an "
                             "existing snapshot, enables POST "
                             "/v1/snapshot (implies at least 1 shard)")
+    serve.add_argument("--compact-ratio", type=float, default=0.25,
+                       help="index compaction triggers when dead rows "
+                            "exceed this fraction of live rows "
+                            "(default: 0.25)")
+    serve.add_argument("--compact-min", type=int, default=64,
+                       help="minimum dead rows before compaction is "
+                            "considered (default: 64)")
     serve.add_argument("--pruning", default="auto",
                        choices=("auto", "always", "never"),
                        help="impact-ordered candidate pruning: engage "
@@ -137,6 +156,14 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="rewrite the baseline from current findings")
     lint.add_argument("--json", action="store_true", dest="lint_json",
                       help="emit a JSON report instead of text")
+    lint.add_argument("--no-cache", action="store_true",
+                      dest="lint_no_cache",
+                      help="analyze every file from scratch and write "
+                           "no cache")
+    lint.add_argument("--cache", dest="lint_cache", default=None,
+                      metavar="PATH",
+                      help="per-file result cache location relative to "
+                           "the root (default: .repro-lint-cache.json)")
     return parser
 
 
@@ -260,11 +287,13 @@ def _command_serve(args) -> int:
                   if args.repository else None)
     config = ServeConfig(
         attribute=args.attribute, similarity=args.similarity,
-        threshold=args.threshold,
+        missing=args.missing, threshold=args.threshold,
         max_candidates=(None if args.max_candidates == 0
                         else args.max_candidates),
+        cache_size=args.cache_size,
         # NB: an empty repository is falsy (len 0) — test identity
         mapping_name=args.mapping_name if repository is not None else None,
+        compact_ratio=args.compact_ratio, compact_min=args.compact_min,
         shards=args.shards, data_dir=args.data_dir,
         pruning=args.pruning,
         host=args.host, port=args.port)
@@ -316,6 +345,10 @@ def _command_lint(args) -> int:
         forwarded.append("--write-baseline")
     if args.lint_json:
         forwarded.append("--json")
+    if args.lint_no_cache:
+        forwarded.append("--no-cache")
+    if args.lint_cache is not None:
+        forwarded += ["--cache", args.lint_cache]
     return lint_main(forwarded)
 
 
@@ -330,8 +363,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("--chunk-size must be >= 1", file=sys.stderr)
         return 2
     from repro.engine import configure_default_engine
+    if args.n_shards is not None and args.n_shards < 1:
+        print("--n-shards must be >= 1", file=sys.stderr)
+        return 2
     configure_default_engine(workers=args.workers, chunk_size=args.chunk_size,
                              shard_blocking=args.shard_blocking,
+                             n_shards=args.n_shards,
                              balance_shards=args.balance_shards,
                              auto=args.auto)
     if args.command == "stats":

@@ -1,0 +1,138 @@
+"""CFG — config dataclass contracts: validation, CLI, and docs.
+
+``ServeConfig`` and ``EngineConfig`` are the two knob surfaces users
+actually touch; every field carries three obligations that previously
+rotted independently: the validator must look at it, the ``repro`` CLI
+must be able to set it (or the field is deliberately programmatic), and
+the docs knob table must list it.  This family checks all three against
+the project graph:
+
+=======  ============================================================
+CFG001   a non-``bool`` public field never referenced by the
+         contract's validator (``validate()`` / ``__post_init__``) —
+         ``bool`` fields are exempt, every value is valid
+CFG002   a public field with no matching ``--flag`` (or ``dest=``) in
+         the ``repro`` CLI module
+CFG003   a public field missing from the contract's docs knob table
+         (a markdown ``|`` row naming the field in backticks)
+=======  ============================================================
+
+Fields that legitimately skip an obligation carry an inline exemption
+on their definition line — ``# repro: allow-cfg002 -- <why>`` for a
+single rule, ``# repro: allow-config -- <why>`` for the family.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Set, Tuple
+
+from repro.analysis.core import Finding, ProjectChecker
+from repro.analysis.graph import ProjectGraph
+
+_BACKTICKED = re.compile(r"`([A-Za-z0-9_.]+)`")
+
+
+@dataclass(frozen=True)
+class ConfigContract:
+    """One dataclass whose fields carry the three obligations."""
+
+    qualname: str
+    validators: Tuple[str, ...]
+    cli_module: str
+    docs: str
+
+
+DEFAULT_CONTRACTS: Tuple[ConfigContract, ...] = (
+    ConfigContract(qualname="repro.serve.config.ServeConfig",
+                   validators=("validate",),
+                   cli_module="repro.__main__",
+                   docs="docs/serving.md"),
+    ConfigContract(qualname="repro.engine.engine.EngineConfig",
+                   validators=("__post_init__",),
+                   cli_module="repro.__main__",
+                   docs="docs/engine.md"),
+)
+
+
+def _documented_names(text: str) -> Set[str]:
+    """Backticked identifiers in markdown table rows (``| ... |``)."""
+    names: Set[str] = set()
+    for line in text.splitlines():
+        if line.lstrip().startswith("|"):
+            for match in _BACKTICKED.finditer(line):
+                # `ServeConfig.attribute` documents `attribute` too
+                names.add(match.group(1).rsplit(".", 1)[-1])
+    return names
+
+
+class ConfigContractChecker(ProjectChecker):
+    """CFG001–003 over the declared config contracts."""
+
+    CODE = "CFG"
+    SCOPES = ("repro/serve/", "repro/engine/")
+
+    def __init__(self, contracts: Tuple[ConfigContract, ...] =
+                 DEFAULT_CONTRACTS) -> None:
+        self.contracts = contracts
+
+    def check_project(self, graph: ProjectGraph) -> Iterator[Finding]:
+        for contract in self.contracts:
+            yield from self._check_contract(graph, contract)
+
+    def _check_contract(self, graph: ProjectGraph,
+                        contract: ConfigContract) -> Iterator[Finding]:
+        hit = graph.class_named(contract.qualname)
+        if hit is None:
+            return
+        cls, file = hit
+        if not self.file_in_scope(file.path):
+            return
+        short = contract.qualname.rsplit(".", 1)[-1]
+
+        validated: Set[str] = set()
+        for function in graph.methods_of(cls, file):
+            if function.name in contract.validators:
+                validated.update(function.attr_refs)
+
+        cli_file = graph.module_named(contract.cli_module)
+        flags: Set[str] = set()
+        dests: Set[str] = set()
+        if cli_file is not None:
+            for flag in cli_file.cli_flags:
+                flags.update(flag.flags)
+                if flag.dest:
+                    dests.add(flag.dest)
+
+        docs_text = graph.read_text(contract.docs)
+        documented = _documented_names(docs_text) \
+            if docs_text is not None else set()
+
+        for field in cls.fields:
+            if field.is_private:
+                continue
+            if not field.is_bool and field.name not in validated:
+                yield Finding(
+                    file.path, field.line, "CFG001",
+                    f"{short}.{field.name} is never referenced by "
+                    f"{'/'.join(contract.validators)}(); validate it "
+                    "or exempt with allow-cfg001")
+            expected_flag = "--" + field.name.replace("_", "-")
+            if cli_file is not None and expected_flag not in flags \
+                    and field.name not in dests:
+                yield Finding(
+                    file.path, field.line, "CFG002",
+                    f"{short}.{field.name} is unreachable from the "
+                    f"repro CLI: no {expected_flag} flag in "
+                    f"{contract.cli_module}")
+            if docs_text is None:
+                yield Finding(
+                    file.path, field.line, "CFG003",
+                    f"{short}.{field.name} has no docs knob table: "
+                    f"{contract.docs} is missing")
+            elif field.name not in documented:
+                yield Finding(
+                    file.path, field.line, "CFG003",
+                    f"{short}.{field.name} is missing from the "
+                    f"{contract.docs} knob table")

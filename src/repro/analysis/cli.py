@@ -9,10 +9,15 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.runner import (
     DEFAULT_BASELINE,
+    DEFAULT_CACHE,
     load_baseline,
     run_paths,
     write_baseline,
 )
+
+#: default lint surface: the package, plus benchmarks/ and tests/
+#: (the PKL/DUR families are path-scoped onto the latter two)
+DEFAULT_PATHS = (os.path.join("src", "repro"), "benchmarks", "tests")
 
 
 def _find_root(start: str) -> str:
@@ -30,11 +35,13 @@ def _find_root(start: str) -> str:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="invariant-aware static analysis "
-                    "(DET/LCK/PKL/DUR/API rule families)")
+        description="invariant-aware static analysis (per-file "
+                    "DET/LCK/PKL/DUR/API families plus whole-program "
+                    "RPC/CFG/KRN contract checks)")
     parser.add_argument(
         "paths", nargs="*", default=None,
-        help="files or directories to check (default: src/repro)")
+        help="files or directories to check "
+             "(default: src/repro benchmarks tests)")
     parser.add_argument(
         "--root", default=None,
         help="repo root for relative paths and the baseline "
@@ -54,6 +61,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit a JSON report instead of text")
+    parser.add_argument(
+        "--cache", default=DEFAULT_CACHE, metavar="PATH",
+        help="per-file result cache relative to the root "
+             f"(default: {DEFAULT_CACHE})")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="analyze every file from scratch and write no cache")
     return parser
 
 
@@ -62,10 +76,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     root = os.path.abspath(options.root) if options.root \
         else _find_root(os.getcwd())
     paths: List[str] = list(options.paths) if options.paths \
-        else [os.path.join("src", "repro")]
+        else [path for path in DEFAULT_PATHS
+              if os.path.exists(os.path.join(root, path))]
     baseline_path = os.path.join(root, options.baseline)
     baseline = [] if options.no_baseline else load_baseline(baseline_path)
-    report = run_paths(paths, root, baseline)
+    cache_path = None if options.no_cache \
+        else os.path.join(root, options.cache)
+    report = run_paths(paths, root, baseline, cache_path=cache_path)
     if options.write_baseline:
         write_baseline(baseline_path, report.findings, baseline)
         print(f"wrote {len(set(report.findings))} finding(s) to "

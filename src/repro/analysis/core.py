@@ -15,10 +15,17 @@ Suppression syntax, one comment per line::
 
 ``allow-<token>`` accepts either a family alias (``unordered`` for
 DET, ``unlocked`` for LCK, ``unpicklable`` for PKL, ``durability`` for
-DUR, ``api-error`` for API) or an exact lower-cased finding code
+DUR, ``api-error`` for API, ``protocol`` for RPC, ``config`` for CFG,
+``kernel`` for KRN) or an exact lower-cased finding code
 (``allow-det004``).  Everything after ``--`` is the mandatory reason.
 A suppression covers findings on its own line; a comment-only line
-covers the first following line that holds code.
+covers the first following line that holds code.  A suppression that
+matches nothing is itself reported (``SUP002``) so allow-comments
+cannot outlive the finding they excused.
+
+Cross-module rules (RPC/CFG/KRN/LCK002+) subclass
+:class:`ProjectChecker` and run against the
+:class:`repro.analysis.graph.ProjectGraph` built once per run.
 """
 
 from __future__ import annotations
@@ -28,7 +35,20 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from io import StringIO
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard only
+    from repro.analysis.graph import ProjectGraph
 
 #: family alias -> checker code prefix, mirrored in docs/static-analysis.md
 FAMILY_ALIASES: Dict[str, str] = {
@@ -37,6 +57,9 @@ FAMILY_ALIASES: Dict[str, str] = {
     "unpicklable": "PKL",
     "durability": "DUR",
     "api-error": "API",
+    "protocol": "RPC",
+    "config": "CFG",
+    "kernel": "KRN",
 }
 
 _SUPPRESSION_RE = re.compile(
@@ -110,6 +133,32 @@ class Checker:
         raise NotImplementedError
 
 
+class ProjectChecker(Checker):
+    """A checker that sees the whole project, not one file.
+
+    Subclasses implement :meth:`check_project` against the
+    :class:`repro.analysis.graph.ProjectGraph` the runner builds once
+    per run.  ``check`` is a no-op so project checkers can sit in the
+    same registry as per-file checkers; ``SCOPES`` still applies —
+    findings are only *emitted* for files inside the checker's scope,
+    but the graph itself always covers every checked file.
+    """
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, graph: "ProjectGraph") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def file_in_scope(self, path: str) -> bool:
+        if not self.SCOPES:
+            return True
+        normalized = path.replace("\\", "/")
+        return any(normalized.startswith(prefix)
+                   or f"/{prefix}" in normalized
+                   for prefix in self.SCOPES)
+
+
 def _code_bearing_lines(source: str) -> List[int]:
     """Line numbers that carry actual code tokens (not comments/blank)."""
     try:
@@ -127,11 +176,31 @@ def _code_bearing_lines(source: str) -> List[int]:
     return sorted(seen)
 
 
+def _comment_lines(source: str) -> Optional[List[Tuple[int, str]]]:
+    """``(line, text)`` of every real COMMENT token, or ``None`` when
+    the file does not tokenize (caller falls back to a line scan)."""
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return None
+    return [(token.start[0], token.string) for token in tokens
+            if token.type == tokenize.COMMENT]
+
+
 def parse_suppressions(source: str) -> List[Suppression]:
-    """Extract every ``# repro: allow-...`` comment with its target line."""
+    """Extract every ``# repro: allow-...`` comment with its target line.
+
+    Only genuine comment tokens count: an ``allow-`` example inside a
+    docstring is documentation, not a suppression (which matters now
+    that an unused suppression is itself a finding, ``SUP002``).
+    """
     code_lines = _code_bearing_lines(source)
+    comments = _comment_lines(source)
+    if comments is None:
+        comments = [(number, text) for number, text
+                    in enumerate(source.splitlines(), start=1)]
     suppressions: List[Suppression] = []
-    for number, text in enumerate(source.splitlines(), start=1):
+    for number, text in comments:
         match = _SUPPRESSION_RE.search(text)
         if match is None:
             continue
@@ -158,16 +227,29 @@ def parse_module(path: str, source: str,
 
 
 def all_checkers() -> List[Checker]:
-    """One fresh instance of every registered checker, in code order."""
+    """One fresh instance of every registered checker, in code order.
+
+    ``LockDisciplineChecker`` (LCK001) is *not* registered any more:
+    the interprocedural LCK002 subsumes its same-class syntactic rule
+    and adds call-graph propagation; the class stays importable for
+    tooling and tests.
+    """
     from repro.analysis.api import ApiErrorChecker
+    from repro.analysis.cfg import ConfigContractChecker
     from repro.analysis.det import DeterminismChecker
     from repro.analysis.dur import DurabilityChecker
-    from repro.analysis.lck import LockDisciplineChecker
+    from repro.analysis.krn import KernelSurfaceChecker
+    from repro.analysis.lck import (
+        InterproceduralLockChecker,
+        LockOrderChecker,
+    )
     from repro.analysis.pkl import PickleSafetyChecker
+    from repro.analysis.rpc import RpcProtocolChecker
 
     classes: List[Type[Checker]] = [
-        ApiErrorChecker, DeterminismChecker, DurabilityChecker,
-        LockDisciplineChecker, PickleSafetyChecker,
+        ApiErrorChecker, ConfigContractChecker, DeterminismChecker,
+        DurabilityChecker, InterproceduralLockChecker, KernelSurfaceChecker,
+        LockOrderChecker, PickleSafetyChecker, RpcProtocolChecker,
     ]
     return [cls() for cls in sorted(classes, key=lambda cls: cls.CODE)]
 

@@ -17,7 +17,9 @@ DUR002   bare ``os.rename`` — use ``os.replace`` (atomic, overwrites)
 =======  ============================================================
 
 Suppress with ``# repro: allow-durability -- <reason>`` for renames of
-genuinely disposable files (temp scratch, caches).
+genuinely disposable files (temp scratch, caches).  ``benchmarks/``
+and ``tests/`` are in scope too — helper code that publishes files
+teaches the same habits as the serve tree.
 """
 
 from __future__ import annotations
@@ -44,7 +46,7 @@ class DurabilityChecker(Checker):
     """DUR001/DUR002 over the persistence-bearing serve modules."""
 
     CODE = "DUR"
-    SCOPES = ("repro/serve/",)
+    SCOPES = ("repro/serve/", "benchmarks/", "tests/")
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:
         for function, _classes in walk_functions(context.tree):

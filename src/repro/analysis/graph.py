@@ -1,0 +1,802 @@
+"""Whole-program project model for cross-module contract checking.
+
+The per-file checkers of PR 7 see one ``ast.Module`` at a time, which
+is exactly as far as they can reason: a rule like "every ``op`` the
+router sends must have a handler branch" or "every config field must
+be documented" spans files.  This module builds the project model
+those rules need, **once per run**:
+
+* a :class:`FileSummary` per source file — imports, classes (fields,
+  class/instance attributes, attribute types), functions (call sites,
+  lock spans, RPC send/branch/read sites, CLI flag registrations);
+* a :class:`ProjectGraph` over all summaries — module table, symbol
+  table (``repro.engine.sparse.TfIdfKernel`` → class summary), name
+  resolution through imports, and an approximate call graph
+  (:meth:`ProjectGraph.callees`).
+
+Summaries are deliberately *plain data* (JSON round-trippable via
+``to_dict``/``from_dict``): the runner caches them per file keyed by
+content hash (:class:`LintCache`), so a warm full-tree run re-parses
+only edited files while the cross-module pass always sees the whole
+project.
+
+Everything here is approximate in the usual static-analysis ways —
+dynamic dispatch, ``getattr`` and monkey-patching are invisible — but
+the contracts the checkers pin (FrameChannel ops, dataclass knobs,
+kernel registry surfaces, lock nesting) are all expressed through the
+syntactic shapes captured below.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: bump to invalidate every cache entry when extraction or rule
+#: semantics change (cache entries also key on the content hash)
+ANALYSIS_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# summary data model (all JSON round-trippable)
+# ----------------------------------------------------------------------
+
+@dataclass
+class CallSite:
+    """One call expression: where, what, and the RPC-relevant args."""
+
+    line: int
+    #: dotted target (``self._index.add``, ``os.replace``) or ``None``
+    #: when the chain crosses a subscript/call and cannot be named
+    dotted: Optional[str]
+    #: last attribute segment (``call`` for ``shard.call(...)``)
+    tail: Optional[str]
+    argc: int
+    #: first positional argument when it is a string constant
+    str_arg0: Optional[str] = None
+    #: keys of the second positional argument when it is a dict
+    #: literal with all-constant keys
+    arg1_dict_keys: Optional[List[str]] = None
+    #: name of the second positional argument when it is a bare name
+    #: (resolved against local dict assignments by the RPC checker)
+    arg1_name: Optional[str] = None
+
+
+@dataclass
+class LockSpan:
+    """Lines over which ``self.<lock>`` is statically held."""
+
+    lock: str
+    start: int
+    end: int
+    #: ``"with"`` for ``with self.lock:``; ``"acquire"`` for a
+    #: ``self.lock.acquire(...)`` call (span runs to the matching
+    #: ``release()`` in the same function, else to the function end)
+    via: str
+
+    def covers(self, line: int) -> bool:
+        return self.start <= line <= self.end
+
+
+@dataclass
+class OpBranch:
+    """``if <name> == "<op>":`` — one protocol dispatch branch."""
+
+    line: int
+    end: int
+    name: str
+    op: str
+
+    def covers(self, line: int) -> bool:
+        return self.line <= line <= self.end
+
+
+@dataclass
+class KeyRead:
+    """``<name>["key"]`` (required) or ``<name>.get("key")``."""
+
+    line: int
+    name: str
+    key: str
+    required: bool
+
+
+@dataclass
+class CliFlag:
+    """One ``add_argument`` registration."""
+
+    line: int
+    flags: List[str]
+    dest: Optional[str]
+
+
+@dataclass
+class FunctionSummary:
+    """One function or method with everything the checkers consume."""
+
+    name: str
+    qualname: str
+    classname: Optional[str]
+    line: int
+    end: int
+    params: List[str]
+    decorators: List[str]
+    required_lock: Optional[str]
+    calls: List[CallSite] = field(default_factory=list)
+    lock_spans: List[LockSpan] = field(default_factory=list)
+    op_branches: List[OpBranch] = field(default_factory=list)
+    key_reads: List[KeyRead] = field(default_factory=list)
+    #: local ``name = {...}`` dict-literal assignments (line, name, keys)
+    dict_assigns: List[Tuple[int, str, List[str]]] = field(
+        default_factory=list)
+    #: attributes referenced on ``self`` (or an alias of ``self``)
+    attr_refs: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FieldDef:
+    """One annotated class-body assignment (a dataclass field)."""
+
+    name: str
+    line: int
+    annotation: str
+
+    @property
+    def is_bool(self) -> bool:
+        return self.annotation == "bool"
+
+    @property
+    def is_private(self) -> bool:
+        return self.name.startswith("_")
+
+
+@dataclass
+class ClassSummary:
+    """One class: fields, attributes, methods, inferred attr types."""
+
+    name: str
+    qualname: str
+    line: int
+    bases: List[str]
+    decorators: List[str]
+    fields: List[FieldDef] = field(default_factory=list)
+    #: plain class-body assignments: name -> line
+    class_attrs: Dict[str, int] = field(default_factory=dict)
+    #: attributes ever assigned on ``self`` inside a method
+    instance_attrs: List[str] = field(default_factory=list)
+    #: ``self.<attr> = ClassName(...)`` / ``self.<attr>: ClassName``
+    #: inferred instance-attribute types (dotted, unresolved)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    methods: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FileSummary:
+    """Everything the project graph keeps for one source file."""
+
+    path: str
+    module: str
+    imports: Dict[str, str] = field(default_factory=dict)
+    classes: List[ClassSummary] = field(default_factory=list)
+    functions: List[FunctionSummary] = field(default_factory=list)
+    cli_flags: List[CliFlag] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FileSummary":
+        def _functions(raw: List[dict]) -> List[FunctionSummary]:
+            out = []
+            for item in raw:
+                out.append(FunctionSummary(
+                    name=item["name"], qualname=item["qualname"],
+                    classname=item["classname"], line=item["line"],
+                    end=item["end"], params=list(item["params"]),
+                    decorators=list(item["decorators"]),
+                    required_lock=item["required_lock"],
+                    calls=[CallSite(**c) for c in item["calls"]],
+                    lock_spans=[LockSpan(**s)
+                                for s in item["lock_spans"]],
+                    op_branches=[OpBranch(**b)
+                                 for b in item["op_branches"]],
+                    key_reads=[KeyRead(**r) for r in item["key_reads"]],
+                    dict_assigns=[(a[0], a[1], list(a[2]))
+                                  for a in item["dict_assigns"]],
+                    attr_refs=list(item["attr_refs"])))
+            return out
+
+        def _classes(raw: List[dict]) -> List[ClassSummary]:
+            out = []
+            for item in raw:
+                out.append(ClassSummary(
+                    name=item["name"], qualname=item["qualname"],
+                    line=item["line"], bases=list(item["bases"]),
+                    decorators=list(item["decorators"]),
+                    fields=[FieldDef(**f) for f in item["fields"]],
+                    class_attrs=dict(item["class_attrs"]),
+                    instance_attrs=list(item["instance_attrs"]),
+                    attr_types=dict(item["attr_types"]),
+                    methods=list(item["methods"])))
+            return out
+
+        return cls(path=payload["path"], module=payload["module"],
+                   imports=dict(payload["imports"]),
+                   classes=_classes(payload["classes"]),
+                   functions=_functions(payload["functions"]),
+                   cli_flags=[CliFlag(line=f["line"],
+                                      flags=list(f["flags"]),
+                                      dest=f["dest"])
+                              for f in payload["cli_flags"]])
+
+
+# ----------------------------------------------------------------------
+# extraction
+# ----------------------------------------------------------------------
+
+def module_name_for(display_path: str) -> str:
+    """Dotted module name for a repo-relative path.
+
+    ``src/repro/serve/cluster.py`` → ``repro.serve.cluster``;
+    package ``__init__.py`` files name the package itself.
+    """
+    normalized = display_path.replace("\\", "/")
+    if normalized.startswith("src/"):
+        normalized = normalized[len("src/"):]
+    if normalized.endswith(".py"):
+        normalized = normalized[:-3]
+    parts = [part for part in normalized.split("/") if part]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """Dotted name of an expression, ``self``-rooted chains included."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _tail_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _decorator_names(node: ast.AST) -> List[str]:
+    names = []
+    for decorator in getattr(node, "decorator_list", []):
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        dotted = _dotted_name(target)
+        if dotted is not None:
+            names.append(dotted)
+    return names
+
+
+def _required_lock(node: ast.AST) -> Optional[str]:
+    """Lock name from a ``@requires_lock("...")`` decorator, if any."""
+    for decorator in getattr(node, "decorator_list", []):
+        if isinstance(decorator, ast.Call) \
+                and _tail_name(decorator.func) == "requires_lock" \
+                and decorator.args \
+                and isinstance(decorator.args[0], ast.Constant) \
+                and isinstance(decorator.args[0].value, str):
+            return decorator.args[0].value
+    return None
+
+
+def _is_self_attr(node: ast.expr, aliases: Set[str]) -> Optional[str]:
+    """Attribute name when ``node`` is ``<alias>.<attr>``."""
+    if isinstance(node, ast.Attribute) \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id in aliases:
+        return node.attr
+    return None
+
+
+def _dict_literal_keys(node: ast.expr) -> Optional[List[str]]:
+    """Keys of a dict literal when every key is a string constant.
+
+    ``dict(mapping, extra=1)`` calls are opaque (``None``); a dict
+    literal with a non-constant key is opaque too.
+    """
+    if not isinstance(node, ast.Dict):
+        return None
+    keys: List[str] = []
+    for key in node.keys:
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            keys.append(key.value)
+        else:
+            return None
+    return keys
+
+
+def _summarize_function(node: ast.AST, qualname: str,
+                        classname: Optional[str]) -> FunctionSummary:
+    params = [arg.arg for arg in node.args.posonlyargs + node.args.args]
+    summary = FunctionSummary(
+        name=node.name, qualname=qualname, classname=classname,
+        line=node.lineno, end=node.end_lineno or node.lineno,
+        params=params, decorators=_decorator_names(node),
+        required_lock=_required_lock(node))
+    aliases: Set[str] = {"self"}
+    # alias pass first: ``config = self`` style rebindings
+    for child in ast.walk(node):
+        if isinstance(child, ast.Assign) \
+                and isinstance(child.value, ast.Name) \
+                and child.value.id in aliases:
+            for target in child.targets:
+                if isinstance(target, ast.Name):
+                    aliases.add(target.id)
+    release_lines: Dict[str, List[int]] = {}
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call) \
+                and _tail_name(child.func) in ("release",) \
+                and isinstance(child.func, ast.Attribute):
+            lock = _is_self_attr(child.func.value, aliases)
+            if lock is not None:
+                release_lines.setdefault(lock, []).append(child.lineno)
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            dotted = _dotted_name(child.func)
+            tail = _tail_name(child.func)
+            str_arg0 = None
+            if child.args and isinstance(child.args[0], ast.Constant) \
+                    and isinstance(child.args[0].value, str):
+                str_arg0 = child.args[0].value
+            arg1_keys = arg1_name = None
+            if len(child.args) >= 2:
+                arg1_keys = _dict_literal_keys(child.args[1])
+                if isinstance(child.args[1], ast.Name):
+                    arg1_name = child.args[1].id
+            summary.calls.append(CallSite(
+                line=child.lineno, dotted=dotted, tail=tail,
+                argc=len(child.args), str_arg0=str_arg0,
+                arg1_dict_keys=arg1_keys, arg1_name=arg1_name))
+            # ``self.<lock>.acquire(...)`` opens a span to the matching
+            # release (or the function end)
+            if tail in ("acquire", "acquire_lock") \
+                    and isinstance(child.func, ast.Attribute):
+                lock = _is_self_attr(child.func.value, aliases)
+                if lock is not None:
+                    after = [line for line
+                             in release_lines.get(lock, [])
+                             if line >= child.lineno]
+                    summary.lock_spans.append(LockSpan(
+                        lock=lock, start=child.lineno,
+                        end=min(after) if after else summary.end,
+                        via="acquire"))
+            # ``object.__setattr__(self, "field", ...)`` counts as an
+            # attribute reference (frozen-dataclass validators)
+            if dotted == "object.__setattr__" and len(child.args) >= 2 \
+                    and isinstance(child.args[0], ast.Name) \
+                    and child.args[0].id in aliases \
+                    and isinstance(child.args[1], ast.Constant) \
+                    and isinstance(child.args[1].value, str):
+                summary.attr_refs.append(child.args[1].value)
+            # ``<name>.get("key")``
+            if tail == "get" and isinstance(child.func, ast.Attribute) \
+                    and isinstance(child.func.value, ast.Name) \
+                    and str_arg0 is not None:
+                summary.key_reads.append(KeyRead(
+                    line=child.lineno, name=child.func.value.id,
+                    key=str_arg0, required=False))
+        elif isinstance(child, (ast.With, ast.AsyncWith)):
+            for item in child.items:
+                expr: ast.expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    expr = expr.func
+                    if isinstance(expr, ast.Attribute) \
+                            and expr.attr in ("acquire", "acquire_lock"):
+                        expr = expr.value
+                lock = _is_self_attr(expr, aliases)
+                if lock is not None:
+                    summary.lock_spans.append(LockSpan(
+                        lock=lock, start=child.lineno,
+                        end=child.end_lineno or child.lineno,
+                        via="with"))
+        elif isinstance(child, ast.If):
+            test = child.test
+            if isinstance(test, ast.Compare) \
+                    and isinstance(test.left, ast.Name) \
+                    and len(test.ops) == 1 \
+                    and isinstance(test.ops[0], ast.Eq) \
+                    and isinstance(test.comparators[0], ast.Constant) \
+                    and isinstance(test.comparators[0].value, str):
+                summary.op_branches.append(OpBranch(
+                    line=child.lineno,
+                    end=child.end_lineno or child.lineno,
+                    name=test.left.id, op=test.comparators[0].value))
+        elif isinstance(child, ast.Subscript):
+            if isinstance(child.value, ast.Name) \
+                    and isinstance(child.slice, ast.Constant) \
+                    and isinstance(child.slice.value, str) \
+                    and isinstance(child.ctx, ast.Load):
+                summary.key_reads.append(KeyRead(
+                    line=child.lineno, name=child.value.id,
+                    key=child.slice.value, required=True))
+        elif isinstance(child, ast.Assign):
+            keys = _dict_literal_keys(child.value)
+            if keys is not None:
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        summary.dict_assigns.append(
+                            (child.lineno, target.id, keys))
+        elif isinstance(child, ast.Attribute):
+            if isinstance(child.value, ast.Name) \
+                    and child.value.id in aliases \
+                    and isinstance(child.ctx, ast.Load):
+                summary.attr_refs.append(child.attr)
+    summary.attr_refs = sorted(set(summary.attr_refs))
+    summary.lock_spans.sort(key=lambda span: (span.start, span.lock))
+    return summary
+
+
+def _summarize_class(node: ast.ClassDef, qualprefix: str,
+                     functions: List[FunctionSummary]) -> ClassSummary:
+    qualname = f"{qualprefix}{node.name}" if qualprefix else node.name
+    summary = ClassSummary(
+        name=node.name, qualname=qualname, line=node.lineno,
+        bases=[_dotted_name(base) or "" for base in node.bases],
+        decorators=_decorator_names(node))
+    instance_attrs: Set[str] = set()
+    for statement in node.body:
+        if isinstance(statement, ast.AnnAssign) \
+                and isinstance(statement.target, ast.Name):
+            summary.fields.append(FieldDef(
+                name=statement.target.id, line=statement.lineno,
+                annotation=ast.unparse(statement.annotation)))
+        elif isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    summary.class_attrs[target.id] = statement.lineno
+        elif isinstance(statement,
+                        (ast.FunctionDef, ast.AsyncFunctionDef)):
+            summary.methods.append(statement.name)
+            method = _summarize_function(
+                statement, f"{qualname}.{statement.name}", node.name)
+            functions.append(method)
+            for child in ast.walk(statement):
+                if isinstance(child, ast.Assign):
+                    attr = None
+                    for target in child.targets:
+                        name = _is_self_attr(target, {"self"})
+                        if name is not None:
+                            attr = name
+                            instance_attrs.add(name)
+                    if attr is not None \
+                            and isinstance(child.value, ast.Call):
+                        dotted = _dotted_name(child.value.func)
+                        if dotted is not None:
+                            summary.attr_types.setdefault(attr, dotted)
+                elif isinstance(child, ast.AnnAssign):
+                    name = _is_self_attr(child.target, {"self"})
+                    if name is not None:
+                        instance_attrs.add(name)
+                        dotted = ast.unparse(child.annotation)
+                        summary.attr_types.setdefault(attr := name,
+                                                      dotted)
+    summary.instance_attrs = sorted(instance_attrs)
+    return summary
+
+
+def summarize_module(display_path: str, tree: ast.Module) -> FileSummary:
+    """Extract the :class:`FileSummary` of one parsed file."""
+    module = module_name_for(display_path)
+    summary = FileSummary(path=display_path, module=module)
+    package = module if display_path.replace("\\", "/").endswith(
+        "__init__.py") else module.rsplit(".", 1)[0]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    summary.imports[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".", 1)[0]
+                    summary.imports.setdefault(head, head)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                parts = package.split(".")
+                parts = parts[:len(parts) - (node.level - 1)] \
+                    if node.level > 1 else parts
+                prefix = ".".join(parts)
+                base = f"{prefix}.{base}" if base else prefix
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                summary.imports[bound] = f"{base}.{alias.name}" \
+                    if base else alias.name
+    for statement in tree.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            summary.functions.append(
+                _summarize_function(statement, statement.name, None))
+        elif isinstance(statement, ast.ClassDef):
+            summary.classes.append(
+                _summarize_class(statement, "", summary.functions))
+    for function in summary.functions:
+        for call in function.calls:
+            if call.tail == "add_argument":
+                flags = []
+                if call.str_arg0 is not None \
+                        and call.str_arg0.startswith("-"):
+                    flags.append(call.str_arg0)
+                if flags:
+                    summary.cli_flags.append(CliFlag(
+                        line=call.line, flags=flags, dest=None))
+    # add_argument metadata needs the raw AST for every flag string and
+    # the dest= keyword, which CallSite does not carry; re-walk for them
+    summary.cli_flags = _extract_cli_flags(tree)
+    return summary
+
+
+def _extract_cli_flags(tree: ast.Module) -> List[CliFlag]:
+    flags: List[CliFlag] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) \
+                or _tail_name(node.func) != "add_argument":
+            continue
+        names = [argument.value for argument in node.args
+                 if isinstance(argument, ast.Constant)
+                 and isinstance(argument.value, str)]
+        option_flags = [name for name in names if name.startswith("-")]
+        dest = None
+        for keyword in node.keywords:
+            if keyword.arg == "dest" \
+                    and isinstance(keyword.value, ast.Constant) \
+                    and isinstance(keyword.value.value, str):
+                dest = keyword.value.value
+        if not dest:
+            positional = [name for name in names
+                          if not name.startswith("-")]
+            source = (option_flags or positional)
+            if source:
+                dest = source[0].lstrip("-").replace("-", "_")
+        if option_flags or dest:
+            flags.append(CliFlag(line=node.lineno, flags=option_flags,
+                                 dest=dest))
+    return flags
+
+
+# ----------------------------------------------------------------------
+# the graph
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Symbol:
+    """One resolved project symbol."""
+
+    kind: str  # "class" | "function" | "module"
+    qualname: str
+    file: FileSummary
+    #: the ClassSummary / FunctionSummary / FileSummary payload
+    node: object
+
+
+class ProjectGraph:
+    """Symbol table + name resolution + call graph over summaries."""
+
+    def __init__(self, root: str,
+                 summaries: Sequence[FileSummary]) -> None:
+        self.root = root
+        self.files: Dict[str, FileSummary] = {
+            summary.path: summary for summary in summaries}
+        self.modules: Dict[str, FileSummary] = {}
+        self.classes: Dict[str, Tuple[ClassSummary, FileSummary]] = {}
+        self.functions: Dict[str,
+                             Tuple[FunctionSummary, FileSummary]] = {}
+        for summary in summaries:
+            self.modules.setdefault(summary.module, summary)
+            for cls in summary.classes:
+                self.classes.setdefault(
+                    f"{summary.module}.{cls.qualname}", (cls, summary))
+            for function in summary.functions:
+                self.functions.setdefault(
+                    f"{summary.module}.{function.qualname}",
+                    (function, summary))
+
+    # -- convenience ---------------------------------------------------
+
+    def ordered_files(self) -> List[FileSummary]:
+        return [self.files[path] for path in sorted(self.files)]
+
+    def class_named(self, qualname: str) \
+            -> Optional[Tuple[ClassSummary, FileSummary]]:
+        return self.classes.get(qualname)
+
+    def function_named(self, qualname: str) \
+            -> Optional[Tuple[FunctionSummary, FileSummary]]:
+        return self.functions.get(qualname)
+
+    def module_named(self, module: str) -> Optional[FileSummary]:
+        return self.modules.get(module)
+
+    def methods_of(self, cls: ClassSummary,
+                   file: FileSummary) -> List[FunctionSummary]:
+        prefix = f"{cls.qualname}."
+        return [function for function in file.functions
+                if function.qualname.startswith(prefix)
+                and function.classname == cls.name]
+
+    def read_text(self, relpath: str) -> Optional[str]:
+        absolute = os.path.join(self.root, relpath)
+        if not os.path.exists(absolute):
+            return None
+        with open(absolute, "r", encoding="utf-8") as handle:
+            return handle.read()
+
+    # -- resolution ----------------------------------------------------
+
+    def _lookup(self, qualname: str) -> Optional[Symbol]:
+        hit = self.classes.get(qualname)
+        if hit is not None:
+            return Symbol("class", qualname, hit[1], hit[0])
+        fhit = self.functions.get(qualname)
+        if fhit is not None:
+            return Symbol("function", qualname, fhit[1], fhit[0])
+        module = self.modules.get(qualname)
+        if module is not None:
+            return Symbol("module", qualname, module, module)
+        return None
+
+    def resolve(self, dotted: str,
+                file: FileSummary) -> Optional[Symbol]:
+        """Resolve a dotted reference seen in ``file`` to a symbol.
+
+        Tries, in order: a local definition, the file's imports, and
+        the reference as an already-fully-qualified name.  ``self.``
+        chains are the caller's business (they need a class context).
+        """
+        if not dotted or dotted.startswith("self."):
+            return None
+        head, _, rest = dotted.partition(".")
+        candidates = []
+        local = f"{file.module}.{dotted}"
+        candidates.append(local)
+        imported = file.imports.get(head)
+        if imported is not None:
+            candidates.append(f"{imported}.{rest}" if rest else imported)
+        candidates.append(dotted)
+        for candidate in candidates:
+            symbol = self._lookup(candidate)
+            if symbol is not None:
+                return symbol
+        return None
+
+    def resolve_attr_call(self, cls: ClassSummary, file: FileSummary,
+                          dotted: str) -> Optional[Symbol]:
+        """Resolve ``self.<attr>.<method>`` through inferred types."""
+        parts = dotted.split(".")
+        if len(parts) != 3 or parts[0] != "self":
+            return None
+        attr, method = parts[1], parts[2]
+        type_ref = cls.attr_types.get(attr)
+        if type_ref is None:
+            return None
+        target = self.resolve(type_ref, file)
+        if target is None or target.kind != "class":
+            return None
+        return self._lookup(f"{target.qualname}.{method}")
+
+    def callees(self, function: FunctionSummary, file: FileSummary,
+                cls: Optional[ClassSummary] = None) -> List[Symbol]:
+        """Resolved project symbols this function calls (approximate)."""
+        resolved: List[Symbol] = []
+        seen: Set[str] = set()
+        for call in function.calls:
+            if call.dotted is None:
+                continue
+            symbol: Optional[Symbol] = None
+            if call.dotted.startswith("self."):
+                parts = call.dotted.split(".")
+                if cls is not None and len(parts) == 2 \
+                        and parts[1] in cls.methods:
+                    symbol = self._lookup(
+                        f"{file.module}.{cls.qualname}.{parts[1]}")
+                elif cls is not None and len(parts) == 3:
+                    symbol = self.resolve_attr_call(cls, file,
+                                                    call.dotted)
+            else:
+                symbol = self.resolve(call.dotted, file)
+            if symbol is not None and symbol.qualname not in seen:
+                seen.add(symbol.qualname)
+                resolved.append(symbol)
+        return resolved
+
+
+def build_graph(root: str, paths_and_trees: Sequence[Tuple[str,
+                                                           ast.Module]]
+                ) -> ProjectGraph:
+    """Build a graph straight from parsed trees (tests, tooling)."""
+    return ProjectGraph(root, [summarize_module(path, tree)
+                               for path, tree in paths_and_trees])
+
+
+# ----------------------------------------------------------------------
+# the content-hash cache
+# ----------------------------------------------------------------------
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class LintCache:
+    """Per-file parse/analysis results keyed by content hash.
+
+    The cache file holds, per display path: the content hash, the
+    serialized :class:`FileSummary`, the raw per-file findings and the
+    parsed suppressions — everything the runner needs to skip parsing
+    an unchanged file entirely.  The whole file is dropped when the
+    recorded ``ANALYSIS_VERSION`` differs, so rule changes can never
+    be masked by stale cached findings.
+    """
+
+    def __init__(self, path: Optional[str]) -> None:
+        self.path = path
+        self.entries: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        if path is not None and os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                payload = None
+            if isinstance(payload, dict) \
+                    and payload.get("version") == ANALYSIS_VERSION \
+                    and isinstance(payload.get("files"), dict):
+                self.entries = payload["files"]
+        self._touched: Set[str] = set()
+
+    def lookup(self, display: str,
+               sha: str) -> Optional[Dict[str, object]]:
+        entry = self.entries.get(display)
+        if entry is None or entry.get("sha") != sha:
+            return None
+        self.hits += 1
+        self._touched.add(display)
+        return entry
+
+    def store(self, display: str, entry: Dict[str, object]) -> None:
+        self.entries[display] = entry
+        self._touched.add(display)
+
+    def save(self) -> None:
+        if self.path is None:
+            return
+        payload = {"version": ANALYSIS_VERSION,
+                   "files": {display: entry for display, entry
+                             in sorted(self.entries.items())
+                             if display in self._touched}}
+        tmp = f"{self.path}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:  # pragma: no cover - cache is best-effort
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def iter_lock_holders(spans: Sequence[LockSpan],
+                      line: int) -> Iterator[str]:
+    """Locks whose spans cover ``line``."""
+    for span in spans:
+        if span.covers(line):
+            yield span.lock

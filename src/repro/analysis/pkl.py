@@ -20,6 +20,10 @@ PKL002   an exception subclass takes extra required ``__init__``
 PKL002 is exactly the ``ObjectInstance.__reduce__`` bug shape from
 PR 6, generalised.  Suppress with ``# repro: allow-unpicklable`` (with
 a reason) for types that are provably process-local.
+
+The scope covers ``benchmarks/`` and ``tests/`` as well as the serve
+and engine trees: harness classes ride the same shard channels when a
+benchmark or test spins up the cluster tier.
 """
 
 from __future__ import annotations
@@ -96,7 +100,8 @@ class PickleSafetyChecker(Checker):
     """PKL001/PKL002 over the serve tier and the shared model types."""
 
     CODE = "PKL"
-    SCOPES = ("repro/serve/", "repro/model/", "repro/engine/")
+    SCOPES = ("repro/serve/", "repro/model/", "repro/engine/",
+              "benchmarks/", "tests/")
 
     def check(self, context: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(context.tree):

@@ -1,17 +1,27 @@
-"""File discovery, suppression/baseline application, and reporting.
+"""File discovery, caching, suppression/baseline layers, reporting.
 
 The runner walks the target tree in sorted order (the linter obeys its
 own DET rules), parses each ``.py`` file once, feeds it to every
-interested checker, then applies two acceptance layers:
+interested per-file checker, then builds the
+:class:`~repro.analysis.graph.ProjectGraph` over every file's summary
+and runs the project checkers (RPC/CFG/KRN/LCK002+) against it.  Two
+acceptance layers follow:
 
 1. inline suppressions (``# repro: allow-... -- reason``) — a
    suppression that matches a finding removes it; a suppression with
-   no reason yields a ``SUP001`` finding of its own;
+   no reason yields ``SUP001``; a suppression (with a reason) that
+   matches *nothing* yields ``SUP002`` so allow-comments cannot
+   outlive their finding;
 2. the committed baseline (``lint-baseline.json``) — findings listed
    there with a non-empty ``reason`` are accepted; entries with an
    empty reason are configuration errors.
 
 Anything left is an *unbaselined* finding and fails the run.
+
+Per-file work (parse, per-file findings, suppressions, graph summary)
+is cached by content hash when ``cache_path`` is given: a warm run
+re-parses only edited files, while the cross-module pass always runs
+over the full current project.
 """
 
 from __future__ import annotations
@@ -25,9 +35,21 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.analysis.core import (
     Checker,
     Finding,
+    ModuleContext,
+    ProjectChecker,
+    Suppression,
     all_checkers,
     parse_module,
 )
+from repro.analysis.graph import (
+    FileSummary,
+    LintCache,
+    ProjectGraph,
+    content_hash,
+    summarize_module,
+)
+
+DEFAULT_CACHE = ".repro-lint-cache.json"
 
 BASELINE_VERSION = 1
 DEFAULT_BASELINE = "lint-baseline.json"
@@ -58,6 +80,7 @@ class AnalysisReport:
     unbaselined: List[Finding] = field(default_factory=list)
     baseline_errors: List[str] = field(default_factory=list)
     files_checked: int = 0
+    files_cached: int = 0
 
     @property
     def ok(self) -> bool:
@@ -74,8 +97,10 @@ class AnalysisReport:
             lines.append(finding.render())
         for error in self.baseline_errors:
             lines.append(f"baseline error: {error}")
+        cached = f" ({self.files_cached} cached)" if self.files_cached \
+            else ""
         lines.append(
-            f"{self.files_checked} files checked: "
+            f"{self.files_checked} files checked{cached}: "
             f"{len(self.unbaselined)} finding(s), "
             f"{len(self.baselined)} baselined, "
             f"{len(self.suppressed)} suppressed")
@@ -88,6 +113,7 @@ class AnalysisReport:
 
         return json.dumps({
             "files_checked": self.files_checked,
+            "files_cached": self.files_cached,
             "unbaselined": [encode(finding) for finding in self.unbaselined],
             "baselined": [encode(finding) for finding in self.baselined],
             "suppressed": [encode(finding) for finding in self.suppressed],
@@ -138,7 +164,12 @@ def write_baseline(path: str, findings: Sequence[Finding],
 
 
 def discover_files(paths: Sequence[str], root: str) -> List[str]:
-    """Absolute paths of every ``.py`` file under ``paths``, sorted."""
+    """Absolute paths of every ``.py`` file under ``paths``, sorted.
+
+    ``__pycache__`` and ``fixtures`` directories are skipped: the
+    latter hold deliberately-broken golden inputs for the linter's own
+    tests and must never be linted as live code.
+    """
     found: List[str] = []
     for path in paths:
         absolute = path if os.path.isabs(path) else os.path.join(root, path)
@@ -148,7 +179,7 @@ def discover_files(paths: Sequence[str], root: str) -> List[str]:
         for directory, directories, names in os.walk(absolute):
             directories.sort()
             directories[:] = [name for name in directories
-                              if name != "__pycache__"]
+                              if name not in ("__pycache__", "fixtures")]
             for name in sorted(names):
                 if name.endswith(".py"):
                     found.append(os.path.join(directory, name))
@@ -204,17 +235,126 @@ def check_file(path: str, root: str,
     return active, suppressed
 
 
+def _encode_findings(findings: Sequence[Finding]) -> List[List[object]]:
+    return [[f.line, f.code, f.message] for f in findings]
+
+
+def _decode_findings(display: str,
+                     raw: Iterable[Sequence[object]]) -> List[Finding]:
+    return [Finding(display, int(item[0]), str(item[1]), str(item[2]))
+            for item in raw]
+
+
+def _analyze_file(path: str, display: str, source: str,
+                  checkers: Sequence[Checker]) -> Dict[str, object]:
+    """Per-file pass: parse, per-file findings, suppressions, summary."""
+    try:
+        context = parse_module(path, source, display_path=display)
+    except (SyntaxError, ValueError) as error:
+        line = getattr(error, "lineno", 1) or 1
+        return {"findings": [[line, "SYN001",
+                              f"file does not parse: {error}"]],
+                "suppressions": [], "summary": None}
+    raw: List[Finding] = []
+    for checker in checkers:
+        if not isinstance(checker, ProjectChecker) \
+                and checker.interested(context):
+            raw.extend(checker.check(context))
+    raw.sort(key=lambda finding: (finding.line, finding.code))
+    return {
+        "findings": _encode_findings(raw),
+        "suppressions": [[s.line, s.token, s.reason, s.target_line]
+                         for s in context.suppressions],
+        "summary": summarize_module(display, context.tree).to_dict(),
+    }
+
+
 def run_paths(paths: Sequence[str], root: str,
-              baseline: Optional[Iterable[BaselineEntry]] = None
-              ) -> AnalysisReport:
-    """Check every file under ``paths`` and fold in the baseline."""
+              baseline: Optional[Iterable[BaselineEntry]] = None,
+              cache_path: Optional[str] = None) -> AnalysisReport:
+    """Check every file under ``paths`` and fold in the baseline.
+
+    Runs per-file checkers (cached by content hash when ``cache_path``
+    is set), builds the project graph over every file's summary, runs
+    the project checkers, then applies suppressions globally (SUP001 /
+    SUP002) and the baseline.
+    """
     report = AnalysisReport()
     checkers = all_checkers()
+    cache = LintCache(cache_path)
+    per_file: List[Tuple[str, Dict[str, object]]] = []
     for path in discover_files(paths, root):
-        active, suppressed = check_file(path, root, checkers)
-        report.findings.extend(active)
-        report.suppressed.extend(suppressed)
+        display = _display_path(path, root)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        sha = content_hash(data)
+        entry = cache.lookup(display, sha)
+        if entry is None:
+            source = data.decode("utf-8")
+            entry = _analyze_file(path, display, source, checkers)
+            entry["sha"] = sha
+            cache.store(display, entry)
+        else:
+            report.files_cached += 1
+        per_file.append((display, entry))
         report.files_checked += 1
+    cache.save()
+
+    summaries: List[FileSummary] = []
+    for _display, entry in per_file:
+        summary = entry.get("summary")
+        if summary is not None:
+            summaries.append(FileSummary.from_dict(summary))
+    graph = ProjectGraph(root, summaries)
+    project_findings: List[Finding] = []
+    for checker in checkers:
+        if isinstance(checker, ProjectChecker):
+            project_findings.extend(checker.check_project(graph))
+
+    findings_by_file: Dict[str, List[Finding]] = {}
+    suppressions_by_file: Dict[str, List[Suppression]] = {}
+    for display, entry in per_file:
+        findings_by_file[display] = _decode_findings(
+            display, entry["findings"])
+        suppressions_by_file[display] = [
+            Suppression(line=int(item[0]), token=str(item[1]),
+                        reason=item[2], target_line=int(item[3]))
+            for item in entry["suppressions"]]
+    for finding in project_findings:
+        findings_by_file.setdefault(finding.file, []).append(finding)
+
+    active: List[Finding] = []
+    used: Dict[str, set[int]] = {}
+    for display in sorted(findings_by_file):
+        suppressions = suppressions_by_file.get(display, [])
+        for finding in findings_by_file[display]:
+            covering = next(
+                (suppression for suppression in suppressions
+                 if suppression.covers(finding)), None)
+            if covering is not None:
+                report.suppressed.append(finding)
+                used.setdefault(display, set()).add(covering.line)
+            else:
+                active.append(finding)
+    for display in sorted(suppressions_by_file):
+        for suppression in suppressions_by_file[display]:
+            reason = suppression.reason
+            if not reason or not str(reason).strip():
+                active.append(Finding(
+                    display, suppression.line, "SUP001",
+                    f"suppression allow-{suppression.token} has no "
+                    "reason; write '# repro: allow-... -- "
+                    "<why this is safe>'"))
+            elif suppression.line not in used.get(display, set()):
+                active.append(Finding(
+                    display, suppression.line, "SUP002",
+                    f"suppression allow-{suppression.token} matches "
+                    "no finding; the issue it excused is gone — "
+                    "delete the comment"))
+    active.sort(key=lambda finding: (finding.file, finding.line,
+                                     finding.code))
+    report.findings.extend(active)
+
     entries = list(baseline) if baseline is not None else []
     accepted: Dict[_BaselineKey, BaselineEntry] = {}
     for entry in entries:

@@ -83,6 +83,8 @@ class EngineConfig:
 
     workers: Optional[int] = None
     chunk_size: int = 2048
+    # repro: allow-cfg002 -- derived knob (2 * workers) for library
+    # embedders; deliberately not a CLI surface
     max_inflight: Optional[int] = None
     #: opt-in best-effort duplicate-pair filter for two-source matching
     #: (entries, not bytes; 0 = off).  Useful when a custom candidate
@@ -91,6 +93,8 @@ class EngineConfig:
     #: cost.  Rescoring a duplicate is idempotent, so this is purely a
     #: performance knob; the built-in blocking strategies already
     #: deduplicate, hence off by default.
+    # repro: allow-cfg002 -- opt-in library knob for custom candidate
+    # streams; the CLI's built-in blocking already deduplicates
     dedup_limit: int = 0
     #: run candidate generation inside the workers (``repro.engine.
     #: shards``) instead of streaming every pair through the parent.
@@ -488,16 +492,19 @@ def set_default_engine(engine: Optional[BatchMatchEngine]) -> None:
 def configure_default_engine(*, workers: Optional[int] = None,
                              chunk_size: int = 2048,
                              shard_blocking: bool = False,
+                             n_shards: Optional[int] = None,
                              balance_shards: bool = False,
                              auto: bool = False) -> BatchMatchEngine:
     """Build and install the process default engine; returns it.
 
     ``workers=None`` leaves the pool size to :class:`EngineConfig`:
-    serial normally, CPU-derived under ``auto=True``.
+    serial normally, CPU-derived under ``auto=True``.  ``n_shards``
+    pins the sharded-blocking partition count (``None`` = derived).
     """
     engine = BatchMatchEngine(EngineConfig(workers=workers,
                                            chunk_size=chunk_size,
                                            shard_blocking=shard_blocking,
+                                           n_shards=n_shards,
                                            balance_shards=balance_shards,
                                            auto=auto))
     set_default_engine(engine)

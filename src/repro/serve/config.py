@@ -58,19 +58,31 @@ class ServeConfig:
     """
 
     attribute: str = "title"
+    # repro: allow-cfg001 -- resolved through the sim registry at build
+    # time; an unknown name raises InvalidRequest there
     similarity: object = "trigram"
+    # repro: allow-cfg002 -- programmatic multi-attribute surface (JSON
+    # request specs); no single CLI flag can express it
     specs: Optional[List[AttributeSpec]] = None
+    # repro: allow-cfg002 -- programmatic companion of specs
     combiner: object = None
     missing: str = "skip"
     threshold: float = 0.7
     max_candidates: Optional[int] = 50
     cache_size: int = 1024
+    # repro: allow-config -- free-form label recorded on persisted
+    # mappings; any string is valid and the CLI derives it from
+    # --reference
     source_name: str = "query.Results"
+    # repro: allow-cfg001 -- free-form repository key; any string (or
+    # None = no persistence) is valid
     mapping_name: Optional[str] = None
     compact_ratio: float = 0.25
     compact_min: int = 64
     pruning: str = "auto"
     shards: int = 0
+    # repro: allow-cfg002 -- in-process shards exist for tests and
+    # embedding; the CLI always runs worker processes
     shard_processes: bool = True
     data_dir: Optional[str] = None
     host: str = "127.0.0.1"
@@ -86,6 +98,14 @@ class ServeConfig:
         values.  ``data_dir`` without ``shards`` implies a one-shard
         cluster, since persistence lives in the partition stores.
         """
+        if not self.attribute:
+            raise InvalidRequest("attribute must be a non-empty string")
+        if not self.host:
+            raise InvalidRequest("host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise InvalidRequest(
+                f"port must be in [0, 65535] (0 = ephemeral), "
+                f"got {self.port!r}")
         if not 0.0 <= self.threshold <= 1.0:
             raise InvalidRequest(
                 f"threshold must be in [0, 1], got {self.threshold!r}")

@@ -11,7 +11,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import parse_module
+from repro.analysis import parse_module, run_paths
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -27,6 +27,38 @@ def load_fixture():
         return context, source
 
     return _load
+
+
+@pytest.fixture
+def fixture_text():
+    """Raw source text of a fixture file (for line_of and lint_tree)."""
+
+    def _read(name):
+        return (FIXTURES / name).read_text(encoding="utf-8")
+
+    return _read
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Materialise ``{relative path: content}`` under a tmp root and lint it.
+
+    Paths default to ``("src",)`` so non-Python companions (docs
+    tables) are visible to project checkers without being linted
+    themselves.  No baseline, no cache — reports come back raw.
+    """
+
+    def _run(files, paths=("src",), cache_path=None):
+        for relative, content in files.items():
+            target = tmp_path / relative
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(content, encoding="utf-8")
+        existing = [p for p in paths if (tmp_path / p).exists()]
+        return run_paths(existing, str(tmp_path), baseline=[],
+                         cache_path=cache_path)
+
+    _run.root = tmp_path
+    return _run
 
 
 @pytest.fixture

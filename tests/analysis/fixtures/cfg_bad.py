@@ -1,0 +1,28 @@
+"""CFG fixture: one ServeConfig field per failure mode.
+
+Linted under ``src/repro/serve/config.py`` (with companion CLI and
+docs fixtures) so the default ServeConfig contract applies:
+``unvalidated`` trips CFG001, ``hidden`` trips CFG002 and
+``undocumented`` trips CFG003; ``flagged`` shows the bool exemption.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ServeConfig:
+    attribute: str = "title"
+    threshold: float = 0.7
+    unvalidated: int = 3
+    hidden: int = 5
+    undocumented: float = 1.0
+    flagged: bool = False
+
+    def validate(self):
+        if not self.attribute:
+            raise ValueError("attribute must be non-empty")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError("threshold out of range")
+        if self.hidden < 0 or self.undocumented < 0:
+            raise ValueError("bounds")
+        return self

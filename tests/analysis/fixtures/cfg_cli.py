@@ -1,0 +1,13 @@
+"""CLI companion for the CFG fixtures (linted as ``repro.__main__``)."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--attribute", default="title")
+    parser.add_argument("--threshold", type=float, default=0.7)
+    parser.add_argument("--unvalidated", type=int, default=3)
+    parser.add_argument("--undocumented", type=float, default=1.0)
+    parser.add_argument("--flagged", action="store_true")
+    return parser

@@ -1,0 +1,17 @@
+"""CFG fixture: every field meets all three obligations — clean."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ServeConfig:
+    attribute: str = "title"
+    threshold: float = 0.7
+    flagged: bool = False
+
+    def validate(self):
+        if not self.attribute:
+            raise ValueError("attribute must be non-empty")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError("threshold out of range")
+        return self

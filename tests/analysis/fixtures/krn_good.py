@@ -1,0 +1,28 @@
+"""KRN fixture: every registered kernel implements the full surface."""
+
+
+class BitKernel:
+    orientation_symmetric = True
+
+    def score_rows(self, domain_rows, range_rows):
+        return [1.0]
+
+    def score_bound_rows(self, domain_rows, range_rows):
+        return [1.0]
+
+
+class CsrKernel:
+    def __init__(self):
+        self.orientation_symmetric = False
+
+    def score_rows(self, domain_rows, range_rows):
+        return [0.5]
+
+    def score_bound_rows(self, domain_rows, range_rows):
+        return [1.0]
+
+
+def build_kernel(sim, domain, range_, attribute):
+    if sim == "bit":
+        return BitKernel()
+    return CsrKernel()

@@ -1,0 +1,39 @@
+"""LCK003 fixture: AB/BA lock order across two classes.
+
+``Repository.sweep`` takes ``Repository._lock`` then (through the
+typed ``service`` attribute) ``Service._lock``; ``Service.drain``
+takes them in the opposite order.  Two threads running those methods
+concurrently can deadlock.
+"""
+
+import threading
+
+
+class Service:
+    def __init__(self, repo):
+        # repro: allow-unpicklable -- fixture type, never pickled
+        self._lock = threading.Lock()
+        self.repo: Repository = repo
+
+    def refresh(self):
+        with self._lock:
+            return None
+
+    def drain(self):
+        with self._lock:
+            self.repo.sync()
+
+
+class Repository:
+    def __init__(self):
+        # repro: allow-unpicklable -- fixture type, never pickled
+        self._lock = threading.Lock()
+        self.service = Service(self)
+
+    def sync(self):
+        with self._lock:
+            return None
+
+    def sweep(self):
+        with self._lock:
+            self.service.refresh()

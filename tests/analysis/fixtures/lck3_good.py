@@ -1,0 +1,33 @@
+"""LCK003 fixture: consistent lock order — no cycle, no findings."""
+
+import threading
+
+
+class Service:
+    def __init__(self, repo):
+        # repro: allow-unpicklable -- fixture type, never pickled
+        self._lock = threading.Lock()
+        self.repo: Repository = repo
+
+    def refresh(self):
+        with self._lock:
+            return None
+
+    def drain(self):
+        with self._lock:
+            return None
+
+
+class Repository:
+    def __init__(self):
+        # repro: allow-unpicklable -- fixture type, never pickled
+        self._lock = threading.Lock()
+        self.service = Service(self)
+
+    def sync(self):
+        with self._lock:
+            self.service.refresh()
+
+    def sweep(self):
+        with self._lock:
+            self.service.drain()

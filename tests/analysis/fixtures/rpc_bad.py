@@ -1,0 +1,44 @@
+"""RPC fixture: protocol drift in every direction.
+
+Linted under ``src/repro/serve/cluster.py`` so the default
+:class:`~repro.analysis.rpc.ProtocolSpec` applies.
+"""
+
+
+class ShardBackend:
+    def handle(self, op, payload):
+        if op == "match":
+            return self.match(payload["records"], payload["threshold"])
+        if op == "score":
+            return self.match(payload["records"], payload["pairs"])
+        if op == "stats":
+            return {"rows": 1}
+        if op == "legacy":
+            return None
+        raise ValueError(op)
+
+    def match(self, records, threshold):
+        return [records, threshold]
+
+
+class Router:
+    def __init__(self, shards):
+        self._shards = shards
+
+    def match_records(self, records, threshold):
+        payload = {"records": records, "threshold": threshold,
+                   "orphan": True}
+        for shard in self._shards:
+            shard.send("match", payload)
+        return [shard.receive() for shard in self._shards]
+
+    def score_records(self, records):
+        for shard in self._shards:
+            shard.send("score", {"records": records})
+        return [shard.receive() for shard in self._shards]
+
+    def stats(self):
+        return [shard.call("stats", {}) for shard in self._shards]
+
+    def compact(self):
+        return [shard.call("compact", {}) for shard in self._shards]

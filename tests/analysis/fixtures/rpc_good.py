@@ -1,0 +1,32 @@
+"""RPC fixture: a balanced op protocol — zero findings expected."""
+
+
+class ShardBackend:
+    def handle(self, op, payload):
+        if op == "match":
+            return self.match(payload["records"], payload["threshold"])
+        if op == "stats":
+            return {"rows": 1}
+        if op == "get":
+            return payload.get("id")
+        raise ValueError(op)
+
+    def match(self, records, threshold):
+        return [records, threshold]
+
+
+class Router:
+    def __init__(self, shards):
+        self._shards = shards
+
+    def match_records(self, records, threshold):
+        payload = {"records": records, "threshold": threshold}
+        for shard in self._shards:
+            shard.send("match", payload)
+        return [shard.receive() for shard in self._shards]
+
+    def stats(self):
+        return [shard.call("stats", {}) for shard in self._shards]
+
+    def get(self, id):
+        return self._shards[0].call("get", {"id": id})

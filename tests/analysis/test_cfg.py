@@ -1,0 +1,71 @@
+"""CFG001/002/003 — config fields vs validator, CLI and docs."""
+
+CONFIG = "src/repro/serve/config.py"
+CLI = "src/repro/__main__.py"
+DOCS = "docs/serving.md"
+
+DOCS_TABLE = """# Serving
+
+| Knob | Default | Meaning |
+| --- | --- | --- |
+| `attribute` | `"title"` | attribute matched across sources |
+| `threshold` | `0.7` | acceptance threshold |
+| `unvalidated` | `3` | demo knob |
+| `hidden` | `5` | demo knob |
+| `flagged` | `False` | demo switch |
+"""
+
+GOOD_DOCS = """# Serving
+
+| Knob | Default | Meaning |
+| --- | --- | --- |
+| `attribute` | `"title"` | attribute matched across sources |
+| `threshold` | `0.7` | acceptance threshold |
+| `flagged` | `False` | demo switch |
+"""
+
+
+def test_cfg_bad_one_finding_per_failure_mode(lint_tree, fixture_text,
+                                              line_of):
+    source = fixture_text("cfg_bad.py")
+    report = lint_tree({CONFIG: source,
+                        CLI: fixture_text("cfg_cli.py"),
+                        DOCS: DOCS_TABLE})
+    assert {(f.line, f.code) for f in report.findings} == {
+        (line_of(source, "unvalidated: int"), "CFG001"),
+        (line_of(source, "hidden: int"), "CFG002"),
+        (line_of(source, "undocumented: float"), "CFG003"),
+    }
+
+
+def test_cfg_bool_fields_exempt_from_validation_rule(lint_tree,
+                                                     fixture_text):
+    # ``flagged`` is a bool with a CLI flag and a docs row but no
+    # validator coverage; CFG001 must not fire on it.
+    report = lint_tree({CONFIG: fixture_text("cfg_bad.py"),
+                        CLI: fixture_text("cfg_cli.py"),
+                        DOCS: DOCS_TABLE})
+    flagged = [f for f in report.findings if "flagged" in f.message]
+    assert flagged == []
+
+
+def test_cfg_good_is_clean(lint_tree, fixture_text):
+    report = lint_tree({CONFIG: fixture_text("cfg_good.py"),
+                        CLI: fixture_text("cfg_cli.py"),
+                        DOCS: GOOD_DOCS})
+    assert report.findings == []
+
+
+def test_cfg_missing_docs_file_reported_per_field(lint_tree, fixture_text):
+    report = lint_tree({CONFIG: fixture_text("cfg_good.py"),
+                        CLI: fixture_text("cfg_cli.py")})
+    codes = {f.code for f in report.findings}
+    assert codes == {"CFG003"}
+    assert all("docs/serving.md" in f.message for f in report.findings)
+
+
+def test_cfg_silent_without_the_config_module(lint_tree, fixture_text):
+    # The contract targets repro.serve.config; a tree without it (or
+    # without repro.engine.engine) must not produce phantom findings.
+    report = lint_tree({CLI: fixture_text("cfg_cli.py")})
+    assert report.findings == []

@@ -9,22 +9,54 @@ import json
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 from repro.analysis import load_baseline, run_paths
-from repro.analysis.cli import main
+from repro.analysis.cli import DEFAULT_PATHS, main
 from repro.analysis.runner import DEFAULT_BASELINE
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
+def _default_paths():
+    return [path for path in DEFAULT_PATHS
+            if (REPO_ROOT / path).exists()]
+
+
 def test_live_tree_clean_modulo_baseline():
     entries = load_baseline(str(REPO_ROOT / DEFAULT_BASELINE))
-    report = run_paths(["src/repro"], str(REPO_ROOT), baseline=entries)
+    report = run_paths(_default_paths(), str(REPO_ROOT), baseline=entries)
     assert report.files_checked > 50
     assert report.baseline_errors == [], report.render_text()
     assert [finding.render() for finding in report.unbaselined] == []
     assert report.exit_code() == 0
+
+
+def test_full_tree_lint_stays_within_the_perf_budget(tmp_path):
+    # The lint job has to be cheap enough to run on every push: under
+    # ~10s from nothing and under ~2s with a warm cache.  Wall-clock
+    # budgets flake under load, so each phase gets the better of two
+    # attempts before failing.
+    def timed(cache_path):
+        start = time.monotonic()
+        report = run_paths(_default_paths(), str(REPO_ROOT), baseline=[],
+                           cache_path=cache_path)
+        return time.monotonic() - start, report
+
+    colds, warms = [], []
+    for attempt in range(2):
+        cache = tmp_path / f"lint-cache-{attempt}.json"
+        cold, _ = timed(str(cache))
+        warm, warm_report = timed(str(cache))
+        assert warm_report.files_cached == warm_report.files_checked
+        colds.append(cold)
+        warms.append(warm)
+        if cold < 10.0 and warm < 2.0:
+            break
+
+    assert min(colds) < 10.0, f"cold lint took {min(colds):.2f}s"
+    assert min(warms) < 2.0, f"warm lint took {min(warms):.2f}s"
 
 
 def test_every_baseline_entry_has_a_reason():

@@ -1,0 +1,94 @@
+"""RPC001/RPC002 — router/handler FrameChannel protocol contract."""
+
+CLUSTER = "src/repro/serve/cluster.py"
+
+
+def _codes(report):
+    return [(f.line, f.code) for f in report.findings]
+
+
+def test_rpc_bad_exact_findings(lint_tree, fixture_text, line_of):
+    source = fixture_text("rpc_bad.py")
+    report = lint_tree({CLUSTER: source})
+    assert set(_codes(report)) == {
+        # dead handler branch: nobody ever sends "legacy"
+        (line_of(source, 'if op == "legacy":'), "RPC001"),
+        # sent op with no handler branch
+        (line_of(source, 'shard.call("compact"'), "RPC001"),
+        # payload key "orphan" sent but never read by the match branch
+        (line_of(source, 'shard.send("match", payload)'), "RPC002"),
+        # score branch requires payload["pairs"]; no send site provides it
+        (line_of(source, 'payload["pairs"]'), "RPC002"),
+    }
+
+
+def test_rpc_bad_messages_name_the_op(lint_tree, fixture_text):
+    report = lint_tree({CLUSTER: fixture_text("rpc_bad.py")})
+    messages = "\n".join(f.message for f in report.findings)
+    assert "'compact'" in messages
+    assert "'legacy'" in messages
+    assert "'orphan'" in messages
+    assert "'pairs'" in messages
+
+
+def test_rpc_good_is_clean(lint_tree, fixture_text):
+    report = lint_tree({CLUSTER: fixture_text("rpc_good.py")})
+    assert report.findings == []
+
+
+REASSIGNED = '''\
+class ShardBackend:
+    def handle(self, op, payload):
+        if op == "first":
+            return payload["x"]
+        if op == "second":
+            return payload["y"]
+        raise ValueError(op)
+
+
+class Router:
+    def __init__(self, shards):
+        self._shards = shards
+
+    def run(self, x, y):
+        payload = {"x": x}
+        for shard in self._shards:
+            shard.send("first", payload)
+        payload = {"y": y}
+        for shard in self._shards:
+            shard.send("second", payload)
+        return [shard.receive() for shard in self._shards]
+'''
+
+
+def test_rpc_payload_reassignment_uses_nearest_prior_dict(lint_tree):
+    # Two sends through the same variable name must each see the dict
+    # assigned closest above them, not walk-order artifacts.
+    report = lint_tree({CLUSTER: REASSIGNED})
+    assert report.findings == []
+
+
+OPAQUE = '''\
+class ShardBackend:
+    def handle(self, op, payload):
+        if op == "apply":
+            return payload["records"]
+        raise ValueError(op)
+
+
+class Router:
+    def __init__(self, shards):
+        self._shards = shards
+
+    def run(self, request):
+        for shard in self._shards:
+            shard.send("apply", request.payload())
+        return [shard.receive() for shard in self._shards]
+'''
+
+
+def test_rpc_opaque_payload_disables_key_analysis(lint_tree):
+    # A send site whose payload is not a resolvable dict literal makes
+    # key-level claims unprovable for that op — no RPC002 noise.
+    report = lint_tree({CLUSTER: OPAQUE})
+    assert report.findings == []

@@ -1,7 +1,8 @@
-"""Inline suppression mechanics: reasons, aliases, targeting, SUP001."""
+"""Inline suppression mechanics: reasons, aliases, targeting, SUP001/2."""
 
 import textwrap
 
+from repro.analysis import run_paths
 from repro.analysis.core import parse_suppressions
 from repro.analysis.runner import check_file
 
@@ -88,3 +89,56 @@ def test_parse_suppressions_extracts_token_reason_target():
         ("unpicklable", "process-local", 1, 1)
     assert (second.token, second.reason, second.line, second.target_line) == \
         ("durability", "scratch file", 2, 3)
+
+
+def test_docstring_allow_examples_are_not_suppressions():
+    # Only genuine comment tokens count — a docstring quoting the
+    # syntax (as the checker modules themselves do) must not register.
+    source = textwrap.dedent('''\
+    """Suppress with ``# repro: allow-durability -- <reason>``."""
+
+    import os
+
+
+    def publish(a, b):
+        os.rename(a, b)  # repro: allow-durability -- scratch file
+    ''')
+    (only,) = parse_suppressions(source)
+    assert only.line == 7
+
+
+def run_tree(tmp_path, source):
+    target = tmp_path / "src" / "repro" / "serve" / "mod.py"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return run_paths(["src"], str(tmp_path), baseline=[])
+
+
+def test_unused_reasoned_suppression_yields_sup002(tmp_path):
+    report = run_tree(tmp_path, """\
+    def run(tokens):
+        # repro: allow-unordered -- nothing here needs this
+        return list(tokens)
+    """)
+    assert [f.code for f in report.findings] == ["SUP002"]
+    assert report.findings[0].line == 2
+    assert "matches no finding" in report.findings[0].message
+
+
+def test_used_suppression_yields_no_sup002(tmp_path):
+    report = run_tree(tmp_path, LOOP_TEMPLATE.format(
+        trailer="  # repro: allow-unordered -- membership only",
+        body="record(token)"))
+    assert report.findings == []
+    assert [f.code for f in report.suppressed] == ["DET001"]
+
+
+def test_sup001_still_wins_over_sup002_for_reasonless(tmp_path):
+    # A reasonless suppression that also matches nothing reports the
+    # missing reason (SUP001), not the staleness (SUP002).
+    report = run_tree(tmp_path, """\
+    def run(tokens):
+        # repro: allow-unordered
+        return list(tokens)
+    """)
+    assert [f.code for f in report.findings] == ["SUP001"]

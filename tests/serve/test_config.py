@@ -33,10 +33,17 @@ class TestValidation:
         {"specs": []},
         {"pruning": "sometimes"},
         {"pruning": ""},
+        {"attribute": ""},
+        {"host": ""},
+        {"port": -1},
+        {"port": 65536},
     ])
     def test_bad_values_raise_invalid_request(self, kwargs):
         with pytest.raises(InvalidRequest):
             ServeConfig(**kwargs).validate()
+
+    def test_port_zero_means_ephemeral_and_validates(self):
+        assert ServeConfig(port=0).validate().port == 0
 
     def test_invalid_request_is_a_value_error(self):
         with pytest.raises(ValueError):

@@ -5,6 +5,8 @@ import json
 import threading
 import urllib.request
 
+import pytest
+
 from repro.__main__ import main
 
 
@@ -116,7 +118,60 @@ class TestServe:
         assert "--max-candidates" in capsys.readouterr().err
 
 
+class TestServeKnobFlags:
+    def test_new_serve_knobs_parse_with_defaults(self):
+        from repro.__main__ import _build_parser
+
+        args = _build_parser().parse_args(["serve"])
+        assert args.missing == "skip"
+        assert args.cache_size == 1024
+        assert args.compact_ratio == 0.25
+        assert args.compact_min == 64
+
+    def test_new_serve_knobs_accept_overrides(self):
+        from repro.__main__ import _build_parser
+
+        args = _build_parser().parse_args(
+            ["serve", "--missing", "zero", "--cache-size", "0",
+             "--compact-ratio", "0.5", "--compact-min", "128"])
+        assert args.missing == "zero"
+        assert args.cache_size == 0
+        assert args.compact_ratio == 0.5
+        assert args.compact_min == 128
+
+    def test_missing_flag_rejects_unknown_policy(self, capsys):
+        from repro.__main__ import _build_parser
+
+        with pytest.raises(SystemExit):
+            _build_parser().parse_args(["serve", "--missing", "explode"])
+
+    def test_lint_subcommand_accepts_cache_flags(self):
+        from repro.__main__ import _build_parser
+
+        args = _build_parser().parse_args(
+            ["lint", "--cache", "scratch.json", "--no-cache"])
+        assert args.lint_cache == "scratch.json"
+        assert args.lint_no_cache is True
+
+
 class TestEngineFlags:
+    def test_n_shards_flag_configures_default_engine(self, capsys):
+        from repro.engine import get_default_engine, set_default_engine
+
+        try:
+            assert main(["--scale", "tiny", "--workers", "2",
+                         "--shard-blocking", "--n-shards", "3",
+                         "experiments", "table2"]) == 0
+            engine = get_default_engine()
+            assert engine.config.n_shards == 3
+            assert "Table 2" in capsys.readouterr().out
+        finally:
+            set_default_engine(None)
+
+    def test_n_shards_flag_rejects_non_positive(self, capsys):
+        assert main(["--n-shards", "0", "stats"]) == 2
+        assert "--n-shards" in capsys.readouterr().err
+
     def test_shard_blocking_flag_configures_default_engine(self, capsys):
         from repro.engine import get_default_engine, set_default_engine
 
