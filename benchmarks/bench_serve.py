@@ -41,6 +41,16 @@ since counters are deterministic.  The wall-clock gate — pruned p99
 batch latency grows sublinearly across the 10x sweep — applies only at
 full scale, where timings rise above noise.
 
+A fourth section gates observability overhead: the match workload
+runs with metrics + tracing off and on, interleaved, three rounds per
+mode; the best metrics-on p50 must stay within 5% of the best
+metrics-off p50 (full scale only — smoke timings are noise-bound) and
+both runs must produce identical correspondences (enforced
+everywhere).  It also drives a metrics-enabled sharded service over
+real HTTP and scrapes ``/v1/metrics``; set
+``REPRO_SERVE_METRICS_SNAPSHOT=/path`` to keep the scraped exposition
+(archived by CI next to ``BENCH_serve.json``).
+
 Run standalone with ``PYTHONPATH=src python benchmarks/bench_serve.py``
 or via pytest.  ``REPRO_SERVE_BENCH=small`` runs a quick smoke at
 reduced scale (all correctness gates, no perf gate — sub-second runs
@@ -52,11 +62,13 @@ see ``docs/benchmarks.md``.
 
 from __future__ import annotations
 
+import http.client
 import json
 import os
 import random
 import string
 import tempfile
+import threading
 import time
 from typing import List, Tuple
 
@@ -93,6 +105,11 @@ PRUNING_COUNTER_GROWTH_CEILING = 5.0
 #: at the largest scale the pruned path must skip most of the posting
 #: mass it would otherwise scan (the hub posting dominates it)
 PRUNING_TOUCHED_FRACTION_CEILING = 0.6
+#: metrics-on p50 batch latency must stay within this factor of the
+#: metrics-off p50 (best of OBSERVABILITY_ROUNDS interleaved rounds
+#: per mode; full scale only)
+OBSERVABILITY_P50_CEILING = 1.05
+OBSERVABILITY_ROUNDS = 3
 
 SCALAR_LABEL = "scalar online loop"
 SERVICE_LABEL = "match service (kernel-batched)"
@@ -469,6 +486,127 @@ def run_pruning_benchmark():
     return lines, measurements
 
 
+def _observability_run(reference, batches, observed):
+    """One match-only pass; returns (sorted rows, p50 seconds)."""
+    service = MatchService(reference, config=ServeConfig(
+        attribute="title", similarity=TrigramSimilarity(),
+        threshold=THRESHOLD, max_candidates=MAX_CANDIDATES,
+        cache_size=0, metrics=observed,
+        trace_sample_rate=1.0 if observed else 0.0))
+    rows = []
+    latencies = []
+    try:
+        service.match_batch(batches[0])  # warm-up
+        for batch in batches:
+            start = time.perf_counter()
+            mapping = service.match_batch(batch)
+            latencies.append(time.perf_counter() - start)
+            rows.extend(mapping.to_rows())
+    finally:
+        service.close()
+    return sorted(rows), _percentile(latencies, 0.50)
+
+
+def _scrape_metrics(reference, batches):
+    """Drive a metrics-enabled sharded service over real HTTP and
+    scrape ``/v1/metrics``; returns the exposition text."""
+    from repro.serve.http import build_server
+
+    with tempfile.TemporaryDirectory() as data_dir:
+        service = MatchService(reference, config=ServeConfig(
+            attribute="title", similarity=TrigramSimilarity(),
+            threshold=THRESHOLD, max_candidates=MAX_CANDIDATES,
+            shards=2, shard_processes=_fork_available(),
+            data_dir=data_dir, metrics=True, trace_sample_rate=1.0))
+        server = build_server(service, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        def request(method, path, body=None):
+            # one connection per request: the snapshot handler reads
+            # no body, so keep-alive reuse would desync the stream
+            connection = http.client.HTTPConnection(host, port, timeout=30)
+            try:
+                payload = (json.dumps(body).encode()
+                           if body is not None else None)
+                connection.request(method, path, body=payload,
+                                   headers={"Content-Type":
+                                            "application/json"})
+                return connection.getresponse().read().decode()
+            finally:
+                connection.close()
+
+        try:
+            records = [{"id": record.id,
+                        "attributes": dict(record.attributes)}
+                       for record in batches[0]]
+            request("POST", "/v1/match", {"records": records})
+            request("POST", "/v1/snapshot")
+            return request("GET", "/v1/metrics")
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            service.close()
+
+
+def run_observability_benchmark():
+    """Metrics/tracing overhead gate + a real-HTTP ``/v1/metrics``
+    scrape; returns (render lines, measurements)."""
+    reference, queries, _ = _build_workload()
+    n_batches = 6 if _small_mode() else 24
+    batches = [
+        [queries[(b * MATCH_BATCH + i) % len(queries)]
+         for i in range(MATCH_BATCH)]
+        for b in range(n_batches)
+    ]
+
+    # interleave the modes so drift (cache warmth, frequency scaling)
+    # hits both equally; keep the best p50 per mode
+    p50 = {False: [], True: []}
+    rows = {}
+    for _ in range(OBSERVABILITY_ROUNDS):
+        for observed in (False, True):
+            rows[observed], run_p50 = _observability_run(
+                reference, batches, observed)
+            p50[observed].append(run_p50)
+    off_p50, on_p50 = min(p50[False]), min(p50[True])
+    overhead = on_p50 / max(off_p50, 1e-9)
+    identical = rows[True] == rows[False]
+
+    exposition = _scrape_metrics(reference, batches)
+    families = sorted({line.split()[2] for line in exposition.splitlines()
+                       if line.startswith("# TYPE ")})
+    snapshot_path = os.environ.get("REPRO_SERVE_METRICS_SNAPSHOT")
+    if snapshot_path:
+        with open(snapshot_path, "w") as handle:
+            handle.write(exposition)
+
+    lines = [
+        f"observability: {n_batches * MATCH_BATCH} query records, "
+        f"metrics + tracing off vs on "
+        f"(best of {OBSERVABILITY_ROUNDS} interleaved rounds)",
+        f"  p50 off {off_p50 * 1000.0:6.1f}ms / "
+        f"on {on_p50 * 1000.0:6.1f}ms -> overhead x{overhead:.3f} "
+        f"(ceiling x{OBSERVABILITY_P50_CEILING})",
+        f"  /v1/metrics scrape: {len(exposition)} bytes, "
+        f"{len(families)} metric families"
+        + (f" -> {snapshot_path}" if snapshot_path else ""),
+        f"  identical correspondences: {identical}",
+    ]
+    measurements = {
+        "rounds": OBSERVABILITY_ROUNDS,
+        "p50_ms_off": off_p50 * 1000.0,
+        "p50_ms_on": on_p50 * 1000.0,
+        "overhead": overhead,
+        "overhead_ceiling": OBSERVABILITY_P50_CEILING,
+        "metric_families": families,
+        "exposition_bytes": len(exposition),
+        "identical_correspondences": identical,
+    }
+    return lines, measurements
+
+
 def run_serve_benchmark():
     """Execute the mixed workload both ways; return render + results."""
     reference, queries, ingest_pool = _build_workload()
@@ -531,6 +669,10 @@ def run_serve_benchmark():
     pruning_lines, pruning_measurements = run_pruning_benchmark()
     lines += pruning_lines
     measurements["pruning"] = pruning_measurements
+
+    obs_lines, obs_measurements = run_observability_benchmark()
+    lines += obs_lines
+    measurements["observability"] = obs_measurements
 
     json_path = os.environ.get("REPRO_SERVE_BENCH_JSON")
     if json_path:
@@ -623,6 +765,25 @@ def test_pruning_sweep_is_sublinear(report):
             f"x{PRUNING_P99_GROWTH_CEILING}")
 
 
+def test_observability_overhead_is_bounded(report):
+    _, results = _benchmark_results()
+    obs = results["observability"]
+    assert obs["identical_correspondences"], \
+        "metrics-on run disagrees with the metrics-off run"
+    assert any(family.startswith("repro_index_pruning_")
+               for family in obs["metric_families"])
+    assert any(family.startswith("repro_wal_")
+               for family in obs["metric_families"])
+    assert "repro_cluster_round_seconds" in obs["metric_families"]
+    assert "repro_service_batch_size" in obs["metric_families"]
+    assert "repro_service_cache_misses_total" in obs["metric_families"]
+    if not _small_mode():
+        # perf gate only at full scale: smoke p50s are noise-bound
+        assert obs["overhead"] <= OBSERVABILITY_P50_CEILING, (
+            f"metrics-on p50 is x{obs['overhead']:.3f} the metrics-off "
+            f"p50; ceiling x{OBSERVABILITY_P50_CEILING}")
+
+
 if __name__ == "__main__":
     rendered, results = run_serve_benchmark()
     print(rendered)
@@ -667,6 +828,14 @@ if __name__ == "__main__":
         raise SystemExit(
             f"FAIL: pruned p99 grew x{pruning['p99_growth']:.2f} "
             f"across the 10x sweep")
+    obs = results["observability"]
+    if not obs["identical_correspondences"]:
+        raise SystemExit(
+            "FAIL: metrics-on run disagrees with the metrics-off run")
+    if not _small_mode() and obs["overhead"] > OBSERVABILITY_P50_CEILING:
+        raise SystemExit(
+            f"FAIL: metrics-on p50 is x{obs['overhead']:.3f} the "
+            f"metrics-off p50")
     print(f"OK: kernel-batched service beats the scalar online loop "
           f"{results['service_vs_scalar']:.2f}x on the mixed workload, "
           f"identical correspondences; cluster bit-identical across "

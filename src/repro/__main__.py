@@ -66,6 +66,11 @@ def _build_parser() -> argparse.ArgumentParser:
                              "their cost estimates are skewed — replaces "
                              "hand-set --chunk-size/--shard-blocking/"
                              "--balance-shards; identical results")
+    parser.add_argument("--profile", action="store_true",
+                        help="record per-stage engine timings (prepare, "
+                             "chunk scoring, shard durations) into "
+                             "engine.last_profile; pure observation, "
+                             "identical results")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("stats", help="print dataset statistics")
@@ -139,6 +144,19 @@ def _build_parser() -> argparse.ArgumentParser:
                             "on posting skew (auto), force it, or keep "
                             "the exhaustive bincount path; results are "
                             "bit-identical either way (default: auto)")
+    serve.add_argument("--metrics", action="store_true",
+                       help="enable the observability subsystem: GET "
+                            "/v1/metrics (Prometheus text format), "
+                            "request tracing and structured JSON logs; "
+                            "match results stay bit-identical")
+    serve.add_argument("--trace-sample-rate", type=float, default=0.0,
+                       help="with --metrics: fraction of requests to "
+                            "trace, deterministic accumulator sampling "
+                            "(default: 0.0 = no traces, 1.0 = all)")
+    serve.add_argument("--slow-query-ms", type=float, default=0.0,
+                       help="with --metrics: log a slow_query event for "
+                            "scoring batches slower than this many "
+                            "milliseconds (default: 0 = disabled)")
 
     lint = subparsers.add_parser(
         "lint", help="run the repo-specific static analysis checkers")
@@ -296,7 +314,10 @@ def _command_serve(args) -> int:
         compact_ratio=args.compact_ratio, compact_min=args.compact_min,
         shards=args.shards, data_dir=args.data_dir,
         pruning=args.pruning,
-        host=args.host, port=args.port)
+        host=args.host, port=args.port,
+        metrics=args.metrics,
+        trace_sample_rate=args.trace_sample_rate,
+        slow_query_ms=args.slow_query_ms)
 
     restoring = (args.data_dir is not None and
                  partition_layout.read_manifest(args.data_dir) is not None)
@@ -320,7 +341,9 @@ def _command_serve(args) -> int:
               f"{args.similarity} @ {args.threshold}, {topology}) "
               f"on http://{host}:{port}")
         print("endpoints: POST /v1/match /v1/ingest /v1/delete "
-              "/v1/snapshot · GET /v1/stats /v1/healthz · Ctrl-C to stop")
+              "/v1/snapshot · GET /v1/stats /v1/healthz"
+              + (" /v1/metrics" if config.metrics else "")
+              + " · Ctrl-C to stop")
 
     try:
         serve(service, config.host, config.port, ready=ready)
@@ -370,7 +393,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                              shard_blocking=args.shard_blocking,
                              n_shards=args.n_shards,
                              balance_shards=args.balance_shards,
-                             auto=args.auto)
+                             auto=args.auto, profile=args.profile)
     if args.command == "stats":
         return _command_stats(args)
     if args.command == "experiments":

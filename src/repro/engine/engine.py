@@ -42,6 +42,7 @@ from repro.engine.chunks import AdaptiveChunker, iter_chunks
 from repro.engine.request import MatchRequest
 from repro.engine.scorer import ChunkScorer
 from repro.engine.vectorized import IndexedScorer
+from repro.obs.registry import percentile as obs_percentile
 
 Pair = Tuple[str, str]
 Triple = Tuple[str, str, float]
@@ -135,6 +136,12 @@ class EngineConfig:
     #: balancing.  Results are identical either way — every knob the
     #: autotuner moves is a pure performance knob.
     auto: bool = False
+    #: record per-stage timings (prepare / chunk scoring / shard
+    #: durations) into ``engine.last_profile`` (CLI ``--profile``).
+    #: Reuses the same timed task variants the ``auto`` chunker
+    #: already runs, so the scored payloads — and therefore the
+    #: results — are identical with profiling on or off.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.workers is None:
@@ -190,6 +197,9 @@ class BatchMatchEngine:
         #: (:func:`repro.engine.shards.adapt_n_shards`); a pure
         #: performance knob, results are identical for every count
         self._adapted_n_shards: Optional[int] = None
+        #: per-stage timings of the last run (``config.profile`` only;
+        #: see :meth:`profile_summary`)
+        self.last_profile: Optional[dict] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"BatchMatchEngine(workers={self.config.workers}, "
@@ -199,12 +209,24 @@ class BatchMatchEngine:
 
     def execute(self, request: MatchRequest) -> Mapping:
         """Run ``request`` and return its same-mapping."""
+        profiling = self.config.profile
+        self.last_profile = None
+        if profiling:
+            self.last_profile = {"path": None, "prepare_seconds": 0.0,
+                                 "chunks": 0, "chunk_items": [],
+                                 "chunk_seconds": [],
+                                 "shard_seconds": []}
+        begun = time.perf_counter() if profiling else 0.0
         self._prepare(request)
+        if profiling:
+            self.last_profile["prepare_seconds"] = \
+                time.perf_counter() - begun
         result = Mapping(request.domain.name, request.range.name,
                          kind=MappingKind.SAME, name=request.name)
         if self.config.shard_blocking or self.config.auto:
             from repro.engine import shards as shards_module
             if shards_module.execute_sharded(self, request, result):
+                self._profile_path("sharded")
                 return result
             # not shardable (explicit candidates / foreign blocking
             # object): continue on the streamed paths below
@@ -217,23 +239,61 @@ class BatchMatchEngine:
                                  self.config.chunk_size)
         indexed = self._try_indexed(request)
         if indexed is not None:
+            self._profile_path("indexed")
             self._run_indexed(indexed, chunks, result, is_self)
             return result
         scorer = ChunkScorer(request)
         if self.config.workers > 1:
             executed = self._execute_parallel(scorer, chunks, result, is_self)
             if executed:
+                self._profile_path("parallel")
                 return result
             # fell back (pool unavailable); continue serially below with
             # whatever chunks the parallel path did not consume.
+        self._profile_path("serial")
         adaptive = chunks if isinstance(chunks, AdaptiveChunker) else None
+        timed = adaptive is not None or profiling
         for chunk in chunks:
-            start = time.perf_counter() if adaptive else 0.0
+            start = time.perf_counter() if timed else 0.0
             triples = scorer.score_chunk(chunk)
-            if adaptive:
-                adaptive.observe(len(chunk), time.perf_counter() - start)
+            if timed:
+                seconds = time.perf_counter() - start
+                if adaptive:
+                    adaptive.observe(len(chunk), seconds)
+                self._profile_chunk(len(chunk), seconds)
             self._merge(result, triples, is_self)
         return result
+
+    # -- profiling -----------------------------------------------------
+
+    def _profile_path(self, path: str) -> None:
+        if self.last_profile is not None:
+            self.last_profile["path"] = path
+
+    def _profile_chunk(self, items: int, seconds: float) -> None:
+        profile = self.last_profile
+        if profile is not None:
+            profile["chunks"] += 1
+            profile["chunk_items"].append(items)
+            profile["chunk_seconds"].append(seconds)
+
+    def profile_summary(self) -> Optional[dict]:
+        """Per-stage summary of the last run (``None`` unless the
+        engine ran with ``EngineConfig(profile=True)``)."""
+        profile = self.last_profile
+        if profile is None:
+            return None
+        chunk_seconds = profile["chunk_seconds"]
+        shard_seconds = profile["shard_seconds"]
+        return {
+            "path": profile["path"],
+            "prepare_seconds": profile["prepare_seconds"],
+            "chunks": profile["chunks"],
+            "score_seconds": sum(chunk_seconds) + sum(shard_seconds),
+            "chunk_p50_seconds": obs_percentile(chunk_seconds, 0.50),
+            "chunk_p99_seconds": obs_percentile(chunk_seconds, 0.99),
+            "shards": len(shard_seconds),
+        }
 
     def _try_indexed(self, request: MatchRequest) -> Optional[IndexedScorer]:
         """Build the vectorized fast path when the request is eligible.
@@ -369,9 +429,10 @@ class BatchMatchEngine:
         """
         workers = self.config.workers
         adaptive = chunks if isinstance(chunks, AdaptiveChunker) else None
+        timed = adaptive is not None or self.config.profile
         if workers > 1 and "fork" in multiprocessing.get_all_start_methods():
             context = multiprocessing.get_context("fork")
-            task = (vectorized._score_rows_task_timed if adaptive
+            task = (vectorized._score_rows_task_timed if timed
                     else vectorized._score_rows_task)
             vectorized._install_indexed(indexed)
             pending: deque = deque()
@@ -379,9 +440,11 @@ class BatchMatchEngine:
             def drain() -> None:
                 future, items = pending.popleft()
                 payload = future.result()
-                if adaptive:
+                if timed:
                     seconds, survivors = payload
-                    adaptive.observe(items, seconds)
+                    if adaptive:
+                        adaptive.observe(items, seconds)
+                    self._profile_chunk(items, seconds)
                 else:
                     survivors = payload
                 self._merge(result, indexed.triples(*survivors), is_self)
@@ -400,11 +463,14 @@ class BatchMatchEngine:
                 vectorized._install_indexed(None)
             return
         for chunk in chunks:
-            start = time.perf_counter() if adaptive else 0.0
+            start = time.perf_counter() if timed else 0.0
             rows_a, rows_b = indexed.convert(chunk)
             survivors = indexed.score_rows(rows_a, rows_b)
-            if adaptive:
-                adaptive.observe(len(chunk), time.perf_counter() - start)
+            if timed:
+                seconds = time.perf_counter() - start
+                if adaptive:
+                    adaptive.observe(len(chunk), seconds)
+                self._profile_chunk(len(chunk), seconds)
             self._merge(result, indexed.triples(*survivors), is_self)
 
     # -- parallel path -------------------------------------------------
@@ -434,7 +500,8 @@ class BatchMatchEngine:
                 return False
             initializer, initargs = scorer_module._install_scorer, (scorer,)
         adaptive = chunks if isinstance(chunks, AdaptiveChunker) else None
-        task = (scorer_module._score_chunk_task_timed if adaptive
+        timed = adaptive is not None or self.config.profile
+        task = (scorer_module._score_chunk_task_timed if timed
                 else scorer_module._score_chunk_task)
         scorer_module._install_scorer(scorer)
         pending: deque = deque()
@@ -442,9 +509,11 @@ class BatchMatchEngine:
         def drain() -> None:
             future, items = pending.popleft()
             payload = future.result()
-            if adaptive:
+            if timed:
                 seconds, triples = payload
-                adaptive.observe(items, seconds)
+                if adaptive:
+                    adaptive.observe(items, seconds)
+                self._profile_chunk(items, seconds)
             else:
                 triples = payload
             self._merge(result, triples, is_self)
@@ -494,7 +563,8 @@ def configure_default_engine(*, workers: Optional[int] = None,
                              shard_blocking: bool = False,
                              n_shards: Optional[int] = None,
                              balance_shards: bool = False,
-                             auto: bool = False) -> BatchMatchEngine:
+                             auto: bool = False,
+                             profile: bool = False) -> BatchMatchEngine:
     """Build and install the process default engine; returns it.
 
     ``workers=None`` leaves the pool size to :class:`EngineConfig`:
@@ -506,6 +576,7 @@ def configure_default_engine(*, workers: Optional[int] = None,
                                            shard_blocking=shard_blocking,
                                            n_shards=n_shards,
                                            balance_shards=balance_shards,
-                                           auto=auto))
+                                           auto=auto,
+                                           profile=profile))
     set_default_engine(engine)
     return engine

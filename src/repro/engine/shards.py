@@ -640,6 +640,7 @@ def execute_sharded(engine: "BatchMatchEngine", request: MatchRequest,
         return True  # no candidates at all: the empty mapping is correct
     indexed = runner.indexed
     adaptive = config.auto and config.n_shards is None
+    timed = adaptive or config.profile
     durations: List[float] = []
 
     def merge_payload(payload) -> None:
@@ -652,6 +653,8 @@ def execute_sharded(engine: "BatchMatchEngine", request: MatchRequest,
             adapted = adapt_n_shards(len(shards), durations, config.workers)
             if adapted is not None:
                 engine._adapted_n_shards = adapted
+        if engine.last_profile is not None:
+            engine.last_profile["shard_seconds"] = list(durations)
 
     workers = min(config.workers, len(shards))
     if workers == 1:
@@ -664,7 +667,7 @@ def execute_sharded(engine: "BatchMatchEngine", request: MatchRequest,
         return True
 
     context = multiprocessing.get_context("fork")
-    task = _run_shard_task_timed if adaptive else _run_shard_task
+    task = _run_shard_task_timed if timed else _run_shard_task
     _install_runner(runner)
     pending: deque = deque()
     try:
@@ -674,7 +677,7 @@ def execute_sharded(engine: "BatchMatchEngine", request: MatchRequest,
                 pending.append(pool.submit(task, index))
             while pending:
                 payload = pending.popleft().result()
-                if adaptive:
+                if timed:
                     seconds, payload = payload
                     durations.append(seconds)
                 merge_payload(payload)

@@ -1,0 +1,78 @@
+"""Structured JSON line logging for the serving tier.
+
+One event per line, one JSON object per event, keys sorted — so logs
+are grep-able, machine-parseable and deterministic in shape.  This
+replaces the two failure modes the tier had before: silent paths
+(``MatchServiceHandler.log_message`` swallowed every access line)
+and raw ``BaseHTTPRequestHandler`` stderr chatter (what the stdlib
+does by default).
+
+A :class:`StructuredLogger` writes to an injectable stream (stderr
+by default; tests inject ``io.StringIO`` to stay silent and assert
+on content) and never raises out of the logging call — an
+observability failure must not fail the request being observed.
+
+The slow-query log is just an event (``"slow_query"``) emitted by
+the service when a scoring batch exceeds ``ServeConfig.
+slow_query_ms``; gating lives at the call site, formatting here.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import IO, Optional
+
+_LEVELS = ("debug", "info", "warning", "error")
+
+
+class StructuredLogger:
+    """JSON-lines logger bound to a name and an output stream."""
+
+    def __init__(self, name: str,
+                 stream: Optional[IO[str]] = None) -> None:
+        self.name = name
+        #: swap to redirect (tests use io.StringIO); None = stderr
+        self.stream = stream
+        self._lock = threading.Lock()
+
+    def _target(self) -> IO[str]:
+        return self.stream if self.stream is not None else sys.stderr
+
+    def log(self, event: str, level: str = "info",
+            **fields: object) -> None:
+        """Emit one event line; never raises into the caller."""
+        if level not in _LEVELS:
+            level = "info"
+        record = dict(fields)
+        record["ts"] = round(time.time(), 6)
+        record["level"] = level
+        record["logger"] = self.name
+        record["event"] = event
+        try:
+            line = json.dumps(record, sort_keys=True, default=str)
+            with self._lock:
+                target = self._target()
+                target.write(line + "\n")
+                target.flush()
+        except Exception:  # pragma: no cover - logging must not fail
+            pass
+
+    # convenience levels ------------------------------------------------
+
+    def info(self, event: str, **fields: object) -> None:
+        self.log(event, level="info", **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self.log(event, level="warning", **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self.log(event, level="error", **fields)
+
+
+def get_logger(name: str,
+               stream: Optional[IO[str]] = None) -> StructuredLogger:
+    """Build a logger; each owner holds its own (no global state)."""
+    return StructuredLogger(name, stream=stream)

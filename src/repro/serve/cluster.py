@@ -62,11 +62,13 @@ import pickle
 import signal
 import socket
 import struct
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.request import AttributeSpec
 from repro.model.entity import ObjectInstance
 from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+from repro.obs import trace as obs_trace
 from repro.serve import partition as partition_layout
 from repro.serve.errors import ShardUnavailable, SnapshotUnavailable
 from repro.serve.index import IncrementalIndex
@@ -374,6 +376,33 @@ class ShardBackend:
         return {"triples": self.index.score_pairs(
             records, list(pairs), threshold=threshold)}
 
+    def _observed(self, name: str, trace: Optional[dict],
+                  operation: Callable[[], dict]) -> dict:
+        """Run a scoring handler; attach a span when the op is traced.
+
+        The handler runs identically either way — timing is pure
+        observation — and untraced responses carry no extra keys, so
+        response frames stay byte-identical with tracing off.
+        """
+        start = time.time()
+        begun = time.perf_counter()
+        response = operation()
+        if trace is not None:
+            response["span"] = obs_trace.shard_span(
+                trace, f"shard.{name}", self.shard_id, start,
+                time.perf_counter() - begun)
+        return response
+
+    def metrics(self) -> dict:
+        """Cumulative per-shard timing counters (registry pull)."""
+        return {
+            "shard": self.shard_id,
+            "index": self.index.timing_counters(),
+            "pruning": self.index.pruning_counters(),
+            "wal": (self.wal.timing_counters()
+                    if self.wal is not None else None),
+        }
+
     # -- persistence ---------------------------------------------------
 
     def write_base(self) -> int:
@@ -430,14 +459,21 @@ class ShardBackend:
 
     def handle(self, op: str, payload: dict):
         if op == "match":
-            return self.match(payload["records"], payload["threshold"])
+            return self._observed(
+                "match", payload.get("trace"),
+                lambda: self.match(payload["records"],
+                                   payload["threshold"]))
         if op == "candidates":
-            return self.candidates(payload["records"],
-                                   payload["max_candidates"],
-                                   payload.get("weights"))
+            return self._observed(
+                "candidates", payload.get("trace"),
+                lambda: self.candidates(payload["records"],
+                                        payload["max_candidates"],
+                                        payload.get("weights")))
         if op == "score":
-            return self.score(payload["records"], payload["pairs"],
-                              payload["threshold"])
+            return self._observed(
+                "score", payload.get("trace"),
+                lambda: self.score(payload["records"], payload["pairs"],
+                                   payload["threshold"]))
         if op == "mutate":
             kind = payload["kind"]
             if kind == "add":
@@ -458,6 +494,8 @@ class ShardBackend:
             return None
         if op == "checkpoint":
             return self.checkpoint()
+        if op == "metrics":
+            return self.metrics()
         raise ValueError(f"unknown shard op {op!r}")
 
     def close(self) -> None:
@@ -622,6 +660,8 @@ class ClusterIndex:
         self._id_gseq: Dict[str, int] = {}
         self._token_df: Dict[str, int] = {}
         self._compaction_listeners: List[Callable[[], None]] = []
+        #: repro.obs registry for per-shard round latencies (optional)
+        self._metrics = None
         for shard_id, shard in enumerate(self._shards):
             state = shard.call("state", {})
             for id, gseq in state["ids"]:
@@ -826,6 +866,35 @@ class ClusterIndex:
             source.add(instance)
         return source
 
+    # -- observability -------------------------------------------------
+
+    def set_metrics(self, registry) -> None:
+        """Attach a :class:`repro.obs.MetricsRegistry` for round
+        latencies; ``None`` (the default) keeps matching unobserved."""
+        self._metrics = registry
+
+    def _observe_round(self, round_name: str, shard_id: int,
+                       seconds: float) -> None:
+        if self._metrics is None:
+            return
+        self._metrics.histogram(
+            "repro_cluster_round_seconds",
+            "Per-shard scatter-gather round latency (scatter start to "
+            "shard response).",
+            labels={"round": round_name, "shard": shard_id},
+        ).observe(seconds)
+
+    def shard_metrics(self) -> List[dict]:
+        """Per-shard timing counters (the registry's collector pull).
+
+        Callers must hold whatever lock serializes matching on this
+        cluster — :class:`FrameChannel` transports are not
+        thread-safe.
+        """
+        for shard in self._shards:
+            shard.send("metrics", {})
+        return [shard.receive() for shard in self._shards]
+
     # -- matching ------------------------------------------------------
 
     def match_records(self, records: Sequence[ObjectInstance], *,
@@ -846,11 +915,16 @@ class ClusterIndex:
         records = list(records)
         attribute = self.specs[0].attribute
         results: List[Result] = []
+        trace = obs_trace.current_trace()
         if max_candidates is None:
-            payload = {"records": records, "threshold": threshold}
-            for shard in self._shards:
-                shard.send("match", payload)
-            responses = [shard.receive() for shard in self._shards]
+            with obs_trace.span("cluster.match"):
+                wire = trace.wire_context() if trace is not None else None
+                payload = {"records": records, "threshold": threshold,
+                           "trace": wire}
+                begun = time.perf_counter()
+                for shard in self._shards:
+                    shard.send("match", payload)
+                responses = self._gather("match", begun, trace)
             for position in range(len(records)):
                 merged: Result = []
                 for response in responses:
@@ -861,11 +935,15 @@ class ClusterIndex:
         weights = [self._weight_map(str(record.get(attribute)))
                    if record.get(attribute) is not None else None
                    for record in records]
-        payload = {"records": records, "max_candidates": max_candidates,
-                   "weights": weights}
-        for shard in self._shards:
-            shard.send("candidates", payload)
-        responses = [shard.receive() for shard in self._shards]
+        with obs_trace.span("cluster.candidates"):
+            wire = trace.wire_context() if trace is not None else None
+            payload = {"records": records,
+                       "max_candidates": max_candidates,
+                       "weights": weights, "trace": wire}
+            begun = time.perf_counter()
+            for shard in self._shards:
+                shard.send("candidates", payload)
+            responses = self._gather("candidates", begun, trace)
         shard_pairs: List[List[Tuple[int, str]]] = [
             [] for _ in self._shards]
         for position in range(len(records)):
@@ -878,19 +956,44 @@ class ClusterIndex:
                 shard_pairs[shard_id].append((position, id))
         active = [shard_id for shard_id, pairs in enumerate(shard_pairs)
                   if pairs]
-        for shard_id in active:
-            self._shards[shard_id].send(
-                "score", {"records": records,
-                          "pairs": shard_pairs[shard_id],
-                          "threshold": threshold})
         results = [[] for _ in records]
-        for shard_id in active:
-            response = self._shards[shard_id].receive()
-            for position, reference_id, score in response["triples"]:
-                results[position].append((reference_id, score))
+        with obs_trace.span("cluster.score"):
+            wire = trace.wire_context() if trace is not None else None
+            begun = time.perf_counter()
+            for shard_id in active:
+                self._shards[shard_id].send(
+                    "score", {"records": records,
+                              "pairs": shard_pairs[shard_id],
+                              "threshold": threshold, "trace": wire})
+            for response in self._gather("score", begun, trace,
+                                         shard_ids=active):
+                for position, reference_id, score in response["triples"]:
+                    results[position].append((reference_id, score))
         for matched in results:
             matched.sort(key=lambda item: (-item[1], item[0]))
         return results
+
+    def _gather(self, round_name: str, begun: float,
+                trace: Optional[obs_trace.TraceContext],
+                shard_ids: Optional[Sequence[int]] = None) -> List[dict]:
+        """Collect one scatter round's responses in shard order.
+
+        Observes each shard's elapsed time since the scatter began and
+        folds shard-returned spans into the active trace; both are
+        pure observation — responses come back in the same
+        deterministic shard order as before.
+        """
+        if shard_ids is None:
+            shard_ids = range(len(self._shards))
+        responses = []
+        for shard_id in shard_ids:
+            response = self._shards[shard_id].receive()
+            self._observe_round(round_name, shard_id,
+                                time.perf_counter() - begun)
+            if trace is not None:
+                trace.add_span(response.get("span"))
+            responses.append(response)
+        return responses
 
     # -- maintenance ---------------------------------------------------
 

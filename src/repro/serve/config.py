@@ -55,6 +55,15 @@ class ServeConfig:
 
     HTTP
         ``host`` / ``port`` for ``repro serve``.
+
+    Observability
+        ``metrics`` switches the whole subsystem on (registry +
+        ``/v1/metrics``, tracing, structured logs — all pure
+        observation, match results stay bit-identical);
+        ``trace_sample_rate`` admits that fraction of requests to
+        per-request tracing (deterministic accumulator, no
+        randomness); ``slow_query_ms`` > 0 logs a ``slow_query``
+        event for scoring batches slower than the threshold.
     """
 
     attribute: str = "title"
@@ -87,6 +96,9 @@ class ServeConfig:
     data_dir: Optional[str] = None
     host: str = "127.0.0.1"
     port: int = 8765
+    metrics: bool = False
+    trace_sample_rate: float = 0.0
+    slow_query_ms: float = 0.0
     #: metadata, not a knob: set by validate() so downstream code can
     #: tell an explicit shards=0 from "data_dir implied one shard"
     _implied_shard: bool = field(default=False, repr=False, compare=False)
@@ -127,6 +139,13 @@ class ServeConfig:
                 f"got {self.pruning!r}")
         if self.shards < 0:
             raise InvalidRequest("shards must be >= 0")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise InvalidRequest(
+                f"trace_sample_rate must be in [0, 1], "
+                f"got {self.trace_sample_rate!r}")
+        if self.slow_query_ms < 0:
+            raise InvalidRequest("slow_query_ms must be >= 0 "
+                                 "(0 disables the slow-query log)")
         if self.specs is not None and not self.specs:
             raise InvalidRequest("specs must be a non-empty list")
         if self.specs is not None and len(self.specs) > 1 \

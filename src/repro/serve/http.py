@@ -16,7 +16,14 @@ path          method  body / response
                       backends with a data dir) → the manifest
 /v1/stats     GET     full service statistics
 /v1/healthz   GET     liveness probe with the live record count
+/v1/metrics   GET     Prometheus text exposition (404 when the
+                      service runs with ``metrics=False``)
 ============  ======  ================================================
+
+Every response carries an ``X-Request-Id`` header — the client's own
+header echoed back, or a server-minted id — and error envelopes
+repeat it as ``error.request_id``.  With ``ServeConfig(metrics=True)``
+the id doubles as the trace id for request tracing.
 
 Records travel as ``{"id": str, "attributes": {name: value}}``; a
 single record may be passed as ``{"record": {...}}``.
@@ -34,11 +41,15 @@ release.
 
 from __future__ import annotations
 
+import contextlib
+import itertools
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.model.entity import ObjectInstance
+from repro.obs import trace as obs_trace
 from repro.serve.errors import InvalidRequest, error_code_for
 from repro.serve.service import MatchService
 
@@ -46,6 +57,14 @@ API_PREFIX = "/v1"
 
 #: pre-v1 paths that 301 to their versioned successor for one release
 _LEGACY_PATHS = {"/match", "/ingest", "/delete", "/stats", "/healthz"}
+
+#: endpoints that may label metrics (bounds label cardinality)
+_KNOWN_PATHS = {f"{API_PREFIX}/{name}" for name in
+                ("match", "ingest", "delete", "snapshot", "stats",
+                 "healthz", "metrics")}
+
+#: deterministic request-id mint (no randomness; unique per process)
+_request_ids = itertools.count(1)
 
 
 def _parse_record(payload: object) -> ObjectInstance:
@@ -79,13 +98,65 @@ class MatchServiceHandler(BaseHTTPRequestHandler):
     # -- plumbing ------------------------------------------------------
 
     def log_message(self, format: str, *args: object) -> None:
-        """Silence the default stderr chatter (tests and CLI both)."""
+        """Route access lines through the structured logger.
+
+        Silent when observability is off (the pre-obs behaviour tests
+        rely on); either way the stdlib's raw stderr chatter is gone.
+        """
+        logger = getattr(self.service, "logger", None)
+        if logger is not None:
+            logger.info("http_access", client=self.client_address[0],
+                        request_id=getattr(self, "request_id", None),
+                        line=format % args)
+
+    def _begin_request(self) -> None:
+        """Adopt the client's ``X-Request-Id`` or mint one.
+
+        The id doubles as the trace id and is echoed on every
+        response, so a client can correlate its call with server-side
+        logs, traces and error envelopes.
+        """
+        supplied = self.headers.get("X-Request-Id")
+        self.request_id = supplied or f"req-{next(_request_ids)}"
+
+    @contextlib.contextmanager
+    def _observed_request(self) -> Iterator[None]:
+        """Trace + time one request (no-op when observability is off)."""
+        tracer = getattr(self.service, "tracer", None)
+        metrics = getattr(self.service, "metrics", None)
+        if tracer is None and metrics is None:
+            yield
+            return
+        context = tracer.begin(self.request_id) if tracer else None
+        begun = time.perf_counter()
+        try:
+            with obs_trace.activate(context):
+                with obs_trace.span(f"http.{self.command.lower()}"):
+                    yield
+        finally:
+            elapsed = time.perf_counter() - begun
+            if tracer is not None:
+                tracer.finish(context)
+            if metrics is not None:
+                path = self.path if self.path in _KNOWN_PATHS else "other"
+                metrics.counter(
+                    "repro_http_requests_total",
+                    "HTTP requests by endpoint and method.",
+                    labels={"path": path, "method": self.command}).inc()
+                metrics.histogram(
+                    "repro_http_request_seconds",
+                    "HTTP request latency by endpoint (seconds).",
+                    labels={"path": path, "method": self.command},
+                ).observe(elapsed)
 
     def _respond(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "request_id", None)
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -95,8 +166,32 @@ class MatchServiceHandler(BaseHTTPRequestHandler):
         if isinstance(error, KeyError) and message.startswith("'"):
             # KeyError reprs its argument; unwrap for the envelope
             message = message.strip("'")
-        self._respond(status, {"error": {"code": code,
-                                         "message": message}})
+        envelope = {"code": code, "message": message}
+        request_id = getattr(self, "request_id", None)
+        if request_id:
+            envelope["request_id"] = request_id
+        self._respond(status, {"error": envelope})
+
+    def _respond_metrics(self) -> None:
+        """Serve the Prometheus text exposition (``/v1/metrics``)."""
+        metrics = getattr(self.service, "metrics", None)
+        if metrics is None:
+            self._respond(404, {"error": {
+                "code": "not_found",
+                "message": "metrics disabled; start the service with "
+                           "ServeConfig(metrics=True)",
+                "request_id": getattr(self, "request_id", None)}})
+            return
+        body = metrics.render().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "request_id", None)
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
+        self.end_headers()
+        self.wfile.write(body)
 
     def _redirect_legacy(self, path: str) -> None:
         target = API_PREFIX + path
@@ -132,37 +227,47 @@ class MatchServiceHandler(BaseHTTPRequestHandler):
     # -- endpoints -----------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._begin_request()
         if self.path in _LEGACY_PATHS:
             self._redirect_legacy(self.path)
             return
-        try:
-            if self.path == f"{API_PREFIX}/healthz":
-                self._respond(200, {"status": "ok",
-                                    "records": len(self.service.index)})
-            elif self.path == f"{API_PREFIX}/stats":
-                self._respond(200, self.service.stats())
-            else:
-                self._not_found()
-        except Exception as error:  # envelope every failure
-            self._respond_error(error)
+        with self._observed_request():
+            try:
+                if self.path == f"{API_PREFIX}/healthz":
+                    self._respond(
+                        200, {"status": "ok",
+                              "records": len(self.service.index)})
+                elif self.path == f"{API_PREFIX}/stats":
+                    self._respond(200, self.service.stats())
+                elif self.path == f"{API_PREFIX}/metrics":
+                    self._respond_metrics()
+                else:
+                    self._not_found()
+            except Exception as error:  # envelope every failure
+                self._respond_error(error)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._begin_request()
         if self.path in _LEGACY_PATHS:
             self._redirect_legacy(self.path)
             return
-        try:
-            if self.path == f"{API_PREFIX}/match":
-                self._respond(200, self._handle_match(self._read_body()))
-            elif self.path == f"{API_PREFIX}/ingest":
-                self._respond(200, self._handle_ingest(self._read_body()))
-            elif self.path == f"{API_PREFIX}/delete":
-                self._respond(200, self._handle_delete(self._read_body()))
-            elif self.path == f"{API_PREFIX}/snapshot":
-                self._respond(200, self.service.snapshot())
-            else:
-                self._not_found()
-        except Exception as error:
-            self._respond_error(error)
+        with self._observed_request():
+            try:
+                if self.path == f"{API_PREFIX}/match":
+                    self._respond(200,
+                                  self._handle_match(self._read_body()))
+                elif self.path == f"{API_PREFIX}/ingest":
+                    self._respond(200,
+                                  self._handle_ingest(self._read_body()))
+                elif self.path == f"{API_PREFIX}/delete":
+                    self._respond(200,
+                                  self._handle_delete(self._read_body()))
+                elif self.path == f"{API_PREFIX}/snapshot":
+                    self._respond(200, self.service.snapshot())
+                else:
+                    self._not_found()
+            except Exception as error:
+                self._respond_error(error)
 
     def _handle_match(self, body: dict) -> dict:
         records = _parse_records(body)

@@ -60,6 +60,7 @@ makes it worthwhile; ``"always"``/``"never"`` force either path.
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_left
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -488,6 +489,11 @@ class IncrementalIndex:
             "postings_touched": 0, "postings_skipped": 0,
             "membership_probes": 0, "prefilter_skipped": 0,
         }
+        #: cumulative scoring-call timings (repro.obs pulls these at
+        #: scrape time; pure observation, results are unaffected)
+        self._timing_counters: Dict[str, float] = {
+            "match_calls": 0, "match_seconds": 0.0,
+        }
         self._physical = reference.physical
         self._object_type = reference.object_type
         self.name = reference.name
@@ -758,6 +764,15 @@ class IncrementalIndex:
         scoring.
         """
         return dict(self._pruning_counters)
+
+    def timing_counters(self) -> Dict[str, float]:
+        """Cumulative scoring-call timings for the metrics registry.
+
+        Kept out of :meth:`stats` deliberately: stats snapshots must
+        be byte-stable across snapshot/restore, and wall-clock totals
+        are not.
+        """
+        return dict(self._timing_counters)
 
     # -- snapshot export / import --------------------------------------
 
@@ -1209,6 +1224,7 @@ class IncrementalIndex:
         threshold filter all stay in integer arrays; id strings are
         materialized only for surviving correspondences.
         """
+        begun = time.perf_counter()
         attribute = self.specs[0].attribute
         results: List[List[Tuple[str, float]]] = [[] for _ in records]
         kernelized = _np is not None and any(
@@ -1229,6 +1245,9 @@ class IncrementalIndex:
             results[position].append((reference_id, score))
         for result in results:
             result.sort(key=lambda item: (-item[1], item[0]))
+        self._timing_counters["match_calls"] += 1
+        self._timing_counters["match_seconds"] += \
+            time.perf_counter() - begun
         return results
 
     def _match_records_kernel(self, records, threshold: float,

@@ -28,6 +28,7 @@ its whole architecture around *reusing* materialized mappings (§2.2).
 from __future__ import annotations
 
 import threading
+import time
 import warnings
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -37,6 +38,9 @@ from repro.core.mapping import Mapping, MappingKind
 from repro.model.entity import ObjectInstance
 from repro.model.repository import MappingRepository
 from repro.model.source import LogicalSource
+from repro.obs import trace as obs_trace
+from repro.obs.log import StructuredLogger, get_logger
+from repro.obs.registry import DEFAULT_SIZE_BUCKETS, MetricsRegistry
 from repro.serve.cluster import ClusterIndex
 from repro.serve.config import ServeConfig
 from repro.serve.errors import InvalidRequest, SnapshotUnavailable
@@ -138,6 +142,12 @@ class MatchService:
         self.batched_records = 0
         self.max_batch = 0
         self.persisted = 0
+        #: observability (None = off; every hot-path hook no-ops)
+        self.metrics: Optional[MetricsRegistry] = None
+        self.tracer: Optional[obs_trace.Tracer] = None
+        self.logger: Optional[StructuredLogger] = None
+        if config.metrics:
+            self._init_observability()
         self.index.on_compact(self._clear_cache)
         if self.repository is not None:
             # materialize the mapping header so incremental appends of
@@ -182,6 +192,119 @@ class MatchService:
                                 compact_ratio=config.compact_ratio,
                                 compact_min=config.compact_min,
                                 pruning=config.pruning)
+
+    # -- observability -------------------------------------------------
+
+    def _init_observability(self) -> None:
+        """Build the registry/tracer/logger and register collectors.
+
+        Everything here *observes*: collectors pull the existing
+        counters at scrape time, histograms record durations the hot
+        path already spends — no instrument feeds back into scoring,
+        so results are bit-identical with metrics on or off.
+        """
+        registry = MetricsRegistry()
+        self.metrics = registry
+        self.tracer = obs_trace.Tracer(
+            sample_rate=self.config.trace_sample_rate)
+        self.logger = get_logger("repro.serve")
+        self._batch_sizes = registry.histogram(
+            "repro_service_batch_size",
+            "Micro-batch sizes (records per kernel call).",
+            buckets=DEFAULT_SIZE_BUCKETS)
+        self._match_seconds = registry.histogram(
+            "repro_service_match_seconds",
+            "Service-side scoring latency per micro-batch (seconds).")
+        set_metrics = getattr(self.index, "set_metrics", None)
+        if set_metrics is not None:
+            set_metrics(registry)
+        registry.register_collector(self._collect_service_metrics)
+        registry.register_collector(self._collect_index_metrics)
+
+    def _collect_service_metrics(self) -> None:
+        """Sync the service's own counters into the registry."""
+        registry = self.metrics
+        for name, help, value in (
+            ("repro_service_queries_total",
+             "Match queries served (records).", self.queries),
+            ("repro_service_cache_hits_total",
+             "Queries answered from the reuse cache.", self.hits),
+            ("repro_service_cache_misses_total",
+             "Queries that needed kernel scoring.", self.misses),
+            ("repro_service_batches_total",
+             "Micro-batches driven through the kernel.", self.batches),
+            ("repro_service_batched_records_total",
+             "Records scored inside micro-batches.",
+             self.batched_records),
+            ("repro_service_persisted_total",
+             "Correspondences appended to the repository.",
+             self.persisted),
+        ):
+            registry.counter(name, help).set_total(value)
+        registry.gauge("repro_service_cache_entries",
+                       "Entries in the reuse cache.").set(len(self._cache))
+        registry.gauge("repro_service_reference_records",
+                       "Live reference records.").set(len(self.index))
+        registry.gauge("repro_service_max_batch",
+                       "Largest micro-batch so far.").set(self.max_batch)
+
+    def _collect_index_metrics(self) -> None:
+        """Pull pruning / timing / WAL counters from the backend.
+
+        Takes the service lock: cluster backends answer over
+        FrameChannels, which are not thread-safe, so the pull must
+        not overlap a scoring scatter.
+        """
+        with self._lock:
+            shard_metrics = getattr(self.index, "shard_metrics", None)
+            if shard_metrics is None:
+                self._sync_backend_counters(
+                    self.index.pruning_counters(),
+                    self.index.timing_counters(), None, labels=None)
+                return
+            for entry in shard_metrics():
+                self._sync_backend_counters(
+                    entry["pruning"], entry["index"], entry["wal"],
+                    labels={"shard": entry["shard"]})
+
+    def _sync_backend_counters(self, pruning: dict, timings: dict,
+                               wal: Optional[dict],
+                               labels: Optional[dict]) -> None:
+        registry = self.metrics
+        for key, value in sorted(pruning.items()):
+            registry.counter(
+                f"repro_index_pruning_{key}_total",
+                "Candidate-pruning counter (see docs/serving.md).",
+                labels=labels).set_total(value)
+        registry.counter(
+            "repro_index_match_calls_total",
+            "match_records invocations on the index.",
+            labels=labels).set_total(timings["match_calls"])
+        registry.counter(
+            "repro_index_match_seconds_total",
+            "Cumulative seconds inside index scoring calls.",
+            labels=labels).set_total(timings["match_seconds"])
+        if wal is None:
+            return
+        for key, value in sorted(wal.items()):
+            registry.counter(
+                f"repro_wal_{key}_total",
+                "Write-ahead-log durability counter.",
+                labels=labels).set_total(value)
+
+    def _observe_batch(self, size: int, elapsed: float) -> None:
+        """Record one scored micro-batch (no-op with metrics off)."""
+        if self.metrics is not None:
+            self._batch_sizes.observe(size)
+            self._match_seconds.observe(elapsed)
+        if (self.logger is not None and self.config.slow_query_ms > 0
+                and elapsed * 1000.0 >= self.config.slow_query_ms):
+            trace = obs_trace.current_trace()
+            self.logger.warning(
+                "slow_query", batch=size,
+                elapsed_ms=round(elapsed * 1000.0, 3),
+                threshold_ms=self.config.slow_query_ms,
+                trace_id=None if trace is None else trace.trace_id)
 
     # -- persistence ---------------------------------------------------
 
@@ -373,7 +496,10 @@ class MatchService:
         """
         try:
             records = [request.record for request in batch]
-            results = self._score_records(records)
+            begun = time.perf_counter()
+            with obs_trace.span("service.batch"):
+                results = self._score_records(records)
+            self._observe_batch(len(batch), time.perf_counter() - begun)
             self.batches += 1
             self.batched_records += len(batch)
             self.max_batch = max(self.max_batch, len(batch))
@@ -428,8 +554,12 @@ class MatchService:
                 misses.append((position, record))
         if misses:
             with self._lock:
-                fresh = self._score_records(
-                    [record for _, record in misses])
+                begun = time.perf_counter()
+                with obs_trace.span("service.batch"):
+                    fresh = self._score_records(
+                        [record for _, record in misses])
+                self._observe_batch(len(misses),
+                                    time.perf_counter() - begun)
                 self.batches += 1
                 self.batched_records += len(misses)
                 self.max_batch = max(self.max_batch, len(misses))
@@ -468,7 +598,7 @@ class MatchService:
                 "size": len(self._cache)}
 
     def stats(self) -> dict:
-        return {
+        stats = {
             "records": len(self.index),
             "queries": self.queries,
             "batches": self.batches,
@@ -480,6 +610,9 @@ class MatchService:
             "cache": self.cache_stats(),
             "index": self.index.stats(),
         }
+        if self.tracer is not None:
+            stats["trace"] = self.tracer.summary()
+        return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"MatchService({self.index.name!r}, "

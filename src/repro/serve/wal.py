@@ -28,8 +28,9 @@ from __future__ import annotations
 import json
 import os
 import struct
+import time
 import zlib
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 _HEADER = struct.Struct(">II")  # payload length, CRC32
 
@@ -42,6 +43,13 @@ class WriteAheadLog:
         self._handle = None
         #: frames written through this object (not the on-disk total)
         self.appended = 0
+        #: observability counters (repro.obs pulls these at scrape
+        #: time; they observe durability work, they never gate it)
+        self.sync_count = 0
+        self.sync_seconds = 0.0
+        self.replay_count = 0
+        self.replay_seconds = 0.0
+        self.replayed_entries = 0
 
     # -- writing -------------------------------------------------------
 
@@ -61,8 +69,11 @@ class WriteAheadLog:
     def sync(self) -> None:
         """Flush buffered frames and ``fsync`` the log to disk."""
         if self._handle is not None:
+            start = time.perf_counter()
             self._handle.flush()
             os.fsync(self._handle.fileno())
+            self.sync_seconds += time.perf_counter() - start
+            self.sync_count += 1
 
     def close(self) -> None:
         if self._handle is not None:
@@ -87,10 +98,25 @@ class WriteAheadLog:
         raising — frames are written append-only, so everything before
         the tear is intact.
         """
+        start = time.perf_counter()
         entries: List[dict] = []
         for entry, _ in self._frames(limit):
             entries.append(entry)
+        self.replay_seconds += time.perf_counter() - start
+        self.replay_count += 1
+        self.replayed_entries += len(entries)
         return entries
+
+    def timing_counters(self) -> Dict[str, float]:
+        """Cumulative durability timings for the metrics registry."""
+        return {
+            "appends": self.appended,
+            "syncs": self.sync_count,
+            "sync_seconds": self.sync_seconds,
+            "replays": self.replay_count,
+            "replay_seconds": self.replay_seconds,
+            "replayed_entries": self.replayed_entries,
+        }
 
     def entry_count(self) -> int:
         """Number of intact frames currently on disk."""

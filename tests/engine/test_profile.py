@@ -1,0 +1,123 @@
+"""Engine profiling observes without steering.
+
+``EngineConfig(profile=True)`` reuses the timed task variants the
+adaptive tuner already ships, so a profiled run must produce the
+byte-identical mapping of an unprofiled one on every execution path —
+serial, parallel, indexed and sharded — while filling
+``engine.last_profile`` with per-stage wall-clock timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocking import TokenBlocking
+from repro.engine import (
+    AttributeSpec,
+    BatchMatchEngine,
+    EngineConfig,
+    MatchRequest,
+)
+from repro.model.source import LogicalSource, ObjectType, PhysicalSource
+from repro.sim.ngram import TrigramSimilarity
+
+# each pair shares one rare, long token ("zebraNNN"), so TokenBlocking
+# (min_token_length=3, max_df=0.1) blocks exactly the intended pairs
+TITLES_A = [f"streaming theta join zebra{i:03d}" for i in range(40)]
+TITLES_B = [f"streaming theta join zebra{i:03d} revised"
+            for i in range(0, 80, 2)] \
+    + ["entity fusion in warehouses", "graph cardinality estimation"]
+
+
+def _source(name, titles):
+    source = LogicalSource(PhysicalSource(name), ObjectType("Publication"))
+    for index, title in enumerate(titles):
+        source.add_record(f"{name.lower()}{index}", title=title)
+    return source
+
+
+def _request(**kwargs):
+    return MatchRequest(
+        domain=_source("A", TITLES_A), range=_source("B", TITLES_B),
+        specs=[AttributeSpec("title", "title", TrigramSimilarity())],
+        threshold=0.3, **kwargs)
+
+
+CONFIGS = {
+    "serial": dict(workers=1, chunk_size=64),
+    "parallel": dict(workers=2, chunk_size=64),
+    "sharded": dict(workers=2, chunk_size=64, shard_blocking=True),
+}
+
+
+def _run(profile, blocking=None, **config):
+    engine = BatchMatchEngine(EngineConfig(profile=profile, **config))
+    kwargs = {"blocking": blocking} if blocking is not None else {}
+    mapping = engine.execute(_request(**kwargs))
+    return engine, mapping
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("path", sorted(CONFIGS))
+    def test_profiled_run_matches_unprofiled(self, path):
+        config = CONFIGS[path]
+        blocking = TokenBlocking() if path == "sharded" else None
+        _, plain = _run(False, blocking=blocking, **config)
+        engine, profiled = _run(True, blocking=blocking, **config)
+        assert profiled.to_rows() == plain.to_rows()
+        assert profiled.to_rows()
+        assert engine.last_profile is not None
+
+    def test_indexed_path_matches_unprofiled(self):
+        # TokenBlocking + single trigram spec takes the indexed fast
+        # path on a serial engine
+        _, plain = _run(False, blocking=TokenBlocking(),
+                        workers=1, chunk_size=64)
+        engine, profiled = _run(True, blocking=TokenBlocking(),
+                                workers=1, chunk_size=64)
+        assert profiled.to_rows() == plain.to_rows()
+        assert engine.last_profile["path"] in ("indexed", "serial")
+
+
+class TestProfileRecords:
+    def test_off_by_default(self):
+        engine, _ = _run(False, workers=1, chunk_size=64)
+        assert engine.last_profile is None
+        assert engine.profile_summary() is None
+
+    def test_serial_profile_fields(self):
+        engine, _ = _run(True, workers=1, chunk_size=64)
+        profile = engine.last_profile
+        assert profile["path"] in ("serial", "indexed")
+        assert profile["chunks"] >= 1
+        assert len(profile["chunk_seconds"]) == profile["chunks"]
+        assert all(seconds >= 0.0 for seconds in profile["chunk_seconds"])
+        assert profile["prepare_seconds"] >= 0.0
+        assert profile["shard_seconds"] == []
+
+    def test_sharded_profile_records_shard_durations(self):
+        engine, _ = _run(True, blocking=TokenBlocking(), workers=2,
+                         chunk_size=64, shard_blocking=True)
+        profile = engine.last_profile
+        assert profile["path"] == "sharded"
+        assert profile["shard_seconds"]
+        assert all(seconds >= 0.0 for seconds in profile["shard_seconds"])
+
+    def test_summary_aggregates_last_run(self):
+        engine, _ = _run(True, workers=1, chunk_size=64)
+        summary = engine.profile_summary()
+        assert summary["path"] == engine.last_profile["path"]
+        assert summary["chunks"] == engine.last_profile["chunks"]
+        assert summary["score_seconds"] == pytest.approx(
+            sum(engine.last_profile["chunk_seconds"])
+            + sum(engine.last_profile["shard_seconds"]))
+        assert summary["chunk_p99_seconds"] >= summary["chunk_p50_seconds"]
+        assert summary["shards"] == len(engine.last_profile["shard_seconds"])
+
+    def test_each_run_resets_the_profile(self):
+        engine = BatchMatchEngine(EngineConfig(profile=True, workers=1,
+                                               chunk_size=64))
+        engine.execute(_request())
+        first = engine.last_profile
+        engine.execute(_request())
+        assert engine.last_profile is not first

@@ -1,0 +1,62 @@
+"""Structured logging: JSON lines, injectable streams, no raising."""
+
+import io
+import json
+
+from repro.obs.log import get_logger
+
+
+def test_one_json_object_per_line_keys_sorted():
+    stream = io.StringIO()
+    logger = get_logger("repro.test", stream=stream)
+    logger.info("http_access", path="/v1/match", status=200)
+    logger.warning("slow_query", elapsed_ms=72.5)
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first["event"] == "http_access"
+    assert first["level"] == "info"
+    assert first["logger"] == "repro.test"
+    assert first["path"] == "/v1/match"
+    assert first["status"] == 200
+    assert isinstance(first["ts"], float)
+    assert list(first) == sorted(first)
+    second = json.loads(lines[1])
+    assert second["level"] == "warning"
+    assert second["elapsed_ms"] == 72.5
+
+
+def test_unserializable_fields_stringify():
+    stream = io.StringIO()
+    logger = get_logger("repro.test", stream=stream)
+    logger.error("boom", error=ValueError("bad"))
+    record = json.loads(stream.getvalue())
+    assert record["error"] == "bad"
+    assert record["level"] == "error"
+
+
+def test_logging_never_raises():
+    class Broken:
+        def write(self, _):
+            raise OSError("gone")
+
+        def flush(self):
+            raise OSError("gone")
+
+    logger = get_logger("repro.test", stream=Broken())
+    logger.info("event")  # must not raise into the caller
+
+
+def test_unknown_level_degrades_to_info():
+    stream = io.StringIO()
+    logger = get_logger("repro.test", stream=stream)
+    logger.log("event", level="shouting")
+    assert json.loads(stream.getvalue())["level"] == "info"
+
+
+def test_stream_swap_redirects_later_events():
+    logger = get_logger("repro.test", stream=io.StringIO())
+    replacement = io.StringIO()
+    logger.stream = replacement
+    logger.info("after")
+    assert json.loads(replacement.getvalue())["event"] == "after"

@@ -1,0 +1,173 @@
+"""Metrics registry: instrument semantics and text exposition."""
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+
+
+class TestCounter:
+    def test_monotone_increment(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("requests_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_set_total_clamps_monotone(self):
+        counter = MetricsRegistry().counter("requests_total")
+        counter.set_total(10)
+        counter.set_total(4)  # a restored source must not move back
+        assert counter.value == 10
+        counter.set_total(17)
+        assert counter.value == 17
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+        assert registry.counter("a_total", labels={"shard": 0}) \
+            is not registry.counter("a_total", labels={"shard": 1})
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing")
+
+
+class TestHistogram:
+    def test_bucket_math_is_cumulative(self):
+        hist = MetricsRegistry().histogram(
+            "latency_seconds", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.05, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        lines = hist.samples()
+        assert 'latency_seconds_bucket{le="0.01"} 1' in lines
+        assert 'latency_seconds_bucket{le="0.1"} 3' in lines
+        assert 'latency_seconds_bucket{le="1"} 4' in lines
+        assert 'latency_seconds_bucket{le="+Inf"} 5' in lines
+        assert "latency_seconds_count 5" in lines
+        assert any(line.startswith("latency_seconds_sum ")
+                   for line in lines)
+        assert hist.sum == pytest.approx(5.605)
+
+    def test_units_are_seconds_on_the_default_ladder(self):
+        # the default ladder spans 500 microseconds to 10 seconds —
+        # observations are seconds, never milliseconds
+        assert DEFAULT_LATENCY_BUCKETS[0] == 0.0005
+        assert DEFAULT_LATENCY_BUCKETS[-1] == 10.0
+        hist = MetricsRegistry().histogram("latency_seconds")
+        hist.observe(0.002)  # 2ms
+        counts_at = dict(zip(hist.buckets, range(len(hist.buckets))))
+        assert 0.0025 in counts_at  # lands in the 2.5ms bucket
+        assert 'latency_seconds_bucket{le="0.0025"} 1' in hist.samples()
+        assert 'latency_seconds_bucket{le="0.001"} 0' in hist.samples()
+
+    def test_percentile_interpolates_within_bucket(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for _ in range(10):
+            hist.observe(1.5)  # all in the (1, 2] bucket
+        # rank 5 of 10 → halfway through the second bucket
+        assert hist.percentile(0.50) == pytest.approx(1.5)
+        assert hist.percentile(0.99) == pytest.approx(1.99)
+
+    def test_percentile_clamps_to_last_finite_bound(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0,))
+        hist.observe(100.0)
+        assert hist.percentile(0.99) == 1.0
+
+    def test_empty_percentile_is_zero(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.percentile(0.5) == 0.0
+        assert hist.summary() == {"count": 0.0, "sum": 0.0,
+                                  "p50": 0.0, "p99": 0.0}
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=())
+
+    def test_size_ladder_is_powers_of_two(self):
+        assert DEFAULT_SIZE_BUCKETS == (1.0, 2.0, 4.0, 8.0, 16.0,
+                                        32.0, 64.0, 128.0, 256.0)
+
+
+class TestExposition:
+    def test_render_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "Requests served.").inc(2)
+        registry.gauge("cache_entries").set(7)
+        registry.histogram("latency_seconds",
+                           buckets=(0.1, 1.0)).observe(0.05)
+        text = registry.render()
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert "# HELP requests_total Requests served." in lines
+        assert "# TYPE requests_total counter" in lines
+        assert "requests_total 2" in lines
+        assert "# TYPE cache_entries gauge" in lines
+        assert "cache_entries 7" in lines
+        assert "# TYPE latency_seconds histogram" in lines
+        assert 'latency_seconds_bucket{le="0.1"} 1' in lines
+        assert 'latency_seconds_bucket{le="+Inf"} 1' in lines
+        # every sample line parses as "name{labels} value"
+        for line in lines:
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name
+            float(value)
+
+    def test_labels_sorted_and_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("ops_total",
+                         labels={"b": 'x"y', "a": 1}).inc()
+        assert 'ops_total{a="1",b="x\\"y"} 1' in registry.render()
+
+    def test_collectors_run_at_scrape_time(self):
+        registry = MetricsRegistry()
+        source = {"count": 0}
+        registry.register_collector(
+            lambda: registry.counter("pulled_total").set_total(
+                source["count"]))
+        source["count"] = 5
+        assert "pulled_total 5" in registry.render()
+        source["count"] = 9
+        assert "pulled_total 9" in registry.render()
+
+    def test_summary_mirrors_render(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc(3)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        summary = registry.summary()
+        assert summary["a_total"] == 3
+        assert summary["h"]["count"] == 1.0
+
+    def test_infinity_formats_as_prometheus_inf(self):
+        from repro.obs.registry import _format_value
+        assert _format_value(math.inf) == "+Inf"
+        assert _format_value(3.0) == "3"
+        assert _format_value(0.25) == "0.25"
+
+
+def test_percentile_helper_nearest_rank():
+    values = [5.0, 1.0, 3.0, 2.0, 4.0]
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 0.5) == 3.0
+    assert percentile(values, 1.0) == 5.0
+    assert percentile([], 0.5) == 0.0
